@@ -1,0 +1,112 @@
+// Extension experiment: the paper's bottom line, quantified. Consumer
+// machines have no RAID/EC to fall back on, so an unpredicted SSD death
+// means a long outage and likely data loss. This harness replays the live
+// period through the trained MFPA model and compares fleet downtime and
+// expected data-loss events against (a) the reactive status quo and (b) the
+// vendor SMART-threshold detector that CSS ships today.
+#include <iostream>
+#include <unordered_set>
+
+#include "baselines/smart_threshold.hpp"
+#include "bench_common.hpp"
+#include "core/availability.hpp"
+#include "core/online_predictor.hpp"
+#include "core/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== System availability: reactive vs proactive ===");
+
+  // Train MFPA on the first 60% of the window; the rest is the live period.
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = args.seed;
+  config.train_fraction = 0.6;
+  config.fpr_weight = 6.0;
+  config.decision_threshold = -1.0;
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(world.telemetry, world.tickets);
+
+  // Replay: first MFPA alert per drive; vendor-threshold alarms per drive.
+  const core::Preprocessor pre;
+  core::OnlinePredictor predictor(pipeline);
+  const baselines::SmartThresholdDetector threshold_detector;
+  core::SampleConfig smart_cfg;
+  smart_cfg.group = core::FeatureGroup::kS;
+  const core::SampleBuilder smart_builder(smart_cfg, nullptr);
+
+  std::vector<core::FirstAlert> mfpa_alerts, vendor_alerts;
+  core::FailureDays live_failures;
+  std::size_t healthy_monitored = 0;
+  for (const auto& series : world.telemetry) {
+    if (series.vendor != 0) continue;
+    auto drive = pre.process_drive(series);
+    std::erase_if(drive.records, [&](const core::ProcessedRecord& r) {
+      return r.day <= report.split_day;
+    });
+    if (drive.records.empty()) continue;
+    if (series.failed && series.failure_day > report.split_day) {
+      live_failures[series.drive_id] = series.failure_day;
+    } else if (!series.failed) {
+      ++healthy_monitored;
+    }
+    // MFPA alerts.
+    predictor.clear_alerts();
+    predictor.score_drive(drive);
+    if (!predictor.alerts().empty()) {
+      mfpa_alerts.push_back(
+          {series.drive_id, predictor.alerts().front().day});
+    }
+    // Vendor SMART-threshold alarms.
+    data::Dataset rows;
+    rows.feature_names = smart_builder.feature_names();
+    for (const auto& r : drive.records) {
+      rows.add(smart_builder.features_of(r), 0,
+               {drive.drive_id, r.day, drive.vendor});
+    }
+    const auto alarms = threshold_detector.predict(rows);
+    for (std::size_t i = 0; i < alarms.size(); ++i) {
+      if (alarms[i] == 1) {
+        vendor_alerts.push_back({drive.drive_id, rows.meta[i].day});
+        break;
+      }
+    }
+  }
+
+  const core::AvailabilityParams params;
+  const auto reactive = core::reactive_baseline(live_failures.size(), params);
+  const auto vendor = core::evaluate_availability(vendor_alerts, live_failures, params);
+  const auto proactive = core::evaluate_availability(mfpa_alerts, live_failures, params);
+
+  std::cout << "live period: day " << report.split_day << "+ | failing drives "
+            << live_failures.size() << " | healthy monitored "
+            << healthy_monitored << "\n\n";
+  TablePrinter table({"policy", "planned", "rushed", "missed", "false alarms",
+                      "downtime (h)", "h/failure", "expected data-loss events"});
+  auto row = [&](const char* label, const core::AvailabilityOutcome& o) {
+    table.add_row({label, std::to_string(o.planned), std::to_string(o.rushed),
+                   std::to_string(o.missed), std::to_string(o.false_alarms),
+                   format_double(o.downtime_hours, 1),
+                   format_double(o.downtime_per_failure(), 1),
+                   format_double(o.expected_data_loss_events, 1)});
+  };
+  row("reactive (status quo)", reactive);
+  row("vendor SMART threshold", vendor);
+  row("MFPA (SFWB)", proactive);
+  table.print(std::cout);
+
+  if (reactive.downtime_hours > 0.0) {
+    std::cout << "\nMFPA removes "
+              << format_percent(1.0 -
+                                proactive.downtime_hours / reactive.downtime_hours)
+              << " of fleet downtime vs the reactive baseline ("
+              << format_percent(1.0 - vendor.downtime_hours /
+                                          reactive.downtime_hours)
+              << " for the vendor threshold rule) — the paper's"
+                 " 'substantially improving the system availability'.\n";
+  }
+  return 0;
+}

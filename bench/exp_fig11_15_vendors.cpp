@@ -1,0 +1,46 @@
+// Figs. 11 & 15 reproduction: MFPA portability across SSD vendors. Vendors
+// I-III train well (paper: 98.81%, 96.89%, 97.41% AUC); vendor IV lags
+// because it has the fewest faulty drives.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== Figs. 11/15: vendor portability ===");
+
+  TablePrinter table({"vendor", "faulty drives tracked", "TPR", "FPR", "ACC",
+                      "PDR", "AUC"});
+  for (int vendor = 0; vendor < 4; ++vendor) {
+    std::size_t faulty = 0;
+    for (const auto& s : world.telemetry) {
+      if (s.vendor == vendor && s.failed) ++faulty;
+    }
+    std::vector<std::string> row{
+        sim::vendor_catalog()[static_cast<std::size_t>(vendor)].name,
+        std::to_string(faulty)};
+    try {
+      core::MfpaConfig config;
+      config.vendor = vendor;
+      config.seed = args.seed;
+      core::MfpaPipeline pipeline(config);
+      const auto report = pipeline.run(world.telemetry, world.tickets);
+      for (const auto& cell : bench::metric_cells(report)) row.push_back(cell);
+    } catch (const std::exception& e) {
+      // Vendor IV at small scales may lack positives in one slice — exactly
+      // the paper's "works not well as it has the fewest faulty SSDs".
+      for (int i = 0; i < 5; ++i) row.push_back("n/a");
+      row.back() = std::string("(") + e.what() + ")";
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: AUC 98.81% (I), 96.89% (II), 97.41% (III); vendor IV"
+               " underperforms for lack of failure data.\n"
+               "Cross-vendor transfer (train on I, test elsewhere) is exercised"
+               " by examples/vendor_portability.\n";
+  return 0;
+}

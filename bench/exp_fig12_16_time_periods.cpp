@@ -1,0 +1,41 @@
+// Figs. 12 & 16 reproduction: portability across time periods. One model is
+// trained on the first part of the window and then predicts for months
+// without retraining; TPR stays level while FPR creeps up after ~2-3 months
+// (feature drift: seasonal temperature + firmware releases the model never
+// saw), matching the paper's "the model needs iteration every 2-3 months".
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/online_predictor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== Figs. 12/16: time-period portability ===");
+
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = args.seed;
+  config.train_fraction = 0.45;  // train once, predict ~5+ months forward
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(world.telemetry, world.tickets);
+  std::cout << "model trained through day " << report.split_day
+            << " (threshold " << format_double(report.threshold, 3) << ")\n\n";
+
+  const auto months = core::OnlinePredictor::monthly_breakdown(report);
+  TablePrinter table({"month after training", "samples", "TPR", "FPR", "ACC"});
+  int first_month = months.empty() ? 0 : months.front().month;
+  for (const auto& m : months) {
+    table.add_row({std::to_string(m.month - first_month + 1),
+                   std::to_string(m.cm.total()), format_percent(m.cm.tpr()),
+                   format_percent(m.cm.fpr()),
+                   format_percent(m.cm.accuracy())});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: vendor-I TPR stable for five months; FPR rises to"
+               " 1.34% by month three -> models are re-trained every two to"
+               " three months in deployment.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 18 reproduction: MFPA vs state-of-the-art SSD failure predictors
+// [19]-[22], re-created as method-shape proxies on the same simulated CSS
+// data (see baselines/prior_work.hpp for the mapping).
+#include <iostream>
+
+#include "baselines/prior_work.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== Fig. 18: MFPA vs prior work ===");
+
+  // All models share MFPA's labeling/segmentation; they differ in feature
+  // family and algorithm. Besides the default-threshold point we report
+  // "TPR @ 1% FPR" — a common operating point read off each model's ROC —
+  // because single-threshold TPR/FPR pairs are not comparable across models.
+  TablePrinter table(
+      {"model", "method", "TPR", "FPR", "AUC", "TPR@1%FPR"});
+  for (const auto& m : baselines::prior_work_models(0, args.seed)) {
+    std::vector<std::string> row{m.label, m.description};
+    try {
+      core::MfpaPipeline pipeline(m.config);
+      const auto report = pipeline.run(world.telemetry, world.tickets);
+      row.push_back(format_percent(report.cm.tpr()));
+      row.push_back(format_percent(report.cm.fpr()));
+      row.push_back(format_percent(report.auc));
+      const double t = ml::threshold_for_fpr(report.test_labels,
+                                             report.test_scores, 0.01);
+      const auto cm01 =
+          ml::confusion_at(report.test_labels, report.test_scores, t);
+      row.push_back(format_percent(cm01.tpr()));
+    } catch (const std::exception&) {
+      for (int i = 0; i < 4; ++i) row.push_back("n/a");
+    }
+    table.add_row(row);
+  }
+  // Unsupervised floor: isolation forest on the same SFWB samples — what a
+  // deployment gets *without* mining trouble tickets for labels at all.
+  {
+    core::MfpaConfig config;
+    config.vendor = 0;
+    config.seed = args.seed;
+    config.algorithm = "IForest";
+    config.hyperparams = {{"n_trees", 100.0}, {"subsample", 256.0}};
+    std::vector<std::string> row{"unsupervised floor",
+                                 "isolation forest on SFWB (labels unused)"};
+    try {
+      core::MfpaPipeline pipeline(config);
+      const auto report = pipeline.run(world.telemetry, world.tickets);
+      row.push_back("n/a");  // anomaly scores have no 0.5 operating point
+      row.push_back("n/a");
+      row.push_back(format_percent(report.auc));
+      const double t = ml::threshold_for_fpr(report.test_labels,
+                                             report.test_scores, 0.01);
+      const auto cm01 =
+          ml::confusion_at(report.test_labels, report.test_scores, t);
+      row.push_back(format_percent(cm01.tpr()));
+    } catch (const std::exception&) {
+      for (int i = 0; i < 4; ++i) row.push_back("n/a");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: MFPA achieves the best performance across [19]-[22],"
+               " reflecting the effectiveness of the SFWB feature groups.\n"
+               "Expected ordering here: MFPA leads on AUC and TPR@1%FPR;\n"
+               "single-feature-family baselines trail it.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 19 reproduction: TPR of a fixed MFPA model probed at increasing
+// lookahead distances N (days between the scored observation and the actual
+// failure). Paper: ~89% TPR within 5 days, decaying to 55.66% at N = 20.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args, "=== Fig. 19: lookahead window ===");
+
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = args.seed;
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(world.telemetry, world.tickets);
+  std::cout << "base model: TPR " << format_percent(report.cm.tpr()) << " FPR "
+            << format_percent(report.cm.fpr()) << " at threshold "
+            << format_double(report.threshold, 3) << "\n\n";
+
+  std::vector<sim::DriveTimeSeries> vendor0;
+  for (const auto& s : world.telemetry) {
+    if (s.vendor == 0) vendor0.push_back(s);
+  }
+  const core::Preprocessor pre;
+  const auto drives = pre.process(vendor0);
+  const auto builder = pipeline.make_builder();
+
+  TablePrinter table({"N (days before failure)", "samples", "TPR", "bar"});
+  for (int n = 1; n <= 21; n += (n < 8 ? 1 : 2)) {
+    const auto ds = builder.build_positives_at_distance(drives, n, n + 1);
+    if (ds.empty()) {
+      table.add_row({std::to_string(n), "0", "n/a", ""});
+      continue;
+    }
+    const auto scores = pipeline.score(ds);
+    std::size_t hit = 0;
+    for (double s : scores) hit += s >= pipeline.threshold();
+    const double tpr = static_cast<double>(hit) / static_cast<double>(ds.size());
+    table.add_row({std::to_string(n), std::to_string(ds.size()),
+                   format_percent(tpr),
+                   std::string(static_cast<std::size_t>(tpr * 50.0), '#')});
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper shape: high TPR within ~5 days, monotone decay, about"
+               " half the detections left by N = 20.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 3 reproduction: per-firmware-version failure rates. Observation #2:
+// "the earlier the firmware version, the higher the failure rate."
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "sim/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  sim::FleetSimulator fleet(sim::scenario_by_name(args.scenario, args.seed));
+
+  std::cout << "=== Fig. 3: failure rate per firmware version ===\n\n";
+  // (vendor, fw) -> (fails, total)
+  std::map<std::pair<int, int>, std::pair<std::size_t, std::size_t>> by_fw;
+  for (const auto& d : fleet.drives()) {
+    auto& [fails, total] = by_fw[{d.vendor, d.firmware_initial}];
+    ++total;
+    if (d.outcome.fails) ++fails;
+  }
+
+  TablePrinter table({"FirmwareVersion", "drives", "failures",
+                      "failure rate (measured)", "hazard mult (config)", "bar"});
+  const auto& catalog = sim::vendor_catalog();
+  bool monotone = true;
+  for (std::size_t v = 0; v < catalog.size(); ++v) {
+    double prev_rate = 1e9;
+    for (std::size_t f = 0; f < catalog[v].firmware.size(); ++f) {
+      const auto& [fails, total] = by_fw[{static_cast<int>(v),
+                                          static_cast<int>(f)}];
+      const double rate =
+          total ? static_cast<double>(fails) / static_cast<double>(total) : 0.0;
+      if (rate > prev_rate + 1e-9) monotone = false;
+      prev_rate = rate;
+      table.add_row({catalog[v].firmware[f].version, std::to_string(total),
+                     std::to_string(fails), format_percent(rate),
+                     format_double(catalog[v].firmware[f].failure_multiplier, 2),
+                     std::string(static_cast<std::size_t>(rate * 2500.0), '#')});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEarlier-firmware-fails-more monotone per vendor: "
+            << (monotone ? "yes" : "no (sampling noise at this scale)")
+            << "\nPaper: I_F_1/I_F_2 worst for vendor I; every vendor's later"
+               " firmware beats its earlier ones.\n";
+  return 0;
+}

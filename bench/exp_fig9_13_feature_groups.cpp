@@ -1,0 +1,97 @@
+// Figs. 9 & 13 reproduction: MFPA (random forest, vendor I) across the seven
+// feature groups of Table V. Headline: SFWB reaches ~98% TPR at sub-1% FPR;
+// SMART-only and SF trail it on both axes. Includes the Table V definition
+// and a negative-sampling-ratio ablation.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== Figs. 9/13: feature-group comparison ===");
+
+  print_section(std::cout, "Table V: feature groups");
+  TablePrinter groups({"group", "SMART", "Firmware", "WindowsEvent",
+                       "BlueScreenofDeath", "total"});
+  for (core::FeatureGroup g : core::all_feature_groups()) {
+    const auto names = core::feature_names_of(g);
+    std::size_t s = 0, f = 0, w = 0, b = 0;
+    for (const auto& n : names) {
+      if (n[0] == 'S') ++s;
+      else if (n == "F") ++f;
+      else if (n[0] == 'W') ++w;
+      else ++b;
+    }
+    auto cell = [](std::size_t n) { return n ? std::to_string(n) : "NaN"; };
+    groups.add_row({core::feature_group_name(g), cell(s), cell(f), cell(w),
+                    cell(b), std::to_string(names.size())});
+  }
+  groups.print(std::cout);
+
+  print_section(std::cout, "MFPA per feature group (RF, vendor I)");
+  TablePrinter table({"group", "TPR", "FPR", "ACC", "PDR", "AUC",
+                      "test pos", "test neg"});
+  core::MfpaReport sfwb_report, s_report;
+  for (core::FeatureGroup g : core::all_feature_groups()) {
+    core::MfpaConfig config;
+    config.vendor = 0;
+    config.group = g;
+    config.seed = args.seed;
+    core::MfpaPipeline pipeline(config);
+    const auto report = pipeline.run(world.telemetry, world.tickets);
+    if (g == core::FeatureGroup::kSFWB) sfwb_report = report;
+    if (g == core::FeatureGroup::kS) s_report = report;
+    std::vector<std::string> row{core::feature_group_name(g)};
+    for (const auto& cell : bench::metric_cells(report)) row.push_back(cell);
+    row.push_back(std::to_string(report.test_positives));
+    row.push_back(std::to_string(report.test_size - report.test_positives));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: SFWB 98.18% TPR / 0.56% FPR; SF 95.37% / 3.58%;"
+               " the SMART-based model trails SFWB by ~4% TPR with ~7x FPR.\n"
+            << "Measured headline gap: TPR "
+            << format_percent(sfwb_report.cm.tpr()) << " vs "
+            << format_percent(s_report.cm.tpr()) << ", FPR "
+            << format_percent(sfwb_report.cm.fpr()) << " vs "
+            << format_percent(s_report.cm.fpr()) << "\n";
+
+  print_section(std::cout, "Extension: rate-of-change (delta) features");
+  TablePrinter delta_table({"features", "TPR", "FPR", "ACC", "PDR", "AUC"});
+  for (const bool deltas : {false, true}) {
+    core::MfpaConfig config;
+    config.vendor = 0;
+    config.seed = args.seed;
+    config.include_deltas = deltas;
+    core::MfpaPipeline pipeline(config);
+    const auto report = pipeline.run(world.telemetry, world.tickets);
+    std::vector<std::string> row{deltas ? "SFWB + 7-day deltas (90 cols)"
+                                        : "SFWB (45 cols, paper)"};
+    for (const auto& cell : bench::metric_cells(report)) row.push_back(cell);
+    delta_table.add_row(row);
+  }
+  delta_table.print(std::cout);
+  std::cout << "(counters *accelerating* carries signal beyond their level;"
+               " a candidate improvement over the paper's raw features)\n";
+
+  print_section(std::cout, "Ablation: negative:positive sampling ratio");
+  TablePrinter ratio_table({"neg:pos", "TPR", "FPR", "ACC", "PDR", "AUC"});
+  for (double ratio : {3.0, 5.0}) {
+    core::MfpaConfig config;
+    config.vendor = 0;
+    config.seed = args.seed;
+    config.neg_per_pos = ratio;
+    config.undersample_ratio = ratio;
+    core::MfpaPipeline pipeline(config);
+    const auto report = pipeline.run(world.telemetry, world.tickets);
+    std::vector<std::string> row{format_double(ratio, 0) + ":1"};
+    for (const auto& cell : bench::metric_cells(report)) row.push_back(cell);
+    ratio_table.add_row(row);
+  }
+  ratio_table.print(std::cout);
+  std::cout << "(paper trains at 3:1 or 5:1; results should be stable)\n";
+  return 0;
+}

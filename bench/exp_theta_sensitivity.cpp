@@ -1,0 +1,40 @@
+// Sensitivity of the failure-time identification threshold theta
+// (paper §III-C(2)): too high and pre-failure windows overlap healthy-looking
+// data (FPR up / labels diluted); too low and faulty drives lack data around
+// the labeled day (TPR down). The paper settles on theta = 7.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args, "=== theta sensitivity test ===");
+
+  TablePrinter table({"theta", "train pos", "test pos", "TPR", "FPR", "AUC"});
+  for (int theta : {0, 1, 3, 5, 7, 10, 14, 21}) {
+    core::MfpaConfig config;
+    config.vendor = 0;
+    config.seed = args.seed;
+    config.theta = theta;
+    std::vector<std::string> row{std::to_string(theta)};
+    try {
+      core::MfpaPipeline pipeline(config);
+      const auto report = pipeline.run(world.telemetry, world.tickets);
+      row.push_back(std::to_string(report.train_positives));
+      row.push_back(std::to_string(report.test_positives));
+      row.push_back(format_percent(report.cm.tpr()));
+      row.push_back(format_percent(report.cm.fpr()));
+      row.push_back(format_percent(report.auc));
+    } catch (const std::exception&) {
+      for (int i = 0; i < 5; ++i) row.push_back("n/a");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nPaper: theta = 7 balances the two failure modes; labeling"
+               " at the IMT (theta = 0) anchors windows after the data ends,"
+               " and very large theta mislabels healthy-looking days.\n";
+  return 0;
+}

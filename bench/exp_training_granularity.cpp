@@ -1,0 +1,66 @@
+// Extension experiment: vendor-level vs drive-model-level training. The
+// paper states "We train the prediction model based on vendors rather than
+// the traditional model based on disk series" — this ablation shows why:
+// splitting vendor I's failures across its four models starves each
+// per-model dataset of positives.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/catalog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "=== Vendor-level vs model-level training ===");
+
+  // Vendor-level model (the paper's choice).
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = args.seed;
+  TablePrinter table({"training unit", "faulty drives", "TPR", "FPR", "AUC"});
+  {
+    core::MfpaPipeline pipeline(config);
+    const auto report = pipeline.run(world.telemetry, world.tickets);
+    std::size_t faulty = 0;
+    for (const auto& s : world.telemetry) {
+      if (s.vendor == 0 && s.failed) ++faulty;
+    }
+    table.add_row({"vendor I (paper)", std::to_string(faulty),
+                   format_percent(report.cm.tpr()),
+                   format_percent(report.cm.fpr()),
+                   format_percent(report.auc)});
+  }
+
+  // Per-drive-model training: one pipeline per model of vendor I.
+  const auto& vendor = sim::vendor_catalog()[0];
+  for (std::size_t m = 0; m < vendor.models.size(); ++m) {
+    std::vector<sim::DriveTimeSeries> model_series;
+    std::size_t faulty = 0;
+    for (const auto& s : world.telemetry) {
+      if (s.vendor != 0 || s.model != static_cast<int>(m)) continue;
+      model_series.push_back(s);
+      if (s.failed) ++faulty;
+    }
+    std::vector<std::string> row{vendor.models[m].name, std::to_string(faulty)};
+    try {
+      core::MfpaPipeline pipeline(config);
+      const auto report = pipeline.run(model_series, world.tickets);
+      row.push_back(format_percent(report.cm.tpr()));
+      row.push_back(format_percent(report.cm.fpr()));
+      row.push_back(format_percent(report.auc));
+    } catch (const std::exception& e) {
+      row.push_back("n/a");
+      row.push_back("n/a");
+      row.push_back(std::string("(") + e.what() + ")");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nPer-model datasets carve ~"
+            << vendor.models.size()
+            << "-way through the same failures; the vendor-level model sees"
+               " them all — the reason the paper trains per vendor.\n";
+  return 0;
+}

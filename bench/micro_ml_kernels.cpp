@@ -1,0 +1,116 @@
+// google-benchmark micro-benchmarks for the hot kernels behind Fig. 20:
+// tree-ensemble training/inference, metric computation, preprocessing
+// throughput, and the CNN_LSTM forward pass.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/preprocess.hpp"
+#include "ml/factory.hpp"
+#include "ml/metrics.hpp"
+#include "sim/fleet.hpp"
+
+namespace {
+
+using namespace mfpa;
+
+std::pair<data::Matrix, std::vector<int>> blob_data(std::size_t n,
+                                                    std::size_t d) {
+  Rng rng(1);
+  data::Matrix X(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i % 4 == 0 ? 1 : 0;
+    y[i] = label;
+    for (std::size_t c = 0; c < d; ++c) {
+      X(i, c) = rng.normal(label * 2.0, 1.0);
+    }
+  }
+  return {std::move(X), std::move(y)};
+}
+
+void BM_RandomForestFit(benchmark::State& state) {
+  const auto [X, y] = blob_data(static_cast<std::size_t>(state.range(0)), 45);
+  for (auto _ : state) {
+    auto rf = ml::make_classifier("RF", {{"n_trees", 30}, {"seed", 1}});
+    rf->fit(X, y);
+    benchmark::DoNotOptimize(rf);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomForestFit)->Arg(1000)->Arg(4000);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier("RF", {{"n_trees", 60}, {"seed", 1}});
+  rf->fit(X, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_RandomForestPredict);
+
+void BM_GbdtFit(benchmark::State& state) {
+  const auto [X, y] = blob_data(2000, 45);
+  for (auto _ : state) {
+    auto gbdt = ml::make_classifier("GBDT", {{"n_rounds", 40}, {"seed", 1}});
+    gbdt->fit(X, y);
+    benchmark::DoNotOptimize(gbdt);
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_GbdtFit);
+
+void BM_CnnLstmForward(benchmark::State& state) {
+  const auto [X, y] = blob_data(512, 45 * 5);
+  auto net = ml::make_classifier(
+      "CNN_LSTM",
+      {{"timesteps", 5}, {"epochs", 1}, {"channels", 16}, {"hidden", 24}});
+  net->fit(X, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CnnLstmForward);
+
+void BM_AucComputation(benchmark::State& state) {
+  Rng rng(2);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<int> y(n);
+  std::vector<double> scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.bernoulli(0.25) ? 1 : 0;
+    scores[i] = rng.uniform() + y[i] * 0.3;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ml::auc(y, scores));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AucComputation)->Arg(10000)->Arg(100000);
+
+void BM_PreprocessTelemetry(benchmark::State& state) {
+  sim::FleetSimulator fleet(sim::tiny_scenario(1));
+  const auto telemetry = fleet.generate_telemetry();
+  std::size_t records = 0;
+  for (const auto& t : telemetry) records += t.records.size();
+  const core::Preprocessor pre;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pre.process(telemetry));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_PreprocessTelemetry);
+
+void BM_TelemetryGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::FleetSimulator fleet(sim::tiny_scenario(1));
+    benchmark::DoNotOptimize(fleet.generate_telemetry());
+  }
+}
+BENCHMARK(BM_TelemetryGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

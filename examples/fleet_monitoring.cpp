@@ -1,0 +1,105 @@
+// Fleet monitoring: the deployment story MFPA enables for consumer machines.
+//
+// Train MFPA on the first part of the window, then replay the remaining
+// telemetry drive by drive through the OnlinePredictor the way a client-side
+// agent would: each new upload is scored; crossing the threshold raises a
+// backup-and-replace alert. The example then audits the alerts against the
+// simulator's ground truth: how many failures were caught, with how much
+// advance warning, and how many healthy machines were bothered.
+//
+//   ./fleet_monitoring [scenario] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "common/string_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/online_predictor.hpp"
+#include "sim/fleet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const std::string scenario_name = argc > 1 ? argv[1] : "default";
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  sim::FleetSimulator fleet(sim::scenario_by_name(scenario_name, seed));
+  const auto telemetry = fleet.generate_telemetry();
+  const auto tickets = fleet.tickets();
+
+  // 1. Train the deployed model (vendor I, SFWB).
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = seed;
+  config.train_fraction = 0.6;
+  // Deployment tuning: a fleet monitor that cries wolf gets uninstalled, so
+  // pick the operating point with a strong false-alarm aversion.
+  config.decision_threshold = -1.0;
+  config.fpr_weight = 6.0;
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(telemetry, tickets);
+  std::cout << "Deployed model: trained through day " << report.split_day
+            << ", TPR " << format_percent(report.cm.tpr()) << " / FPR "
+            << format_percent(report.cm.fpr()) << " on its test slice\n\n";
+
+  // 2. Replay the post-training period through the online predictor.
+  core::OnlinePredictor predictor(pipeline);
+  const core::Preprocessor pre;
+  std::size_t failing_scored = 0, failing_alerted = 0;
+  std::size_t healthy_scored = 0, healthy_alerted = 0;
+  std::map<int, std::size_t> lead_time_hist;  // days of warning buckets
+  for (const auto& series : telemetry) {
+    if (series.vendor != 0) continue;
+    auto drive = pre.process_drive(series);
+    // Keep only post-training observations (the live period).
+    std::erase_if(drive.records, [&](const core::ProcessedRecord& r) {
+      return r.day <= report.split_day;
+    });
+    if (drive.records.size() < 2) continue;
+    predictor.clear_alerts();
+    predictor.score_drive(drive);
+    const bool alerted = !predictor.alerts().empty();
+    if (series.failed && series.failure_day > report.split_day) {
+      ++failing_scored;
+      if (alerted) {
+        ++failing_alerted;
+        const int lead = series.failure_day - predictor.alerts().front().day;
+        ++lead_time_hist[std::clamp(lead / 5 * 5, 0, 30)];
+      }
+    } else if (!series.failed) {
+      ++healthy_scored;
+      if (alerted) ++healthy_alerted;
+    }
+  }
+
+  TablePrinter summary({"metric", "value"});
+  summary.add_row({"failing drives in live period", std::to_string(failing_scored)});
+  summary.add_row({"caught before failure",
+                   std::to_string(failing_alerted) + " (" +
+                       format_percent(failing_scored
+                                          ? static_cast<double>(failing_alerted) /
+                                                static_cast<double>(failing_scored)
+                                          : 0.0) +
+                       ")"});
+  summary.add_row({"healthy drives monitored", std::to_string(healthy_scored)});
+  summary.add_row({"healthy drives bothered",
+                   std::to_string(healthy_alerted) + " (" +
+                       format_percent(healthy_scored
+                                          ? static_cast<double>(healthy_alerted) /
+                                                static_cast<double>(healthy_scored)
+                                          : 0.0) +
+                       ")"});
+  summary.print(std::cout);
+
+  print_section(std::cout, "Advance warning (days between first alert and failure)");
+  TablePrinter leads({"lead time", "drives"});
+  for (const auto& [bucket, n] : lead_time_hist) {
+    leads.add_row({std::to_string(bucket) + "-" + std::to_string(bucket + 4) + "d",
+                   std::to_string(n)});
+  }
+  leads.print(std::cout);
+  std::cout << "\nThe paper's motivation: a few days of warning is enough to"
+               " back data up and arrange a replacement before the drive"
+               " dies.\n";
+  return 0;
+}

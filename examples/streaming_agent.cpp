@@ -1,0 +1,95 @@
+// Streaming agent: what runs *on the consumer machine*. A model trained
+// fleet-side is serialized and shipped down; the agent then processes each
+// day's telemetry incrementally (StreamingIngestor maintains the cleaned
+// state online), scores the newest observation in microseconds, and decides
+// locally whether to nag the user to back up.
+//
+//   ./streaming_agent [scenario] [seed]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "core/mfpa.hpp"
+#include "core/streaming.hpp"
+#include "ml/serialize.hpp"
+#include "sim/fleet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const std::string scenario_name = argc > 1 ? argv[1] : "small";
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  // --- Fleet side: train and "ship" the model as a byte stream. ----------
+  sim::FleetSimulator fleet(sim::scenario_by_name(scenario_name, seed));
+  const auto telemetry = fleet.generate_telemetry();
+  const auto tickets = fleet.tickets();
+  core::MfpaConfig config;
+  config.vendor = 0;
+  config.seed = seed;
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(telemetry, tickets);
+  std::stringstream wire;
+  ml::save_classifier(wire, pipeline.model());
+  std::cout << "fleet side: trained " << pipeline.model().name() << " (TPR "
+            << format_percent(report.cm.tpr()) << ", FPR "
+            << format_percent(report.cm.fpr()) << "); model payload "
+            << wire.str().size() / 1024 << " KiB\n";
+
+  // --- Client side: receive the model, replay a failing drive day by day.
+  const auto model = ml::load_classifier(wire);
+  const auto builder = pipeline.make_builder();
+
+  const sim::DriveTimeSeries* failing = nullptr;
+  for (const auto& series : telemetry) {
+    if (series.vendor == 0 && series.failed && series.records.size() > 20) {
+      failing = &series;
+      break;
+    }
+  }
+  if (failing == nullptr) {
+    std::cout << "no suitable failing drive in this scenario/seed\n";
+    return 0;
+  }
+  std::cout << "client side: replaying drive " << failing->drive_id
+            << " (fails on day " << failing->failure_day << " = "
+            << format_date(failing->failure_day) << ")\n\n";
+
+  core::StreamingIngestor ingestor(failing->drive_id, failing->vendor);
+  DayIndex first_alert = -1;
+  double total_us = 0.0;
+  std::size_t scored = 0;
+  for (const auto& upload : failing->records) {
+    ingestor.ingest(upload);
+    if (!ingestor.usable()) continue;
+    const auto& latest = ingestor.segment().back();
+    const auto t0 = std::chrono::steady_clock::now();
+    data::Matrix row(0, 0);
+    row.add_row(builder.features_of(latest));
+    const double score = model->predict_proba(row)[0];
+    total_us += std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    ++scored;
+    const bool alert = score >= pipeline.threshold();
+    if (alert && first_alert < 0) first_alert = latest.day;
+    if (alert || upload.day + 14 >= failing->failure_day) {
+      std::cout << "  " << format_date(upload.day) << "  risk "
+                << format_double(score, 3) << (alert ? "  << BACK UP NOW" : "")
+                << "\n";
+    }
+  }
+  std::cout << "\nfirst alert: "
+            << (first_alert >= 0 ? format_date(first_alert) : "(never)")
+            << (first_alert >= 0
+                    ? " — " + std::to_string(failing->failure_day - first_alert) +
+                          " days before the drive died"
+                    : "")
+            << "\nmean on-device inference: "
+            << format_double(total_us / std::max<std::size_t>(1, scored), 1)
+            << " us per upload (paper: microsecond-level client-side"
+               " prediction)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Vendor portability: is a model trained on one vendor's drives usable on
+// another's? The paper trains per vendor (Fig. 11/15); this example measures
+// both the per-vendor models and the cross-vendor transfer matrix, which
+// motivates that choice — SMART semantics and firmware codes differ between
+// vendors, so transfer degrades.
+//
+//   ./vendor_portability [scenario] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/failure_time.hpp"
+#include "core/mfpa.hpp"
+#include "core/preprocess.hpp"
+#include "ml/metrics.hpp"
+#include "sim/fleet.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const std::string scenario_name = argc > 1 ? argv[1] : "default";
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  sim::FleetSimulator fleet(sim::scenario_by_name(scenario_name, seed));
+  const auto telemetry = fleet.generate_telemetry();
+  const auto tickets = fleet.tickets();
+
+  // Train one pipeline per vendor, remember it, and build each vendor's
+  // evaluation dataset with that vendor's own encoder-free features (group S
+  // + W + B; firmware codes are vendor-specific and would not transfer).
+  std::cout << "Cross-vendor transfer matrix (AUC; model rows x data columns)\n"
+            << "feature group: SFWB for the diagonal, S+W+B semantics shared\n\n";
+
+  std::vector<std::unique_ptr<core::MfpaPipeline>> pipelines;
+  for (int v = 0; v < 4; ++v) {
+    core::MfpaConfig config;
+    config.vendor = v;
+    config.seed = seed;
+    // Use the S group for transfer comparability (firmware label codes are
+    // vendor-local; SFWB would not be well-defined across vendors).
+    config.group = core::FeatureGroup::kS;
+    auto p = std::make_unique<core::MfpaPipeline>(config);
+    try {
+      p->run(telemetry, tickets);
+    } catch (const std::exception& e) {
+      std::cout << "vendor " << v << ": training failed (" << e.what() << ")\n";
+      p.reset();
+    }
+    pipelines.push_back(std::move(p));
+  }
+
+  // Per-vendor evaluation datasets (canonical labeling).
+  const core::Preprocessor pre;
+  const core::FailureTimeIdentifier identifier(7);
+  std::vector<data::Dataset> eval_sets;
+  for (int v = 0; v < 4; ++v) {
+    std::vector<sim::DriveTimeSeries> vendor_series;
+    for (const auto& s : telemetry) {
+      if (s.vendor == v) vendor_series.push_back(s);
+    }
+    const auto drives = pre.process(vendor_series);
+    const auto failures = identifier.identify_all(tickets, drives);
+    core::SampleConfig sc;
+    sc.group = core::FeatureGroup::kS;
+    sc.seed = seed;
+    const core::SampleBuilder builder(sc, nullptr);
+    eval_sets.push_back(builder.build(drives, failures));
+  }
+
+  const auto& names = sim::vendor_catalog();
+  TablePrinter matrix({"model \\ data", names[0].name, names[1].name,
+                       names[2].name, names[3].name});
+  for (int m = 0; m < 4; ++m) {
+    std::vector<std::string> row{"trained on " + names[static_cast<std::size_t>(m)].name};
+    for (int d = 0; d < 4; ++d) {
+      if (!pipelines[static_cast<std::size_t>(m)] ||
+          eval_sets[static_cast<std::size_t>(d)].positives() == 0) {
+        row.push_back("n/a");
+        continue;
+      }
+      const auto& ds = eval_sets[static_cast<std::size_t>(d)];
+      const auto scores = pipelines[static_cast<std::size_t>(m)]->score(ds);
+      row.push_back(format_percent(ml::auc(ds.y, scores)));
+    }
+    matrix.add_row(row);
+  }
+  matrix.print(std::cout);
+  std::cout << "\nReading: diagonal entries (own-vendor) should dominate the"
+               " off-diagonal transfer entries — the reason the paper trains"
+               " per vendor rather than one global model.\n"
+               "(In-vendor numbers here are optimistic: the scoring set"
+               " overlaps each model's training period; Fig. 11/15 report"
+               " the honest held-out values.)\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Proxies for the state-of-the-art SSD failure predictors the paper
+// compares against in Fig. 18 ([19]-[22]). The original systems ran on
+// proprietary data-center telemetry; each proxy re-creates the *method
+// shape* (feature family + algorithm + labeling policy) on our CSS data:
+//
+//  [19] Alter/Jacob et al., SC'19  — error-log-driven models -> RF on the
+//       B (crash-log) and W (event-log) cumulative counts, no SMART.
+//  [20] Zhang et al., TPDS'20      — transfer learning for minority disks ->
+//       pooled all-vendor LR applied to the target vendor.
+//  [21] Chakraborttii et al., SoCC'20 — interpretable SMART-only trees ->
+//       single decision tree on S.
+//  [22] Pinciroli et al., TDSC'21  — lifespan/failure models -> GBDT on S.
+//
+// Each proxy is expressed as an MfpaConfig so it runs through exactly the
+// same harness (labeling, segmentation, balancing) as MFPA itself; what
+// differs is the feature family and the algorithm — the part each prior
+// system contributes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mfpa.hpp"
+
+namespace mfpa::baselines {
+
+struct PriorWorkModel {
+  std::string label;        ///< e.g. "SC'19 [19]"
+  std::string description;  ///< one-line method summary
+  core::MfpaConfig config;  ///< harness configuration of the proxy
+};
+
+/// The four proxies plus MFPA itself (last), all bound to `vendor` and
+/// sharing `seed`.
+std::vector<PriorWorkModel> prior_work_models(int vendor, std::uint64_t seed);
+
+}  // namespace mfpa::baselines

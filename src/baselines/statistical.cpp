@@ -1,0 +1,149 @@
+#include "baselines/statistical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/serialize.hpp"
+
+namespace mfpa::baselines {
+
+ParametricDetector::ParametricDetector(Hyperparams params)
+    : params_(std::move(params)),
+      z_cap_(ml::param_or(params_, "z_cap", 8.0)) {}
+
+void ParametricDetector::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const std::size_t d = X.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  std::size_t n_healthy = 0;
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    if (y[r] != 0) continue;
+    ++n_healthy;
+    const auto row = X.row(r);
+    for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+  }
+  if (n_healthy < 2) {
+    throw std::invalid_argument("ParametricDetector: need >= 2 healthy samples");
+  }
+  for (auto& m : mean_) m /= static_cast<double>(n_healthy);
+  std::vector<double> ss(d, 0.0);
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    if (y[r] != 0) continue;
+    const auto row = X.row(r);
+    for (std::size_t c = 0; c < d; ++c) {
+      const double delta = row[c] - mean_[c];
+      ss[c] += delta * delta;
+    }
+  }
+  for (std::size_t c = 0; c < d; ++c) {
+    const double var = ss[c] / static_cast<double>(n_healthy - 1);
+    std_[c] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> ParametricDetector::predict_proba(const Matrix& X) const {
+  if (!fitted_) throw std::logic_error("ParametricDetector: predict before fit");
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    double max_z = 0.0;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double z = std::abs(row[c] - mean_[c]) / std_[c];
+      max_z = std::max(max_z, z);
+    }
+    // Squash the capped z into (0,1); z = 3 maps to ~0.5.
+    out[r] = std::min(max_z, z_cap_) / (z_cap_ * 2.0) +
+             (max_z >= 3.0 ? 0.25 : 0.0);
+    out[r] = std::min(out[r], 1.0);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> ParametricDetector::clone_unfitted() const {
+  return std::make_unique<ParametricDetector>(params_);
+}
+
+void ParametricDetector::save_state(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("ParametricDetector: save before fit");
+  ml::io::write_vector(os, "mean", mean_);
+  ml::io::write_vector(os, "std", std_);
+}
+
+void ParametricDetector::load_state(std::istream& is) {
+  mean_ = ml::io::read_vector(is, "mean");
+  std_ = ml::io::read_vector(is, "std");
+  if (mean_.size() != std_.size()) {
+    throw std::runtime_error("ParametricDetector: inconsistent state");
+  }
+  fitted_ = true;
+}
+
+RankSumDetector::RankSumDetector(Hyperparams params)
+    : params_(std::move(params)) {}
+
+void RankSumDetector::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const std::size_t d = X.cols();
+  healthy_sorted_.assign(d, {});
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    if (y[r] != 0) continue;
+    const auto row = X.row(r);
+    for (std::size_t c = 0; c < d; ++c) healthy_sorted_[c].push_back(row[c]);
+  }
+  if (healthy_sorted_.empty() || healthy_sorted_[0].size() < 2) {
+    throw std::invalid_argument("RankSumDetector: need >= 2 healthy samples");
+  }
+  for (auto& col : healthy_sorted_) std::sort(col.begin(), col.end());
+  fitted_ = true;
+}
+
+std::vector<double> RankSumDetector::predict_proba(const Matrix& X) const {
+  if (!fitted_) throw std::logic_error("RankSumDetector: predict before fit");
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    double most_extreme = 0.0;  // distance from the median percentile
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto& col = healthy_sorted_[c];
+      const auto lo =
+          std::lower_bound(col.begin(), col.end(), row[c]) - col.begin();
+      const double pct =
+          static_cast<double>(lo) / static_cast<double>(col.size());
+      most_extreme = std::max(most_extreme, std::abs(pct - 0.5) * 2.0);
+    }
+    out[r] = most_extreme;
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> RankSumDetector::clone_unfitted() const {
+  return std::make_unique<RankSumDetector>(params_);
+}
+
+void RankSumDetector::save_state(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("RankSumDetector: save before fit");
+  os << "ranksum " << healthy_sorted_.size() << '\n';
+  for (std::size_t c = 0; c < healthy_sorted_.size(); ++c) {
+    ml::io::write_vector(os, "col" + std::to_string(c), healthy_sorted_[c]);
+  }
+}
+
+void RankSumDetector::load_state(std::istream& is) {
+  ml::io::expect_token(is, "ranksum");
+  std::size_t cols = 0;
+  if (!(is >> cols) || cols > 100000) {
+    throw std::runtime_error("RankSumDetector: bad column count");
+  }
+  healthy_sorted_.assign(cols, {});
+  for (std::size_t c = 0; c < cols; ++c) {
+    healthy_sorted_[c] = ml::io::read_vector(is, "col" + std::to_string(c));
+  }
+  fitted_ = true;
+}
+
+}  // namespace mfpa::baselines

@@ -1,0 +1,65 @@
+// Statistical failure detectors (the paper's §II middle rung between
+// threshold rules and ML: "Statistical Methods can improve failure detection
+// accuracy... TPR only increases to 56%-70%, FPR decreases to nearly 1%").
+//
+// Two classic detectors, both implementing the ml::Classifier interface so
+// they drop into the same evaluation harnesses:
+//  * ParametricDetector  — per-feature Gaussian z-score against the healthy
+//    training population; alarms on the maximum absolute z.
+//  * RankSumDetector     — non-parametric: per-feature healthy-population
+//    percentile; alarms on the most extreme percentile.
+#pragma once
+
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {}
+
+namespace mfpa::baselines {
+
+using ml::Classifier;
+using ml::Hyperparams;
+using ml::Matrix;
+
+/// Hyperparams: "z_cap" (8.0) — z-scores are clamped before squashing.
+class ParametricDetector final : public Classifier {
+ public:
+  explicit ParametricDetector(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "Parametric"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  Hyperparams params_;
+  double z_cap_;
+  std::vector<double> mean_;
+  std::vector<double> std_;
+  bool fitted_ = false;
+};
+
+/// Hyperparams: none. Stores sorted healthy-population values per feature.
+class RankSumDetector final : public Classifier {
+ public:
+  explicit RankSumDetector(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "RankSum"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  Hyperparams params_;
+  std::vector<std::vector<double>> healthy_sorted_;  ///< per feature
+  bool fitted_ = false;
+};
+
+}  // namespace mfpa::baselines

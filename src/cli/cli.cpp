@@ -1,0 +1,310 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "common/table_printer.hpp"
+#include "core/health_report.hpp"
+#include "core/mfpa.hpp"
+#include "core/online_predictor.hpp"
+#include "ml/serialize.hpp"
+#include "sim/fleet.hpp"
+#include "sim/telemetry_io.hpp"
+#include "sim/validate.hpp"
+
+namespace mfpa::cli {
+namespace {
+
+core::MfpaConfig config_from(const CommandLine& cmd) {
+  core::MfpaConfig config;
+  config.vendor = static_cast<int>(cmd.get_number("vendor", -1));
+  config.algorithm = cmd.get("algorithm", "RF");
+  config.group = core::feature_group_from_name(cmd.get("group", "SFWB"));
+  config.theta = static_cast<int>(cmd.get_number("theta", 7));
+  config.positive_window =
+      static_cast<int>(cmd.get_number("positive-window", 7));
+  config.neg_per_pos = cmd.get_number("neg-per-pos", 3.0);
+  config.train_fraction = cmd.get_number("train-fraction", 0.7);
+  config.decision_threshold = cmd.get_number("threshold", 0.5);
+  config.seed = static_cast<std::uint64_t>(cmd.get_number("seed", 42));
+  return config;
+}
+
+void print_report(const core::MfpaReport& report, std::ostream& out) {
+  TablePrinter table({"metric", "value"});
+  table.add_row({"TPR", format_percent(report.cm.tpr())});
+  table.add_row({"FPR", format_percent(report.cm.fpr())});
+  table.add_row({"ACC", format_percent(report.cm.accuracy())});
+  table.add_row({"PDR", format_percent(report.cm.pdr())});
+  table.add_row({"AUC", format_percent(report.auc)});
+  table.add_row({"threshold", format_double(report.threshold, 3)});
+  table.add_row({"train samples", std::to_string(report.train_size)});
+  table.add_row({"test samples", std::to_string(report.test_size)});
+  table.add_row({"test positives", std::to_string(report.test_positives)});
+  table.print(out);
+}
+
+int cmd_simulate(const CommandLine& cmd, std::ostream& out) {
+  auto scenario = sim::scenario_by_name(
+      cmd.get("scenario", "default"),
+      static_cast<std::uint64_t>(cmd.get_number("seed", 42)));
+  // Per-knob overrides on top of the preset.
+  scenario.fleet_scale = cmd.get_number("scale", scenario.fleet_scale);
+  scenario.horizon_days = static_cast<DayIndex>(
+      cmd.get_number("horizon", scenario.horizon_days));
+  scenario.telemetry_end =
+      std::min(scenario.telemetry_end, scenario.horizon_days);
+  scenario.healthy_per_failed =
+      cmd.get_number("healthy-per-failed", scenario.healthy_per_failed);
+  if (cmd.has("no-drift")) scenario.enable_drift = false;
+  sim::FleetSimulator fleet(scenario);
+  const auto telemetry = fleet.generate_telemetry();
+  const auto tickets = fleet.tickets();
+  sim::write_telemetry_file(cmd.require("telemetry"), telemetry);
+  sim::write_tickets_file(cmd.require("tickets"), tickets);
+  std::size_t records = 0;
+  for (const auto& t : telemetry) records += t.records.size();
+  out << "wrote " << telemetry.size() << " drives / "
+      << format_with_commas(static_cast<long long>(records)) << " records to "
+      << cmd.require("telemetry") << "\nwrote " << tickets.size()
+      << " tickets to " << cmd.require("tickets") << "\n";
+  return 0;
+}
+
+int cmd_train(const CommandLine& cmd, std::ostream& out) {
+  // Validate the configuration before any file IO for fast user feedback.
+  core::MfpaPipeline pipeline(config_from(cmd));
+  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto tickets = sim::read_tickets_file(cmd.require("tickets"));
+  const auto report = pipeline.run(telemetry, tickets);
+  ml::save_classifier_file(cmd.require("model"), pipeline.model());
+  out << "trained " << pipeline.model().name() << " on "
+      << report.train_size << " samples; model written to "
+      << cmd.require("model") << "\n";
+  if (cmd.has("report")) print_report(report, out);
+  return 0;
+}
+
+int cmd_evaluate(const CommandLine& cmd, std::ostream& out) {
+  // Evaluation retrains with the same configuration and reports the honest
+  // held-out slice (the model file is not needed; it documents the deploy).
+  core::MfpaPipeline pipeline(config_from(cmd));
+  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto tickets = sim::read_tickets_file(cmd.require("tickets"));
+  const auto report = pipeline.run(telemetry, tickets);
+  print_report(report, out);
+  const auto drive_level = core::OnlinePredictor::drive_level(report);
+  out << "drive-level: TPR "
+      << format_percent(drive_level.drive_tpr()) << " ("
+      << drive_level.detected_drives << "/" << drive_level.faulty_drives
+      << "), FPR " << format_percent(drive_level.drive_fpr()) << " ("
+      << drive_level.false_alarm_drives << "/" << drive_level.healthy_drives
+      << ")\n";
+  return 0;
+}
+
+int cmd_predict(const CommandLine& cmd, std::ostream& out) {
+  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto model = ml::load_classifier_file(cmd.require("model"));
+  const double threshold = cmd.get_number("threshold", 0.5);
+  const auto top = static_cast<std::size_t>(cmd.get_number("top", 20));
+
+  // Score the latest observation of every drive; the feature layout must
+  // match the group the model was trained on.
+  const auto group = core::feature_group_from_name(cmd.get("group", "SFWB"));
+  const core::Preprocessor pre;
+  const auto drives = pre.process(telemetry);
+  // Firmware vocabulary from the scored data itself (deployment would ship
+  // the training-time encoder; the CLI keeps the file format model-only and
+  // accepts the small code drift).
+  const auto encoder = core::Preprocessor::fit_firmware_encoder(drives);
+  core::SampleConfig sc;
+  sc.group = group;
+  const core::SampleBuilder builder(sc, &encoder);
+
+  struct Scored {
+    std::uint64_t drive_id;
+    DayIndex day;
+    double score;
+  };
+  std::vector<Scored> scored;
+  data::Dataset batch;
+  batch.feature_names = builder.feature_names();
+  for (const auto& d : drives) {
+    if (d.records.empty()) continue;
+    batch.add(builder.features_of(d.records.back()), 0,
+              {d.drive_id, d.records.back().day, d.vendor});
+  }
+  if (batch.empty()) {
+    out << "no scorable drives\n";
+    return 0;
+  }
+  const auto scores = model->predict_proba(batch.X);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scored.push_back({batch.meta[i].drive_id, batch.meta[i].day, scores[i]});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) { return a.score > b.score; });
+
+  std::size_t flagged = 0;
+  for (const auto& s : scored) flagged += s.score >= threshold;
+  out << "scored " << scored.size() << " drives; " << flagged
+      << " at/above threshold " << format_double(threshold, 2) << "\n\n";
+  TablePrinter table({"rank", "drive", "last obs", "risk score", "flagged"});
+  for (std::size_t i = 0; i < std::min(top, scored.size()); ++i) {
+    table.add_row({std::to_string(i + 1), std::to_string(scored[i].drive_id),
+                   format_date(scored[i].day),
+                   format_double(scored[i].score, 4),
+                   scored[i].score >= threshold ? "YES" : ""});
+  }
+  table.print(out);
+
+  if (cmd.has("explain") && !scored.empty()) {
+    // Explain flagged drives against the scored population (predominantly
+    // healthy, so population medians approximate the healthy reference).
+    core::HealthExplainer explainer;
+    explainer.fit(batch);
+    out << "\nExplanations for flagged drives:\n";
+    std::size_t shown = 0;
+    for (std::size_t i = 0; i < batch.size() && shown < top; ++i) {
+      if (scores[i] < threshold) continue;
+      const auto report =
+          explainer.explain(batch.X.row(i), batch.meta[i].drive_id,
+                            batch.meta[i].day, scores[i]);
+      out << report.to_string() << "\n";
+      ++shown;
+    }
+  }
+  return 0;
+}
+
+int cmd_validate(const CommandLine& cmd, std::ostream& out) {
+  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto report = sim::validate_telemetry(telemetry);
+  out << "drives: " << report.drives << "\nrecords: "
+      << format_with_commas(static_cast<long long>(report.records))
+      << "\ngaps: " << report.gaps_short << " short (2-3d), "
+      << report.gaps_medium << " medium (4-9d), " << report.gaps_long
+      << " long (>=10d, segment cuts)\nissues: " << report.issues_total
+      << (report.clean() ? " — batch is clean\n" : "\n");
+  if (!report.issues.empty()) {
+    TablePrinter table({"kind", "drive", "day", "detail"});
+    for (const auto& issue : report.issues) {
+      table.add_row({validation_issue_name(issue.kind),
+                     std::to_string(issue.drive_id),
+                     std::to_string(issue.day), issue.detail});
+    }
+    table.print(out);
+    if (report.issues_total > report.issues.size()) {
+      out << "(showing " << report.issues.size() << " of "
+          << report.issues_total << ")\n";
+    }
+  }
+  return report.clean() ? 0 : 2;
+}
+
+int cmd_info(const CommandLine& cmd, std::ostream& out) {
+  const auto model = ml::load_classifier_file(cmd.require("model"));
+  out << "algorithm: " << model->name() << "\nhyperparameters:\n";
+  for (const auto& [key, value] : model->hyperparams()) {
+    out << "  " << key << " = " << format_double(value, 6) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string CommandLine::get(const std::string& key,
+                             const std::string& fallback) const {
+  const auto it = options.find(key);
+  return it == options.end() ? fallback : it->second;
+}
+
+double CommandLine::get_number(const std::string& key, double fallback) const {
+  const auto it = options.find(key);
+  if (it == options.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + key + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string CommandLine::require(const std::string& key) const {
+  const auto it = options.find(key);
+  if (it == options.end() || it->second.empty()) {
+    throw std::invalid_argument("missing required option --" + key);
+  }
+  return it->second;
+}
+
+CommandLine parse_command_line(const std::vector<std::string>& args) {
+  CommandLine cmd;
+  if (args.empty()) {
+    throw std::invalid_argument("no command given");
+  }
+  cmd.command = args[0];
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!starts_with(arg, "--")) {
+      throw std::invalid_argument("unexpected argument '" + arg + "'");
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      cmd.options[arg.substr(2)] = "";
+    } else {
+      cmd.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+  return cmd;
+}
+
+std::string usage() {
+  return
+      "mfpa — multidimensional SSD failure prediction (DATE'23 reproduction)\n"
+      "\n"
+      "commands:\n"
+      "  simulate  --telemetry=FILE --tickets=FILE [--scenario=NAME] [--seed=N]\n"
+      "            [--scale=X] [--horizon=DAYS] [--healthy-per-failed=X]\n"
+      "            [--no-drift]\n"
+      "  train     --telemetry=FILE --tickets=FILE --model=FILE\n"
+      "            [--vendor=N] [--group=SFWB|SFW|SFB|SF|S|W|B] [--algorithm=RF]\n"
+      "            [--theta=7] [--threshold=0.5] [--seed=N] [--report]\n"
+      "  evaluate  --telemetry=FILE --tickets=FILE [--vendor=N] [--group=G] ...\n"
+      "  predict   --telemetry=FILE --model=FILE [--group=G] [--threshold=T]\n"
+      "            [--top=N] [--explain]\n"
+      "  validate  --telemetry=FILE\n"
+      "  info      --model=FILE\n"
+      "  help\n";
+}
+
+int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
+  try {
+    if (cmd.command == "simulate") return cmd_simulate(cmd, out);
+    if (cmd.command == "train") return cmd_train(cmd, out);
+    if (cmd.command == "evaluate") return cmd_evaluate(cmd, out);
+    if (cmd.command == "predict") return cmd_predict(cmd, out);
+    if (cmd.command == "validate") return cmd_validate(cmd, out);
+    if (cmd.command == "info") return cmd_info(cmd, out);
+    if (cmd.command == "help" || cmd.command == "--help") {
+      out << usage();
+      return 0;
+    }
+    err << "unknown command '" << cmd.command << "'\n" << usage();
+    return 1;
+  } catch (const std::invalid_argument& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "failure: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace mfpa::cli

@@ -1,0 +1,47 @@
+// The `mfpa` command-line tool: the deployment surface of the library.
+//
+//   mfpa simulate --scenario=default --seed=42 --telemetry=t.csv --tickets=k.csv
+//   mfpa train    --telemetry=t.csv --tickets=k.csv --model=m.txt [--vendor=0]
+//                 [--group=SFWB] [--algorithm=RF] [--report]
+//   mfpa predict  --telemetry=t.csv --model=m.txt [--threshold=0.5] [--top=20]
+//   mfpa evaluate --telemetry=t.csv --tickets=k.csv --model=m.txt [--vendor=0]
+//   mfpa info     --model=m.txt
+//
+// Command logic lives in this library (testable without spawning processes);
+// tools/mfpa_main.cpp is a thin argv wrapper.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mfpa::cli {
+
+/// Parsed command line: a verb plus --key=value options.
+struct CommandLine {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.contains(key); }
+  /// Option value or `fallback`.
+  std::string get(const std::string& key, const std::string& fallback = "") const;
+  /// Numeric option; throws std::invalid_argument on malformed numbers.
+  double get_number(const std::string& key, double fallback) const;
+  /// Required option; throws std::invalid_argument when missing.
+  std::string require(const std::string& key) const;
+};
+
+/// Parses argv (after the program name). Accepts "--key=value" and bare
+/// "--flag" (stored with an empty value). Throws std::invalid_argument on
+/// malformed arguments.
+CommandLine parse_command_line(const std::vector<std::string>& args);
+
+/// Executes one command; output goes to `out`, diagnostics to `err`.
+/// Returns a process exit code (0 success, 1 user error, 2 runtime failure).
+int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err);
+
+/// Full usage text.
+std::string usage();
+
+}  // namespace mfpa::cli

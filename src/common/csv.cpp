@@ -1,0 +1,109 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mfpa::csv {
+
+std::string escape_field(std::string_view field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_row(std::ostream& os, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << ',';
+    os << escape_field(fields[i]);
+  }
+  os << '\n';
+}
+
+std::vector<std::string> parse_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current += c;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    throw std::invalid_argument("csv: unterminated quoted field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::size_t Document::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("csv: no column named '" + std::string(name) + "'");
+}
+
+Document read(std::istream& is) {
+  Document doc;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty() && is.peek() == std::char_traits<char>::eof()) break;
+    auto fields = parse_line(line);
+    if (first) {
+      doc.header = std::move(fields);
+      first = false;
+    } else {
+      doc.rows.push_back(std::move(fields));
+    }
+  }
+  return doc;
+}
+
+Document read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open '" + path + "' for reading");
+  return read(f);
+}
+
+void write(std::ostream& os, const Document& doc) {
+  write_row(os, doc.header);
+  for (const auto& row : doc.rows) write_row(os, row);
+}
+
+void write_file(const std::string& path, const Document& doc) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("csv: cannot open '" + path + "' for writing");
+  write(f, doc);
+}
+
+}  // namespace mfpa::csv

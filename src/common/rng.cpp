@@ -1,0 +1,175 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mfpa {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& w : state_) w = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double sigma) noexcept {
+  return mean + sigma * normal();
+}
+
+double Rng::exponential(double lambda) noexcept {
+  assert(lambda > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return -std::log(u) / lambda;
+}
+
+int Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's multiplication method.
+    const double l = std::exp(-mean);
+    int k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform();
+    } while (p > l);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-mean background rates used in the simulator.
+  const double v = normal(mean, std::sqrt(mean));
+  return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+}
+
+int Rng::geometric(double p) noexcept {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return static_cast<int>(std::log(u) / std::log1p(-p));
+}
+
+double Rng::weibull(double shape, double scale) noexcept {
+  assert(shape > 0.0 && scale > 0.0);
+  double u = uniform();
+  while (u <= 0.0) u = uniform();
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+std::size_t Rng::categorical(const std::vector<double>& weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return 0;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  return idx;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  assert(k <= n);
+  // Floyd's algorithm would be better for k << n; the simulator only uses
+  // moderate k so a partial Fisher-Yates keeps the code simple.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i),
+                    static_cast<std::int64_t>(n) - 1));
+    using std::swap;
+    swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::split(std::uint64_t stream) const noexcept {
+  // Mix the current state with the stream id; the child is independent of
+  // subsequent draws from the parent.
+  std::uint64_t s = state_[0] ^ rotl(state_[2], 13) ^ (stream * 0xd1342543de82ef95ULL);
+  return Rng(splitmix64(s));
+}
+
+}  // namespace mfpa

@@ -1,0 +1,96 @@
+// Deterministic random number generation for simulation and ML.
+//
+// Everything in this repository that is stochastic draws from mfpa::Rng so
+// that a single 64-bit seed reproduces an entire experiment bit-for-bit.
+// The generator is xoshiro256** (Blackman & Vigna), seeded through SplitMix64;
+// it is much faster than std::mt19937_64 and has no observable bias for the
+// distributions used here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace mfpa {
+
+/// Deterministic pseudo-random generator with a small set of distribution
+/// helpers. Copyable; copies continue independently from the same state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator state through SplitMix64 so that small/sequential
+  /// seeds still produce well-distributed states.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() noexcept;
+  /// Normal with given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma) noexcept;
+  /// Exponential with given rate lambda > 0.
+  double exponential(double lambda) noexcept;
+  /// Poisson count with given mean >= 0 (Knuth for small, PTRS for large mean).
+  int poisson(double mean) noexcept;
+  /// Geometric number of failures before first success, p in (0,1].
+  int geometric(double p) noexcept;
+  /// Weibull with shape k > 0 and scale lambda > 0.
+  double weibull(double shape, double scale) noexcept;
+  /// Log-normal: exp(normal(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Index in [0, weights.size()) sampled proportionally to `weights`
+  /// (non-negative, not all zero).
+  std::size_t categorical(const std::vector<double>& weights) noexcept;
+
+  /// Fisher-Yates shuffle of an index range [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Samples k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derives an independent child generator (stable: depends only on the
+  /// parent state at the call point and `stream`).
+  Rng split(std::uint64_t stream) const noexcept;
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    return v[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mfpa

@@ -1,0 +1,57 @@
+#include "core/availability.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mfpa::core {
+
+AvailabilityOutcome evaluate_availability(const std::vector<FirstAlert>& alerts,
+                                          const FailureDays& failures,
+                                          const AvailabilityParams& params) {
+  AvailabilityOutcome out;
+  out.failures = failures.size();
+
+  std::unordered_map<std::uint64_t, DayIndex> first_alert;
+  for (const auto& alert : alerts) {
+    const auto [it, inserted] = first_alert.emplace(alert.drive_id, alert.day);
+    if (!inserted && alert.day < it->second) it->second = alert.day;
+  }
+
+  for (const auto& [drive_id, fail_day] : failures) {
+    const auto it = first_alert.find(drive_id);
+    if (it == first_alert.end() || it->second > fail_day) {
+      // Never warned (an alert after the failure day is no warning).
+      ++out.missed;
+      out.downtime_hours += params.unplanned_outage_hours;
+      out.expected_data_loss_events += params.data_loss_probability;
+    } else if (fail_day - it->second >= params.required_lead_days) {
+      ++out.planned;
+      out.downtime_hours += params.planned_swap_hours;
+    } else {
+      ++out.rushed;
+      out.downtime_hours += params.rushed_swap_hours;
+    }
+  }
+  for (const auto& [drive_id, day] : first_alert) {
+    (void)day;
+    if (!failures.contains(drive_id)) {
+      ++out.false_alarms;
+      out.downtime_hours += params.false_alarm_hours;
+    }
+  }
+  return out;
+}
+
+AvailabilityOutcome reactive_baseline(std::size_t failure_count,
+                                      const AvailabilityParams& params) {
+  AvailabilityOutcome out;
+  out.failures = failure_count;
+  out.missed = failure_count;
+  out.downtime_hours =
+      params.unplanned_outage_hours * static_cast<double>(failure_count);
+  out.expected_data_loss_events =
+      params.data_loss_probability * static_cast<double>(failure_count);
+  return out;
+}
+
+}  // namespace mfpa::core

@@ -1,0 +1,72 @@
+// System-availability accounting — the paper's end goal ("proactive fault
+// tolerance mechanisms can anticipate failures and migrate data and services
+// out of the unhealthy storage drives, which can reduce downtime costs and
+// significantly improve system availability").
+//
+// Given the ground-truth failure times and the alerts a predictor raised,
+// this module scores each failing drive's outcome:
+//   * predicted with enough lead time  -> planned migration: short downtime,
+//     no data loss;
+//   * predicted too late (< lead time) -> rushed swap: medium downtime;
+//   * missed                           -> unplanned failure: long downtime
+//     (reinstall + data recovery) and possible data loss.
+// False alarms on healthy drives cost a needless maintenance visit each.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/date.hpp"
+
+namespace mfpa::core {
+
+/// Downtime/risk parameters of one deployment (hours per event).
+struct AvailabilityParams {
+  double planned_swap_hours = 1.0;     ///< backup done ahead, quick swap
+  double rushed_swap_hours = 6.0;      ///< backup under pressure
+  double unplanned_outage_hours = 48.0;///< reinstall, recovery attempts
+  double false_alarm_hours = 0.5;      ///< needless check/backup visit
+  int required_lead_days = 2;          ///< warning needed to plan the swap
+  double data_loss_probability = 0.4;  ///< when a failure strikes unwarned
+};
+
+/// One failing drive's adjudicated outcome.
+enum class FailureHandling { kPlanned, kRushed, kMissed };
+
+struct AvailabilityOutcome {
+  std::size_t failures = 0;
+  std::size_t planned = 0;
+  std::size_t rushed = 0;
+  std::size_t missed = 0;
+  std::size_t false_alarms = 0;          ///< healthy drives alerted
+  double downtime_hours = 0.0;           ///< total across the fleet
+  double expected_data_loss_events = 0.0;
+
+  double downtime_per_failure() const noexcept {
+    return failures ? downtime_hours / static_cast<double>(failures) : 0.0;
+  }
+};
+
+/// Minimal alert record: drive id + first alert day.
+struct FirstAlert {
+  std::uint64_t drive_id = 0;
+  DayIndex day = 0;
+};
+
+/// Ground truth for adjudication: failing drives and their failure days.
+using FailureDays = std::unordered_map<std::uint64_t, DayIndex>;
+
+/// Scores a prediction run. `alerts` may contain at most one entry per
+/// drive (use the earliest alert); alerts on drives absent from `failures`
+/// count as false alarms. `healthy_population` is the number of healthy
+/// drives monitored (for context in the outcome).
+AvailabilityOutcome evaluate_availability(const std::vector<FirstAlert>& alerts,
+                                          const FailureDays& failures,
+                                          const AvailabilityParams& params = {});
+
+/// The reactive baseline: nobody is warned; every failure is unplanned.
+AvailabilityOutcome reactive_baseline(std::size_t failure_count,
+                                      const AvailabilityParams& params = {});
+
+}  // namespace mfpa::core

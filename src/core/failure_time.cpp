@@ -1,0 +1,53 @@
+#include "core/failure_time.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mfpa::core {
+
+std::optional<IdentifiedFailure> FailureTimeIdentifier::identify(
+    const sim::TroubleTicket& ticket, const ProcessedDrive& drive) const {
+  if (drive.records.empty()) return std::nullopt;
+
+  // Closest tracking point not after the IMT (records are sorted by day).
+  const auto it = std::upper_bound(
+      drive.records.begin(), drive.records.end(), ticket.imt,
+      [](DayIndex day, const ProcessedRecord& r) { return day < r.day; });
+
+  IdentifiedFailure out;
+  out.drive_id = ticket.drive_id;
+  out.imt = ticket.imt;
+  if (it != drive.records.begin()) {
+    const ProcessedRecord& last_before = *(it - 1);
+    const DayIndex ti = ticket.imt - last_before.day;
+    if (ti <= theta_) {
+      out.labeled_failure_day = last_before.day;
+      out.anchored_to_record = true;
+      return out;
+    }
+  }
+  out.labeled_failure_day = ticket.imt - theta_;
+  out.anchored_to_record = false;
+  return out;
+}
+
+std::unordered_map<std::uint64_t, IdentifiedFailure>
+FailureTimeIdentifier::identify_all(
+    const std::vector<sim::TroubleTicket>& tickets,
+    const std::vector<ProcessedDrive>& drives) const {
+  std::unordered_map<std::uint64_t, const ProcessedDrive*> by_id;
+  by_id.reserve(drives.size());
+  for (const auto& d : drives) by_id.emplace(d.drive_id, &d);
+
+  std::unordered_map<std::uint64_t, IdentifiedFailure> out;
+  for (const auto& ticket : tickets) {
+    const auto it = by_id.find(ticket.drive_id);
+    if (it == by_id.end()) continue;
+    if (auto labeled = identify(ticket, *it->second)) {
+      out.emplace(ticket.drive_id, *labeled);
+    }
+  }
+  return out;
+}
+
+}  // namespace mfpa::core

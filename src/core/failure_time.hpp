@@ -1,0 +1,53 @@
+// Identification of the eventual failure time (paper §III-C(2), Fig. 7).
+//
+// Trouble tickets record the *initial maintenance time* (IMT), not the day
+// the drive actually failed — users bring machines in late. For a ticketed
+// drive, let Pt_d be the tracking point in the dataset closest to (and not
+// after) the IMT, and ti = IMT - Pt_d. With threshold theta:
+//   ti <= theta  -> label Pt_d as the failure day,
+//   ti >  theta  -> label (IMT - theta) as the failure day.
+// The paper sets theta = 7 via a sensitivity test (reproduced in
+// bench/exp_theta_sensitivity).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/date.hpp"
+#include "core/preprocess.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::core {
+
+/// Pipeline-visible label for one ticketed drive.
+struct IdentifiedFailure {
+  std::uint64_t drive_id = 0;
+  DayIndex imt = 0;
+  DayIndex labeled_failure_day = 0;
+  bool anchored_to_record = false;  ///< true when ti <= theta (used a Pt_d)
+};
+
+class FailureTimeIdentifier {
+ public:
+  explicit FailureTimeIdentifier(int theta = 7) : theta_(theta) {}
+
+  int theta() const noexcept { return theta_; }
+
+  /// Labels one drive from its ticket and cleaned record history. Returns
+  /// nullopt when the drive has no records at all.
+  std::optional<IdentifiedFailure> identify(
+      const sim::TroubleTicket& ticket, const ProcessedDrive& drive) const;
+
+  /// Labels every ticketed drive found in `drives`. Tickets without a
+  /// matching drive (not tracked / dropped by preprocessing) are skipped.
+  std::unordered_map<std::uint64_t, IdentifiedFailure> identify_all(
+      const std::vector<sim::TroubleTicket>& tickets,
+      const std::vector<ProcessedDrive>& drives) const;
+
+ private:
+  int theta_;
+};
+
+}  // namespace mfpa::core

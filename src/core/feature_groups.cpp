@@ -1,0 +1,100 @@
+#include "core/feature_groups.hpp"
+
+#include <stdexcept>
+
+#include "sim/catalog.hpp"
+
+namespace mfpa::core {
+
+const std::vector<FeatureGroup>& all_feature_groups() {
+  static const std::vector<FeatureGroup> kGroups = {
+      FeatureGroup::kSFWB, FeatureGroup::kSFW, FeatureGroup::kSFB,
+      FeatureGroup::kSF,   FeatureGroup::kS,   FeatureGroup::kW,
+      FeatureGroup::kB};
+  return kGroups;
+}
+
+std::string feature_group_name(FeatureGroup g) {
+  switch (g) {
+    case FeatureGroup::kSFWB: return "SFWB";
+    case FeatureGroup::kSFW: return "SFW";
+    case FeatureGroup::kSFB: return "SFB";
+    case FeatureGroup::kSF: return "SF";
+    case FeatureGroup::kS: return "S";
+    case FeatureGroup::kW: return "W";
+    case FeatureGroup::kB: return "B";
+  }
+  return "?";
+}
+
+FeatureGroup feature_group_from_name(const std::string& name) {
+  for (FeatureGroup g : all_feature_groups()) {
+    if (feature_group_name(g) == name) return g;
+  }
+  throw std::invalid_argument("feature_group_from_name: unknown group '" +
+                              name + "'");
+}
+
+const std::vector<std::string>& smart_feature_names() {
+  static const std::vector<std::string> kNames = [] {
+    const auto& arr = sim::smart_attr_names();
+    return std::vector<std::string>(arr.begin(), arr.end());
+  }();
+  return kNames;
+}
+
+const std::string& firmware_feature_name() {
+  static const std::string kName = "F";
+  return kName;
+}
+
+const std::vector<std::string>& windows_feature_names() {
+  // The paper's Table V counts five W attributes; Fig. 17 names W_11, W_49,
+  // W_51 and W_161 among the features requiring special attention. W_7
+  // (bad block) completes the set.
+  static const std::vector<std::string> kNames = {"W_7", "W_11", "W_49",
+                                                  "W_51", "W_161"};
+  return kNames;
+}
+
+const std::vector<std::string>& bsod_feature_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& code : sim::bsod_code_types()) names.push_back(code.name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::vector<std::string> feature_names_of(FeatureGroup g) {
+  std::vector<std::string> names;
+  const bool has_s = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+                     g == FeatureGroup::kSFB || g == FeatureGroup::kSF ||
+                     g == FeatureGroup::kS;
+  const bool has_f = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+                     g == FeatureGroup::kSFB || g == FeatureGroup::kSF;
+  const bool has_w = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+                     g == FeatureGroup::kW;
+  const bool has_b = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFB ||
+                     g == FeatureGroup::kB;
+  if (has_s) {
+    const auto& s = smart_feature_names();
+    names.insert(names.end(), s.begin(), s.end());
+  }
+  if (has_f) names.push_back(firmware_feature_name());
+  if (has_w) {
+    const auto& w = windows_feature_names();
+    names.insert(names.end(), w.begin(), w.end());
+  }
+  if (has_b) {
+    const auto& b = bsod_feature_names();
+    names.insert(names.end(), b.begin(), b.end());
+  }
+  return names;
+}
+
+std::size_t feature_count_of(FeatureGroup g) {
+  return feature_names_of(g).size();
+}
+
+}  // namespace mfpa::core

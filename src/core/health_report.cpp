@@ -1,0 +1,120 @@
+#include "core/health_report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+#include "sim/catalog.hpp"
+
+namespace mfpa::core {
+namespace {
+
+double median_of(std::vector<double> values) {
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+}  // namespace
+
+std::string describe_feature(const std::string& name) {
+  if (name == "F") return "FirmwareVersion (label-encoded)";
+  if (name.rfind("S_", 0) == 0) {
+    const auto idx = std::stoul(name.substr(2));
+    if (idx >= 1 && idx <= sim::kNumSmartAttrs) {
+      return sim::smart_attr_descriptions()[idx - 1];
+    }
+  }
+  if (name.rfind("W_", 0) == 0) {
+    const int id = std::stoi(name.substr(2));
+    return sim::windows_event_types()[sim::windows_event_index(id)].description;
+  }
+  if (name.rfind("B_", 0) == 0) {
+    for (const auto& code : sim::bsod_code_types()) {
+      if (code.name == name) return code.description;
+    }
+  }
+  return name;
+}
+
+std::string HealthReport::to_string() const {
+  std::ostringstream ss;
+  ss << "drive " << drive_id << " @ " << format_date(day) << ": risk "
+     << format_double(risk_score, 3);
+  if (findings.empty()) {
+    ss << " (no single feature stands out)";
+    return ss.str();
+  }
+  ss << "\n";
+  for (const auto& f : findings) {
+    ss << "  - " << f.feature << " = " << format_double(f.value, 1)
+       << " (healthy median " << format_double(f.healthy_median, 1)
+       << ", severity " << format_double(f.severity, 1) << "): "
+       << f.description << "\n";
+  }
+  return ss.str();
+}
+
+void HealthExplainer::fit(const data::Dataset& reference) {
+  if (reference.feature_names.empty()) {
+    throw std::invalid_argument("HealthExplainer: dataset lacks feature names");
+  }
+  std::vector<std::size_t> healthy_rows;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference.y[i] == 0) healthy_rows.push_back(i);
+  }
+  if (healthy_rows.size() < 8) {
+    throw std::invalid_argument("HealthExplainer: need >= 8 healthy rows");
+  }
+  names_ = reference.feature_names;
+  const std::size_t d = reference.num_features();
+  medians_.assign(d, 0.0);
+  mads_.assign(d, 1.0);
+  std::vector<double> column(healthy_rows.size());
+  for (std::size_t c = 0; c < d; ++c) {
+    for (std::size_t k = 0; k < healthy_rows.size(); ++k) {
+      column[k] = reference.X(healthy_rows[k], c);
+    }
+    medians_[c] = median_of(column);
+    for (auto& v : column) v = std::abs(v - medians_[c]);
+    // 1.4826 * MAD estimates sigma for Gaussian data. Count-like features
+    // are often constant (MAD = 0) in a healthy population; flooring the
+    // scale at one unit makes their severity read as "events above the
+    // healthy median" instead of exploding.
+    mads_[c] = std::max(1.4826 * median_of(column), 1.0);
+  }
+}
+
+HealthReport HealthExplainer::explain(std::span<const double> features,
+                                      std::uint64_t drive_id, DayIndex day,
+                                      double risk_score, std::size_t top_k,
+                                      double min_severity) const {
+  if (!fitted()) throw std::logic_error("HealthExplainer: explain before fit");
+  if (features.size() != medians_.size()) {
+    throw std::invalid_argument("HealthExplainer: feature arity mismatch");
+  }
+  HealthReport report;
+  report.drive_id = drive_id;
+  report.day = day;
+  report.risk_score = risk_score;
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    // Only *elevations* are symptoms: counters and temperatures going up.
+    // (Available Spare falls when failing, so its deviation is inverted.)
+    double severity = (features[c] - medians_[c]) / mads_[c];
+    if (names_[c] == "S_3") severity = -severity;  // spare depletion
+    if (severity < min_severity) continue;
+    report.findings.push_back({names_[c], describe_feature(names_[c]),
+                               features[c], medians_[c], severity});
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const FeatureFinding& a, const FeatureFinding& b) {
+              return a.severity > b.severity;
+            });
+  if (report.findings.size() > top_k) report.findings.resize(top_k);
+  return report;
+}
+
+}  // namespace mfpa::core

@@ -1,0 +1,73 @@
+// Per-drive health explanation — the paper's cited line of work on
+// explaining disk-failure predictions (DFPE, MSST'19 [9]) applied to MFPA:
+// when the model flags a drive, the deployment needs to tell the user *why*
+// ("media errors climbing, 3 controller-error events this week") rather
+// than ship a bare probability.
+//
+// The explanation is model-agnostic: each feature's observed value is
+// contrasted with the healthy-population distribution learned at training
+// time (robust z-score against median/MAD), and the most anomalous features
+// are reported with human-readable descriptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "core/sample_builder.hpp"
+#include "data/dataset.hpp"
+
+namespace mfpa::core {
+
+/// One contributing feature in an explanation.
+struct FeatureFinding {
+  std::string feature;      ///< "S_14", "W_11", ...
+  std::string description;  ///< catalog text
+  double value = 0.0;       ///< observed value
+  double healthy_median = 0.0;
+  double severity = 0.0;    ///< robust z-score vs the healthy population
+};
+
+/// The full explanation of one scored observation.
+struct HealthReport {
+  std::uint64_t drive_id = 0;
+  DayIndex day = 0;
+  double risk_score = 0.0;
+  std::vector<FeatureFinding> findings;  ///< sorted by descending severity
+
+  /// Renders a short human-readable summary.
+  std::string to_string() const;
+};
+
+/// Learns the healthy feature distribution and explains flagged samples.
+class HealthExplainer {
+ public:
+  /// Fits the healthy reference from a labeled dataset (rows with y == 0).
+  /// Feature names must be set. Throws std::invalid_argument when there are
+  /// fewer than 8 healthy rows.
+  void fit(const data::Dataset& reference);
+
+  bool fitted() const noexcept { return !medians_.empty(); }
+
+  /// Explains one feature row (same layout as the reference dataset).
+  /// `top_k` limits the findings; features below `min_severity` are omitted.
+  HealthReport explain(std::span<const double> features,
+                       std::uint64_t drive_id, DayIndex day, double risk_score,
+                       std::size_t top_k = 5,
+                       double min_severity = 2.0) const;
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return names_;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<double> medians_;
+  std::vector<double> mads_;  ///< median absolute deviation (scaled)
+};
+
+/// Human-readable description of a feature name ("S_14" -> Table II text,
+/// "W_11"/"B_50" -> event catalog text, "F" -> firmware).
+std::string describe_feature(const std::string& name);
+
+}  // namespace mfpa::core

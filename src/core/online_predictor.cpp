@@ -1,0 +1,112 @@
+#include "core/online_predictor.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/date.hpp"
+
+namespace mfpa::core {
+
+OnlinePredictor::OnlinePredictor(const MfpaPipeline& pipeline,
+                                 AlertPolicy policy)
+    : pipeline_(&pipeline),
+      builder_(pipeline.make_builder()),
+      policy_(policy) {}
+
+std::vector<double> OnlinePredictor::score_drive(const ProcessedDrive& drive) {
+  data::Dataset ds;
+  ds.feature_names = builder_.feature_names();
+  for (std::size_t r = 0; r < drive.records.size(); ++r) {
+    // Online scoring sees one observation at a time; sequence models get the
+    // history up to r via the builder's padding rules.
+    if (builder_.config().sequences) {
+      // Reuse build_positives_at_distance-style row assembly: construct via a
+      // one-record "window" by temporarily treating r as the anchor.
+      // SampleBuilder::features_of is flat-only; sequence rows come from the
+      // private row_for, so we re-implement the padded window here.
+      std::vector<double> row;
+      const int T = builder_.config().seq_len;
+      for (int t = T - 1; t >= 0; --t) {
+        const std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(r) - t;
+        const std::size_t clamped = idx < 0 ? 0 : static_cast<std::size_t>(idx);
+        const auto step = builder_.features_of(drive.records[clamped]);
+        row.insert(row.end(), step.begin(), step.end());
+      }
+      ds.add(row, 0, {drive.drive_id, drive.records[r].day, drive.vendor});
+    } else {
+      ds.add(builder_.features_of(drive.records[r]), 0,
+             {drive.drive_id, drive.records[r].day, drive.vendor});
+    }
+  }
+  if (ds.empty()) return {};
+  const auto scores = pipeline_->score(ds);
+  int consecutive = 0;
+  DayIndex last_alert = std::numeric_limits<DayIndex>::min();
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] < pipeline_->threshold()) {
+      consecutive = 0;
+      continue;
+    }
+    ++consecutive;
+    if (consecutive < policy_.min_consecutive) continue;
+    const DayIndex day = ds.meta[i].day;
+    if (policy_.cooldown_days > 0 && last_alert > std::numeric_limits<DayIndex>::min() &&
+        day - last_alert < policy_.cooldown_days) {
+      continue;
+    }
+    alerts_.push_back({drive.drive_id, day, scores[i]});
+    last_alert = day;
+  }
+  return scores;
+}
+
+std::vector<MonthlyMetrics> OnlinePredictor::monthly_breakdown(
+    const MfpaReport& report) {
+  std::map<int, ml::ConfusionMatrix> by_month;
+  for (std::size_t i = 0; i < report.test_scores.size(); ++i) {
+    const int month = month_of(report.test_meta[i].day);
+    auto& cm = by_month[month];
+    const bool pred = report.test_scores[i] >= report.threshold;
+    if (report.test_labels[i] == 1) {
+      pred ? ++cm.tp : ++cm.fn;
+    } else {
+      pred ? ++cm.fp : ++cm.tn;
+    }
+  }
+  std::vector<MonthlyMetrics> out;
+  out.reserve(by_month.size());
+  for (const auto& [month, cm] : by_month) out.push_back({month, cm});
+  return out;
+}
+
+DriveLevelMetrics OnlinePredictor::drive_level(const MfpaReport& report) {
+  struct DriveState {
+    bool any_positive_label = false;
+    bool any_flag_on_positive = false;
+    bool any_flag = false;
+  };
+  std::unordered_map<std::uint64_t, DriveState> drives;
+  for (std::size_t i = 0; i < report.test_scores.size(); ++i) {
+    auto& st = drives[report.test_meta[i].drive_id];
+    const bool pred = report.test_scores[i] >= report.threshold;
+    if (report.test_labels[i] == 1) {
+      st.any_positive_label = true;
+      if (pred) st.any_flag_on_positive = true;
+    }
+    if (pred) st.any_flag = true;
+  }
+  DriveLevelMetrics out;
+  for (const auto& [id, st] : drives) {
+    (void)id;
+    if (st.any_positive_label) {
+      ++out.faulty_drives;
+      if (st.any_flag_on_positive) ++out.detected_drives;
+    } else {
+      ++out.healthy_drives;
+      if (st.any_flag) ++out.false_alarm_drives;
+    }
+  }
+  return out;
+}
+
+}  // namespace mfpa::core

@@ -1,0 +1,166 @@
+#include "core/preprocess.hpp"
+
+#include <algorithm>
+
+#include "sim/catalog.hpp"
+
+namespace mfpa::core {
+
+std::string firmware_version_string(int vendor, unsigned firmware_index) {
+  const auto& cfg = sim::vendor_catalog().at(static_cast<std::size_t>(vendor));
+  if (firmware_index < cfg.firmware.size()) {
+    return cfg.firmware[firmware_index].version;
+  }
+  // Post-catalog release (drift): synthesize the next name in the vendor's
+  // chronological convention.
+  return cfg.name + "_F_" + std::to_string(firmware_index + 1);
+}
+
+ProcessedDrive Preprocessor::process_drive(
+    const sim::DriveTimeSeries& series) const {
+  ProcessedDrive out;
+  out.drive_id = series.drive_id;
+  out.vendor = series.vendor;
+  out.model = series.model;
+  out.failed = series.failed;
+  out.failure_day = series.failure_day;
+  if (series.records.empty()) return out;
+
+  // 1. Split into segments at long gaps.
+  std::vector<std::pair<std::size_t, std::size_t>> segments;  // [lo, hi)
+  std::size_t lo = 0;
+  for (std::size_t i = 1; i < series.records.size(); ++i) {
+    const int gap = series.records[i].day - series.records[i - 1].day;
+    if (gap >= config_.drop_gap) {
+      segments.emplace_back(lo, i);
+      lo = i;
+    }
+  }
+  segments.emplace_back(lo, series.records.size());
+
+  // 2. Keep only the most recent segment that is long enough to be usable
+  // ("remove the data with a long interval", §III-C(1)); everything before
+  // it is dropped. Cumulative W/B counters run across the kept sequence.
+  std::array<double, sim::kNumWindowsEvents> w_cum{};
+  std::array<double, sim::kNumBsodCodes> b_cum{};
+
+  auto to_processed = [&](const sim::DailyRecord& raw) {
+    ProcessedRecord rec;
+    rec.day = raw.day;
+    for (std::size_t a = 0; a < sim::kNumSmartAttrs; ++a) {
+      rec.smart[a] = static_cast<double>(raw.smart[a]);
+    }
+    rec.firmware = firmware_version_string(series.vendor, raw.firmware_index);
+    for (std::size_t i = 0; i < sim::kNumWindowsEvents; ++i) {
+      w_cum[i] += static_cast<double>(raw.w[i]);
+    }
+    for (std::size_t i = 0; i < sim::kNumBsodCodes; ++i) {
+      b_cum[i] += static_cast<double>(raw.b[i]);
+    }
+    rec.w_cum = w_cum;
+    rec.b_cum = b_cum;
+    return rec;
+  };
+
+  // Pick the last segment meeting the minimum-length requirement.
+  std::size_t chosen = segments.size();
+  for (std::size_t s = segments.size(); s-- > 0;) {
+    if (segments[s].second - segments[s].first >=
+        static_cast<std::size_t>(config_.min_records)) {
+      chosen = s;
+      break;
+    }
+  }
+  if (chosen == segments.size()) {
+    out.dropped_records = series.records.size();
+    return out;
+  }
+  out.dropped_records = segments[chosen].first +
+                        (series.records.size() - segments[chosen].second);
+
+  const auto [seg_lo, seg_hi] = segments[chosen];
+  for (std::size_t i = seg_lo; i < seg_hi; ++i) {
+    const auto& raw = series.records[i];
+    // 3. Short-gap repair: synthesize records for missing days between the
+    // previous kept record and this one when the gap is small.
+    if (!out.records.empty()) {
+      const ProcessedRecord prev = out.records.back();  // copy: loop reallocates
+      const int gap = raw.day - prev.day;
+      if (gap >= 2 && gap <= config_.fill_gap) {
+        // Interpolated SMART; cumulative W/B advance linearly toward the
+        // values they will reach at this record.
+        ProcessedRecord next_actual = to_processed(raw);
+        for (int d = 1; d < gap; ++d) {
+          const double t = static_cast<double>(d) / static_cast<double>(gap);
+          ProcessedRecord fill;
+          fill.day = prev.day + d;
+          fill.synthetic = true;
+          fill.firmware = prev.firmware;
+          for (std::size_t a = 0; a < sim::kNumSmartAttrs; ++a) {
+            fill.smart[a] =
+                prev.smart[a] + t * (next_actual.smart[a] - prev.smart[a]);
+          }
+          for (std::size_t w = 0; w < sim::kNumWindowsEvents; ++w) {
+            fill.w_cum[w] =
+                prev.w_cum[w] + t * (next_actual.w_cum[w] - prev.w_cum[w]);
+          }
+          for (std::size_t b = 0; b < sim::kNumBsodCodes; ++b) {
+            fill.b_cum[b] =
+                prev.b_cum[b] + t * (next_actual.b_cum[b] - prev.b_cum[b]);
+          }
+          out.records.push_back(std::move(fill));
+        }
+        out.records.push_back(std::move(next_actual));
+        continue;
+      }
+    }
+    out.records.push_back(to_processed(raw));
+  }
+  return out;
+}
+
+std::vector<ProcessedDrive> Preprocessor::process(
+    const std::vector<sim::DriveTimeSeries>& batch,
+    PreprocessStats* stats) const {
+  PreprocessStats local;
+  std::vector<ProcessedDrive> out;
+  out.reserve(batch.size());
+  for (const auto& series : batch) {
+    ++local.drives_in;
+    local.records_in += series.records.size();
+    // Long-gap accounting for the discontinuity experiment.
+    for (std::size_t i = 1; i < series.records.size(); ++i) {
+      if (series.records[i].day - series.records[i - 1].day >=
+          config_.drop_gap) {
+        ++local.long_gaps;
+      }
+    }
+    ProcessedDrive drive = process_drive(series);
+    local.records_dropped += drive.dropped_records;
+    std::size_t real_records = 0;
+    for (const auto& r : drive.records) {
+      r.synthetic ? ++local.records_filled : ++real_records;
+    }
+    if (real_records < static_cast<std::size_t>(config_.min_records)) {
+      continue;  // unusable drive (like F3 in the paper's Fig. 6)
+    }
+    local.records_out += drive.records.size();
+    ++local.drives_out;
+    out.push_back(std::move(drive));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+data::LabelEncoder Preprocessor::fit_firmware_encoder(
+    const std::vector<ProcessedDrive>& drives) {
+  data::LabelEncoder encoder;
+  std::vector<std::string> versions;
+  for (const auto& d : drives) {
+    for (const auto& r : d.records) versions.push_back(r.firmware);
+  }
+  encoder.fit(versions);
+  return encoder;
+}
+
+}  // namespace mfpa::core

@@ -1,0 +1,95 @@
+// Preprocessing of raw discontinuous CSS telemetry (paper §III-C(1)):
+//
+//  * gap handling — record sequences are cut where the interval between
+//    adjacent observations is >= `drop_gap` days; only the most recent
+//    segment with at least `min_records` observations is kept (data with a
+//    long interval "cannot be used for subsequent model training"); inside
+//    the kept segment, gaps of <= `fill_gap` days are repaired by inserting
+//    synthetic records interpolating the adjacent observations;
+//  * cumulative W/B — daily WindowsEvent/BSOD counts are accumulated per
+//    drive because daily values are too sparse to show trends;
+//  * firmware label encoding — the firmware version character string is
+//    label-encoded (unseen versions map to the encoder's unknown code).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/date.hpp"
+#include "data/label_encoder.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::core {
+
+struct PreprocessConfig {
+  int drop_gap = 10;      ///< cut sequences at gaps >= this many days
+  int fill_gap = 3;       ///< interpolate gaps <= this many days
+  int min_records = 3;    ///< drop drives with fewer usable records
+};
+
+/// One cleaned observation with accumulated W/B counters.
+struct ProcessedRecord {
+  DayIndex day = 0;
+  bool synthetic = false;  ///< inserted by gap filling
+  std::array<double, sim::kNumSmartAttrs> smart{};
+  std::string firmware;    ///< vendor firmware version string
+  std::array<double, sim::kNumWindowsEvents> w_cum{};
+  std::array<double, sim::kNumBsodCodes> b_cum{};
+};
+
+/// A drive's cleaned history. `failed`/`failure_day` carry the simulator's
+/// ground truth for *evaluation only* — the pipeline itself labels failures
+/// from trouble tickets (see FailureTimeIdentifier).
+struct ProcessedDrive {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  int model = 0;
+  bool failed = false;
+  DayIndex failure_day = -1;
+  std::vector<ProcessedRecord> records;  ///< ascending by day
+  std::size_t dropped_records = 0;       ///< removed by the gap policy
+};
+
+/// Summary counters of one preprocessing run (reported in the overhead and
+/// discontinuity experiments).
+struct PreprocessStats {
+  std::size_t drives_in = 0;
+  std::size_t drives_out = 0;
+  std::size_t records_in = 0;
+  std::size_t records_out = 0;
+  std::size_t records_filled = 0;
+  std::size_t records_dropped = 0;
+  std::size_t long_gaps = 0;   ///< gaps >= drop_gap encountered
+};
+
+/// Converts the firmware index of a raw record into the vendor's version
+/// string (out-of-catalog indices — post-training releases — get synthetic
+/// consecutive names).
+std::string firmware_version_string(int vendor, unsigned firmware_index);
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessConfig config = {}) : config_(config) {}
+
+  const PreprocessConfig& config() const noexcept { return config_; }
+
+  /// Cleans one drive's raw series (gap policy + cumulative counters).
+  ProcessedDrive process_drive(const sim::DriveTimeSeries& series) const;
+
+  /// Cleans a whole telemetry batch; drops drives with too few usable
+  /// records; fills `stats` if non-null.
+  std::vector<ProcessedDrive> process(
+      const std::vector<sim::DriveTimeSeries>& batch,
+      PreprocessStats* stats = nullptr) const;
+
+  /// Fits a firmware label encoder over every record of `drives`.
+  static data::LabelEncoder fit_firmware_encoder(
+      const std::vector<ProcessedDrive>& drives);
+
+ private:
+  PreprocessConfig config_;
+};
+
+}  // namespace mfpa::core

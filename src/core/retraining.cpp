@@ -1,0 +1,145 @@
+#include "core/retraining.hpp"
+
+#include <algorithm>
+
+#include "common/date.hpp"
+#include "ml/factory.hpp"
+#include "ml/sampler.hpp"
+
+namespace mfpa::core {
+namespace {
+
+/// First day of the calendar month containing `day`.
+DayIndex month_start(int month) {
+  const int year = 2021 + month / 12;
+  return to_day_index({year, month % 12 + 1, 1});
+}
+
+}  // namespace
+
+void RetrainingScheduler::train(
+    const std::vector<ProcessedDrive>& drives,
+    const std::vector<sim::TroubleTicket>& tickets, DayIndex cutoff) {
+  // Only tickets filed by the cutoff are known to the trainer (no oracle).
+  std::vector<sim::TroubleTicket> known;
+  for (const auto& t : tickets) {
+    if (t.imt <= cutoff) known.push_back(t);
+  }
+  const FailureTimeIdentifier identifier(config_.theta);
+  const auto failures = identifier.identify_all(known, drives);
+
+  // Firmware vocabulary as of the cutoff.
+  std::vector<std::string> versions;
+  for (const auto& d : drives) {
+    for (const auto& r : d.records) {
+      if (r.day <= cutoff) versions.push_back(r.firmware);
+    }
+  }
+  encoder_.fit(versions);
+
+  SampleConfig sc;
+  sc.group = config_.group;
+  sc.positive_window = config_.positive_window;
+  sc.neg_per_pos = config_.neg_per_pos;
+  sc.seed = config_.seed;
+  const SampleBuilder builder(sc, &encoder_);
+  data::Dataset all = builder.build(drives, failures);
+  const data::Dataset train =
+      all.filter([cutoff](const data::RowMeta& m, int) { return m.day <= cutoff; });
+  data::Dataset balanced = train;
+  if (config_.undersample_ratio > 0.0) {
+    const ml::RandomUnderSampler sampler(config_.undersample_ratio,
+                                         config_.seed ^ 0xba1cULL);
+    balanced = sampler.resample(train);
+  }
+
+  ml::Hyperparams params = config_.hyperparams.empty()
+                               ? ml::default_hyperparams(config_.algorithm)
+                               : config_.hyperparams;
+  if (!params.contains("seed")) {
+    params["seed"] = static_cast<double>(config_.seed);
+  }
+  model_ = ml::make_classifier(config_.algorithm, params);
+  model_->fit(balanced.X, balanced.y);
+}
+
+data::Dataset RetrainingScheduler::month_samples(
+    const std::vector<ProcessedDrive>& drives,
+    const std::unordered_map<std::uint64_t, IdentifiedFailure>& failures,
+    DayIndex lo, DayIndex hi) const {
+  SampleConfig sc;
+  sc.group = config_.group;
+  sc.positive_window = config_.positive_window;
+  sc.neg_per_pos = config_.neg_per_pos;
+  sc.seed = config_.seed ^ static_cast<std::uint64_t>(lo);
+  const SampleBuilder builder(sc, &encoder_);
+  const data::Dataset all = builder.build(drives, failures);
+  return all.filter([lo, hi](const data::RowMeta& m, int) {
+    return m.day >= lo && m.day < hi;
+  });
+}
+
+std::vector<DeploymentMonth> RetrainingScheduler::run(
+    const std::vector<sim::DriveTimeSeries>& telemetry,
+    const std::vector<sim::TroubleTicket>& tickets,
+    DayIndex initial_train_end) {
+  retrain_count_ = 0;
+  std::vector<sim::DriveTimeSeries> filtered;
+  const std::vector<sim::DriveTimeSeries>* input = &telemetry;
+  if (config_.vendor >= 0) {
+    for (const auto& s : telemetry) {
+      if (s.vendor == config_.vendor) filtered.push_back(s);
+    }
+    input = &filtered;
+  }
+  const Preprocessor preprocessor(config_.preprocess);
+  const auto drives = preprocessor.process(*input);
+  if (drives.empty()) {
+    throw std::runtime_error("RetrainingScheduler: no usable drives");
+  }
+  DayIndex last_day = initial_train_end;
+  for (const auto& d : drives) {
+    if (!d.records.empty()) last_day = std::max(last_day, d.records.back().day);
+  }
+
+  // Ground-truth failure labels for *evaluation* use every ticket (metrics
+  // are computed in hindsight); training inside train() sees only the
+  // tickets filed by its cutoff.
+  const FailureTimeIdentifier identifier(config_.theta);
+  const auto eval_failures = identifier.identify_all(tickets, drives);
+
+  train(drives, tickets, initial_train_end);
+  int model_age = 0;
+
+  std::vector<DeploymentMonth> out;
+  const double threshold =
+      config_.decision_threshold >= 0.0 ? config_.decision_threshold : 0.5;
+  for (int month = month_of(initial_train_end) + 1; month_start(month) <= last_day;
+       ++month) {
+    const DayIndex lo = month_start(month);
+    const DayIndex hi = month_start(month + 1);
+    const data::Dataset samples = month_samples(drives, eval_failures, lo, hi);
+    DeploymentMonth row;
+    row.month = month;
+    row.model_age_months = model_age;
+    if (!samples.empty()) {
+      const auto scores = model_->predict_proba(samples.X);
+      row.cm = ml::confusion_at(samples.y, scores, threshold);
+    }
+    ++model_age;
+    const bool cadence_due =
+        policy_.enabled && model_age >= policy_.cadence_months;
+    const bool tripped = policy_.enabled && policy_.fpr_trip_wire > 0.0 &&
+                         row.cm.fpr() > policy_.fpr_trip_wire;
+    if ((cadence_due || tripped) && hi <= last_day) {
+      train(drives, tickets, hi - 1);
+      model_age = 0;
+      row.retrained_after = true;
+      ++retrain_count_;
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace mfpa::core

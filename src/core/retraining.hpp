@@ -1,0 +1,77 @@
+// Periodic model iteration (paper §IV(5) and Fig. 20 caption: "The model is
+// iterated every two months and pushed to the user for updates").
+//
+// The RetrainingScheduler replays the deployment timeline month by month:
+// it trains an initial model, evaluates each subsequent month with the model
+// that was live at the time, and retrains — re-fitting the firmware encoder
+// and the forest on all data available up to that point — either on a fixed
+// cadence or reactively when the observed monthly FPR crosses a trip wire.
+// Retraining is what absorbs the drift (seasonal temperature, firmware
+// releases unseen at training time) that Fig. 12/16 show accumulating.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/failure_time.hpp"
+#include "core/mfpa.hpp"
+#include "core/preprocess.hpp"
+#include "data/label_encoder.hpp"
+#include "ml/metrics.hpp"
+#include "ml/model.hpp"
+
+namespace mfpa::core {
+
+struct RetrainingPolicy {
+  /// Retrain after this many months regardless of metrics (paper: 2).
+  int cadence_months = 2;
+  /// Retrain early when a month's observed FPR exceeds this (<= 0 disables).
+  double fpr_trip_wire = 0.03;
+  /// Disables all retraining (baseline for comparison).
+  bool enabled = true;
+};
+
+struct DeploymentMonth {
+  int month = 0;                ///< months since the epoch
+  ml::ConfusionMatrix cm;       ///< that month's samples, live model
+  int model_age_months = 0;     ///< age of the model that scored the month
+  bool retrained_after = false; ///< a refresh shipped at month end
+};
+
+/// Replays a deployment with periodic iteration.
+class RetrainingScheduler {
+ public:
+  RetrainingScheduler(MfpaConfig config, RetrainingPolicy policy)
+      : config_(std::move(config)), policy_(policy) {}
+
+  /// Trains on data through `initial_train_end`, then walks month by month
+  /// to the end of the telemetry. Returns the per-month outcomes.
+  std::vector<DeploymentMonth> run(
+      const std::vector<sim::DriveTimeSeries>& telemetry,
+      const std::vector<sim::TroubleTicket>& tickets,
+      DayIndex initial_train_end);
+
+  /// Number of times a refreshed model shipped during the last run().
+  int retrain_count() const noexcept { return retrain_count_; }
+
+ private:
+  MfpaConfig config_;
+  RetrainingPolicy policy_;
+  int retrain_count_ = 0;
+
+  // Live deployment state.
+  data::LabelEncoder encoder_;
+  std::unique_ptr<ml::Classifier> model_;
+
+  /// (Re)trains on every sample with day <= cutoff.
+  void train(const std::vector<ProcessedDrive>& drives,
+             const std::vector<sim::TroubleTicket>& tickets, DayIndex cutoff);
+
+  /// Builds the evaluation samples of [lo, hi) with the live encoder.
+  data::Dataset month_samples(
+      const std::vector<ProcessedDrive>& drives,
+      const std::unordered_map<std::uint64_t, IdentifiedFailure>& failures,
+      DayIndex lo, DayIndex hi) const;
+};
+
+}  // namespace mfpa::core

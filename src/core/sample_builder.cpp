@@ -1,0 +1,211 @@
+#include "core/sample_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "sim/catalog.hpp"
+
+namespace mfpa::core {
+namespace {
+
+/// Parses "W_11" -> tracked index via the catalog.
+std::size_t w_index_of(const std::string& name) {
+  return sim::windows_event_index(std::stoi(name.substr(2)));
+}
+
+}  // namespace
+
+SampleBuilder::SampleBuilder(SampleConfig config,
+                             const data::LabelEncoder* fw_encoder)
+    : config_(config), fw_encoder_(fw_encoder) {
+  const FeatureGroup g = config_.group;
+  use_smart_ = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+               g == FeatureGroup::kSFB || g == FeatureGroup::kSF ||
+               g == FeatureGroup::kS;
+  use_firmware_ = g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+                  g == FeatureGroup::kSFB || g == FeatureGroup::kSF;
+  if (use_firmware_ && fw_encoder_ == nullptr) {
+    throw std::invalid_argument(
+        "SampleBuilder: firmware encoder required for groups containing F");
+  }
+  if (g == FeatureGroup::kSFWB || g == FeatureGroup::kSFW ||
+      g == FeatureGroup::kW) {
+    for (const auto& name : windows_feature_names()) {
+      w_indices_.push_back(w_index_of(name));
+    }
+  }
+  if (g == FeatureGroup::kSFWB || g == FeatureGroup::kSFB ||
+      g == FeatureGroup::kB) {
+    for (std::size_t i = 0; i < sim::kNumBsodCodes; ++i) b_indices_.push_back(i);
+  }
+  if (config_.positive_window < 1) {
+    throw std::invalid_argument("SampleBuilder: positive_window must be >= 1");
+  }
+  if (config_.sequences && config_.seq_len < 1) {
+    throw std::invalid_argument("SampleBuilder: seq_len must be >= 1");
+  }
+  if (config_.include_deltas && config_.sequences) {
+    throw std::invalid_argument(
+        "SampleBuilder: deltas and sequences are mutually exclusive");
+  }
+  if (config_.include_deltas && config_.delta_days < 1) {
+    throw std::invalid_argument("SampleBuilder: delta_days must be >= 1");
+  }
+}
+
+std::vector<double> SampleBuilder::features_of(
+    const ProcessedRecord& record) const {
+  std::vector<double> out;
+  out.reserve(feature_count_of(config_.group));
+  if (use_smart_) {
+    out.insert(out.end(), record.smart.begin(), record.smart.end());
+  }
+  if (use_firmware_) {
+    out.push_back(fw_encoder_->transform_one(record.firmware));
+  }
+  for (std::size_t w : w_indices_) out.push_back(record.w_cum[w]);
+  for (std::size_t b : b_indices_) out.push_back(record.b_cum[b]);
+  return out;
+}
+
+std::vector<std::string> SampleBuilder::feature_names() const {
+  const auto base = feature_names_of(config_.group);
+  if (config_.sequences) {
+    std::vector<std::string> out;
+    out.reserve(base.size() * static_cast<std::size_t>(config_.seq_len));
+    for (int t = 0; t < config_.seq_len; ++t) {
+      const std::string prefix =
+          "t-" + std::to_string(config_.seq_len - 1 - t) + "_";
+      for (const auto& name : base) out.push_back(prefix + name);
+    }
+    return out;
+  }
+  if (config_.include_deltas) {
+    std::vector<std::string> out = base;
+    const std::string prefix = "d" + std::to_string(config_.delta_days) + "_";
+    for (const auto& name : base) out.push_back(prefix + name);
+    return out;
+  }
+  return base;
+}
+
+std::vector<double> SampleBuilder::row_for(const ProcessedDrive& drive,
+                                           std::size_t record_index) const {
+  if (!config_.sequences) {
+    std::vector<double> row = features_of(drive.records[record_index]);
+    if (config_.include_deltas) {
+      // Newest record at least delta_days older than this one.
+      const DayIndex anchor_day =
+          drive.records[record_index].day - config_.delta_days;
+      std::vector<double> past(row.size(), 0.0);
+      bool found = false;
+      for (std::size_t r = record_index; r-- > 0;) {
+        if (drive.records[r].day <= anchor_day) {
+          past = features_of(drive.records[r]);
+          found = true;
+          break;
+        }
+      }
+      const std::size_t base = row.size();
+      row.resize(2 * base, 0.0);
+      if (found) {
+        for (std::size_t c = 0; c < base; ++c) row[base + c] = row[c] - past[c];
+      }
+    }
+    return row;
+  }
+  // Sequence row: the seq_len records ending at record_index, earliest
+  // first, padded by repeating the oldest available record.
+  std::vector<double> out;
+  const int T = config_.seq_len;
+  out.reserve(feature_count_of(config_.group) * static_cast<std::size_t>(T));
+  for (int t = T - 1; t >= 0; --t) {
+    const std::ptrdiff_t idx =
+        static_cast<std::ptrdiff_t>(record_index) - t;
+    const std::size_t clamped =
+        idx < 0 ? 0 : static_cast<std::size_t>(idx);
+    const auto step = features_of(drive.records[clamped]);
+    out.insert(out.end(), step.begin(), step.end());
+  }
+  return out;
+}
+
+data::Dataset SampleBuilder::build(
+    const std::vector<ProcessedDrive>& drives,
+    const std::unordered_map<std::uint64_t, IdentifiedFailure>& failures)
+    const {
+  data::Dataset ds;
+  ds.feature_names = feature_names();
+
+  // Positives + collect negative candidates.
+  std::vector<std::pair<std::size_t, std::size_t>> negative_candidates;
+  std::size_t n_pos = 0;
+  for (std::size_t d = 0; d < drives.size(); ++d) {
+    const ProcessedDrive& drive = drives[d];
+    const auto it = failures.find(drive.drive_id);
+    if (it == failures.end()) {
+      for (std::size_t r = 0; r < drive.records.size(); ++r) {
+        negative_candidates.emplace_back(d, r);
+      }
+      continue;
+    }
+    const DayIndex fail = it->second.labeled_failure_day;
+    const DayIndex hi = fail - config_.lookahead;
+    const DayIndex lo = hi - config_.positive_window + 1;
+    for (std::size_t r = 0; r < drive.records.size(); ++r) {
+      const DayIndex day = drive.records[r].day;
+      if (day < lo || day > hi) continue;
+      ds.add(row_for(drive, r), 1, {drive.drive_id, day, drive.vendor});
+      ++n_pos;
+    }
+  }
+
+  // Sampled negatives.
+  std::vector<std::size_t> chosen;
+  if (config_.neg_per_pos > 0.0 && n_pos > 0) {
+    const auto want = std::min<std::size_t>(
+        negative_candidates.size(),
+        static_cast<std::size_t>(static_cast<double>(n_pos) *
+                                     config_.neg_per_pos +
+                                 0.5));
+    Rng rng(config_.seed);
+    chosen = rng.sample_without_replacement(negative_candidates.size(), want);
+    std::sort(chosen.begin(), chosen.end());
+  } else {
+    chosen.resize(negative_candidates.size());
+    for (std::size_t i = 0; i < chosen.size(); ++i) chosen[i] = i;
+  }
+  for (std::size_t c : chosen) {
+    const auto [d, r] = negative_candidates[c];
+    const ProcessedDrive& drive = drives[d];
+    ds.add(row_for(drive, r), 0,
+           {drive.drive_id, drive.records[r].day, drive.vendor});
+  }
+  ds.check_invariants();
+  return ds;
+}
+
+data::Dataset SampleBuilder::build_positives_at_distance(
+    const std::vector<ProcessedDrive>& drives, int distance_lo,
+    int distance_hi) const {
+  if (distance_lo > distance_hi) {
+    throw std::invalid_argument(
+        "build_positives_at_distance: lo must be <= hi");
+  }
+  data::Dataset ds;
+  ds.feature_names = feature_names();
+  for (const ProcessedDrive& drive : drives) {
+    if (!drive.failed) continue;
+    for (std::size_t r = 0; r < drive.records.size(); ++r) {
+      const int dist = drive.failure_day - drive.records[r].day;
+      if (dist < distance_lo || dist > distance_hi) continue;
+      ds.add(row_for(drive, r), 1,
+             {drive.drive_id, drive.records[r].day, drive.vendor});
+    }
+  }
+  ds.check_invariants();
+  return ds;
+}
+
+}  // namespace mfpa::core

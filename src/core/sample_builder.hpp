@@ -1,0 +1,82 @@
+// Sample construction (paper §III-C(3)).
+//
+// Positive samples: records of ticketed drives within `positive_window` days
+// before the identified failure day (optionally shifted back by a lookahead
+// distance for the Fig. 19 experiment). Negative samples: records of healthy
+// drives, sampled at `neg_per_pos` per positive. Supports flat rows (one
+// observation) and sequence rows (the last `seq_len` observations flattened,
+// for CNN_LSTM).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/failure_time.hpp"
+#include "core/feature_groups.hpp"
+#include "core/preprocess.hpp"
+#include "data/dataset.hpp"
+#include "data/label_encoder.hpp"
+
+namespace mfpa::core {
+
+struct SampleConfig {
+  FeatureGroup group = FeatureGroup::kSFWB;
+  int positive_window = 7;   ///< days before the labeled failure day
+  int lookahead = 0;         ///< extra distance between sample and failure
+  double neg_per_pos = 3.0;  ///< negative:positive sampling ratio (0 = all)
+  bool sequences = false;    ///< build seq_len x F rows instead of flat rows
+  int seq_len = 5;
+  /// Appends rate-of-change columns ("d<k>_<name>"): each feature's delta
+  /// against the drive's newest record at least `delta_days` older (zero
+  /// when no such record exists). An extension beyond the paper — counters
+  /// accelerating matters as much as their level. Flat rows only.
+  bool include_deltas = false;
+  int delta_days = 7;
+  std::uint64_t seed = 7;
+};
+
+class SampleBuilder {
+ public:
+  /// `fw_encoder` must outlive the builder; it supplies the firmware code
+  /// for groups containing F (may be null for groups without F).
+  SampleBuilder(SampleConfig config, const data::LabelEncoder* fw_encoder);
+
+  const SampleConfig& config() const noexcept { return config_; }
+
+  /// Feature vector of one record under the configured group.
+  std::vector<double> features_of(const ProcessedRecord& record) const;
+
+  /// Feature names of the built dataset (flat or sequence-expanded).
+  std::vector<std::string> feature_names() const;
+
+  /// Builds the labeled dataset. `failures` maps drive id -> identified
+  /// failure; drives present in the map yield positives (within the window),
+  /// all other drives yield negative candidates.
+  data::Dataset build(
+      const std::vector<ProcessedDrive>& drives,
+      const std::unordered_map<std::uint64_t, IdentifiedFailure>& failures)
+      const;
+
+  /// Builds *positive-only* samples whose distance to the drive's true
+  /// failure day is exactly in [distance_lo, distance_hi] — used by the
+  /// lookahead experiment (Fig. 19), which probes a fixed model at varying
+  /// horizons. Uses ground-truth failure days from the ProcessedDrive.
+  data::Dataset build_positives_at_distance(
+      const std::vector<ProcessedDrive>& drives, int distance_lo,
+      int distance_hi) const;
+
+ private:
+  SampleConfig config_;
+  const data::LabelEncoder* fw_encoder_;
+  // Resolved column selectors.
+  bool use_smart_ = false;
+  bool use_firmware_ = false;
+  std::vector<std::size_t> w_indices_;
+  std::vector<std::size_t> b_indices_;
+
+  std::vector<double> row_for(const ProcessedDrive& drive,
+                              std::size_t record_index) const;
+};
+
+}  // namespace mfpa::core

@@ -1,0 +1,69 @@
+// Streaming ingestion — the client-agent view of preprocessing.
+//
+// The batch Preprocessor assumes a drive's full history is in hand; a
+// deployed agent instead sees one upload at a time and must maintain the
+// same cleaned state incrementally: cumulative W/B counters, the short-gap
+// fill, and the long-gap cut (a gap >= drop_gap starts a fresh segment,
+// discarding accumulated context exactly as the batch path would).
+//
+// Invariant (tested): feeding a drive's records one by one through a
+// StreamingIngestor yields byte-identical ProcessedRecords to running the
+// batch Preprocessor over the same series, whenever the batch keeps the
+// final segment (the streaming agent cannot know a *future* gap will
+// invalidate its current segment; it always lives in the newest one).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/preprocess.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::core {
+
+/// Incremental per-drive preprocessing state.
+class StreamingIngestor {
+ public:
+  StreamingIngestor(std::uint64_t drive_id, int vendor,
+                    PreprocessConfig config = {});
+
+  /// Ingests the next raw daily record (days must be strictly increasing;
+  /// throws std::invalid_argument otherwise). Returns the cleaned records
+  /// this upload produced: possibly several (gap-fill synthesizes
+  /// intermediate days), possibly the start of a fresh segment (long gap).
+  std::vector<ProcessedRecord> ingest(const sim::DailyRecord& record);
+
+  /// Records of the *current* segment, oldest first.
+  const std::vector<ProcessedRecord>& segment() const noexcept {
+    return segment_;
+  }
+
+  /// True when the current segment has enough real records to be usable for
+  /// scoring (min_records of the config).
+  bool usable() const noexcept;
+
+  /// Number of long-gap cuts seen so far.
+  int segments_started() const noexcept { return segments_started_; }
+
+  std::uint64_t drive_id() const noexcept { return drive_id_; }
+  int vendor() const noexcept { return vendor_; }
+
+  /// Materializes the current segment as a ProcessedDrive (for scoring
+  /// through SampleBuilder / OnlinePredictor).
+  ProcessedDrive snapshot() const;
+
+ private:
+  std::uint64_t drive_id_;
+  int vendor_;
+  PreprocessConfig config_;
+  std::vector<ProcessedRecord> segment_;
+  std::size_t real_records_ = 0;
+  int segments_started_ = 0;
+  std::array<double, sim::kNumWindowsEvents> w_cum_{};
+  std::array<double, sim::kNumBsodCodes> b_cum_{};
+  std::optional<DayIndex> last_day_;
+
+  ProcessedRecord convert(const sim::DailyRecord& raw);
+};
+
+}  // namespace mfpa::core

@@ -1,0 +1,109 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mfpa::data {
+
+void Dataset::add(std::span<const double> features, int label, RowMeta row_meta) {
+  X.add_row(features);
+  y.push_back(label);
+  meta.push_back(row_meta);
+}
+
+void Dataset::check_invariants() const {
+  if (X.rows() != y.size() || y.size() != meta.size()) {
+    throw std::logic_error("Dataset: row/label/meta size mismatch");
+  }
+  if (!feature_names.empty() && feature_names.size() != X.cols()) {
+    throw std::logic_error("Dataset: feature-name arity mismatch");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::logic_error("Dataset: labels must be binary");
+    }
+  }
+}
+
+std::size_t Dataset::positives() const noexcept {
+  return static_cast<std::size_t>(std::count(y.begin(), y.end(), 1));
+}
+
+Dataset Dataset::select_rows(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.X = X.select_rows(indices);
+  out.feature_names = feature_names;
+  out.y.reserve(indices.size());
+  out.meta.reserve(indices.size());
+  for (std::size_t i : indices) {
+    if (i >= size()) throw std::out_of_range("Dataset::select_rows: bad index");
+    out.y.push_back(y[i]);
+    out.meta.push_back(meta[i]);
+  }
+  return out;
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  const auto it = std::find(feature_names.begin(), feature_names.end(), name);
+  if (it == feature_names.end()) {
+    throw std::out_of_range("Dataset: no feature named '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - feature_names.begin());
+}
+
+Dataset Dataset::select_features(const std::vector<std::string>& names) const {
+  std::vector<std::size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& n : names) cols.push_back(feature_index(n));
+  Dataset out;
+  out.X = X.select_columns(cols);
+  out.y = y;
+  out.meta = meta;
+  out.feature_names = names;
+  return out;
+}
+
+std::pair<Dataset, Dataset> Dataset::split_by_day(DayIndex cutoff) const {
+  std::vector<std::size_t> first_idx, second_idx;
+  for (std::size_t i = 0; i < size(); ++i) {
+    (meta[i].day <= cutoff ? first_idx : second_idx).push_back(i);
+  }
+  return {select_rows(first_idx), select_rows(second_idx)};
+}
+
+Dataset Dataset::filter(
+    const std::function<bool(const RowMeta&, int label)>& pred) const {
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (pred(meta[i], y[i])) keep.push_back(i);
+  }
+  return select_rows(keep);
+}
+
+Dataset Dataset::sorted_by_time() const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (meta[a].day != meta[b].day) return meta[a].day < meta[b].day;
+    return meta[a].drive_id < meta[b].drive_id;
+  });
+  return select_rows(order);
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.empty()) return;
+  if (empty() && X.cols() == 0) {
+    *this = other;
+    return;
+  }
+  if (!feature_names.empty() && !other.feature_names.empty() &&
+      feature_names != other.feature_names) {
+    throw std::invalid_argument("Dataset::append: feature-name mismatch");
+  }
+  X.append(other.X);
+  y.insert(y.end(), other.y.begin(), other.y.end());
+  meta.insert(meta.end(), other.meta.begin(), other.meta.end());
+}
+
+}  // namespace mfpa::data

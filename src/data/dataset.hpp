@@ -1,0 +1,76 @@
+// Labeled feature dataset with per-row provenance (drive id, observation
+// day, vendor), the unit of exchange between the preprocessing pipeline and
+// the ML library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/date.hpp"
+#include "data/matrix.hpp"
+
+namespace mfpa::data {
+
+/// Provenance of one sample row.
+struct RowMeta {
+  std::uint64_t drive_id = 0;  ///< fleet-unique drive identifier (S/N)
+  DayIndex day = 0;            ///< observation day of the sample
+  int vendor = 0;              ///< vendor index (0-based)
+
+  friend bool operator==(const RowMeta&, const RowMeta&) = default;
+};
+
+/// Features + binary labels + provenance + feature names.
+///
+/// Invariant: X.rows() == y.size() == meta.size(), and
+/// X.cols() == feature_names.size() whenever feature names are set.
+class Dataset {
+ public:
+  Matrix X;
+  std::vector<int> y;                       ///< 1 = will fail (positive), 0 = healthy
+  std::vector<RowMeta> meta;
+  std::vector<std::string> feature_names;   ///< one per column
+
+  std::size_t size() const noexcept { return y.size(); }
+  bool empty() const noexcept { return y.empty(); }
+  std::size_t num_features() const noexcept { return X.cols(); }
+
+  /// Appends one sample. Feature arity must match existing columns.
+  void add(std::span<const double> features, int label, RowMeta row_meta);
+
+  /// Validates the size invariants; throws std::logic_error on violation.
+  void check_invariants() const;
+
+  /// Number of positive-labeled rows.
+  std::size_t positives() const noexcept;
+  /// Number of negative-labeled rows.
+  std::size_t negatives() const noexcept { return size() - positives(); }
+
+  /// New dataset with the selected rows (in the given order).
+  Dataset select_rows(std::span<const std::size_t> indices) const;
+
+  /// New dataset keeping only the named features (by exact name, in the
+  /// given order); throws std::out_of_range for an unknown name.
+  Dataset select_features(const std::vector<std::string>& names) const;
+
+  /// Index of a named feature; throws std::out_of_range if absent.
+  std::size_t feature_index(const std::string& name) const;
+
+  /// Splits by observation day: rows with day <= cutoff go to `first`.
+  std::pair<Dataset, Dataset> split_by_day(DayIndex cutoff) const;
+
+  /// Rows matching a predicate on metadata.
+  Dataset filter(const std::function<bool(const RowMeta&, int label)>& pred) const;
+
+  /// Sorted copy ordered by (day, drive_id): the canonical chronological
+  /// order expected by time-series cross-validation.
+  Dataset sorted_by_time() const;
+
+  /// Concatenates another dataset below this one (feature names must match).
+  void append(const Dataset& other);
+};
+
+}  // namespace mfpa::data

@@ -1,0 +1,50 @@
+// Feature scaling. SVM, logistic regression and the CNN_LSTM are trained on
+// standardized features; tree models consume raw values.
+#pragma once
+
+#include "data/matrix.hpp"
+
+#include <vector>
+
+namespace mfpa::data {
+
+/// Per-column standardization to zero mean / unit variance. Constant columns
+/// are left centered but unscaled (sigma treated as 1).
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation.
+  void fit(const Matrix& X);
+
+  /// Applies the learned transform; throws std::logic_error if not fitted
+  /// or the column count differs from the fit-time matrix.
+  Matrix transform(const Matrix& X) const;
+
+  /// fit() followed by transform().
+  Matrix fit_transform(const Matrix& X);
+
+  bool fitted() const noexcept { return !means_.empty(); }
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& stddevs() const noexcept { return stds_; }
+
+  /// Restores a fitted state (deserialization); sizes must match.
+  void set_state(std::vector<double> means, std::vector<double> stds);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+/// Per-column min-max scaling to [0, 1]; constant columns map to 0.
+class MinMaxScaler {
+ public:
+  void fit(const Matrix& X);
+  Matrix transform(const Matrix& X) const;
+  Matrix fit_transform(const Matrix& X);
+  bool fitted() const noexcept { return !mins_.empty(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace mfpa::data

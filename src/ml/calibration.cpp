@@ -1,0 +1,108 @@
+#include "ml/calibration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mfpa::ml {
+
+void IsotonicCalibrator::fit(std::span<const double> scores,
+                             std::span<const int> labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("IsotonicCalibrator: size mismatch");
+  }
+  if (scores.size() < 2) {
+    throw std::invalid_argument("IsotonicCalibrator: need >= 2 samples");
+  }
+  bool has_pos = false, has_neg = false;
+  for (int y : labels) (y == 1 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument("IsotonicCalibrator: need both classes");
+  }
+
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&scores](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Pool adjacent violators over the sorted labels.
+  struct Block {
+    double sum;     ///< sum of labels
+    double weight;  ///< sample count
+    double score_sum;
+    double value() const { return sum / weight; }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(scores.size());
+  for (std::size_t i : order) {
+    blocks.push_back({static_cast<double>(labels[i]), 1.0, scores[i]});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].value() >= blocks.back().value()) {
+      const Block top = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += top.sum;
+      blocks.back().weight += top.weight;
+      blocks.back().score_sum += top.score_sum;
+    }
+  }
+
+  thresholds_.clear();
+  values_.clear();
+  thresholds_.reserve(blocks.size());
+  values_.reserve(blocks.size());
+  for (const auto& b : blocks) {
+    thresholds_.push_back(b.score_sum / b.weight);  // block score centroid
+    values_.push_back(b.value());
+  }
+}
+
+double IsotonicCalibrator::transform_one(double score) const {
+  if (!fitted()) {
+    throw std::logic_error("IsotonicCalibrator: transform before fit");
+  }
+  if (score <= thresholds_.front()) return values_.front();
+  if (score >= thresholds_.back()) return values_.back();
+  const auto it =
+      std::upper_bound(thresholds_.begin(), thresholds_.end(), score);
+  const std::size_t hi = static_cast<std::size_t>(it - thresholds_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = thresholds_[hi] - thresholds_[lo];
+  const double t = span > 0.0 ? (score - thresholds_[lo]) / span : 0.0;
+  return values_[lo] + t * (values_[hi] - values_[lo]);
+}
+
+std::vector<double> IsotonicCalibrator::transform(
+    std::span<const double> scores) const {
+  std::vector<double> out;
+  out.reserve(scores.size());
+  for (double s : scores) out.push_back(transform_one(s));
+  return out;
+}
+
+std::vector<ReliabilityBin> reliability_curve(std::span<const double> scores,
+                                              std::span<const int> labels,
+                                              std::size_t bins) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument("reliability_curve: size mismatch");
+  }
+  if (bins == 0) throw std::invalid_argument("reliability_curve: bins == 0");
+  std::vector<ReliabilityBin> out(bins);
+  std::vector<double> score_sums(bins, 0.0);
+  std::vector<double> label_sums(bins, 0.0);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    auto b = static_cast<std::size_t>(scores[i] * static_cast<double>(bins));
+    b = std::min(b, bins - 1);
+    score_sums[b] += scores[i];
+    label_sums[b] += labels[i];
+    ++out[b].count;
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (out[b].count == 0) continue;
+    out[b].mean_score = score_sums[b] / static_cast<double>(out[b].count);
+    out[b].observed_rate = label_sums[b] / static_cast<double>(out[b].count);
+  }
+  return out;
+}
+
+}  // namespace mfpa::ml

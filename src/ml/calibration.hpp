@@ -1,0 +1,52 @@
+// Probability calibration. Tree-ensemble vote fractions are good rankers
+// but biased probabilities; when the decision threshold prices migrations
+// (see core/cost_model.hpp) the probabilities themselves should be
+// trustworthy. IsotonicCalibrator learns the classic monotone mapping
+// (pool-adjacent-violators) from raw scores to calibrated probabilities on
+// held-out data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Monotone (non-decreasing) score -> probability mapping fit by PAV.
+class IsotonicCalibrator {
+ public:
+  /// Fits on (score, label) pairs; requires at least 2 samples and both
+  /// classes present (throws std::invalid_argument otherwise).
+  void fit(std::span<const double> scores, std::span<const int> labels);
+
+  bool fitted() const noexcept { return !thresholds_.empty(); }
+
+  /// Calibrated probability for one raw score (piecewise-constant with
+  /// linear interpolation between block centers; clamped at the ends).
+  double transform_one(double score) const;
+
+  /// Batch transform.
+  std::vector<double> transform(std::span<const double> scores) const;
+
+  /// Number of monotone blocks the PAV fit produced.
+  std::size_t block_count() const noexcept { return thresholds_.size(); }
+
+ private:
+  // Block representation: ascending score centers with their calibrated
+  // probabilities (non-decreasing by construction).
+  std::vector<double> thresholds_;
+  std::vector<double> values_;
+};
+
+/// Reliability-curve bin for calibration diagnostics.
+struct ReliabilityBin {
+  double mean_score = 0.0;     ///< average predicted probability in the bin
+  double observed_rate = 0.0;  ///< empirical positive fraction
+  std::size_t count = 0;
+};
+
+/// Equal-width reliability curve over [0, 1].
+std::vector<ReliabilityBin> reliability_curve(std::span<const double> scores,
+                                              std::span<const int> labels,
+                                              std::size_t bins = 10);
+
+}  // namespace mfpa::ml

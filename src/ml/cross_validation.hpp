@@ -1,0 +1,41 @@
+// Cross-validation splitters, including the paper's time-series CV
+// (Fig. 8(b)(2)): data sorted chronologically is divided into 2k subsets;
+// iteration i trains on subsets [i, i+k) and validates on subset i+k, so the
+// model never sees samples from the future of its validation slice.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace mfpa::ml {
+
+/// One train/validation split (row indices into the source dataset).
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+};
+
+/// Classic shuffled k-fold (the paper's Fig. 8(b)(1) strawman).
+std::vector<Split> kfold_splits(std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Time-series CV over a *chronologically sorted* dataset of n rows:
+/// 2k equal contiguous subsets; iteration i in [0,k) trains on subsets
+/// [i, i+k) and validates on subset i+k. Throws std::invalid_argument if
+/// n < 2k.
+std::vector<Split> time_series_splits(std::size_t n, std::size_t k);
+
+/// Mean validation metric of a model over splits. The model prototype is
+/// cloned per split. Metric: AUC (default) or Youden-J at threshold 0.5.
+enum class CvMetric { kAuc, kYouden, kAccuracy };
+
+double cross_val_score(const Classifier& prototype, const data::Matrix& X,
+                       const std::vector<int>& y,
+                       const std::vector<Split>& splits,
+                       CvMetric metric = CvMetric::kAuc);
+
+}  // namespace mfpa::ml

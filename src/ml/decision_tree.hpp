@@ -1,0 +1,108 @@
+// CART-style tree engine.
+//
+// One engine serves both ensembles: a Newton-step regression tree over
+// (gradient, hessian) targets. With g = y and h = 1 the leaf value is the
+// class-1 fraction and the split gain reduces to variance reduction — which
+// for binary targets selects the same splits as Gini — so the same engine
+// backs the RandomForest classifier and the GBDT booster.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/matrix.hpp"
+#include "ml/model.hpp"
+
+namespace mfpa::ml {
+
+/// Tree growth limits and split behaviour.
+struct TreeParams {
+  int max_depth = 12;
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Features considered per split: -1 = all, 0 = sqrt(d), k>0 = min(k, d).
+  int max_features = -1;
+  double lambda = 0.0;     ///< L2 on leaf values (Newton denominator)
+  double min_gain = 1e-12; ///< minimum split gain
+};
+
+/// Flat node storage (children by index; feature < 0 marks a leaf).
+struct TreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  double value = 0.0;   ///< leaf prediction
+  double gain = 0.0;    ///< split gain (for feature importance)
+  std::size_t samples = 0;
+};
+
+/// The engine. Fits leaf values sum(g)/(sum(h)+lambda) maximizing the Newton
+/// split gain; deterministic given the Rng passed to fit().
+class RegressionTree {
+ public:
+  explicit RegressionTree(TreeParams params = {}) : params_(params) {}
+
+  /// Fits on the subset `rows` of X with per-row gradient/hessian targets.
+  /// grad/hess are indexed by absolute row id; hess may be empty (all ones).
+  void fit(const data::Matrix& X, std::span<const double> grad,
+           std::span<const double> hess, std::span<const std::size_t> rows,
+           Rng& rng);
+
+  /// Prediction for one feature row.
+  double predict_row(std::span<const double> row) const;
+
+  /// Predictions for every row of X.
+  std::vector<double> predict(const data::Matrix& X) const;
+
+  bool fitted() const noexcept { return !nodes_.empty(); }
+  const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+  const TreeParams& params() const noexcept { return params_; }
+
+  /// Maximum root-to-leaf depth of the fitted tree.
+  int depth() const noexcept;
+
+  /// Adds this tree's gain-weighted feature importance into `out`
+  /// (size = number of features).
+  void accumulate_importance(std::vector<double>& out) const;
+
+  /// Serializes the fitted node array (see ml/serialize.hpp framing).
+  void save(std::ostream& os) const;
+  /// Restores a node array written by save(); throws std::runtime_error on
+  /// malformed input.
+  void load(std::istream& is);
+
+ private:
+  TreeParams params_;
+  std::vector<TreeNode> nodes_;
+
+  struct BuildContext;
+  int build_node(BuildContext& ctx, std::vector<std::size_t>& rows, int depth_left);
+};
+
+/// Single decision tree classifier (the engine with g = y, h = 1).
+/// Hyperparams: "max_depth", "min_samples_split", "min_samples_leaf",
+/// "max_features", "seed".
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "DT"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  const RegressionTree& tree() const noexcept { return tree_; }
+
+ private:
+  Hyperparams params_;
+  RegressionTree tree_;
+};
+
+}  // namespace mfpa::ml

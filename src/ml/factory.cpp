@@ -1,0 +1,56 @@
+#include "ml/factory.hpp"
+
+#include <stdexcept>
+
+#include "ml/cnn_lstm.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/isolation_forest.hpp"
+#include "ml/logistic.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+
+namespace mfpa::ml {
+
+const std::vector<std::string>& known_algorithms() {
+  static const std::vector<std::string> kNames = {
+      "Bayes", "SVM", "RF", "GBDT", "CNN_LSTM", "LR", "DT", "IForest"};
+  return kNames;
+}
+
+std::unique_ptr<Classifier> make_classifier(const std::string& name,
+                                            const Hyperparams& params) {
+  if (name == "Bayes") return std::make_unique<GaussianNB>(params);
+  if (name == "SVM") return std::make_unique<LinearSVM>(params);
+  if (name == "RF") return std::make_unique<RandomForestClassifier>(params);
+  if (name == "GBDT") return std::make_unique<GbdtClassifier>(params);
+  if (name == "CNN_LSTM") return std::make_unique<CnnLstmClassifier>(params);
+  if (name == "LR") return std::make_unique<LogisticRegression>(params);
+  if (name == "DT") return std::make_unique<DecisionTreeClassifier>(params);
+  if (name == "IForest") return std::make_unique<IsolationForest>(params);
+  throw std::invalid_argument("make_classifier: unknown algorithm '" + name +
+                              "'");
+}
+
+Hyperparams default_hyperparams(const std::string& name) {
+  if (name == "Bayes") return {};
+  if (name == "SVM") return {{"lambda", 1e-4}, {"epochs", 20}};
+  if (name == "RF") {
+    return {{"n_trees", 60}, {"max_depth", 14}, {"max_features", 0}};
+  }
+  if (name == "GBDT") {
+    return {{"n_rounds", 80}, {"learning_rate", 0.2}, {"max_depth", 5}};
+  }
+  if (name == "CNN_LSTM") {
+    return {{"timesteps", 5}, {"channels", 16}, {"hidden", 24},
+            {"epochs", 10},  {"lr", 2e-3}};
+  }
+  if (name == "LR") return {{"lr", 0.1}, {"epochs", 40}};
+  if (name == "DT") return {{"max_depth", 12}};
+  if (name == "IForest") return {{"n_trees", 100}, {"subsample", 256}};
+  throw std::invalid_argument("default_hyperparams: unknown algorithm '" +
+                              name + "'");
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,27 @@
+// Model factory: constructs any of the paper's algorithms by name so that
+// grid search, feature selection, and the experiment harnesses can stay
+// algorithm-agnostic.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.hpp"
+
+namespace mfpa::ml {
+
+/// Names accepted by make_classifier: "Bayes", "SVM", "RF", "GBDT",
+/// "CNN_LSTM", "LR", "DT".
+const std::vector<std::string>& known_algorithms();
+
+/// Builds an unfitted classifier; throws std::invalid_argument for an
+/// unknown name. Hyperparams are forwarded to the model's constructor.
+std::unique_ptr<Classifier> make_classifier(const std::string& name,
+                                            const Hyperparams& params = {});
+
+/// Reasonable defaults per algorithm for the MFPA pipeline (tuned once via
+/// grid search at the default scenario scale).
+Hyperparams default_hyperparams(const std::string& name);
+
+}  // namespace mfpa::ml

@@ -1,0 +1,48 @@
+#include "ml/feature_selection.hpp"
+
+#include <algorithm>
+
+namespace mfpa::ml {
+
+SfsResult sequential_forward_selection(const Classifier& prototype,
+                                       const data::Dataset& ds, std::size_t k,
+                                       double min_improvement,
+                                       std::size_t max_features) {
+  SfsResult result;
+  const data::Dataset sorted = ds.sorted_by_time();
+  const auto splits = time_series_splits(sorted.size(), k);
+
+  std::vector<std::string> remaining = sorted.feature_names;
+  std::vector<std::string> selected;
+  double best_so_far = -1.0;
+
+  while (!remaining.empty() &&
+         (max_features == 0 || selected.size() < max_features)) {
+    double round_best = -1.0;
+    std::size_t round_best_idx = remaining.size();
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      std::vector<std::string> candidate = selected;
+      candidate.push_back(remaining[i]);
+      const data::Dataset sub = sorted.select_features(candidate);
+      const double score =
+          cross_val_score(prototype, sub.X, sub.y, splits, CvMetric::kAuc);
+      if (score > round_best) {
+        round_best = score;
+        round_best_idx = i;
+      }
+    }
+    if (round_best_idx == remaining.size() ||
+        round_best <= best_so_far + min_improvement) {
+      break;  // no feature improves the score enough
+    }
+    selected.push_back(remaining[round_best_idx]);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(round_best_idx));
+    best_so_far = round_best;
+    result.trajectory.push_back({selected.back(), round_best, selected});
+  }
+  result.selected = std::move(selected);
+  return result;
+}
+
+}  // namespace mfpa::ml

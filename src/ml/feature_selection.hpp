@@ -1,0 +1,36 @@
+// Sequential forward selection (Whitney 1971, the paper's reference [27]):
+// greedily grows the feature subset, adding at each step the feature whose
+// inclusion maximizes the cross-validated score, until no addition improves
+// it (or a size cap is reached). Reproduces the paper's Fig. 17 trajectory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/model.hpp"
+
+namespace mfpa::ml {
+
+struct SfsStep {
+  std::string added_feature;
+  double score = 0.0;                 ///< CV score after adding it
+  std::vector<std::string> subset;    ///< cumulative subset at this step
+};
+
+struct SfsResult {
+  std::vector<std::string> selected;  ///< final subset
+  std::vector<SfsStep> trajectory;    ///< one entry per accepted feature
+};
+
+/// Runs SFS over the named features of `ds` using time-series CV with
+/// `k` folds on the chronologically sorted data. `min_improvement` is the
+/// score gain required to accept another feature (0 accepts any positive
+/// gain); `max_features` caps the subset size (0 = no cap).
+SfsResult sequential_forward_selection(const Classifier& prototype,
+                                       const data::Dataset& ds, std::size_t k,
+                                       double min_improvement = 1e-4,
+                                       std::size_t max_features = 0);
+
+}  // namespace mfpa::ml

@@ -1,0 +1,140 @@
+#include "ml/gbdt.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+GbdtClassifier::GbdtClassifier(Hyperparams params) : params_(std::move(params)) {}
+
+void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const std::size_t n_rounds =
+      static_cast<std::size_t>(param_or(params_, "n_rounds", 80));
+  learning_rate_ = param_or(params_, "learning_rate", 0.2);
+  const double subsample = std::clamp(param_or(params_, "subsample", 0.9), 0.1, 1.0);
+  const auto seed = static_cast<std::uint64_t>(param_or(params_, "seed", 1));
+
+  TreeParams tp;
+  tp.max_depth = static_cast<int>(param_or(params_, "max_depth", 5));
+  tp.min_samples_split =
+      static_cast<std::size_t>(param_or(params_, "min_samples_split", 16));
+  tp.min_samples_leaf =
+      static_cast<std::size_t>(param_or(params_, "min_samples_leaf", 8));
+  tp.max_features = static_cast<int>(param_or(params_, "max_features", -1));
+  tp.lambda = param_or(params_, "lambda", 1.0);
+
+  const std::size_t n = X.rows();
+  n_features_ = X.cols();
+
+  // Log-odds prior.
+  const double pos =
+      static_cast<double>(std::count(y.begin(), y.end(), 1));
+  const double p0 = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  base_score_ = std::log(p0 / (1.0 - p0));
+
+  std::vector<double> raw(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  trees_.clear();
+  trees_.reserve(n_rounds);
+  Rng rng(seed);
+
+  for (std::size_t round = 0; round < n_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = sigmoid(raw[i]);
+      grad[i] = static_cast<double>(y[i]) - p;  // negative gradient of BCE
+      hess[i] = std::max(p * (1.0 - p), 1e-12);
+    }
+    std::vector<std::size_t> rows;
+    if (subsample < 1.0) {
+      rows.reserve(static_cast<std::size_t>(static_cast<double>(n) * subsample) + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(subsample)) rows.push_back(i);
+      }
+      if (rows.empty()) rows.push_back(0);
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    RegressionTree tree(tp);
+    Rng tree_rng = rng.split(round + 1);
+    tree.fit(X, grad, hess, rows, tree_rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      raw[i] += learning_rate_ * tree.predict_row(X.row(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+double GbdtClassifier::raw_score_row(std::span<const double> row) const {
+  double s = base_score_;
+  for (const auto& tree : trees_) s += learning_rate_ * tree.predict_row(row);
+  return s;
+}
+
+std::vector<double> GbdtClassifier::predict_proba(const Matrix& X) const {
+  if (trees_.empty()) throw std::logic_error("GbdtClassifier: predict before fit");
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    out[r] = sigmoid(raw_score_row(X.row(r)));
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> GbdtClassifier::clone_unfitted() const {
+  return std::make_unique<GbdtClassifier>(params_);
+}
+
+void GbdtClassifier::save_state(std::ostream& os) const {
+  if (trees_.empty()) throw std::logic_error("GbdtClassifier: save before fit");
+  os << "boost " << trees_.size() << ' ' << n_features_ << ' ';
+  io::write_double(os, base_score_);
+  io::write_double(os, learning_rate_);
+  os << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void GbdtClassifier::load_state(std::istream& is) {
+  io::expect_token(is, "boost");
+  std::size_t count = 0;
+  if (!(is >> count >> n_features_) || count == 0 || count > 100000) {
+    throw std::runtime_error("GbdtClassifier: bad boost header");
+  }
+  base_score_ = io::read_double(is);
+  learning_rate_ = io::read_double(is);
+  trees_.assign(count, RegressionTree{});
+  for (auto& tree : trees_) tree.load(is);
+}
+
+std::vector<double> GbdtClassifier::feature_importance() const {
+  std::vector<double> out(n_features_, 0.0);
+  for (const auto& tree : trees_) tree.accumulate_importance(out);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace mfpa::ml

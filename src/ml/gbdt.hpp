@@ -1,0 +1,41 @@
+// Gradient-boosted decision trees with logistic loss and Newton leaf values
+// (XGBoost-style second-order boosting, exact splits).
+#pragma once
+
+#include "ml/decision_tree.hpp"
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Hyperparams: "n_rounds" (80), "learning_rate" (0.2), "max_depth" (5),
+/// "min_samples_leaf" (8), "lambda" (1.0), "subsample" (0.9), "seed" (1).
+class GbdtClassifier final : public Classifier {
+ public:
+  explicit GbdtClassifier(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "GBDT"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  std::size_t round_count() const noexcept { return trees_.size(); }
+
+  /// Gain-weighted feature importance, normalized to sum 1.
+  std::vector<double> feature_importance() const;
+
+ private:
+  Hyperparams params_;
+  std::vector<RegressionTree> trees_;
+  double base_score_ = 0.0;  ///< log-odds prior
+  double learning_rate_ = 0.2;
+  std::size_t n_features_ = 0;
+
+  double raw_score_row(std::span<const double> row) const;
+};
+
+}  // namespace mfpa::ml

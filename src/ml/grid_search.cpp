@@ -1,0 +1,81 @@
+#include "ml/grid_search.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "ml/factory.hpp"
+
+namespace mfpa::ml {
+
+std::vector<Hyperparams> expand_grid(const ParamGrid& grid) {
+  std::vector<Hyperparams> out{{}};
+  for (const auto& [name, values] : grid) {
+    if (values.empty()) {
+      throw std::invalid_argument("expand_grid: empty value list for '" + name +
+                                  "'");
+    }
+    std::vector<Hyperparams> next;
+    next.reserve(out.size() * values.size());
+    for (const auto& partial : out) {
+      for (double v : values) {
+        Hyperparams p = partial;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+GridSearchResult grid_search(const std::string& algorithm,
+                             const Hyperparams& base, const ParamGrid& grid,
+                             const data::Matrix& X, const std::vector<int>& y,
+                             const std::vector<Split>& splits, CvMetric metric,
+                             std::size_t threads) {
+  const auto points = expand_grid(grid);
+  std::vector<Hyperparams> param_sets(points.size());
+  std::vector<double> scores(points.size(), -1.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    param_sets[i] = base;
+    for (const auto& [k, v] : points[i]) param_sets[i][k] = v;
+  }
+
+  auto evaluate = [&](std::size_t i) {
+    const auto model = make_classifier(algorithm, param_sets[i]);
+    scores[i] = cross_val_score(*model, X, y, splits, metric);
+  };
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (threads <= 1 || points.size() <= 1) {
+    for (std::size_t i = 0; i < points.size(); ++i) evaluate(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const std::size_t workers = std::min(threads, points.size());
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < param_sets.size();
+             i = next.fetch_add(1)) {
+          evaluate(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  GridSearchResult result;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.all.emplace_back(param_sets[i], scores[i]);
+    if (scores[i] > result.best_score) {
+      result.best_score = scores[i];
+      result.best_params = param_sets[i];
+    }
+  }
+  return result;
+}
+
+}  // namespace mfpa::ml

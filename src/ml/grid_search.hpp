@@ -1,0 +1,42 @@
+// Hyperparameter grid search over time-series cross-validation, as the paper
+// uses ("We utilize Grid Search, combined with time-series-based
+// cross-validation, to optimize the value of hyperparameters").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/matrix.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/model.hpp"
+
+namespace mfpa::ml {
+
+/// Cartesian grid: parameter name -> candidate values.
+using ParamGrid = std::map<std::string, std::vector<double>>;
+
+/// Enumerates all combinations of a grid (in deterministic lexicographic
+/// order of parameter names).
+std::vector<Hyperparams> expand_grid(const ParamGrid& grid);
+
+struct GridSearchResult {
+  Hyperparams best_params;
+  double best_score = -1.0;
+  /// (params, score) for every evaluated combination.
+  std::vector<std::pair<Hyperparams, double>> all;
+};
+
+/// Evaluates every grid point with `cross_val_score` on the given splits and
+/// returns the best. `algorithm` is a factory name; `base` supplies
+/// hyperparameters not present in the grid (e.g. "seed"). `threads` > 1
+/// evaluates grid points concurrently with identical results (0 = hardware
+/// concurrency).
+GridSearchResult grid_search(const std::string& algorithm,
+                             const Hyperparams& base, const ParamGrid& grid,
+                             const data::Matrix& X, const std::vector<int>& y,
+                             const std::vector<Split>& splits,
+                             CvMetric metric = CvMetric::kAuc,
+                             std::size_t threads = 1);
+
+}  // namespace mfpa::ml

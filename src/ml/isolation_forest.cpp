@@ -1,0 +1,176 @@
+#include "ml/isolation_forest.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+constexpr double kEulerMascheroni = 0.5772156649015329;
+
+}  // namespace
+
+IsolationForest::IsolationForest(Hyperparams params)
+    : params_(std::move(params)) {}
+
+double IsolationForest::average_path_length(std::size_t n) noexcept {
+  if (n <= 1) return 0.0;
+  const double h = std::log(static_cast<double>(n - 1)) + kEulerMascheroni;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+void IsolationForest::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);  // shape checks only; labels are ignored
+  const std::size_t n_trees =
+      static_cast<std::size_t>(param_or(params_, "n_trees", 100));
+  const std::size_t subsample = std::min<std::size_t>(
+      X.rows(), static_cast<std::size_t>(param_or(params_, "subsample", 256)));
+  const auto seed = static_cast<std::uint64_t>(param_or(params_, "seed", 1));
+  const int depth_limit = static_cast<int>(
+      std::ceil(std::log2(std::max<double>(2.0, static_cast<double>(subsample)))));
+
+  c_norm_ = std::max(average_path_length(subsample), 1e-9);
+  trees_.assign(n_trees, Tree{});
+  const Rng base(seed);
+
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    Rng rng = base.split(t + 1);
+    const auto sample = rng.sample_without_replacement(X.rows(), subsample);
+    Tree& tree = trees_[t];
+
+    // Iterative construction with an explicit stack of (rows, depth, slot).
+    struct Work {
+      std::vector<std::size_t> rows;
+      int depth;
+      int parent;     ///< node index whose child field to fill (-1 = root)
+      bool is_left;
+    };
+    std::vector<Work> stack;
+    stack.push_back({std::vector<std::size_t>(sample.begin(), sample.end()), 0,
+                     -1, false});
+    while (!stack.empty()) {
+      Work work = std::move(stack.back());
+      stack.pop_back();
+      const int node_id = static_cast<int>(tree.nodes.size());
+      tree.nodes.emplace_back();
+      if (work.parent >= 0) {
+        auto& parent = tree.nodes[static_cast<std::size_t>(work.parent)];
+        (work.is_left ? parent.left : parent.right) = node_id;
+      }
+      Node& node = tree.nodes.back();
+      node.size = work.rows.size();
+
+      if (work.rows.size() <= 1 || work.depth >= depth_limit) {
+        continue;  // leaf
+      }
+      // Pick a random feature with spread, then a random cut inside it.
+      int feature = -1;
+      double lo = 0.0, hi = 0.0;
+      for (int attempt = 0; attempt < 8 && feature < 0; ++attempt) {
+        const auto f = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(X.cols()) - 1));
+        lo = hi = X(work.rows[0], f);
+        for (std::size_t r : work.rows) {
+          lo = std::min(lo, X(r, f));
+          hi = std::max(hi, X(r, f));
+        }
+        if (hi > lo) feature = static_cast<int>(f);
+      }
+      if (feature < 0) continue;  // all candidate features constant
+      const double threshold = rng.uniform(lo, hi);
+
+      std::vector<std::size_t> left, right;
+      for (std::size_t r : work.rows) {
+        (X(r, static_cast<std::size_t>(feature)) < threshold ? left : right)
+            .push_back(r);
+      }
+      if (left.empty() || right.empty()) continue;
+      node.feature = feature;
+      node.threshold = threshold;
+      // Right pushed first so the left child is built (and numbered) first.
+      stack.push_back({std::move(right), work.depth + 1, node_id, false});
+      stack.push_back({std::move(left), work.depth + 1, node_id, true});
+    }
+  }
+}
+
+double IsolationForest::path_length(const Tree& tree,
+                                    std::span<const double> row) const {
+  int id = 0;
+  double depth = 0.0;
+  while (true) {
+    const Node& node = tree.nodes[static_cast<std::size_t>(id)];
+    if (node.feature < 0) {
+      return depth + average_path_length(node.size);
+    }
+    depth += 1.0;
+    id = row[static_cast<std::size_t>(node.feature)] < node.threshold
+             ? node.left
+             : node.right;
+  }
+}
+
+std::vector<double> IsolationForest::predict_proba(const Matrix& X) const {
+  if (trees_.empty()) {
+    throw std::logic_error("IsolationForest: predict before fit");
+  }
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    double total = 0.0;
+    for (const auto& tree : trees_) total += path_length(tree, X.row(r));
+    const double mean_path = total / static_cast<double>(trees_.size());
+    out[r] = std::pow(2.0, -mean_path / c_norm_);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> IsolationForest::clone_unfitted() const {
+  return std::make_unique<IsolationForest>(params_);
+}
+
+void IsolationForest::save_state(std::ostream& os) const {
+  if (trees_.empty()) throw std::logic_error("IsolationForest: save before fit");
+  os << "iforest " << trees_.size() << ' ';
+  io::write_double(os, c_norm_);
+  os << '\n';
+  for (const auto& tree : trees_) {
+    os << "itree " << tree.nodes.size() << '\n';
+    for (const auto& n : tree.nodes) {
+      os << n.feature << ' ';
+      io::write_double(os, n.threshold);
+      os << n.left << ' ' << n.right << ' ' << n.size << '\n';
+    }
+  }
+}
+
+void IsolationForest::load_state(std::istream& is) {
+  io::expect_token(is, "iforest");
+  std::size_t count = 0;
+  if (!(is >> count) || count == 0 || count > 100000) {
+    throw std::runtime_error("IsolationForest: bad forest header");
+  }
+  c_norm_ = io::read_double(is);
+  trees_.assign(count, Tree{});
+  for (auto& tree : trees_) {
+    io::expect_token(is, "itree");
+    std::size_t nodes = 0;
+    if (!(is >> nodes) || nodes > (1u << 26)) {
+      throw std::runtime_error("IsolationForest: bad tree header");
+    }
+    tree.nodes.assign(nodes, Node{});
+    for (auto& n : tree.nodes) {
+      if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.size)) {
+        throw std::runtime_error("IsolationForest: malformed node");
+      }
+    }
+  }
+}
+
+}  // namespace mfpa::ml

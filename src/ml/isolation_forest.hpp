@@ -1,0 +1,58 @@
+// Isolation forest (Liu, Ting & Zhou, 2008) — an *unsupervised* anomaly
+// scorer. Included as the no-labels baseline: CSS failure labels come from
+// manually mined trouble tickets (expensive and delayed), so "how far can
+// you get without them?" is the natural ablation of MFPA's supervised
+// pipeline.
+//
+// Implements the Classifier interface for harness compatibility, but fit()
+// ignores the labels entirely; predict_proba() returns the standard
+// isolation anomaly score s = 2^(-E[h]/c(n)) in (0, 1), where higher means
+// more isolated (more anomalous).
+#pragma once
+
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Hyperparams: "n_trees" (100), "subsample" (256), "seed" (1).
+class IsolationForest final : public Classifier {
+ public:
+  explicit IsolationForest(Hyperparams params = {});
+
+  /// Trains on X only; `y` is accepted (interface) but not used.
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "IForest"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+  /// Average path length of an unsuccessful BST search among n points —
+  /// the normalization constant c(n) of the isolation score.
+  static double average_path_length(std::size_t n) noexcept;
+
+ private:
+  struct Node {
+    int feature = -1;     ///< -1 marks a leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::size_t size = 0; ///< points isolated into this leaf
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  Hyperparams params_;
+  std::vector<Tree> trees_;
+  double c_norm_ = 1.0;  ///< c(subsample)
+
+  double path_length(const Tree& tree, std::span<const double> row) const;
+};
+
+}  // namespace mfpa::ml

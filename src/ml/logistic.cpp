@@ -1,0 +1,114 @@
+#include "ml/logistic.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(Hyperparams params)
+    : params_(std::move(params)) {}
+
+void LogisticRegression::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const double lr0 = param_or(params_, "lr", 0.1);
+  const int epochs = static_cast<int>(param_or(params_, "epochs", 40));
+  const std::size_t batch =
+      static_cast<std::size_t>(param_or(params_, "batch", 64));
+  const double l2 = param_or(params_, "l2", 1e-4);
+  Rng rng(static_cast<std::uint64_t>(param_or(params_, "seed", 1)));
+
+  const Matrix Xs = scaler_.fit_transform(X);
+  const std::size_t n = Xs.rows();
+  const std::size_t d = Xs.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+  std::vector<double> vw(d, 0.0);
+  double vb = 0.0;
+  constexpr double kMomentum = 0.9;
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const double lr = lr0 / (1.0 + 0.05 * epoch);
+    const auto order = rng.permutation(n);
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t stop = std::min(start + batch, n);
+      std::vector<double> gw(d, 0.0);
+      double gb = 0.0;
+      for (std::size_t k = start; k < stop; ++k) {
+        const auto row = Xs.row(order[k]);
+        double z = b_;
+        for (std::size_t f = 0; f < d; ++f) z += w_[f] * row[f];
+        const double err = sigmoid(z) - static_cast<double>(y[order[k]]);
+        for (std::size_t f = 0; f < d; ++f) gw[f] += err * row[f];
+        gb += err;
+      }
+      const double scale = 1.0 / static_cast<double>(stop - start);
+      for (std::size_t f = 0; f < d; ++f) {
+        const double g = gw[f] * scale + l2 * w_[f];
+        vw[f] = kMomentum * vw[f] - lr * g;
+        w_[f] += vw[f];
+      }
+      vb = kMomentum * vb - lr * gb * scale;
+      b_ += vb;
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<double> LogisticRegression::predict_proba(const Matrix& X) const {
+  if (!fitted_) throw std::logic_error("LogisticRegression: predict before fit");
+  const Matrix Xs = scaler_.transform(X);
+  std::vector<double> out(Xs.rows());
+  for (std::size_t r = 0; r < Xs.rows(); ++r) {
+    const auto row = Xs.row(r);
+    double z = b_;
+    for (std::size_t f = 0; f < row.size(); ++f) z += w_[f] * row[f];
+    out[r] = sigmoid(z);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> LogisticRegression::clone_unfitted() const {
+  return std::make_unique<LogisticRegression>(params_);
+}
+
+void LogisticRegression::save_state(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("LogisticRegression: save before fit");
+  io::write_vector(os, "scaler_mean", scaler_.means());
+  io::write_vector(os, "scaler_std", scaler_.stddevs());
+  io::write_vector(os, "w", w_);
+  io::write_vector(os, "b", std::vector<double>{b_});
+}
+
+void LogisticRegression::load_state(std::istream& is) {
+  auto means = io::read_vector(is, "scaler_mean");
+  auto stds = io::read_vector(is, "scaler_std");
+  scaler_.set_state(std::move(means), std::move(stds));
+  w_ = io::read_vector(is, "w");
+  const auto b = io::read_vector(is, "b");
+  if (b.size() != 1 || w_.size() != scaler_.means().size()) {
+    throw std::runtime_error("LogisticRegression: inconsistent state");
+  }
+  b_ = b[0];
+  fitted_ = true;
+}
+
+}  // namespace mfpa::ml

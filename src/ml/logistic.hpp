@@ -1,0 +1,39 @@
+// L2-regularized logistic regression trained by mini-batch SGD with
+// momentum. Used as a calibrated linear baseline and by prior-work proxies.
+// Standardizes features internally (linear models need it; callers can pass
+// raw features).
+#pragma once
+
+#include "data/scaler.hpp"
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Hyperparams: "lr" (0.1), "epochs" (40), "batch" (64), "l2" (1e-4),
+/// "seed" (1).
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "LR"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  const std::vector<double>& weights() const noexcept { return w_; }
+  double bias() const noexcept { return b_; }
+
+ private:
+  Hyperparams params_;
+  data::StandardScaler scaler_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace mfpa::ml

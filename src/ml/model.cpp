@@ -1,0 +1,36 @@
+#include "ml/model.hpp"
+
+#include <stdexcept>
+
+namespace mfpa::ml {
+
+double param_or(const Hyperparams& params, const std::string& key,
+                double fallback) {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+std::vector<int> Classifier::predict(const Matrix& X, double threshold) const {
+  const auto probs = predict_proba(X);
+  std::vector<int> out(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    out[i] = probs[i] >= threshold ? 1 : 0;
+  }
+  return out;
+}
+
+void Classifier::validate_fit_args(const Matrix& X, const std::vector<int>& y) {
+  if (X.rows() != y.size()) {
+    throw std::invalid_argument("Classifier::fit: X/y size mismatch");
+  }
+  if (X.rows() == 0) {
+    throw std::invalid_argument("Classifier::fit: empty training set");
+  }
+  for (int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument("Classifier::fit: labels must be 0/1");
+    }
+  }
+}
+
+}  // namespace mfpa::ml

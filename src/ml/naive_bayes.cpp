@@ -1,0 +1,119 @@
+#include "ml/naive_bayes.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfpa::ml {
+
+GaussianNB::GaussianNB(Hyperparams params)
+    : params_(std::move(params)),
+      var_smoothing_(param_or(params_, "var_smoothing", 1e-9)) {}
+
+void GaussianNB::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const std::size_t d = X.cols();
+  std::size_t count[2] = {0, 0};
+  for (int label : y) ++count[label];
+  if (count[0] == 0 || count[1] == 0) {
+    throw std::invalid_argument("GaussianNB: need both classes in training data");
+  }
+  for (int c = 0; c < 2; ++c) {
+    mean_[c].assign(d, 0.0);
+    var_[c].assign(d, 0.0);
+    log_prior_[c] = std::log(static_cast<double>(count[c]) /
+                             static_cast<double>(y.size()));
+  }
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    auto& m = mean_[y[r]];
+    for (std::size_t c = 0; c < d; ++c) m[c] += row[c];
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (auto& m : mean_[c]) m /= static_cast<double>(count[c]);
+  }
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    auto& m = mean_[y[r]];
+    auto& v = var_[y[r]];
+    for (std::size_t c = 0; c < d; ++c) {
+      const double delta = row[c] - m[c];
+      v[c] += delta * delta;
+    }
+  }
+  double max_var = 0.0;
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : var_[c]) {
+      v /= static_cast<double>(count[c]);
+      max_var = std::max(max_var, v);
+    }
+  }
+  const double eps = var_smoothing_ * std::max(max_var, 1e-12);
+  for (int c = 0; c < 2; ++c) {
+    for (auto& v : var_[c]) v += eps;
+  }
+  fitted_ = true;
+}
+
+std::vector<double> GaussianNB::predict_proba(const Matrix& X) const {
+  if (!fitted_) throw std::logic_error("GaussianNB: predict before fit");
+  if (X.cols() != mean_[0].size()) {
+    throw std::invalid_argument("GaussianNB: feature-count mismatch");
+  }
+  std::vector<double> out(X.rows());
+  for (std::size_t r = 0; r < X.rows(); ++r) {
+    const auto row = X.row(r);
+    double log_like[2];
+    for (int c = 0; c < 2; ++c) {
+      double ll = log_prior_[c];
+      for (std::size_t f = 0; f < row.size(); ++f) {
+        const double v = var_[c][f];
+        const double delta = row[f] - mean_[c][f];
+        ll += -0.5 * std::log(2.0 * M_PI * v) - delta * delta / (2.0 * v);
+      }
+      log_like[c] = ll;
+    }
+    // Stable softmax over two classes.
+    const double m = std::max(log_like[0], log_like[1]);
+    const double e0 = std::exp(log_like[0] - m);
+    const double e1 = std::exp(log_like[1] - m);
+    out[r] = e1 / (e0 + e1);
+  }
+  return out;
+}
+
+std::unique_ptr<Classifier> GaussianNB::clone_unfitted() const {
+  return std::make_unique<GaussianNB>(params_);
+}
+
+void GaussianNB::save_state(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("GaussianNB: save before fit");
+  io::write_vector(os, "log_prior", log_prior_);
+  io::write_vector(os, "mean0", mean_[0]);
+  io::write_vector(os, "mean1", mean_[1]);
+  io::write_vector(os, "var0", var_[0]);
+  io::write_vector(os, "var1", var_[1]);
+}
+
+void GaussianNB::load_state(std::istream& is) {
+  const auto prior = io::read_vector(is, "log_prior");
+  if (prior.size() != 2) throw std::runtime_error("GaussianNB: bad prior");
+  log_prior_[0] = prior[0];
+  log_prior_[1] = prior[1];
+  mean_[0] = io::read_vector(is, "mean0");
+  mean_[1] = io::read_vector(is, "mean1");
+  var_[0] = io::read_vector(is, "var0");
+  var_[1] = io::read_vector(is, "var1");
+  if (mean_[0].size() != var_[0].size() || mean_[1].size() != var_[1].size() ||
+      mean_[0].size() != mean_[1].size()) {
+    throw std::runtime_error("GaussianNB: inconsistent state sizes");
+  }
+  fitted_ = true;
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,36 @@
+// Gaussian naive Bayes — the "Bayes" entry of the paper's algorithm
+// portability study (Fig. 10/14).
+#pragma once
+
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Gaussian NB with per-class feature means/variances and variance smoothing
+/// (sklearn-style: var += epsilon * max feature variance).
+class GaussianNB final : public Classifier {
+ public:
+  /// Hyperparams: "var_smoothing" (default 1e-9).
+  explicit GaussianNB(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "Bayes"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+ private:
+  Hyperparams params_;
+  double var_smoothing_;
+  // Learned state.
+  double log_prior_[2] = {0.0, 0.0};
+  std::vector<double> mean_[2];
+  std::vector<double> var_[2];
+  bool fitted_ = false;
+};
+
+}  // namespace mfpa::ml

@@ -1,0 +1,123 @@
+#include "ml/random_forest.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace mfpa::ml {
+
+RandomForestClassifier::RandomForestClassifier(Hyperparams params)
+    : params_(std::move(params)) {}
+
+void RandomForestClassifier::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const std::size_t n_trees =
+      static_cast<std::size_t>(param_or(params_, "n_trees", 60));
+  const bool bootstrap = param_or(params_, "bootstrap", 1) != 0;
+  const auto seed = static_cast<std::uint64_t>(param_or(params_, "seed", 1));
+  std::size_t threads = static_cast<std::size_t>(param_or(params_, "threads", 1));
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+
+  TreeParams tp;
+  tp.max_depth = static_cast<int>(param_or(params_, "max_depth", 14));
+  tp.min_samples_split =
+      static_cast<std::size_t>(param_or(params_, "min_samples_split", 2));
+  tp.min_samples_leaf =
+      static_cast<std::size_t>(param_or(params_, "min_samples_leaf", 1));
+  tp.max_features = static_cast<int>(param_or(params_, "max_features", 0));
+
+  const std::size_t n = X.rows();
+  n_features_ = X.cols();
+  std::vector<double> targets(y.begin(), y.end());
+  trees_.assign(n_trees, RegressionTree(tp));
+
+  const Rng base(seed);
+  auto fit_tree = [&](std::size_t t) {
+    Rng rng = base.split(t + 1);
+    std::vector<std::size_t> rows(n);
+    if (bootstrap) {
+      for (auto& r : rows) {
+        r = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+    } else {
+      std::iota(rows.begin(), rows.end(), std::size_t{0});
+    }
+    trees_[t].fit(X, targets, {}, rows, rng);
+  };
+
+  if (threads <= 1 || n_trees <= 1) {
+    for (std::size_t t = 0; t < n_trees; ++t) fit_tree(t);
+  } else {
+    std::vector<std::thread> pool;
+    std::atomic<std::size_t> next{0};
+    const std::size_t workers = std::min(threads, n_trees);
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t t = next.fetch_add(1); t < n_trees;
+             t = next.fetch_add(1)) {
+          fit_tree(t);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+}
+
+std::vector<double> RandomForestClassifier::predict_proba(const Matrix& X) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForestClassifier: predict before fit");
+  }
+  std::vector<double> out(X.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t r = 0; r < X.rows(); ++r) {
+      out[r] += tree.predict_row(X.row(r));
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(trees_.size());
+  for (auto& p : out) p = std::clamp(p * inv, 0.0, 1.0);
+  return out;
+}
+
+std::unique_ptr<Classifier> RandomForestClassifier::clone_unfitted() const {
+  return std::make_unique<RandomForestClassifier>(params_);
+}
+
+void RandomForestClassifier::save_state(std::ostream& os) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForestClassifier: save before fit");
+  }
+  os << "forest " << trees_.size() << ' ' << n_features_ << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+void RandomForestClassifier::load_state(std::istream& is) {
+  io::expect_token(is, "forest");
+  std::size_t count = 0;
+  if (!(is >> count >> n_features_) || count == 0 || count > 100000) {
+    throw std::runtime_error("RandomForestClassifier: bad forest header");
+  }
+  trees_.assign(count, RegressionTree{});
+  for (auto& tree : trees_) tree.load(is);
+}
+
+std::vector<double> RandomForestClassifier::feature_importance() const {
+  std::vector<double> out(n_features_, 0.0);
+  for (const auto& tree : trees_) tree.accumulate_importance(out);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,40 @@
+// Random forest classifier — the paper's best-performing algorithm for MFPA
+// (98.18% TPR / 0.56% FPR with the SFWB feature group).
+#pragma once
+
+#include "ml/decision_tree.hpp"
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Bagged ensemble of Newton trees with per-split feature subsampling.
+/// Hyperparams: "n_trees" (60), "max_depth" (14), "min_samples_leaf" (1),
+/// "max_features" (0 = sqrt), "bootstrap" (1), "seed" (1), "threads" (1).
+class RandomForestClassifier final : public Classifier {
+ public:
+  explicit RandomForestClassifier(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "RF"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+  const std::vector<RegressionTree>& trees() const noexcept { return trees_; }
+
+  /// Gain-weighted feature importance, normalized to sum 1 (all zeros if the
+  /// forest never split).
+  std::vector<double> feature_importance() const;
+
+ private:
+  Hyperparams params_;
+  std::vector<RegressionTree> trees_;
+  std::size_t n_features_ = 0;
+};
+
+}  // namespace mfpa::ml

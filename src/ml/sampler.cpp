@@ -1,0 +1,43 @@
+#include "ml/sampler.hpp"
+
+#include <algorithm>
+
+namespace mfpa::ml {
+
+std::vector<std::size_t> RandomUnderSampler::sample_indices(
+    const std::vector<int>& y) const {
+  std::vector<std::size_t> pos, neg;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? pos : neg).push_back(i);
+  }
+  std::vector<std::size_t> out;
+  if (ratio_ <= 0.0 || pos.empty() || neg.empty()) {
+    out.resize(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) out[i] = i;
+    return out;
+  }
+  const bool neg_is_majority = neg.size() >= pos.size();
+  auto& minority = neg_is_majority ? pos : neg;
+  auto& majority = neg_is_majority ? neg : pos;
+  const auto want = static_cast<std::size_t>(
+      static_cast<double>(minority.size()) * ratio_ + 0.5);
+  Rng rng(seed_);
+  if (want < majority.size()) {
+    const auto pick = rng.sample_without_replacement(majority.size(), want);
+    std::vector<std::size_t> kept;
+    kept.reserve(want);
+    for (std::size_t k : pick) kept.push_back(majority[k]);
+    majority = std::move(kept);
+  }
+  out.reserve(minority.size() + majority.size());
+  out.insert(out.end(), minority.begin(), minority.end());
+  out.insert(out.end(), majority.begin(), majority.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+data::Dataset RandomUnderSampler::resample(const data::Dataset& ds) const {
+  return ds.select_rows(sample_indices(ds.y));
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,34 @@
+// Class-imbalance handling. The paper uses RandomUnderSampler to balance the
+// (rare) faulty-drive samples against the healthy majority at a configurable
+// negative:positive ratio (3:1 or 5:1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace mfpa::ml {
+
+/// Randomly under-samples the majority class.
+class RandomUnderSampler {
+ public:
+  /// `ratio` = kept majority count / minority count (e.g. 3.0 keeps 3
+  /// negatives per positive). Ratio <= 0 keeps everything.
+  explicit RandomUnderSampler(double ratio = 3.0, std::uint64_t seed = 1)
+      : ratio_(ratio), seed_(seed) {}
+
+  /// Returns the kept row indices (all minority rows + sampled majority),
+  /// in ascending order. Works for either direction of imbalance.
+  std::vector<std::size_t> sample_indices(const std::vector<int>& y) const;
+
+  /// Convenience: resampled copy of a dataset.
+  data::Dataset resample(const data::Dataset& ds) const;
+
+ private:
+  double ratio_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mfpa::ml

@@ -1,0 +1,102 @@
+#include "ml/serialize.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/factory.hpp"
+
+namespace mfpa::ml {
+namespace io {
+
+void write_double(std::ostream& os, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  os << buf << ' ';
+}
+
+void write_vector(std::ostream& os, const std::string& tag,
+                  std::span<const double> values) {
+  os << tag << ' ' << values.size() << ' ';
+  for (double v : values) write_double(os, v);
+  os << '\n';
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  if (!(is >> token) || token != expected) {
+    throw std::runtime_error("serialize: expected token '" + expected +
+                             "', got '" + token + "'");
+  }
+}
+
+double read_double(std::istream& is) {
+  double v = 0.0;
+  if (!(is >> v)) throw std::runtime_error("serialize: malformed double");
+  return v;
+}
+
+std::vector<double> read_vector(std::istream& is, const std::string& tag) {
+  expect_token(is, tag);
+  std::size_t n = 0;
+  if (!(is >> n)) throw std::runtime_error("serialize: malformed vector size");
+  if (n > (1u << 28)) throw std::runtime_error("serialize: absurd vector size");
+  std::vector<double> out(n);
+  for (auto& v : out) v = read_double(is);
+  return out;
+}
+
+}  // namespace io
+
+void save_classifier(std::ostream& os, const Classifier& model) {
+  os << "mfpa_model 1\n" << model.name() << '\n';
+  const Hyperparams& params = model.hyperparams();
+  os << "params " << params.size() << ' ';
+  for (const auto& [key, value] : params) {
+    os << key << ' ';
+    io::write_double(os, value);
+  }
+  os << '\n';
+  model.save_state(os);
+  if (!os) throw std::runtime_error("save_classifier: stream failure");
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& is) {
+  io::expect_token(is, "mfpa_model");
+  int version = 0;
+  if (!(is >> version) || version != 1) {
+    throw std::runtime_error("load_classifier: unsupported format version");
+  }
+  std::string name;
+  if (!(is >> name)) throw std::runtime_error("load_classifier: missing name");
+  io::expect_token(is, "params");
+  std::size_t n = 0;
+  if (!(is >> n) || n > 1000) {
+    throw std::runtime_error("load_classifier: malformed params");
+  }
+  Hyperparams params;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string key;
+    if (!(is >> key)) throw std::runtime_error("load_classifier: bad param key");
+    params[key] = io::read_double(is);
+  }
+  auto model = make_classifier(name, params);
+  model->load_state(is);
+  return model;
+}
+
+void save_classifier_file(const std::string& path, const Classifier& model) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_classifier_file: cannot open " + path);
+  save_classifier(f, model);
+}
+
+std::unique_ptr<Classifier> load_classifier_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("load_classifier_file: cannot open " + path);
+  return load_classifier(f);
+}
+
+}  // namespace mfpa::ml

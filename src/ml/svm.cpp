@@ -1,0 +1,143 @@
+#include "ml/svm.hpp"
+
+#include "ml/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+double sigmoid(double z) noexcept {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+LinearSVM::LinearSVM(Hyperparams params) : params_(std::move(params)) {}
+
+void LinearSVM::fit(const Matrix& X, const std::vector<int>& y) {
+  validate_fit_args(X, y);
+  const double lambda = param_or(params_, "lambda", 1e-4);
+  const int epochs = static_cast<int>(param_or(params_, "epochs", 20));
+  Rng rng(static_cast<std::uint64_t>(param_or(params_, "seed", 1)));
+
+  const Matrix Xs = scaler_.fit_transform(X);
+  const std::size_t n = Xs.rows();
+  const std::size_t d = Xs.cols();
+  w_.assign(d, 0.0);
+  b_ = 0.0;
+
+  // Pegasos: step size 1/(lambda * t), hinge sub-gradient per sample.
+  std::size_t t = 1;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const auto order = rng.permutation(n);
+    for (std::size_t k = 0; k < n; ++k, ++t) {
+      const auto row = Xs.row(order[k]);
+      const double target = y[order[k]] == 1 ? 1.0 : -1.0;
+      const double eta = 1.0 / (lambda * static_cast<double>(t));
+      double margin = b_;
+      for (std::size_t f = 0; f < d; ++f) margin += w_[f] * row[f];
+      const double shrink = 1.0 - eta * lambda;
+      for (auto& wf : w_) wf *= shrink;
+      if (target * margin < 1.0) {
+        for (std::size_t f = 0; f < d; ++f) w_[f] += eta * target * row[f];
+        b_ += eta * target * 0.1;  // unregularized, damped bias update
+      }
+    }
+  }
+
+  // Platt calibration on the training margins (single-pass logistic fit on
+  // one scalar; a few Newton steps suffice).
+  std::vector<double> margins(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = Xs.row(r);
+    double m = b_;
+    for (std::size_t f = 0; f < d; ++f) m += w_[f] * row[f];
+    margins[r] = m;
+  }
+  double a = 1.0, c = 0.0;
+  for (int iter = 0; iter < 50; ++iter) {
+    double ga = 0.0, gc = 0.0, haa = 0.0, hac = 0.0, hcc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double p = sigmoid(a * margins[r] + c);
+      const double err = p - static_cast<double>(y[r]);
+      const double wgt = std::max(p * (1.0 - p), 1e-6);
+      ga += err * margins[r];
+      gc += err;
+      haa += wgt * margins[r] * margins[r];
+      hac += wgt * margins[r];
+      hcc += wgt;
+    }
+    haa += 1e-6;
+    hcc += 1e-6;
+    const double det = haa * hcc - hac * hac;
+    if (std::abs(det) < 1e-12) break;
+    const double da = (hcc * ga - hac * gc) / det;
+    const double dc = (haa * gc - hac * ga) / det;
+    a -= da;
+    c -= dc;
+    if (std::abs(da) + std::abs(dc) < 1e-9) break;
+  }
+  platt_a_ = a;
+  platt_c_ = c;
+  fitted_ = true;
+}
+
+std::vector<double> LinearSVM::decision_function(const Matrix& X) const {
+  if (!fitted_) throw std::logic_error("LinearSVM: predict before fit");
+  const Matrix Xs = scaler_.transform(X);
+  std::vector<double> out(Xs.rows());
+  for (std::size_t r = 0; r < Xs.rows(); ++r) {
+    const auto row = Xs.row(r);
+    double m = b_;
+    for (std::size_t f = 0; f < row.size(); ++f) m += w_[f] * row[f];
+    out[r] = m;
+  }
+  return out;
+}
+
+std::vector<double> LinearSVM::predict_proba(const Matrix& X) const {
+  auto margins = decision_function(X);
+  for (auto& m : margins) m = sigmoid(platt_a_ * m + platt_c_);
+  return margins;
+}
+
+std::unique_ptr<Classifier> LinearSVM::clone_unfitted() const {
+  return std::make_unique<LinearSVM>(params_);
+}
+
+void LinearSVM::save_state(std::ostream& os) const {
+  if (!fitted_) throw std::logic_error("LinearSVM: save before fit");
+  io::write_vector(os, "scaler_mean", scaler_.means());
+  io::write_vector(os, "scaler_std", scaler_.stddevs());
+  io::write_vector(os, "w", w_);
+  io::write_vector(os, "tail", std::vector<double>{b_, platt_a_, platt_c_});
+}
+
+void LinearSVM::load_state(std::istream& is) {
+  auto means = io::read_vector(is, "scaler_mean");
+  auto stds = io::read_vector(is, "scaler_std");
+  scaler_.set_state(std::move(means), std::move(stds));
+  w_ = io::read_vector(is, "w");
+  const auto tail = io::read_vector(is, "tail");
+  if (tail.size() != 3 || w_.size() != scaler_.means().size()) {
+    throw std::runtime_error("LinearSVM: inconsistent state");
+  }
+  b_ = tail[0];
+  platt_a_ = tail[1];
+  platt_c_ = tail[2];
+  fitted_ = true;
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,41 @@
+// Linear soft-margin SVM trained with the Pegasos stochastic sub-gradient
+// algorithm (Shalev-Shwartz et al.), with Platt-style sigmoid calibration so
+// predict_proba() is comparable across models. The "SVM" entry of the
+// paper's algorithm portability study.
+#pragma once
+
+#include "data/scaler.hpp"
+#include "ml/model.hpp"
+
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Hyperparams: "lambda" (1e-4, regularization), "epochs" (20), "seed" (1).
+class LinearSVM final : public Classifier {
+ public:
+  explicit LinearSVM(Hyperparams params = {});
+
+  void fit(const Matrix& X, const std::vector<int>& y) override;
+  std::vector<double> predict_proba(const Matrix& X) const override;
+  std::string name() const override { return "SVM"; }
+  std::unique_ptr<Classifier> clone_unfitted() const override;
+  const Hyperparams& hyperparams() const override { return params_; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
+  /// Raw decision values w.x + b (margins).
+  std::vector<double> decision_function(const Matrix& X) const;
+
+ private:
+  Hyperparams params_;
+  data::StandardScaler scaler_;
+  std::vector<double> w_;
+  double b_ = 0.0;
+  // Platt calibration parameters: p = sigmoid(a * margin + c).
+  double platt_a_ = -1.0;
+  double platt_c_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace mfpa::ml

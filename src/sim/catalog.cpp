@@ -1,0 +1,180 @@
+#include "sim/catalog.hpp"
+
+#include <stdexcept>
+
+namespace mfpa::sim {
+
+const std::array<std::string, kNumSmartAttrs>& smart_attr_names() {
+  static const std::array<std::string, kNumSmartAttrs> kNames = {
+      "S_1",  "S_2",  "S_3",  "S_4",  "S_5",  "S_6",  "S_7",  "S_8",
+      "S_9",  "S_10", "S_11", "S_12", "S_13", "S_14", "S_15", "S_16"};
+  return kNames;
+}
+
+const std::array<std::string, kNumSmartAttrs>& smart_attr_descriptions() {
+  static const std::array<std::string, kNumSmartAttrs> kDescriptions = {
+      "Critical Warning",
+      "Composite Temperature",
+      "Available Spare",
+      "Available Spare Threshold",
+      "Percentage Used",
+      "Data Units Read",
+      "Data Units Written",
+      "Host Read Commands",
+      "Host Write Commands",
+      "Controller Busy Time",
+      "Power Cycles",
+      "Power On Hours",
+      "Unsafe Shutdowns",
+      "Media and Data Integrity Errors",
+      "Number of Error Information Log Entries",
+      "Capacity"};
+  return kDescriptions;
+}
+
+const std::array<WindowsEventType, kNumWindowsEvents>& windows_event_types() {
+  static const std::array<WindowsEventType, kNumWindowsEvents> kEvents = {{
+      {7, "W_7", "The device has a bad block"},
+      {11, "W_11", "The driver detects a controller error on Disk_i"},
+      {15, "W_15", "The Disk_i is not ready for access yet"},
+      {49, "W_49", "Configuring the page file for crash dump fails"},
+      {51, "W_51", "An error is detected on device during a paging operation"},
+      {52, "W_52", "The driver detects that device has predicted it will fail"},
+      {154, "W_154", "The IO operation at logical block address fails due to a hardware error"},
+      {157, "W_157", "Disk has been surprisingly removed"},
+      {161, "W_161", "File System error during IO on database"},
+  }};
+  return kEvents;
+}
+
+std::size_t windows_event_index(int id) {
+  const auto& events = windows_event_types();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].id == id) return i;
+  }
+  throw std::out_of_range("windows_event_index: unknown event id " +
+                          std::to_string(id));
+}
+
+const std::array<BsodCodeType, kNumBsodCodes>& bsod_code_types() {
+  static const std::array<BsodCodeType, kNumBsodCodes> kCodes = {{
+      {0x23, "B_23", "FAT_FILE_SYSTEM"},
+      {0x24, "B_24", "NTFS_FILE_SYSTEM"},
+      {0x48, "B_48", "CANCEL_STATE_IN_COMPLETED_IRP"},
+      {0x50, "B_50", "PAGE_FAULT_IN_NONPAGED_AREA"},
+      {0x6B, "B_6B", "PROCESS1_INITIALIZATION_FAILED"},
+      {0x77, "B_77", "KERNEL_STACK_INPAGE_ERROR"},
+      {0x7A, "B_7A", "KERNEL_DATA_INPAGE_ERROR"},
+      {0x7B, "B_7B", "INACCESSIBLE_BOOT_DEVICE"},  // reconstructed 23rd code
+      {0x80, "B_80", "NMI_HARDWARE_FAILURE"},
+      {0x9B, "B_9B", "UDFS_FILE_SYSTEM"},
+      {0xC7, "B_C7", "TIMER_OR_DPC_INVALID"},
+      {0xDA, "B_DA", "SYSTEM_PTE_MISUSE"},
+      {0xE4, "B_E4", "WORKER_INVALID"},
+      {0xFC, "B_FC", "ATTEMPTED_EXECUTE_OF_NOEXECUTE_MEMORY"},
+      {0x10C, "B_10C", "FSRTL_EXTRA_CREATE_PARAMETER_VIOLATION"},
+      {0x12C, "B_12C", "EXFAT_FILE_SYSTEM"},
+      {0x135, "B_135", "REGISTRY_FILTER_DRIVER_EXCEPTION"},
+      {0x13B, "B_13B", "PASSIVE_INTERRUPT_ERROR"},
+      {0x157, "B_157", "KERNEL_THREAD_PRIORITY_FLOOR_VIOLATION"},
+      {0x17E, "B_17E", "MICROCODE_REVISION_MISMATCH"},
+      {0x189, "B_189", "BAD_OBJECT_HEADER"},
+      {0x1DB, "B_1DB", "IPI_WATCHDOG_TIMEOUT"},
+      {0xC00, "B_C00", "STATUS_CANNOT_LOAD"},
+  }};
+  return kCodes;
+}
+
+std::size_t bsod_code_index(int code) {
+  const auto& codes = bsod_code_types();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i].code == code) return i;
+  }
+  throw std::out_of_range("bsod_code_index: unknown stop code " +
+                          std::to_string(code));
+}
+
+const std::array<TicketCategoryInfo, kNumTicketCategories>& ticket_categories() {
+  static const std::array<TicketCategoryInfo, kNumTicketCategories> kCategories = {{
+      {TicketCategory::kStorageDriveFailure, FailureLevel::kDriveLevel,
+       "Components failure", "Storage drive failure", 0.3113},
+      {TicketCategory::kFirmwareUpgradeFailure, FailureLevel::kDriveLevel,
+       "Components failure", "Firmware upgrade failure", 0.0042},
+      {TicketCategory::kOvertemperature, FailureLevel::kDriveLevel,
+       "Components failure", "Overtemperature", 0.0007},
+      {TicketCategory::kBlueBlackScreenAfterStartup, FailureLevel::kSystemLevel,
+       "Boot/Shutdown failure", "Blue/Black screen after startup", 0.2144},
+      {TicketCategory::kUnableToBootShutdown, FailureLevel::kSystemLevel,
+       "Boot/Shutdown failure", "Unable to boot/shutdown", 0.1857},
+      {TicketCategory::kBootloop, FailureLevel::kSystemLevel,
+       "Boot/Shutdown failure", "Bootloop", 0.0500},
+      {TicketCategory::kStuckStartupIcon, FailureLevel::kSystemLevel,
+       "Boot/Shutdown failure", "Stuck startup icon", 0.0320},
+      {TicketCategory::kResponseDelayBlueScreen, FailureLevel::kSystemLevel,
+       "System running failure", "Response delay/blue screen", 0.0866},
+      {TicketCategory::kUnauthorizedSystemInstall, FailureLevel::kSystemLevel,
+       "System running failure", "Unauthorized system installation", 0.0543},
+      {TicketCategory::kSystemPartitionDamage, FailureLevel::kSystemLevel,
+       "System running failure", "System partition damage", 0.0258},
+      {TicketCategory::kAutomaticShutdownRestart, FailureLevel::kSystemLevel,
+       "System running failure", "Automatic shutdown/restart", 0.0194},
+      {TicketCategory::kSystemUpgradeRecoveryFailure, FailureLevel::kSystemLevel,
+       "System running failure", "System upgrade/recovery failure", 0.0078},
+      {TicketCategory::kAppsCrash, FailureLevel::kSystemLevel,
+       "Application error", "Apps crash/report errors/stuck", 0.0077},
+  }};
+  return kCategories;
+}
+
+const TicketCategoryInfo& ticket_category_info(TicketCategory c) {
+  return ticket_categories()[static_cast<std::size_t>(c)];
+}
+
+const std::array<VendorConfig, kNumVendors>& vendor_catalog() {
+  static const std::array<VendorConfig, kNumVendors> kVendors = {{
+      // Vendor I: smallest fleet, by far the highest replacement rate, five
+      // firmware generations with the two earliest clearly worst (Fig. 3).
+      {"I",
+       270325,
+       0.0068,
+       {{"I_F_1", 3.0, 0.12},
+        {"I_F_2", 2.4, 0.18},
+        {"I_F_3", 1.2, 0.30},
+        {"I_F_4", 0.7, 0.25},
+        {"I_F_5", 0.4, 0.15}},
+       {{"I-M128", 128, 32, 0.20},
+        {"I-M256", 256, 48, 0.35},
+        {"I-M512", 512, 64, 0.30},
+        {"I-M1T", 1024, 64, 0.15}},
+       {0.25, 0.30, 0.25, 0.20}},
+      // Vendor II: the largest and most reliable fleet.
+      {"II",
+       1001278,
+       0.0007,
+       {{"II_F_1", 1.9, 0.25}, {"II_F_2", 1.0, 0.45}, {"II_F_3", 0.5, 0.30}},
+       {{"II-M256", 256, 64, 0.40},
+        {"II-M512", 512, 64, 0.40},
+        {"II-M1T", 1024, 96, 0.20}},
+       {0.30, 0.30, 0.22, 0.18}},
+      // Vendor III.
+      {"III",
+       908037,
+       0.0005,
+       {{"III_F_1", 1.6, 0.40}, {"III_F_2", 0.6, 0.60}},
+       {{"III-M128", 128, 48, 0.25},
+        {"III-M256", 256, 64, 0.45},
+        {"III-M512", 512, 96, 0.30}},
+       {0.28, 0.32, 0.22, 0.18}},
+      // Vendor IV: small fleet; fewest absolute failures (the paper notes its
+      // model underperforms for exactly that reason).
+      {"IV",
+       152405,
+       0.0011,
+       {{"IV_F_1", 1.5, 0.55}, {"IV_F_2", 0.5, 0.45}},
+       {{"IV-M256", 256, 64, 0.60}, {"IV-M512", 512, 96, 0.40}},
+       {0.22, 0.28, 0.28, 0.22}},
+  }};
+  return kVendors;
+}
+
+}  // namespace mfpa::sim

@@ -1,0 +1,137 @@
+#include "sim/event_model.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+// Tracked-array indices (see catalog.cpp ordering).
+enum WIdx : std::size_t {
+  kW7 = 0, kW11, kW15, kW49, kW51, kW52, kW154, kW157, kW161,
+};
+enum BIdx : std::size_t {
+  kB23 = 0, kB24, kB48, kB50, kB6B, kB77, kB7A, kB7B, kB80, kB9B, kBC7,
+  kBDA, kBE4, kBFC, kB10C, kB12C, kB135, kB13B, kB157, kB17E, kB189,
+  kB1DB, kBC00,
+};
+
+EventRates make_healthy_base() noexcept {
+  EventRates r;
+  r.w[kW7] = 4e-4;    // occasional remapped block, not fatal
+  r.w[kW11] = 6e-4;   // transient controller/bus hiccup
+  r.w[kW15] = 4e-4;
+  r.w[kW49] = 8e-4;   // pagefile misconfiguration happens on healthy machines
+  r.w[kW51] = 6e-4;
+  r.w[kW52] = 2e-5;   // SMART-predicted failure is essentially never benign
+  r.w[kW154] = 2e-4;
+  r.w[kW157] = 3e-4;  // sleep/resume glitches look like surprise removal
+  r.w[kW161] = 9e-4;
+  // Blue screens are rarer than event-log entries on healthy machines.
+  for (auto& x : r.b) x = 2e-5;
+  r.b[kB50] = 1.2e-4;  // PAGE_FAULT_IN_NONPAGED_AREA: common, often RAM/driver
+  r.b[kB24] = 6e-5;    // NTFS
+  r.b[kB7A] = 5e-5;
+  r.b[kB77] = 3e-5;
+  r.b[kBFC] = 4e-5;    // driver bugs
+  r.b[kB135] = 4e-5;
+  return r;
+}
+
+}  // namespace
+
+EventRates EventModel::healthy_base(bool grumpy_os) noexcept {
+  static const EventRates kBase = make_healthy_base();
+  if (!grumpy_os) return kBase;
+  // Machines with unrelated OS/driver trouble: noisier on generic channels,
+  // but NOT on the storage-specific signatures — that asymmetry is what lets
+  // W/B features rescue SMART-only false positives.
+  EventRates r = kBase;
+  for (auto& x : r.w) x *= 3.0;
+  for (auto& x : r.b) x *= 3.5;
+  // Events that also fire for *other* disks on the machine (USB drives,
+  // secondary HDDs reference the same event ids) are much noisier on grumpy
+  // machines; SSD-specific signatures stay comparatively clean.
+  r.w[kW51] *= 3.0;
+  r.w[kW161] *= 3.0;
+  r.w[kW11] *= 2.5;
+  r.w[kW52] = kBase.w[kW52];     // "predicted failure" stays rare
+  r.w[kW154] = kBase.w[kW154] * 1.5;
+  r.b[kB7B] = kBase.b[kB7B];     // boot-device loss stays rare
+  return r;
+}
+
+const EventRates& EventModel::archetype_boost(FailureArchetype a) noexcept {
+  static const std::array<EventRates, kNumArchetypes> kBoosts = [] {
+    std::array<EventRates, kNumArchetypes> boosts{};
+
+    // Wear-out: firmware announces the end (W_52), paging strain, data-inpage
+    // stops as worn cells fail to read.
+    EventRates& wear = boosts[static_cast<std::size_t>(FailureArchetype::kWearout)];
+    wear.w[kW52] = 0.65;
+    wear.w[kW51] = 0.30;
+    wear.w[kW7] = 0.20;
+    wear.w[kW161] = 0.25;
+    wear.b[kB7A] = 0.10;
+    wear.b[kB77] = 0.06;
+    wear.b[kB50] = 0.08;
+
+    // Media: bad blocks, LBA-level IO errors, file-system stops.
+    EventRates& media = boosts[static_cast<std::size_t>(FailureArchetype::kMedia)];
+    media.w[kW7] = 0.90;
+    media.w[kW51] = 0.60;
+    media.w[kW154] = 0.50;
+    media.w[kW161] = 0.45;
+    media.b[kB50] = 0.18;
+    media.b[kB7A] = 0.16;
+    media.b[kB24] = 0.10;
+    media.b[kB23] = 0.04;
+    media.b[kB12C] = 0.03;
+    media.b[kB77] = 0.08;
+
+    // Controller: device drops off the bus, not-ready, surprise removal,
+    // hardware NMI / watchdog stops.
+    EventRates& ctrl =
+        boosts[static_cast<std::size_t>(FailureArchetype::kController)];
+    ctrl.w[kW11] = 1.60;
+    ctrl.w[kW15] = 0.80;
+    ctrl.w[kW157] = 0.60;
+    ctrl.w[kW161] = 0.45;
+    ctrl.w[kW49] = 0.35;
+    ctrl.b[kB80] = 0.12;
+    ctrl.b[kB1DB] = 0.06;
+    ctrl.b[kB13B] = 0.05;
+    ctrl.b[kB48] = 0.04;
+    ctrl.b[kBC7] = 0.03;
+
+    // Sudden: short violent burst — boot-device loss, init failures, crash
+    // dump configuration failures as the system loses its disk.
+    EventRates& sudden =
+        boosts[static_cast<std::size_t>(FailureArchetype::kSudden)];
+    sudden.w[kW49] = 1.30;
+    sudden.w[kW15] = 1.00;
+    sudden.w[kW11] = 0.80;
+    sudden.w[kW157] = 0.65;
+    sudden.w[kW161] = 0.55;
+    sudden.b[kB7B] = 0.45;
+    sudden.b[kB6B] = 0.18;
+    sudden.b[kBC00] = 0.12;
+    sudden.b[kB189] = 0.04;
+    sudden.b[kBE4] = 0.03;
+    return boosts;
+  }();
+  return kBoosts[static_cast<std::size_t>(a)];
+}
+
+void EventModel::sample_day(const EventRates& base, const EventRates& boost,
+                            double level, Rng& rng,
+                            std::array<std::uint16_t, kNumWindowsEvents>& w_out,
+                            std::array<std::uint16_t, kNumBsodCodes>& b_out) {
+  for (std::size_t i = 0; i < kNumWindowsEvents; ++i) {
+    const double rate = base.w[i] + boost.w[i] * level;
+    w_out[i] = static_cast<std::uint16_t>(std::min(rng.poisson(rate), 65535));
+  }
+  for (std::size_t i = 0; i < kNumBsodCodes; ++i) {
+    const double rate = base.b[i] + boost.b[i] * level;
+    b_out[i] = static_cast<std::uint16_t>(std::min(rng.poisson(rate), 65535));
+  }
+}
+
+}  // namespace mfpa::sim

@@ -1,0 +1,44 @@
+// WindowsEvent (Table III) and BlueScreenOfDeath (Table IV) generation —
+// the system-level failure signals of Observations #3 and #4.
+//
+// Healthy machines log these events at low background rates (higher for the
+// "grumpy OS" minority whose software problems are unrelated to the SSD).
+// Failing drives superimpose archetype-specific event bursts that grow with
+// the degradation ramp, so cumulative counts separate faulty from healthy
+// drives (paper Figs. 4-5).
+#pragma once
+
+#include <array>
+
+#include "common/date.hpp"
+#include "common/rng.hpp"
+#include "sim/catalog.hpp"
+#include "sim/failure_model.hpp"
+
+namespace mfpa::sim {
+
+/// Per-type daily event rates.
+struct EventRates {
+  std::array<double, kNumWindowsEvents> w{};
+  std::array<double, kNumBsodCodes> b{};
+};
+
+class EventModel {
+ public:
+  /// Background rates of a healthy machine. `grumpy_os` marks the minority
+  /// with unrelated OS/driver problems (elevated noise on all channels).
+  static EventRates healthy_base(bool grumpy_os) noexcept;
+
+  /// Peak additional rates at full degradation for an archetype; the actual
+  /// addition is boost * degradation_level.
+  static const EventRates& archetype_boost(FailureArchetype a) noexcept;
+
+  /// Samples one day of W/B counts for a drive.
+  /// `level` is the degradation ramp in [0,1] (0 for healthy drives).
+  static void sample_day(const EventRates& base, const EventRates& boost,
+                         double level, Rng& rng,
+                         std::array<std::uint16_t, kNumWindowsEvents>& w_out,
+                         std::array<std::uint16_t, kNumBsodCodes>& b_out);
+};
+
+}  // namespace mfpa::sim

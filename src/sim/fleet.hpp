@@ -1,0 +1,87 @@
+// Fleet-level orchestration: samples the entire drive population's destinies
+// (cheap, O(drives)), produces the RaSRF ticket stream, and generates daily
+// telemetry for the tracked subset (all failed drives + a sampled healthy
+// cohort, mirroring the paper's undersampling of the healthy majority).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/date.hpp"
+#include "common/rng.hpp"
+#include "sim/catalog.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/scenario.hpp"
+#include "sim/smart_model.hpp"
+#include "sim/telemetry.hpp"
+#include "sim/usage_model.hpp"
+
+namespace mfpa::sim {
+
+/// Lifetime-only record of one drive (no telemetry).
+struct DriveInfo {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  int model = 0;
+  std::uint8_t firmware_initial = 0;
+  UserProfile profile = UserProfile::kRegular;
+  DriveOutcome outcome;
+
+  /// Approximate power-on hours at failure (for the Fig. 2 bathtub plot).
+  double poh_at_failure() const noexcept {
+    return outcome.age_at_failure * UsageModel::effective_hours_per_day(profile);
+  }
+};
+
+/// Per-vendor fleet summary (paper Table VI).
+struct VendorSummary {
+  std::string vendor_name;
+  std::size_t total = 0;
+  std::size_t failures = 0;
+  double replacement_rate = 0.0;  ///< realized failures / total
+};
+
+/// Deterministic fleet simulator. Two phases:
+///   1. simulate_lifetimes(): destinies for the full (scaled) fleet.
+///   2. generate_telemetry(): daily records for the tracked subset within
+///      the scenario's telemetry window.
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(Scenario scenario);
+
+  const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Phase 1. Idempotent; called implicitly by the accessors below.
+  void simulate_lifetimes();
+
+  /// All drives with their destinies (phase 1 output).
+  const std::vector<DriveInfo>& drives();
+
+  /// Per-vendor totals (Table VI).
+  std::vector<VendorSummary> summarize();
+
+  /// RaSRF trouble tickets for every failure (IMT = failure day + repair
+  /// delay), sorted by IMT.
+  std::vector<TroubleTicket> tickets();
+
+  /// Phase 2: telemetry for all failed drives whose failure lies inside the
+  /// telemetry window plus `healthy_per_failed` sampled healthy drives per
+  /// vendor. Deterministic given the scenario seed — per-drive random
+  /// streams derive from (seed, drive id), so `threads` (0 = hardware
+  /// concurrency) changes only wall-clock time, never output.
+  std::vector<DriveTimeSeries> generate_telemetry(std::size_t threads = 1);
+
+  /// Telemetry for one specific drive (used by examples/tests).
+  DriveTimeSeries generate_drive_telemetry(const DriveInfo& info) const;
+
+  /// Hardware parameters of a drive's model.
+  DriveHardware hardware_of(const DriveInfo& info) const;
+
+ private:
+  Scenario scenario_;
+  FailureModel failure_model_;
+  std::vector<DriveInfo> drives_;
+  bool lifetimes_done_ = false;
+};
+
+}  // namespace mfpa::sim

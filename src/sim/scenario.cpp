@@ -1,0 +1,59 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+
+namespace mfpa::sim {
+
+Scenario tiny_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.fleet_scale = 0.004;  // ~9.3k drives, ~13 failures
+  s.horizon_days = 360;
+  s.telemetry_start = 0;
+  s.telemetry_end = 360;
+  s.healthy_per_failed = 6.0;
+  return s;
+}
+
+Scenario small_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.fleet_scale = 0.02;  // ~47k drives, ~63 failures
+  s.horizon_days = 540;
+  s.telemetry_start = 0;
+  s.telemetry_end = 540;
+  s.healthy_per_failed = 7.0;
+  return s;
+}
+
+Scenario default_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.fleet_scale = 0.1;  // ~233k drives, ~320 failures (vendor I ~185)
+  s.horizon_days = 540;
+  s.telemetry_start = 0;
+  s.telemetry_end = 540;
+  s.healthy_per_failed = 7.0;
+  return s;
+}
+
+Scenario large_scenario(std::uint64_t seed) {
+  Scenario s;
+  s.seed = seed;
+  s.fleet_scale = 0.3;  // ~700k drives, ~950 failures
+  s.horizon_days = 540;
+  s.telemetry_start = 0;
+  s.telemetry_end = 540;
+  s.healthy_per_failed = 7.0;
+  return s;
+}
+
+Scenario scenario_by_name(const std::string& name, std::uint64_t seed) {
+  if (name == "tiny") return tiny_scenario(seed);
+  if (name == "small") return small_scenario(seed);
+  if (name == "default") return default_scenario(seed);
+  if (name == "large") return large_scenario(seed);
+  throw std::invalid_argument("scenario_by_name: unknown scenario '" + name + "'");
+}
+
+}  // namespace mfpa::sim

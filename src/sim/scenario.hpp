@@ -1,0 +1,55 @@
+// Scenario presets: knobs that size a simulation run. Benches default to a
+// scaled-down fleet that preserves the paper's per-vendor replacement rates;
+// unit tests use a tiny scenario.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/date.hpp"
+
+namespace mfpa::sim {
+
+/// All knobs of a simulation run.
+struct Scenario {
+  std::uint64_t seed = 42;
+
+  /// Linear fleet scale relative to the paper's Table VI (1.0 = 2.33M drives).
+  double fleet_scale = 0.02;
+
+  /// Observation horizon in days (paper: ~2 years of logs).
+  DayIndex horizon_days = 540;
+
+  /// Telemetry window [telemetry_start, telemetry_end): detailed daily logs
+  /// are generated only inside this window (full-horizon telemetry for 2M+
+  /// drives would be pointless — the pipeline undersamples healthy drives
+  /// anyway, mirroring the paper's RandomUnderSampler usage).
+  DayIndex telemetry_start = 360;
+  DayIndex telemetry_end = 540;
+
+  /// Healthy drives tracked per failed drive (telemetry sampling ratio).
+  double healthy_per_failed = 8.0;
+
+  /// Upper bound on tracked healthy drives per vendor (0 = no cap).
+  std::size_t max_healthy_tracked = 0;
+
+  /// Enables distribution drift over calendar time (seasonal temperature,
+  /// late firmware releases) — required by the time-period portability
+  /// experiment (Fig. 12/16), harmless elsewhere.
+  bool enable_drift = true;
+
+  /// Mean user repair delay in days (failure -> ticket IMT).
+  double mean_repair_delay = 4.0;
+};
+
+/// Named presets.
+Scenario tiny_scenario(std::uint64_t seed = 42);     ///< unit tests (~2k drives)
+Scenario small_scenario(std::uint64_t seed = 42);    ///< fast benches (~23k drives)
+Scenario default_scenario(std::uint64_t seed = 42);  ///< headline benches (~47k)
+Scenario large_scenario(std::uint64_t seed = 42);    ///< slow/overnight (~230k)
+
+/// Looks a preset up by name ("tiny", "small", "default", "large");
+/// throws std::invalid_argument for an unknown name.
+Scenario scenario_by_name(const std::string& name, std::uint64_t seed = 42);
+
+}  // namespace mfpa::sim

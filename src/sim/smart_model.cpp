@@ -1,0 +1,187 @@
+#include "sim/smart_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfpa::sim {
+namespace {
+
+/// Archetype-specific degradation strengths (per fully-degraded day).
+struct DegradationProfile {
+  double media_errors_per_day;
+  double error_log_per_day;      ///< on top of media errors
+  double spare_loss_per_error;   ///< % spare lost per media error
+  double extra_wear_mult;        ///< multiplier on wear accumulation
+  double busy_time_mult;         ///< controller busy-time inflation
+  double unsafe_shutdown_boost;  ///< extra unsafe shutdowns per day
+  double temp_boost;             ///< degrees added at full degradation
+};
+
+const DegradationProfile& degradation_profile(FailureArchetype a) noexcept {
+  static constexpr DegradationProfile kProfiles[kNumArchetypes] = {
+      // media/day, log/day, spare/err, wear, busy, unsafe/day, temp
+      {4.0, 6.0, 0.35, 2.5, 1.3, 0.05, 3.0},    // wearout
+      {14.0, 20.0, 0.30, 1.3, 1.5, 0.08, 2.0},  // media
+      {0.8, 8.0, 0.05, 1.0, 3.5, 0.45, 6.0},    // controller
+      {1.0, 5.0, 0.04, 1.0, 1.2, 0.25, 1.0},    // sudden
+  };
+  return kProfiles[static_cast<std::size_t>(a)];
+}
+
+constexpr double kGbPerDataUnitK = 0.512;  // 1000 NVMe data units = 0.512 GB
+
+}  // namespace
+
+double degradation_level(const DriveOutcome& outcome, DayIndex day) noexcept {
+  if (!outcome.fails || outcome.onset_days <= 0) return 0.0;
+  const DayIndex onset = outcome.failure_day - outcome.onset_days;
+  if (day <= onset) return 0.0;
+  if (day >= outcome.failure_day) return 1.0;
+  const double progress = static_cast<double>(day - onset) /
+                          static_cast<double>(outcome.onset_days);
+  return std::pow(progress, 0.8);  // early-rising concave ramp
+}
+
+SmartState SmartModel::init_state(const DriveHardware& /*hw*/, UserProfile profile,
+                                  double age_days, Rng& rng) {
+  SmartState s;
+  age_days = std::max(0.0, age_days);
+  const UsageParams& up = UsageModel::params(profile);
+  const double used_days = age_days * up.p_power_on;
+
+  s.temp_offset = rng.normal(0.0, 2.5);
+  s.wear_rate_mult = std::clamp(rng.lognormal(0.0, 0.25), 0.5, 2.5);
+  s.grumpy = rng.bernoulli(0.08);
+
+  s.poh_hours = used_days * up.mean_hours * rng.uniform(0.9, 1.1);
+  s.power_cycles = used_days * rng.uniform(1.0, 3.0);
+  s.unsafe_shutdowns = used_days * up.p_unsafe_shutdown * rng.uniform(0.5, 2.0);
+  s.gb_written = used_days * up.mean_write_gb * s.wear_rate_mult *
+                 rng.uniform(0.8, 1.2);
+  s.gb_read = s.gb_written * rng.uniform(1.5, 3.0);
+  // ~4 KB mean transfer -> ~0.26M commands per GB; fold variation in.
+  s.host_write_cmds_m = s.gb_written * rng.uniform(0.15, 0.35);
+  s.host_read_cmds_m = s.gb_read * rng.uniform(0.15, 0.35);
+  s.busy_time_min = s.poh_hours * rng.uniform(0.4, 1.2);
+
+  if (s.grumpy) {
+    // Unhealthy-looking but not failing: the source of SMART-only false
+    // positives. Bad PSU/cooling/habits, not a bad drive.
+    s.unsafe_shutdowns += rng.uniform(5.0, 40.0);
+    s.temp_offset += rng.uniform(3.0, 8.0);
+    s.media_errors = static_cast<double>(rng.poisson(4.0));
+    s.error_log_entries =
+        s.media_errors + static_cast<double>(rng.poisson(10.0));
+  } else {
+    s.media_errors = rng.bernoulli(0.02) ? 1.0 : 0.0;
+    s.error_log_entries = s.media_errors + static_cast<double>(rng.poisson(0.3));
+  }
+  s.spare_pct = 100.0 - s.media_errors * 0.2;
+  return s;
+}
+
+void SmartModel::advance(SmartState& s, const DriveHardware& hw,
+                         UserProfile profile, const DriveOutcome& outcome,
+                         DayIndex day, int elapsed_days, Rng& rng) {
+  if (elapsed_days <= 0) return;
+  const UsageParams& up = UsageModel::params(profile);
+  const double level = degradation_level(outcome, day);
+  const DegradationProfile& dp = degradation_profile(outcome.archetype);
+  const double used_days =
+      static_cast<double>(elapsed_days) * up.p_power_on;
+
+  const double wear_mult =
+      s.wear_rate_mult * (1.0 + (dp.extra_wear_mult - 1.0) * level);
+  const double gb_w =
+      used_days * up.mean_write_gb * wear_mult * rng.uniform(0.7, 1.3);
+  const double gb_r = gb_w * rng.uniform(1.5, 3.0);
+
+  s.poh_hours += used_days * up.mean_hours * rng.uniform(0.85, 1.15);
+  s.power_cycles += used_days * rng.uniform(1.0, 3.0);
+  s.gb_written += gb_w;
+  s.gb_read += gb_r;
+  s.host_write_cmds_m += gb_w * rng.uniform(0.15, 0.35);
+  s.host_read_cmds_m += gb_r * rng.uniform(0.15, 0.35);
+  s.busy_time_min += used_days * up.mean_hours * rng.uniform(0.4, 1.2) *
+                     (1.0 + (dp.busy_time_mult - 1.0) * level);
+
+  double unsafe_rate = up.p_unsafe_shutdown * (s.grumpy ? 6.0 : 1.0);
+  unsafe_rate += dp.unsafe_shutdown_boost * level;
+  s.unsafe_shutdowns +=
+      static_cast<double>(rng.poisson(used_days * unsafe_rate));
+
+  // Media errors: tiny background (grumpy drives higher) plus the ramp.
+  double media_rate = s.grumpy ? 0.06 : 0.0015;
+  media_rate += dp.media_errors_per_day * level;
+  double new_media =
+      static_cast<double>(rng.poisson(static_cast<double>(elapsed_days) * media_rate));
+  // Transient scare burst on otherwise healthy drives.
+  if (s.scare_day >= 0) {
+    const DayIndex burst_lo = std::max(s.scare_day, day - elapsed_days + 1);
+    const DayIndex burst_hi = std::min<DayIndex>(s.scare_day + s.scare_len, day + 1);
+    if (burst_lo < burst_hi) {
+      new_media += static_cast<double>(
+          rng.poisson(5.0 * static_cast<double>(burst_hi - burst_lo)));
+    }
+  }
+  s.media_errors += new_media;
+
+  double log_rate = s.grumpy ? 0.05 : 0.006;
+  log_rate += dp.error_log_per_day * level;
+  s.error_log_entries +=
+      new_media +
+      static_cast<double>(rng.poisson(static_cast<double>(elapsed_days) * log_rate));
+
+  s.spare_pct -= new_media * dp.spare_loss_per_error * rng.uniform(0.5, 1.5);
+  // Wear also consumes spare blocks slowly once past ~80% of endurance.
+  const double used_fraction =
+      (s.gb_written / 1000.0) / std::max(1.0, hw.endurance_tbw());
+  if (used_fraction > 0.8) {
+    s.spare_pct -= used_days * (used_fraction - 0.8) * 0.4;
+  }
+  s.spare_pct = std::max(0.0, s.spare_pct);
+}
+
+std::array<float, kNumSmartAttrs> SmartModel::observe(
+    const SmartState& s, const DriveHardware& hw, const DriveOutcome& outcome,
+    DayIndex day, bool enable_drift, Rng& rng) {
+  const double level = degradation_level(outcome, day);
+  const DegradationProfile& dp = degradation_profile(outcome.archetype);
+
+  double temp = 36.0 + s.temp_offset + dp.temp_boost * level + rng.normal(0.0, 1.5);
+  if (enable_drift) {
+    // Seasonal ambient-temperature swing (northern-hemisphere summer peak).
+    temp += 4.0 * std::sin(2.0 * M_PI * static_cast<double>(day + 220) / 365.0);
+  }
+
+  const double pct_used = std::min(
+      255.0, (s.gb_written / 1000.0) / std::max(1.0, hw.endurance_tbw()) * 100.0);
+  const double spare = std::floor(std::clamp(s.spare_pct, 0.0, 100.0));
+  constexpr double kSpareThreshold = 10.0;
+  const bool critical =
+      spare <= kSpareThreshold || pct_used >= 100.0 || temp > 75.0;
+
+  std::array<float, kNumSmartAttrs> out{};
+  auto set = [&out](SmartAttr a, double v) {
+    out[static_cast<std::size_t>(a)] = static_cast<float>(v);
+  };
+  set(SmartAttr::kCriticalWarning, critical ? 1.0 : 0.0);
+  set(SmartAttr::kCompositeTemperature, std::round(temp));
+  set(SmartAttr::kAvailableSpare, spare);
+  set(SmartAttr::kAvailableSpareThreshold, kSpareThreshold);
+  set(SmartAttr::kPercentageUsed, std::floor(pct_used));
+  set(SmartAttr::kDataUnitsRead, s.gb_read / kGbPerDataUnitK);
+  set(SmartAttr::kDataUnitsWritten, s.gb_written / kGbPerDataUnitK);
+  set(SmartAttr::kHostReadCommands, s.host_read_cmds_m);
+  set(SmartAttr::kHostWriteCommands, s.host_write_cmds_m);
+  set(SmartAttr::kControllerBusyTime, s.busy_time_min);
+  set(SmartAttr::kPowerCycles, std::floor(s.power_cycles));
+  set(SmartAttr::kPowerOnHours, std::floor(s.poh_hours));
+  set(SmartAttr::kUnsafeShutdowns, std::floor(s.unsafe_shutdowns));
+  set(SmartAttr::kMediaErrors, std::floor(s.media_errors));
+  set(SmartAttr::kErrorLogEntries, std::floor(s.error_log_entries));
+  set(SmartAttr::kCapacity, hw.capacity_gb);
+  return out;
+}
+
+}  // namespace mfpa::sim

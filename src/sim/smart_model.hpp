@@ -1,0 +1,93 @@
+// SMART telemetry evolution (paper Table II / Observation #1).
+//
+// Healthy drives accumulate wear proportional to their usage profile, with
+// measurement noise and a "grumpy" minority whose SMART looks unhealthy
+// without the drive actually failing (elevated temperature, unsafe
+// shutdowns, sporadic media errors). This overlap is what limits the
+// SMART-only model's precision in the paper.
+//
+// Failing drives additionally run a degradation ramp between their onset day
+// and failure day whose strength per attribute depends on the failure
+// archetype: wear-out drives drift in wear/spare, media drives accumulate
+// media errors and log entries, controller drives spike busy time and unsafe
+// shutdowns, sudden drives show almost nothing until the final days.
+#pragma once
+
+#include <array>
+
+#include "common/date.hpp"
+#include "common/rng.hpp"
+#include "sim/catalog.hpp"
+#include "sim/failure_model.hpp"
+#include "sim/usage_model.hpp"
+
+namespace mfpa::sim {
+
+/// Physical parameters of one drive.
+struct DriveHardware {
+  int capacity_gb = 256;
+  int flash_layers = 64;
+
+  /// Rated endurance in terabytes written (consumer TLC heuristic:
+  /// ~0.3 drive writes/day for 5 years ≈ 600 P/E cycles).
+  double endurance_tbw() const noexcept {
+    return static_cast<double>(capacity_gb) * 0.6;  // e.g. 256 GB -> ~150 TBW
+  }
+};
+
+/// Mutable accumulator state of one drive's SMART counters (doubles for
+/// accumulation precision; quantized on observation).
+struct SmartState {
+  double poh_hours = 0.0;
+  double power_cycles = 0.0;
+  double unsafe_shutdowns = 0.0;
+  double gb_read = 0.0;
+  double gb_written = 0.0;
+  double host_read_cmds_m = 0.0;   ///< millions
+  double host_write_cmds_m = 0.0;  ///< millions
+  double busy_time_min = 0.0;
+  double media_errors = 0.0;
+  double error_log_entries = 0.0;
+  double spare_pct = 100.0;
+  // Per-drive idiosyncrasies.
+  double temp_offset = 0.0;   ///< machine cooling quality
+  double wear_rate_mult = 1.0;
+  bool grumpy = false;        ///< noisy-but-healthy minority
+
+  // Transient "scare": a short burst of media errors on a *healthy* drive
+  // (bad cable/driver CRC storms, one-off remap events). Looks alarming in
+  // SMART but carries no W/B storage signature — the raw material of the
+  // SMART-only model's false positives that SFWB rescues. Set by the fleet
+  // simulator; -1 = no scare.
+  DayIndex scare_day = -1;
+  int scare_len = 0;
+};
+
+/// Degradation intensity in [0, 1]: 0 before onset, accelerating to 1 at the
+/// failure day. Returns 0 for healthy drives.
+double degradation_level(const DriveOutcome& outcome, DayIndex day) noexcept;
+
+/// Stateless generator for SMART trajectories.
+class SmartModel {
+ public:
+  /// Initializes the accumulator for a drive that is `age_days` old at the
+  /// start of the telemetry window (analytic fast-forward of its history).
+  static SmartState init_state(const DriveHardware& hw, UserProfile profile,
+                               double age_days, Rng& rng);
+
+  /// Advances the accumulators across `elapsed_days` calendar days ending at
+  /// `day` (expected usage over the stretch), applying degradation effects.
+  static void advance(SmartState& state, const DriveHardware& hw,
+                      UserProfile profile, const DriveOutcome& outcome,
+                      DayIndex day, int elapsed_days, Rng& rng);
+
+  /// Produces the observed SMART vector for `day` (quantization, measurement
+  /// noise, seasonal temperature drift when `enable_drift`).
+  static std::array<float, kNumSmartAttrs> observe(const SmartState& state,
+                                                   const DriveHardware& hw,
+                                                   const DriveOutcome& outcome,
+                                                   DayIndex day,
+                                                   bool enable_drift, Rng& rng);
+};
+
+}  // namespace mfpa::sim

@@ -1,0 +1,48 @@
+// Telemetry record types emitted by the fleet simulator: one DailyRecord per
+// drive per *observed* day (consumer machines are not always on, so the
+// record sequence per drive is irregular — the discontinuity the MFPA
+// pipeline must repair).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/date.hpp"
+#include "sim/catalog.hpp"
+
+namespace mfpa::sim {
+
+/// One observation of one drive on one day. Values are "as uploaded by the
+/// telemetry agent": SMART is the device health log, W/B are the counts of
+/// matching Windows events / blue screens logged that day.
+struct DailyRecord {
+  DayIndex day = 0;
+  std::array<float, kNumSmartAttrs> smart{};        ///< Table II values
+  std::uint8_t firmware_index = 0;                  ///< index into vendor FW list
+  std::array<std::uint16_t, kNumWindowsEvents> w{}; ///< per-event daily counts
+  std::array<std::uint16_t, kNumBsodCodes> b{};     ///< per-code daily counts
+};
+
+/// The full observed time series of one drive plus its identity.
+struct DriveTimeSeries {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;                 ///< vendor index into vendor_catalog()
+  int model = 0;                  ///< model index into VendorConfig::models
+  bool failed = false;            ///< failed within the simulation horizon
+  DayIndex failure_day = -1;      ///< actual failure day (valid when failed)
+  std::vector<DailyRecord> records;  ///< strictly increasing by day
+};
+
+/// A RaSRF trouble ticket (paper Fig. 7): the after-sales record of a failed
+/// drive. `imt` (initial maintenance time) trails the actual failure day by
+/// the user's repair delay, which is why the pipeline must re-identify the
+/// failure timestamp.
+struct TroubleTicket {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  DayIndex imt = 0;               ///< initial maintenance time
+  TicketCategory category = TicketCategory::kStorageDriveFailure;
+};
+
+}  // namespace mfpa::sim

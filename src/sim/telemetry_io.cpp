@@ -1,0 +1,161 @@
+#include "sim/telemetry_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/csv.hpp"
+#include "common/string_util.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+std::string category_name(TicketCategory c) {
+  return ticket_category_info(c).description;
+}
+
+TicketCategory category_from_name(const std::string& name) {
+  for (const auto& info : ticket_categories()) {
+    if (info.description == name) return info.category;
+  }
+  throw std::runtime_error("telemetry_io: unknown ticket category '" + name +
+                           "'");
+}
+
+}  // namespace
+
+std::vector<std::string> telemetry_csv_header() {
+  std::vector<std::string> header{"sn",    "vendor",   "model",
+                                  "day",   "failed",   "failure_day",
+                                  "firmware_index"};
+  for (const auto& name : smart_attr_names()) header.push_back(name);
+  for (const auto& e : windows_event_types()) header.push_back(e.name);
+  for (const auto& b : bsod_code_types()) header.push_back(b.name);
+  return header;
+}
+
+void write_telemetry_csv(std::ostream& os,
+                         const std::vector<DriveTimeSeries>& batch) {
+  csv::write_row(os, telemetry_csv_header());
+  std::vector<std::string> row;
+  for (const auto& series : batch) {
+    for (const auto& rec : series.records) {
+      row.clear();
+      row.push_back(std::to_string(series.drive_id));
+      row.push_back(std::to_string(series.vendor));
+      row.push_back(std::to_string(series.model));
+      row.push_back(std::to_string(rec.day));
+      row.push_back(series.failed ? "1" : "0");
+      row.push_back(std::to_string(series.failure_day));
+      row.push_back(std::to_string(static_cast<int>(rec.firmware_index)));
+      for (float v : rec.smart) row.push_back(format_double(v, 6));
+      for (auto v : rec.w) row.push_back(std::to_string(v));
+      for (auto v : rec.b) row.push_back(std::to_string(v));
+      csv::write_row(os, row);
+    }
+  }
+}
+
+std::vector<DriveTimeSeries> read_telemetry_csv(std::istream& is) {
+  const csv::Document doc = csv::read(is);
+  const auto expected = telemetry_csv_header();
+  if (doc.header != expected) {
+    throw std::runtime_error("telemetry_io: unexpected telemetry header");
+  }
+  constexpr std::size_t kFixed = 7;
+  const std::size_t arity =
+      kFixed + kNumSmartAttrs + kNumWindowsEvents + kNumBsodCodes;
+
+  std::map<std::uint64_t, DriveTimeSeries> by_drive;
+  for (const auto& row : doc.rows) {
+    if (row.size() != arity) {
+      throw std::runtime_error("telemetry_io: row arity mismatch");
+    }
+    const std::uint64_t sn = std::stoull(row[0]);
+    DriveTimeSeries& series = by_drive[sn];
+    series.drive_id = sn;
+    series.vendor = std::stoi(row[1]);
+    series.model = std::stoi(row[2]);
+    series.failed = row[4] == "1";
+    series.failure_day = std::stoi(row[5]);
+
+    DailyRecord rec;
+    rec.day = std::stoi(row[3]);
+    rec.firmware_index = static_cast<std::uint8_t>(std::stoi(row[6]));
+    std::size_t col = kFixed;
+    for (auto& v : rec.smart) v = std::stof(row[col++]);
+    for (auto& v : rec.w) v = static_cast<std::uint16_t>(std::stoi(row[col++]));
+    for (auto& v : rec.b) v = static_cast<std::uint16_t>(std::stoi(row[col++]));
+    series.records.push_back(rec);
+  }
+  std::vector<DriveTimeSeries> out;
+  out.reserve(by_drive.size());
+  for (auto& [sn, series] : by_drive) {
+    std::sort(series.records.begin(), series.records.end(),
+              [](const DailyRecord& a, const DailyRecord& b) {
+                return a.day < b.day;
+              });
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+void write_tickets_csv(std::ostream& os,
+                       const std::vector<TroubleTicket>& tickets) {
+  csv::write_row(os, {"sn", "vendor", "imt", "category"});
+  for (const auto& t : tickets) {
+    csv::write_row(os, {std::to_string(t.drive_id), std::to_string(t.vendor),
+                        std::to_string(t.imt), category_name(t.category)});
+  }
+}
+
+std::vector<TroubleTicket> read_tickets_csv(std::istream& is) {
+  const csv::Document doc = csv::read(is);
+  if (doc.header != std::vector<std::string>{"sn", "vendor", "imt", "category"}) {
+    throw std::runtime_error("telemetry_io: unexpected ticket header");
+  }
+  std::vector<TroubleTicket> out;
+  out.reserve(doc.rows.size());
+  for (const auto& row : doc.rows) {
+    if (row.size() != 4) {
+      throw std::runtime_error("telemetry_io: ticket row arity mismatch");
+    }
+    TroubleTicket t;
+    t.drive_id = std::stoull(row[0]);
+    t.vendor = std::stoi(row[1]);
+    t.imt = std::stoi(row[2]);
+    t.category = category_from_name(row[3]);
+    out.push_back(t);
+  }
+  return out;
+}
+
+void write_telemetry_file(const std::string& path,
+                          const std::vector<DriveTimeSeries>& batch) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
+  write_telemetry_csv(f, batch);
+}
+
+std::vector<DriveTimeSeries> read_telemetry_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
+  return read_telemetry_csv(f);
+}
+
+void write_tickets_file(const std::string& path,
+                        const std::vector<TroubleTicket>& tickets) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
+  write_tickets_csv(f, tickets);
+}
+
+std::vector<TroubleTicket> read_tickets_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
+  return read_tickets_csv(f);
+}
+
+}  // namespace mfpa::sim

@@ -1,0 +1,52 @@
+// Telemetry data-quality validation — the ingestion guard in front of the
+// pipeline. Production telemetry arrives from millions of heterogeneous
+// client agents; before training on a batch you want to know how
+// discontinuous it is, whether counters run backwards (agent bugs, clock
+// resets), and whether values sit in physically sensible ranges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/telemetry.hpp"
+
+namespace mfpa::sim {
+
+/// One detected problem.
+struct ValidationIssue {
+  enum class Kind {
+    kNonMonotonicDays,      ///< records not strictly increasing by day
+    kCounterRegression,     ///< a monotone SMART counter decreased
+    kValueOutOfRange,       ///< spare/temperature/etc. outside sane bounds
+    kFirmwareDowngrade,     ///< firmware index decreased
+    kEmptySeries,           ///< drive with no records
+    kDuplicateDrive,        ///< drive id appears in two series
+  };
+  Kind kind;
+  std::uint64_t drive_id = 0;
+  DayIndex day = 0;
+  std::string detail;
+};
+
+const char* validation_issue_name(ValidationIssue::Kind kind) noexcept;
+
+/// Batch summary + the first `max_issues` concrete findings.
+struct ValidationReport {
+  std::size_t drives = 0;
+  std::size_t records = 0;
+  std::size_t issues_total = 0;
+  std::vector<ValidationIssue> issues;   ///< capped sample
+  // Discontinuity profile (per-drive adjacent-record gaps).
+  std::size_t gaps_short = 0;   ///< 2..3 days (fillable)
+  std::size_t gaps_medium = 0;  ///< 4..9 days
+  std::size_t gaps_long = 0;    ///< >= 10 days (segment cuts)
+
+  bool clean() const noexcept { return issues_total == 0; }
+};
+
+/// Validates a telemetry batch. Monotone counters checked: power-on hours,
+/// power cycles, data units read/written, media errors, error-log entries.
+ValidationReport validate_telemetry(const std::vector<DriveTimeSeries>& batch,
+                                    std::size_t max_issues = 50);
+
+}  // namespace mfpa::sim

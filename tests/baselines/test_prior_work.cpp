@@ -1,0 +1,67 @@
+#include "baselines/prior_work.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::baselines {
+namespace {
+
+TEST(PriorWork, ListsFiveProxiesPlusMfpa) {
+  const auto models = prior_work_models(0, 42);
+  EXPECT_EQ(models.size(), 6u);
+  EXPECT_EQ(models.back().label, "MFPA (ours)");
+}
+
+TEST(PriorWork, MfpaUsesFullSfwbAndTheta) {
+  const auto models = prior_work_models(0, 42);
+  const auto& mfpa = models.back().config;
+  EXPECT_EQ(mfpa.group, core::FeatureGroup::kSFWB);
+  EXPECT_EQ(mfpa.algorithm, "RF");
+  EXPECT_EQ(mfpa.theta, 7);
+}
+
+TEST(PriorWork, ProxiesUseNarrowerFeatures) {
+  for (const auto& m : prior_work_models(0, 42)) {
+    if (m.label == "MFPA (ours)") continue;
+    EXPECT_NE(m.config.group, core::FeatureGroup::kSFWB) << m.label;
+  }
+}
+
+TEST(PriorWork, AllModelsShareMfpaLabeling) {
+  // The comparison isolates features + algorithm; labeling and segmentation
+  // are held at the MFPA defaults for every entry.
+  for (const auto& m : prior_work_models(0, 42)) {
+    EXPECT_EQ(m.config.theta, 7) << m.label;
+    EXPECT_TRUE(m.config.time_split) << m.label;
+  }
+}
+
+TEST(PriorWork, TransferProxyPoolsVendors) {
+  const auto models = prior_work_models(2, 42);
+  bool found = false;
+  for (const auto& m : models) {
+    if (m.label.find("TPDS'20") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(m.config.vendor, -1);  // pooled fleet
+    } else if (m.label.find("MFPA") != std::string::npos ||
+               m.label.find("SoCC'20") != std::string::npos) {
+      EXPECT_EQ(m.config.vendor, 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PriorWork, SeedPropagated) {
+  for (const auto& m : prior_work_models(0, 1234)) {
+    EXPECT_EQ(m.config.seed, 1234u) << m.label;
+  }
+}
+
+TEST(PriorWork, DescriptionsNonEmpty) {
+  for (const auto& m : prior_work_models(0, 1)) {
+    EXPECT_FALSE(m.description.empty());
+    EXPECT_FALSE(m.label.empty());
+  }
+}
+
+}  // namespace
+}  // namespace mfpa::baselines

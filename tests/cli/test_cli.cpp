@@ -1,0 +1,202 @@
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace mfpa::cli {
+namespace {
+
+TEST(CommandLineParse, VerbAndOptions) {
+  const auto cmd = parse_command_line(
+      {"train", "--telemetry=t.csv", "--vendor=2", "--report"});
+  EXPECT_EQ(cmd.command, "train");
+  EXPECT_EQ(cmd.get("telemetry"), "t.csv");
+  EXPECT_DOUBLE_EQ(cmd.get_number("vendor", -1), 2.0);
+  EXPECT_TRUE(cmd.has("report"));
+  EXPECT_FALSE(cmd.has("model"));
+}
+
+TEST(CommandLineParse, EmptyThrows) {
+  EXPECT_THROW(parse_command_line({}), std::invalid_argument);
+}
+
+TEST(CommandLineParse, BarePositionalRejected) {
+  EXPECT_THROW(parse_command_line({"train", "stray"}), std::invalid_argument);
+}
+
+TEST(CommandLineParse, ValueWithEquals) {
+  const auto cmd = parse_command_line({"x", "--path=a=b"});
+  EXPECT_EQ(cmd.get("path"), "a=b");
+}
+
+TEST(CommandLineAccessors, Defaults) {
+  const auto cmd = parse_command_line({"x"});
+  EXPECT_EQ(cmd.get("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(cmd.get_number("missing", 3.5), 3.5);
+  EXPECT_THROW(cmd.require("missing"), std::invalid_argument);
+}
+
+TEST(CommandLineAccessors, MalformedNumberThrows) {
+  const auto cmd = parse_command_line({"x", "--n=abc", "--m=1.5x"});
+  EXPECT_THROW(cmd.get_number("n", 0), std::invalid_argument);
+  EXPECT_THROW(cmd.get_number("m", 0), std::invalid_argument);
+}
+
+TEST(RunCommand, HelpPrintsUsage) {
+  std::ostringstream out, err;
+  const int rc = run_command(parse_command_line({"help"}), out, err);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.str().find("simulate"), std::string::npos);
+  EXPECT_NE(out.str().find("predict"), std::string::npos);
+}
+
+TEST(RunCommand, UnknownCommandFails) {
+  std::ostringstream out, err;
+  const int rc = run_command(parse_command_line({"frobnicate"}), out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.str().find("unknown command"), std::string::npos);
+}
+
+TEST(RunCommand, MissingRequiredOptionIsUserError) {
+  std::ostringstream out, err;
+  const int rc = run_command(parse_command_line({"simulate"}), out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.str().find("--telemetry"), std::string::npos);
+}
+
+TEST(RunCommand, MissingFileIsRuntimeFailure) {
+  std::ostringstream out, err;
+  const int rc = run_command(
+      parse_command_line({"info", "--model=/nonexistent/m.txt"}), out, err);
+  EXPECT_EQ(rc, 2);
+}
+
+TEST(RunCommand, FullWorkflowSimulateTrainPredictInfo) {
+  const std::string dir = ::testing::TempDir();
+  const std::string telemetry = dir + "/mfpa_cli_t.csv";
+  const std::string tickets = dir + "/mfpa_cli_k.csv";
+  const std::string model = dir + "/mfpa_cli_m.txt";
+
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line({"simulate",
+                                            "--telemetry=" + telemetry,
+                                            "--tickets=" + tickets,
+                                            "--scenario=tiny", "--seed=6"}),
+                        out, err),
+            0)
+      << err.str();
+
+  out.str("");
+  ASSERT_EQ(run_command(parse_command_line(
+                            {"train", "--telemetry=" + telemetry,
+                             "--tickets=" + tickets, "--model=" + model,
+                             "--report", "--algorithm=DT", "--seed=6"}),
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("TPR"), std::string::npos);
+
+  out.str("");
+  ASSERT_EQ(run_command(parse_command_line({"predict",
+                                            "--telemetry=" + telemetry,
+                                            "--model=" + model, "--top=3"}),
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("risk score"), std::string::npos);
+
+  out.str("");
+  ASSERT_EQ(run_command(parse_command_line({"info", "--model=" + model}), out,
+                        err),
+            0);
+  EXPECT_NE(out.str().find("algorithm: DT"), std::string::npos);
+
+  std::remove(telemetry.c_str());
+  std::remove(tickets.c_str());
+  std::remove(model.c_str());
+}
+
+TEST(RunCommand, EvaluateReportsDriveLevelMetrics) {
+  const std::string dir = ::testing::TempDir();
+  const std::string telemetry = dir + "/mfpa_cli_e.csv";
+  const std::string tickets = dir + "/mfpa_cli_ek.csv";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line({"simulate",
+                                            "--telemetry=" + telemetry,
+                                            "--tickets=" + tickets,
+                                            "--scenario=tiny", "--seed=6"}),
+                        out, err),
+            0);
+  out.str("");
+  ASSERT_EQ(run_command(parse_command_line(
+                            {"evaluate", "--telemetry=" + telemetry,
+                             "--tickets=" + tickets, "--algorithm=DT",
+                             "--seed=6"}),
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("drive-level"), std::string::npos);
+  EXPECT_NE(out.str().find("AUC"), std::string::npos);
+  std::remove(telemetry.c_str());
+  std::remove(tickets.c_str());
+}
+
+TEST(RunCommand, TrainRejectsUnknownGroup) {
+  std::ostringstream out, err;
+  const int rc = run_command(
+      parse_command_line({"train", "--telemetry=a", "--tickets=b",
+                          "--model=c", "--group=NOPE"}),
+      out, err);
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(Usage, MentionsEveryCommand) {
+  const std::string text = usage();
+  for (const char* cmd :
+       {"simulate", "train", "evaluate", "predict", "validate", "info"}) {
+    EXPECT_NE(text.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(RunCommand, ValidateCleanSimulatedBatch) {
+  const std::string dir = ::testing::TempDir();
+  const std::string telemetry = dir + "/mfpa_cli_v.csv";
+  const std::string tickets = dir + "/mfpa_cli_vk.csv";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line({"simulate",
+                                            "--telemetry=" + telemetry,
+                                            "--tickets=" + tickets,
+                                            "--scenario=tiny", "--seed=8"}),
+                        out, err),
+            0);
+  out.str("");
+  EXPECT_EQ(run_command(
+                parse_command_line({"validate", "--telemetry=" + telemetry}),
+                out, err),
+            0);
+  EXPECT_NE(out.str().find("batch is clean"), std::string::npos);
+  std::remove(telemetry.c_str());
+  std::remove(tickets.c_str());
+}
+
+TEST(RunCommand, SimulateScaleOverride) {
+  const std::string dir = ::testing::TempDir();
+  const std::string telemetry = dir + "/mfpa_cli_s.csv";
+  const std::string tickets = dir + "/mfpa_cli_sk.csv";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line(
+                            {"simulate", "--telemetry=" + telemetry,
+                             "--tickets=" + tickets, "--scenario=tiny",
+                             "--seed=8", "--scale=0.002", "--no-drift"}),
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("wrote"), std::string::npos);
+  std::remove(telemetry.c_str());
+  std::remove(tickets.c_str());
+}
+
+}  // namespace
+}  // namespace mfpa::cli

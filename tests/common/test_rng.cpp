@@ -1,0 +1,289 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace mfpa {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, CopyContinuesIndependently) {
+  Rng a(5);
+  a.next_u64();
+  Rng b = a;
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  a.next_u64();  // advance only a
+  Rng c = a;
+  EXPECT_EQ(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 8.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 8.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six values hit
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  double sum = 0.0, sumsq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(41);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(0.5);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.06);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(47);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.poisson(2.5);
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesApproximation) {
+  Rng rng(53);
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const int x = rng.poisson(100.0);
+    EXPECT_GE(x, 0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 1.0);
+}
+
+TEST(Rng, GeometricMean) {
+  Rng rng(59);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.geometric(0.25);
+  // Mean failures before success = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kN, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricPOneIsZero) {
+  Rng rng(61);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.geometric(1.0), 0);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng rng(67);
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.weibull(1.0, 5.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.15);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(71);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 60000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.categorical({1.0, 2.0, 1.0})];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.50, 0.01);
+}
+
+TEST(Rng, CategoricalIgnoresNegativeWeights) {
+  Rng rng(73);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.categorical({-5.0, 1.0, -2.0}), 1u);
+  }
+}
+
+TEST(Rng, CategoricalAllZeroReturnsFirst) {
+  Rng rng(79);
+  EXPECT_EQ(rng.categorical({0.0, 0.0}), 0u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(83);
+  const auto p = rng.permutation(100);
+  ASSERT_EQ(p.size(), 100u);
+  std::vector<std::size_t> sorted = p;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, PermutationEmpty) {
+  Rng rng(89);
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(97);
+  const auto s = rng.sample_without_replacement(50, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t v : s) EXPECT_LT(v, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng(101);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SplitStreamsAreIndependentOfParentDraws) {
+  Rng a(5);
+  const Rng child1 = a.split(9);
+  Rng b(5);
+  const Rng child2 = b.split(9);
+  Rng c1 = child1, c2 = child2;
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(c1.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, SplitDifferentStreamsDiffer) {
+  const Rng parent(5);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(103);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ChoiceReturnsMember) {
+  Rng rng(107);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int c = rng.choice(v);
+    EXPECT_TRUE(c == 10 || c == 20 || c == 30);
+  }
+}
+
+// Distribution sweep: lognormal medians for several (mu, sigma).
+class LognormalSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LognormalSweep, MedianMatchesExpMu) {
+  const auto [mu, sigma] = GetParam();
+  Rng rng(1234);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(mu, sigma);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], std::exp(mu), std::exp(mu) * 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(Moments, LognormalSweep,
+                         ::testing::Values(std::pair{0.0, 0.5},
+                                           std::pair{1.0, 0.25},
+                                           std::pair{2.0, 1.0}));
+
+}  // namespace
+}  // namespace mfpa

@@ -1,0 +1,112 @@
+#include "core/availability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::core {
+namespace {
+
+TEST(Availability, PlannedWhenWarnedEarly) {
+  FailureDays failures{{1, 100}};
+  const std::vector<FirstAlert> alerts{{1, 90}};
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.planned, 1u);
+  EXPECT_EQ(out.rushed, 0u);
+  EXPECT_EQ(out.missed, 0u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours, AvailabilityParams{}.planned_swap_hours);
+  EXPECT_DOUBLE_EQ(out.expected_data_loss_events, 0.0);
+}
+
+TEST(Availability, RushedWhenWarnedLate) {
+  FailureDays failures{{1, 100}};
+  const std::vector<FirstAlert> alerts{{1, 99}};  // 1 day < required 2
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.rushed, 1u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours, AvailabilityParams{}.rushed_swap_hours);
+}
+
+TEST(Availability, ExactLeadBoundaryIsPlanned) {
+  FailureDays failures{{1, 100}};
+  const std::vector<FirstAlert> alerts{{1, 98}};  // exactly 2 days
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.planned, 1u);
+}
+
+TEST(Availability, MissedWithoutAlert) {
+  FailureDays failures{{1, 100}};
+  const auto out = evaluate_availability({}, failures);
+  EXPECT_EQ(out.missed, 1u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours,
+                   AvailabilityParams{}.unplanned_outage_hours);
+  EXPECT_DOUBLE_EQ(out.expected_data_loss_events,
+                   AvailabilityParams{}.data_loss_probability);
+}
+
+TEST(Availability, AlertAfterFailureIsNoWarning) {
+  FailureDays failures{{1, 100}};
+  const std::vector<FirstAlert> alerts{{1, 105}};
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.missed, 1u);
+}
+
+TEST(Availability, FalseAlarmOnHealthyDrive) {
+  FailureDays failures;
+  const std::vector<FirstAlert> alerts{{7, 50}};
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours, AvailabilityParams{}.false_alarm_hours);
+}
+
+TEST(Availability, EarliestAlertWins) {
+  FailureDays failures{{1, 100}};
+  const std::vector<FirstAlert> alerts{{1, 99}, {1, 80}};
+  const auto out = evaluate_availability(alerts, failures);
+  EXPECT_EQ(out.planned, 1u);  // the day-80 alert gives plenty of lead
+}
+
+TEST(Availability, MixedFleetAccounting) {
+  FailureDays failures{{1, 100}, {2, 200}, {3, 300}};
+  const std::vector<FirstAlert> alerts{{1, 90}, {2, 199}, {9, 50}};
+  AvailabilityParams params;
+  const auto out = evaluate_availability(alerts, failures, params);
+  EXPECT_EQ(out.failures, 3u);
+  EXPECT_EQ(out.planned, 1u);
+  EXPECT_EQ(out.rushed, 1u);
+  EXPECT_EQ(out.missed, 1u);
+  EXPECT_EQ(out.false_alarms, 1u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours,
+                   params.planned_swap_hours + params.rushed_swap_hours +
+                       params.unplanned_outage_hours + params.false_alarm_hours);
+}
+
+TEST(Availability, ReactiveBaselineAllMissed) {
+  const auto out = reactive_baseline(10);
+  EXPECT_EQ(out.failures, 10u);
+  EXPECT_EQ(out.missed, 10u);
+  EXPECT_DOUBLE_EQ(out.downtime_hours,
+                   10 * AvailabilityParams{}.unplanned_outage_hours);
+}
+
+TEST(Availability, ProactiveBeatsReactiveWhenWellPredicted) {
+  FailureDays failures;
+  std::vector<FirstAlert> alerts;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    failures[i] = static_cast<DayIndex>(100 + i);
+    if (i < 18) alerts.push_back({i, static_cast<DayIndex>(90 + i)});
+  }
+  const auto proactive = evaluate_availability(alerts, failures);
+  const auto reactive = reactive_baseline(failures.size());
+  EXPECT_LT(proactive.downtime_hours, reactive.downtime_hours / 5.0);
+  EXPECT_LT(proactive.expected_data_loss_events,
+            reactive.expected_data_loss_events);
+}
+
+TEST(Availability, DowntimePerFailure) {
+  const auto out = reactive_baseline(4);
+  EXPECT_DOUBLE_EQ(out.downtime_per_failure(),
+                   AvailabilityParams{}.unplanned_outage_hours);
+  AvailabilityOutcome empty;
+  EXPECT_DOUBLE_EQ(empty.downtime_per_failure(), 0.0);
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,126 @@
+#include "core/failure_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::core {
+namespace {
+
+ProcessedDrive drive_with_records(const std::vector<DayIndex>& days,
+                                  std::uint64_t id = 1) {
+  ProcessedDrive d;
+  d.drive_id = id;
+  for (DayIndex day : days) {
+    ProcessedRecord r;
+    r.day = day;
+    d.records.push_back(r);
+  }
+  return d;
+}
+
+sim::TroubleTicket ticket(std::uint64_t id, DayIndex imt) {
+  sim::TroubleTicket t;
+  t.drive_id = id;
+  t.imt = imt;
+  return t;
+}
+
+TEST(FailureTime, AnchorsToRecordWithinTheta) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({10, 20, 30});
+  // IMT 5 days after the last record: ti = 5 <= 7 -> anchor to day 30.
+  const auto out = identifier.identify(ticket(1, 35), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 30);
+  EXPECT_TRUE(out->anchored_to_record);
+}
+
+TEST(FailureTime, ExactlyThetaStillAnchors) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({10});
+  const auto out = identifier.identify(ticket(1, 17), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 10);
+  EXPECT_TRUE(out->anchored_to_record);
+}
+
+TEST(FailureTime, FallsBackToImtMinusTheta) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({10});
+  // ti = 30 - 10 = 20 > 7 -> label IMT - theta = 23.
+  const auto out = identifier.identify(ticket(1, 30), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 23);
+  EXPECT_FALSE(out->anchored_to_record);
+}
+
+TEST(FailureTime, PicksClosestRecordNotAfterImt) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({10, 20, 40});
+  // IMT 25: record 40 is after IMT and must be ignored; 20 is the anchor.
+  const auto out = identifier.identify(ticket(1, 25), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 20);
+}
+
+TEST(FailureTime, RecordOnImtDayAnchorsExactly) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({10, 25});
+  const auto out = identifier.identify(ticket(1, 25), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 25);
+  EXPECT_TRUE(out->anchored_to_record);
+}
+
+TEST(FailureTime, AllRecordsAfterImtFallsBack) {
+  const FailureTimeIdentifier identifier(7);
+  const auto drive = drive_with_records({50, 60});
+  const auto out = identifier.identify(ticket(1, 30), drive);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->labeled_failure_day, 23);
+  EXPECT_FALSE(out->anchored_to_record);
+}
+
+TEST(FailureTime, EmptyDriveYieldsNothing) {
+  const FailureTimeIdentifier identifier(7);
+  const ProcessedDrive empty;
+  EXPECT_FALSE(identifier.identify(ticket(1, 30), empty).has_value());
+}
+
+TEST(FailureTime, ThetaZeroLabelsAtImtUnlessSameDayRecord) {
+  const FailureTimeIdentifier identifier(0);
+  const auto drive = drive_with_records({10});
+  const auto late = identifier.identify(ticket(1, 15), drive);
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(late->labeled_failure_day, 15);  // IMT - 0
+  const auto same_day = identifier.identify(ticket(1, 10), drive);
+  ASSERT_TRUE(same_day.has_value());
+  EXPECT_EQ(same_day->labeled_failure_day, 10);
+  EXPECT_TRUE(same_day->anchored_to_record);
+}
+
+TEST(FailureTime, IdentifyAllSkipsUntrackedDrives) {
+  const FailureTimeIdentifier identifier(7);
+  std::vector<ProcessedDrive> drives;
+  drives.push_back(drive_with_records({10, 20}, 1));
+  drives.push_back(drive_with_records({15, 25}, 2));
+  const std::vector<sim::TroubleTicket> tickets{
+      ticket(1, 22), ticket(2, 27), ticket(999, 30)};
+  const auto out = identifier.identify_all(tickets, drives);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.at(1).labeled_failure_day, 20);
+  EXPECT_EQ(out.at(2).labeled_failure_day, 25);
+  EXPECT_FALSE(out.contains(999));
+}
+
+TEST(FailureTime, LargerThetaAnchorsMoreDrives) {
+  std::vector<ProcessedDrive> drives;
+  drives.push_back(drive_with_records({10}, 1));  // ti = 12
+  const std::vector<sim::TroubleTicket> tickets{ticket(1, 22)};
+  const auto narrow = FailureTimeIdentifier(7).identify_all(tickets, drives);
+  const auto wide = FailureTimeIdentifier(14).identify_all(tickets, drives);
+  EXPECT_FALSE(narrow.at(1).anchored_to_record);
+  EXPECT_TRUE(wide.at(1).anchored_to_record);
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,120 @@
+#include "core/health_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mfpa::core {
+namespace {
+
+/// Reference dataset: healthy rows near baseline; feature names real.
+data::Dataset make_reference(std::size_t n_healthy, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.feature_names = {"S_3", "S_14", "W_11", "B_50"};
+  for (std::size_t i = 0; i < n_healthy; ++i) {
+    ds.add(std::vector<double>{100.0 + rng.normal(0.0, 1.0),  // spare
+                               rng.normal(2.0, 1.0),          // media errors
+                               rng.normal(0.5, 0.3),          // W_11 cum
+                               rng.normal(0.2, 0.2)},         // B_50 cum
+           0, {i, static_cast<DayIndex>(i), 0});
+  }
+  return ds;
+}
+
+TEST(HealthExplainer, RequiresHealthyRows) {
+  HealthExplainer explainer;
+  data::Dataset tiny = make_reference(3, 1);
+  EXPECT_THROW(explainer.fit(tiny), std::invalid_argument);
+}
+
+TEST(HealthExplainer, RequiresFeatureNames) {
+  HealthExplainer explainer;
+  data::Dataset ds = make_reference(20, 2);
+  ds.feature_names.clear();
+  EXPECT_THROW(explainer.fit(ds), std::invalid_argument);
+}
+
+TEST(HealthExplainer, ExplainBeforeFitThrows) {
+  HealthExplainer explainer;
+  EXPECT_THROW(explainer.explain(std::vector<double>{1.0}, 1, 1, 0.9),
+               std::logic_error);
+}
+
+TEST(HealthExplainer, FlagsElevatedCounters) {
+  HealthExplainer explainer;
+  explainer.fit(make_reference(100, 3));
+  // Drive with exploding media errors and controller events.
+  const std::vector<double> sick{99.0, 80.0, 12.0, 0.2};
+  const auto report = explainer.explain(sick, 42, 100, 0.97);
+  ASSERT_GE(report.findings.size(), 2u);
+  EXPECT_EQ(report.findings[0].feature, "S_14");  // most anomalous
+  EXPECT_GT(report.findings[0].severity, 10.0);
+  // W_11 also present.
+  bool has_w11 = false;
+  for (const auto& f : report.findings) has_w11 |= f.feature == "W_11";
+  EXPECT_TRUE(has_w11);
+}
+
+TEST(HealthExplainer, HealthyDriveHasNoFindings) {
+  HealthExplainer explainer;
+  explainer.fit(make_reference(100, 4));
+  const std::vector<double> fine{100.0, 2.0, 0.5, 0.2};
+  const auto report = explainer.explain(fine, 7, 50, 0.05);
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(HealthExplainer, SpareDepletionInverted) {
+  HealthExplainer explainer;
+  explainer.fit(make_reference(100, 5));
+  // Spare collapsed; everything else nominal.
+  const std::vector<double> depleted{40.0, 2.0, 0.5, 0.2};
+  const auto report = explainer.explain(depleted, 9, 60, 0.8);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings[0].feature, "S_3");
+}
+
+TEST(HealthExplainer, TopKLimitsFindings) {
+  HealthExplainer explainer;
+  explainer.fit(make_reference(100, 6));
+  const std::vector<double> bad{0.0, 500.0, 50.0, 20.0};
+  const auto report = explainer.explain(bad, 1, 1, 1.0, /*top_k=*/2);
+  EXPECT_EQ(report.findings.size(), 2u);
+}
+
+TEST(HealthExplainer, ArityMismatchThrows) {
+  HealthExplainer explainer;
+  explainer.fit(make_reference(50, 7));
+  EXPECT_THROW(explainer.explain(std::vector<double>{1.0}, 1, 1, 0.5),
+               std::invalid_argument);
+}
+
+TEST(HealthReport, RendersReadably) {
+  HealthReport report;
+  report.drive_id = 10000001;
+  report.day = 365;
+  report.risk_score = 0.93;
+  report.findings.push_back(
+      {"S_14", "Media and Data Integrity Errors", 77.0, 2.0, 30.0});
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("10000001"), std::string::npos);
+  EXPECT_NE(text.find("2022-01-01"), std::string::npos);
+  EXPECT_NE(text.find("S_14"), std::string::npos);
+  EXPECT_NE(text.find("Media and Data"), std::string::npos);
+}
+
+TEST(HealthReport, EmptyFindingsMessage) {
+  HealthReport report;
+  EXPECT_NE(report.to_string().find("no single feature"), std::string::npos);
+}
+
+TEST(DescribeFeature, CoversAllFamilies) {
+  EXPECT_EQ(describe_feature("S_12"), "Power On Hours");
+  EXPECT_EQ(describe_feature("F"), "FirmwareVersion (label-encoded)");
+  EXPECT_EQ(describe_feature("W_7"), "The device has a bad block");
+  EXPECT_EQ(describe_feature("B_7B"), "INACCESSIBLE_BOOT_DEVICE");
+  EXPECT_EQ(describe_feature("unknown_thing"), "unknown_thing");
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,251 @@
+#include "core/mfpa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hpp"
+
+namespace mfpa::core {
+namespace {
+
+/// Shared small-scenario fixture: simulating once keeps the suite fast.
+class MfpaPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::FleetSimulator fleet(sim::small_scenario(11));
+    telemetry_ = new std::vector<sim::DriveTimeSeries>(fleet.generate_telemetry());
+    tickets_ = new std::vector<sim::TroubleTicket>(fleet.tickets());
+  }
+  static void TearDownTestSuite() {
+    delete telemetry_;
+    delete tickets_;
+    telemetry_ = nullptr;
+    tickets_ = nullptr;
+  }
+  static std::vector<sim::DriveTimeSeries>* telemetry_;
+  static std::vector<sim::TroubleTicket>* tickets_;
+};
+
+std::vector<sim::DriveTimeSeries>* MfpaPipelineTest::telemetry_ = nullptr;
+std::vector<sim::TroubleTicket>* MfpaPipelineTest::tickets_ = nullptr;
+
+TEST_F(MfpaPipelineTest, RunProducesSaneReport) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_GT(report.train_size, 0u);
+  EXPECT_GT(report.test_size, 0u);
+  EXPECT_GT(report.test_positives, 0u);
+  EXPECT_EQ(report.test_scores.size(), report.test_size);
+  EXPECT_EQ(report.test_labels.size(), report.test_size);
+  EXPECT_EQ(report.test_meta.size(), report.test_size);
+  EXPECT_GE(report.auc, 0.5);
+  EXPECT_LE(report.auc, 1.0);
+  EXPECT_GT(report.cm.tpr(), 0.5);   // small scenario: loose bound
+  EXPECT_LT(report.cm.fpr(), 0.25);
+  EXPECT_TRUE(pipeline.trained());
+}
+
+TEST_F(MfpaPipelineTest, TimeSplitHasNoFutureInTraining) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  for (const auto& m : report.test_meta) {
+    EXPECT_GT(m.day, report.split_day);
+  }
+}
+
+TEST_F(MfpaPipelineTest, StagesCoverWholePipeline) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  std::vector<std::string> names;
+  for (const auto& s : report.stages) names.push_back(s.name);
+  for (const char* expected :
+       {"preprocess", "failure_labeling", "feature_engineering",
+        "segmentation", "training", "threshold_selection", "prediction"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  for (const auto& s : report.stages) EXPECT_GE(s.seconds, 0.0);
+}
+
+TEST_F(MfpaPipelineTest, VendorFilterRestrictsDrives) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  for (const auto& m : report.test_meta) EXPECT_EQ(m.vendor, 0);
+}
+
+TEST_F(MfpaPipelineTest, DeterministicGivenSeed) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 17;
+  MfpaPipeline a(config), b(config);
+  const auto ra = a.run(*telemetry_, *tickets_);
+  const auto rb = b.run(*telemetry_, *tickets_);
+  EXPECT_EQ(ra.test_scores, rb.test_scores);
+  EXPECT_EQ(ra.cm.tp, rb.cm.tp);
+  EXPECT_EQ(ra.cm.fp, rb.cm.fp);
+}
+
+TEST_F(MfpaPipelineTest, FeatureGroupsAllRunnable) {
+  for (FeatureGroup g : all_feature_groups()) {
+    MfpaConfig config;
+    config.vendor = 0;
+    config.group = g;
+    config.seed = 11;
+    config.hyperparams = {{"n_trees", 15.0}};  // keep the sweep quick
+    MfpaPipeline pipeline(config);
+    const auto report = pipeline.run(*telemetry_, *tickets_);
+    EXPECT_GT(report.auc, 0.5) << feature_group_name(g);
+  }
+}
+
+TEST_F(MfpaPipelineTest, FixedThresholdHonored) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  config.decision_threshold = 0.9;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_DOUBLE_EQ(report.threshold, 0.9);
+}
+
+TEST_F(MfpaPipelineTest, TunedThresholdInRange) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  config.decision_threshold = -1.0;  // out-of-fold tuning
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_GT(report.threshold, 0.0);
+  EXPECT_LT(report.threshold, 1.0);
+}
+
+TEST_F(MfpaPipelineTest, RandomSplitModeRuns) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  config.time_split = false;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_GT(report.test_size, 0u);
+  // Random split mixes time: test samples on both sides of the split day.
+  bool before = false, after = false;
+  for (const auto& m : report.test_meta) {
+    (m.day <= report.split_day ? before : after) = true;
+  }
+  EXPECT_TRUE(before);
+  EXPECT_TRUE(after);
+}
+
+TEST_F(MfpaPipelineTest, ScoreRejectsBeforeRun) {
+  MfpaPipeline pipeline(MfpaConfig{});
+  data::Dataset ds;
+  EXPECT_THROW(pipeline.score(ds), std::logic_error);
+  EXPECT_THROW(pipeline.model(), std::logic_error);
+  EXPECT_THROW(pipeline.firmware_encoder(), std::logic_error);
+  EXPECT_THROW(pipeline.make_builder(), std::logic_error);
+}
+
+TEST_F(MfpaPipelineTest, InvalidTrainFractionRejected) {
+  MfpaConfig config;
+  config.train_fraction = 1.5;
+  EXPECT_THROW(MfpaPipeline{config}, std::invalid_argument);
+}
+
+TEST_F(MfpaPipelineTest, CnnLstmUsesSequences) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  config.algorithm = "CNN_LSTM";
+  config.seq_len = 3;
+  config.hyperparams = {{"epochs", 2.0}, {"channels", 4.0}, {"hidden", 6.0}};
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_GT(report.test_size, 0u);
+  EXPECT_GT(report.auc, 0.4);
+}
+
+TEST_F(MfpaPipelineTest, ImtLabelingViaThetaZeroDegradesLabels) {
+  // theta = 0 labels failures at the repair ticket instead of the last
+  // healthy observation; positive windows then cover post-mortem days with
+  // no records, so fewer positives are built.
+  MfpaConfig with_theta;
+  with_theta.vendor = 0;
+  with_theta.seed = 11;
+  MfpaConfig without;
+  without.vendor = 0;
+  without.seed = 11;
+  without.theta = 0;
+  MfpaPipeline a(with_theta), b(without);
+  const auto ra = a.run(*telemetry_, *tickets_);
+  const auto rb = b.run(*telemetry_, *tickets_);
+  EXPECT_GE(ra.train_positives + ra.test_positives,
+            rb.train_positives + rb.test_positives);
+}
+
+TEST_F(MfpaPipelineTest, DeltaFeaturesDoubleTheColumns) {
+  MfpaConfig config;
+  config.vendor = 0;
+  config.seed = 11;
+  config.include_deltas = true;
+  MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(*telemetry_, *tickets_);
+  EXPECT_GT(report.test_size, 0u);
+  EXPECT_GT(report.auc, 0.8);
+  const auto names = pipeline.make_builder().feature_names();
+  EXPECT_EQ(names.size(), 90u);  // 45 SFWB + 45 deltas
+  EXPECT_EQ(names[45], "d7_S_1");
+}
+
+TEST_F(MfpaPipelineTest, FprWeightRaisesTunedThreshold) {
+  MfpaConfig lenient;
+  lenient.vendor = 0;
+  lenient.seed = 11;
+  lenient.decision_threshold = -1.0;
+  lenient.fpr_weight = 1.0;
+  MfpaConfig strict = lenient;
+  strict.fpr_weight = 10.0;
+  MfpaPipeline a(lenient), b(strict);
+  const auto ra = a.run(*telemetry_, *tickets_);
+  const auto rb = b.run(*telemetry_, *tickets_);
+  EXPECT_GE(rb.threshold, ra.threshold);
+  EXPECT_LE(rb.cm.fpr(), ra.cm.fpr() + 1e-9);
+}
+
+TEST(MfpaPipeline, ThrowsWithoutUsableDrives) {
+  MfpaConfig config;
+  MfpaPipeline pipeline(config);
+  const std::vector<sim::DriveTimeSeries> empty_telemetry;
+  const std::vector<sim::TroubleTicket> no_tickets;
+  EXPECT_THROW(pipeline.run(empty_telemetry, no_tickets), std::runtime_error);
+}
+
+TEST(MfpaPipeline, ThrowsWithoutPositiveSamples) {
+  // Telemetry with healthy drives only and no tickets: the builder cannot
+  // produce positives and the pipeline must say so rather than train a
+  // degenerate model.
+  sim::FleetSimulator fleet(sim::tiny_scenario(99));
+  std::vector<sim::DriveTimeSeries> healthy_only;
+  for (const auto& s : fleet.generate_telemetry()) {
+    if (!s.failed) healthy_only.push_back(s);
+    if (healthy_only.size() >= 20) break;
+  }
+  ASSERT_GE(healthy_only.size(), 5u);
+  MfpaConfig config;
+  config.seed = 99;
+  MfpaPipeline pipeline(config);
+  EXPECT_THROW(pipeline.run(healthy_only, {}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,176 @@
+#include "core/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::core {
+namespace {
+
+/// Builds a raw series with records on the given days; SMART S_12 (power-on
+/// hours) is set to 10*day so interpolation is checkable, and every record
+/// logs exactly one W_7 event and one B_23 crash.
+sim::DriveTimeSeries series_on_days(const std::vector<DayIndex>& days,
+                                    int vendor = 0) {
+  sim::DriveTimeSeries s;
+  s.drive_id = 42;
+  s.vendor = vendor;
+  for (DayIndex d : days) {
+    sim::DailyRecord rec;
+    rec.day = d;
+    rec.smart[static_cast<std::size_t>(sim::SmartAttr::kPowerOnHours)] =
+        static_cast<float>(10 * d);
+    rec.firmware_index = 0;
+    rec.w[0] = 1;  // W_7
+    rec.b[0] = 1;  // B_23
+    s.records.push_back(rec);
+  }
+  return s;
+}
+
+TEST(Preprocess, ContiguousSeriesPassesThrough) {
+  const Preprocessor pre;
+  const auto out = pre.process_drive(series_on_days({10, 11, 12, 13}));
+  ASSERT_EQ(out.records.size(), 4u);
+  for (const auto& r : out.records) EXPECT_FALSE(r.synthetic);
+}
+
+TEST(Preprocess, CumulativeCountsAccumulate) {
+  const Preprocessor pre;
+  const auto out = pre.process_drive(series_on_days({10, 11, 12}));
+  EXPECT_DOUBLE_EQ(out.records[0].w_cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(out.records[1].w_cum[0], 2.0);
+  EXPECT_DOUBLE_EQ(out.records[2].w_cum[0], 3.0);
+  EXPECT_DOUBLE_EQ(out.records[2].b_cum[0], 3.0);
+}
+
+TEST(Preprocess, ShortGapFilledWithInterpolation) {
+  const Preprocessor pre;  // fill_gap = 3
+  const auto out = pre.process_drive(series_on_days({10, 13, 14}));
+  // Gap 10 -> 13 is 3 days: days 11 and 12 are synthesized.
+  ASSERT_EQ(out.records.size(), 5u);
+  EXPECT_EQ(out.records[1].day, 11);
+  EXPECT_TRUE(out.records[1].synthetic);
+  EXPECT_EQ(out.records[2].day, 12);
+  EXPECT_TRUE(out.records[2].synthetic);
+  // POH interpolates linearly between 100 and 130.
+  const std::size_t poh = static_cast<std::size_t>(sim::SmartAttr::kPowerOnHours);
+  EXPECT_NEAR(out.records[1].smart[poh], 110.0, 1e-9);
+  EXPECT_NEAR(out.records[2].smart[poh], 120.0, 1e-9);
+}
+
+TEST(Preprocess, FilledCumulativeIsMonotone) {
+  const Preprocessor pre;
+  const auto out = pre.process_drive(series_on_days({10, 13, 14, 16}));
+  for (std::size_t i = 1; i < out.records.size(); ++i) {
+    EXPECT_GE(out.records[i].w_cum[0], out.records[i - 1].w_cum[0]);
+    EXPECT_GE(out.records[i].b_cum[0], out.records[i - 1].b_cum[0]);
+  }
+}
+
+TEST(Preprocess, MediumGapKeptWithoutFill) {
+  const Preprocessor pre;  // fill only <= 3; drop at >= 10
+  const auto out = pre.process_drive(series_on_days({10, 16, 17}));
+  // Gap of 6 days: no fill, no cut.
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records[1].day, 16);
+  EXPECT_FALSE(out.records[1].synthetic);
+}
+
+TEST(Preprocess, LongGapCutsSegment) {
+  const Preprocessor pre;  // drop_gap = 10
+  // Segment 1: days 1,2 (too short, dropped); segment 2: days 30,31,32.
+  const auto out = pre.process_drive(series_on_days({1, 2, 30, 31, 32}));
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records.front().day, 30);
+  EXPECT_EQ(out.dropped_records, 2u);
+}
+
+TEST(Preprocess, OnlyMostRecentUsableSegmentKept) {
+  const Preprocessor pre;
+  const auto out =
+      pre.process_drive(series_on_days({1, 2, 3, 30, 31, 32}));
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records.front().day, 30);
+  EXPECT_EQ(out.dropped_records, 3u);
+}
+
+TEST(Preprocess, TrailingShortSegmentDropped) {
+  // A short burst of observations after a long gap (e.g. the user powering
+  // up a dying machine twice) is unusable; the earlier long segment wins.
+  const Preprocessor pre;
+  const auto out = pre.process_drive(series_on_days({1, 2, 3, 4, 30, 31}));
+  ASSERT_EQ(out.records.size(), 4u);
+  EXPECT_EQ(out.records.back().day, 4);
+  EXPECT_EQ(out.dropped_records, 2u);
+}
+
+TEST(Preprocess, ConfigurableGapPolicy) {
+  PreprocessConfig cfg;
+  cfg.drop_gap = 5;
+  cfg.fill_gap = 1;  // no filling
+  const Preprocessor pre(cfg);
+  const auto out = pre.process_drive(series_on_days({1, 2, 3, 8, 9, 10}));
+  // Gap of 5 cuts; the later 3-record segment is kept.
+  ASSERT_EQ(out.records.size(), 3u);
+  EXPECT_EQ(out.records.front().day, 8);
+  for (const auto& r : out.records) EXPECT_FALSE(r.synthetic);
+}
+
+TEST(Preprocess, BatchDropsUnusableDrives) {
+  const Preprocessor pre;
+  std::vector<sim::DriveTimeSeries> batch;
+  batch.push_back(series_on_days({1, 2, 3, 4}));   // usable
+  batch.push_back(series_on_days({5}));            // too few records
+  batch.push_back(series_on_days({}));             // empty
+  PreprocessStats stats;
+  const auto out = pre.process(batch, &stats);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(stats.drives_in, 3u);
+  EXPECT_EQ(stats.drives_out, 1u);
+  EXPECT_EQ(stats.records_in, 5u);
+}
+
+TEST(Preprocess, StatsCountFilledAndLongGaps) {
+  const Preprocessor pre;
+  std::vector<sim::DriveTimeSeries> batch;
+  batch.push_back(series_on_days({37, 39, 40, 41}));          // 1 fill (day 38)
+  batch.push_back(series_on_days({1, 2, 3, 40, 41, 42}));     // 1 long gap
+  PreprocessStats stats;
+  pre.process(batch, &stats);
+  EXPECT_EQ(stats.records_filled, 1u);
+  EXPECT_EQ(stats.long_gaps, 1u);
+  EXPECT_EQ(stats.records_dropped, 3u);  // pre-gap segment of drive 2
+}
+
+TEST(Preprocess, FirmwareVersionStringMapsCatalog) {
+  EXPECT_EQ(firmware_version_string(0, 0), "I_F_1");
+  EXPECT_EQ(firmware_version_string(0, 4), "I_F_5");
+  EXPECT_EQ(firmware_version_string(1, 2), "II_F_3");
+  // Out-of-catalog (drift release) synthesizes the next name.
+  EXPECT_EQ(firmware_version_string(0, 5), "I_F_6");
+  EXPECT_EQ(firmware_version_string(3, 2), "IV_F_3");
+}
+
+TEST(Preprocess, GroundTruthCarriedThrough) {
+  const Preprocessor pre;
+  auto raw = series_on_days({1, 2, 3});
+  raw.failed = true;
+  raw.failure_day = 3;
+  const auto out = pre.process_drive(raw);
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure_day, 3);
+  EXPECT_EQ(out.drive_id, 42u);
+}
+
+TEST(Preprocess, FirmwareEncoderCoversAllVersions) {
+  const Preprocessor pre;
+  std::vector<ProcessedDrive> drives;
+  drives.push_back(pre.process_drive(series_on_days({1, 2, 3}, 0)));
+  drives.push_back(pre.process_drive(series_on_days({1, 2, 3}, 1)));
+  const auto encoder = Preprocessor::fit_firmware_encoder(drives);
+  EXPECT_EQ(encoder.num_classes(), 2u);  // I_F_1 and II_F_1
+  EXPECT_TRUE(encoder.contains("I_F_1"));
+  EXPECT_TRUE(encoder.contains("II_F_1"));
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,111 @@
+#include "core/retraining.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hpp"
+
+namespace mfpa::core {
+namespace {
+
+class RetrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::FleetSimulator fleet(sim::small_scenario(77));
+    telemetry_ = new std::vector<sim::DriveTimeSeries>(fleet.generate_telemetry());
+    tickets_ = new std::vector<sim::TroubleTicket>(fleet.tickets());
+  }
+  static void TearDownTestSuite() {
+    delete tickets_;
+    delete telemetry_;
+  }
+  static MfpaConfig base_config() {
+    MfpaConfig config;
+    config.vendor = 0;
+    config.seed = 77;
+    config.hyperparams = {{"n_trees", 20.0}};  // keep the replay quick
+    return config;
+  }
+  static std::vector<sim::DriveTimeSeries>* telemetry_;
+  static std::vector<sim::TroubleTicket>* tickets_;
+};
+
+std::vector<sim::DriveTimeSeries>* RetrainingTest::telemetry_ = nullptr;
+std::vector<sim::TroubleTicket>* RetrainingTest::tickets_ = nullptr;
+
+TEST_F(RetrainingTest, WalksEveryMonthAfterTraining) {
+  RetrainingScheduler scheduler(base_config(), RetrainingPolicy{});
+  const auto months = scheduler.run(*telemetry_, *tickets_, 240);
+  ASSERT_GE(months.size(), 6u);
+  for (std::size_t i = 1; i < months.size(); ++i) {
+    EXPECT_EQ(months[i].month, months[i - 1].month + 1);
+  }
+}
+
+TEST_F(RetrainingTest, CadenceCapsModelAge) {
+  RetrainingPolicy policy;
+  policy.cadence_months = 2;
+  policy.fpr_trip_wire = 0.0;  // cadence only
+  RetrainingScheduler scheduler(base_config(), policy);
+  const auto months = scheduler.run(*telemetry_, *tickets_, 240);
+  for (const auto& m : months) {
+    EXPECT_LT(m.model_age_months, policy.cadence_months);
+  }
+  EXPECT_GT(scheduler.retrain_count(), 0);
+}
+
+TEST_F(RetrainingTest, DisabledPolicyNeverRetrains) {
+  RetrainingPolicy policy;
+  policy.enabled = false;
+  RetrainingScheduler scheduler(base_config(), policy);
+  const auto months = scheduler.run(*telemetry_, *tickets_, 240);
+  EXPECT_EQ(scheduler.retrain_count(), 0);
+  for (const auto& m : months) EXPECT_FALSE(m.retrained_after);
+  // Model age grows monotonically when never refreshed.
+  for (std::size_t i = 1; i < months.size(); ++i) {
+    EXPECT_EQ(months[i].model_age_months, months[i - 1].model_age_months + 1);
+  }
+}
+
+TEST_F(RetrainingTest, RetrainingControlsLateFpr) {
+  // The headline property: with periodic iteration the late-deployment FPR
+  // stays at or below the never-retrain baseline.
+  RetrainingPolicy never;
+  never.enabled = false;
+  RetrainingPolicy bimonthly;
+  bimonthly.cadence_months = 2;
+  RetrainingScheduler frozen(base_config(), never);
+  RetrainingScheduler iterated(base_config(), bimonthly);
+  const auto frozen_months = frozen.run(*telemetry_, *tickets_, 240);
+  const auto iterated_months = iterated.run(*telemetry_, *tickets_, 240);
+  ASSERT_EQ(frozen_months.size(), iterated_months.size());
+  ASSERT_GE(frozen_months.size(), 4u);
+  // Average FPR over the last half of the deployment.
+  auto late_fpr = [](const std::vector<DeploymentMonth>& months) {
+    double fpr = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = months.size() / 2; i < months.size(); ++i) {
+      fpr += months[i].cm.fpr();
+      ++n;
+    }
+    return n ? fpr / static_cast<double>(n) : 0.0;
+  };
+  EXPECT_LE(late_fpr(iterated_months), late_fpr(frozen_months) + 0.01);
+}
+
+TEST_F(RetrainingTest, TripWireFiresOnHighFpr) {
+  RetrainingPolicy trigger_happy;
+  trigger_happy.cadence_months = 100;  // cadence effectively off
+  trigger_happy.fpr_trip_wire = 1e-9;  // any FP trips it
+  RetrainingScheduler scheduler(base_config(), trigger_happy);
+  scheduler.run(*telemetry_, *tickets_, 240);
+  EXPECT_GT(scheduler.retrain_count(), 0);
+}
+
+TEST_F(RetrainingTest, ThrowsWithoutDrives) {
+  RetrainingScheduler scheduler(base_config(), RetrainingPolicy{});
+  const std::vector<sim::DriveTimeSeries> empty;
+  EXPECT_THROW(scheduler.run(empty, *tickets_, 240), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfpa::core

@@ -1,0 +1,144 @@
+#include "data/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::data {
+namespace {
+
+Dataset make_basic() {
+  Dataset ds;
+  ds.feature_names = {"f0", "f1"};
+  ds.add(std::vector<double>{1.0, 10.0}, 0, {100, 5, 0});
+  ds.add(std::vector<double>{2.0, 20.0}, 1, {101, 3, 0});
+  ds.add(std::vector<double>{3.0, 30.0}, 0, {102, 8, 1});
+  ds.add(std::vector<double>{4.0, 40.0}, 1, {103, 1, 1});
+  return ds;
+}
+
+TEST(Dataset, AddAndCounts) {
+  const Dataset ds = make_basic();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_EQ(ds.positives(), 2u);
+  EXPECT_EQ(ds.negatives(), 2u);
+  EXPECT_NO_THROW(ds.check_invariants());
+}
+
+TEST(Dataset, InvariantViolationDetected) {
+  Dataset ds = make_basic();
+  ds.y.push_back(1);  // break alignment
+  EXPECT_THROW(ds.check_invariants(), std::logic_error);
+}
+
+TEST(Dataset, NonBinaryLabelDetected) {
+  Dataset ds = make_basic();
+  ds.y[0] = 2;
+  EXPECT_THROW(ds.check_invariants(), std::logic_error);
+}
+
+TEST(Dataset, FeatureNameArityDetected) {
+  Dataset ds = make_basic();
+  ds.feature_names.push_back("extra");
+  EXPECT_THROW(ds.check_invariants(), std::logic_error);
+}
+
+TEST(Dataset, SelectRowsKeepsAlignment) {
+  const Dataset ds = make_basic();
+  const std::vector<std::size_t> idx{3, 0};
+  const Dataset s = ds.select_rows(idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.y[0], 1);
+  EXPECT_EQ(s.meta[0].drive_id, 103u);
+  EXPECT_DOUBLE_EQ(s.X(1, 1), 10.0);
+  EXPECT_EQ(s.feature_names, ds.feature_names);
+}
+
+TEST(Dataset, SelectRowsBadIndexThrows) {
+  const Dataset ds = make_basic();
+  const std::vector<std::size_t> idx{99};
+  EXPECT_THROW(ds.select_rows(idx), std::out_of_range);
+}
+
+TEST(Dataset, FeatureIndexLookup) {
+  const Dataset ds = make_basic();
+  EXPECT_EQ(ds.feature_index("f1"), 1u);
+  EXPECT_THROW(ds.feature_index("nope"), std::out_of_range);
+}
+
+TEST(Dataset, SelectFeaturesReorders) {
+  const Dataset ds = make_basic();
+  const Dataset s = ds.select_features({"f1", "f0"});
+  EXPECT_EQ(s.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(s.X(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(s.X(0, 1), 1.0);
+  EXPECT_EQ(s.feature_names[0], "f1");
+  EXPECT_EQ(s.y, ds.y);
+}
+
+TEST(Dataset, SelectFeaturesSubset) {
+  const Dataset ds = make_basic();
+  const Dataset s = ds.select_features({"f0"});
+  EXPECT_EQ(s.num_features(), 1u);
+  EXPECT_DOUBLE_EQ(s.X(2, 0), 3.0);
+}
+
+TEST(Dataset, SplitByDay) {
+  const Dataset ds = make_basic();
+  const auto [early, late] = ds.split_by_day(4);
+  EXPECT_EQ(early.size(), 2u);  // days 3 and 1
+  EXPECT_EQ(late.size(), 2u);   // days 5 and 8
+  for (const auto& m : early.meta) EXPECT_LE(m.day, 4);
+  for (const auto& m : late.meta) EXPECT_GT(m.day, 4);
+}
+
+TEST(Dataset, FilterByPredicate) {
+  const Dataset ds = make_basic();
+  const Dataset pos =
+      ds.filter([](const RowMeta&, int label) { return label == 1; });
+  EXPECT_EQ(pos.size(), 2u);
+  const Dataset v1 =
+      ds.filter([](const RowMeta& m, int) { return m.vendor == 1; });
+  EXPECT_EQ(v1.size(), 2u);
+}
+
+TEST(Dataset, SortedByTime) {
+  const Dataset ds = make_basic();
+  const Dataset s = ds.sorted_by_time();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_LE(s.meta[i - 1].day, s.meta[i].day);
+  }
+  EXPECT_EQ(s.meta.front().day, 1);
+  EXPECT_EQ(s.meta.back().day, 8);
+}
+
+TEST(Dataset, SortedByTimeTieBreaksOnDrive) {
+  Dataset ds;
+  ds.add(std::vector<double>{1.0}, 0, {200, 5, 0});
+  ds.add(std::vector<double>{2.0}, 0, {100, 5, 0});
+  const Dataset s = ds.sorted_by_time();
+  EXPECT_EQ(s.meta[0].drive_id, 100u);
+}
+
+TEST(Dataset, AppendConcatenates) {
+  Dataset a = make_basic();
+  const Dataset b = make_basic();
+  a.append(b);
+  EXPECT_EQ(a.size(), 8u);
+  EXPECT_NO_THROW(a.check_invariants());
+}
+
+TEST(Dataset, AppendToEmpty) {
+  Dataset a;
+  a.append(make_basic());
+  EXPECT_EQ(a.size(), 4u);
+}
+
+TEST(Dataset, AppendNameMismatchThrows) {
+  Dataset a = make_basic();
+  Dataset b = make_basic();
+  b.feature_names = {"x", "y"};
+  EXPECT_THROW(a.append(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfpa::data

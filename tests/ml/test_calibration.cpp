@@ -1,0 +1,133 @@
+#include "ml/calibration.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+TEST(Isotonic, RequiresBothClassesAndSize) {
+  IsotonicCalibrator cal;
+  const std::vector<double> s{0.1, 0.9};
+  EXPECT_THROW(cal.fit(s, std::vector<int>{1, 1}), std::invalid_argument);
+  EXPECT_THROW(cal.fit(std::vector<double>{0.5}, std::vector<int>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(cal.fit(s, std::vector<int>{1}), std::invalid_argument);
+}
+
+TEST(Isotonic, TransformBeforeFitThrows) {
+  IsotonicCalibrator cal;
+  EXPECT_THROW(cal.transform_one(0.5), std::logic_error);
+}
+
+TEST(Isotonic, PerfectSeparationMapsToZeroOne) {
+  IsotonicCalibrator cal;
+  const std::vector<double> s{0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> y{0, 0, 1, 1};
+  cal.fit(s, y);
+  EXPECT_DOUBLE_EQ(cal.transform_one(0.05), 0.0);
+  EXPECT_DOUBLE_EQ(cal.transform_one(0.95), 1.0);
+  EXPECT_EQ(cal.block_count(), 2u);
+}
+
+TEST(Isotonic, PoolsViolators) {
+  // Sorted labels 0,1,0,1: the middle violation pools into one block.
+  IsotonicCalibrator cal;
+  const std::vector<double> s{0.1, 0.2, 0.3, 0.4};
+  const std::vector<int> y{0, 1, 0, 1};
+  cal.fit(s, y);
+  // PAV on [0,1,0,1] -> blocks [0], [1,0,(1?)]: specifically [0] then
+  // pooled {1,0} = 0.5 then [1]; 0.5 < 1 so three blocks survive.
+  EXPECT_LE(cal.block_count(), 3u);
+  // Monotonicity of the mapping.
+  double prev = -1.0;
+  for (double x : {0.0, 0.15, 0.25, 0.35, 0.5}) {
+    const double v = cal.transform_one(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Isotonic, OutputAlwaysInUnitInterval) {
+  Rng rng(1);
+  std::vector<double> s(300);
+  std::vector<int> y(300);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = rng.uniform();
+    y[i] = rng.bernoulli(s[i]) ? 1 : 0;
+  }
+  IsotonicCalibrator cal;
+  cal.fit(s, y);
+  for (double x : {-1.0, 0.0, 0.3, 0.7, 1.0, 2.0}) {
+    const double v = cal.transform_one(x);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Isotonic, ImprovesBrierOfMiscalibratedScores) {
+  // Scores systematically overconfident: s = sqrt(true probability).
+  Rng rng(2);
+  std::vector<double> s(2000);
+  std::vector<int> y(2000);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double p = rng.uniform();
+    y[i] = rng.bernoulli(p) ? 1 : 0;
+    s[i] = std::sqrt(p);
+  }
+  IsotonicCalibrator cal;
+  cal.fit(s, y);
+  const auto calibrated = cal.transform(s);
+  EXPECT_LT(brier_score(y, calibrated), brier_score(y, s) - 0.01);
+  // Ranking is preserved (monotone map): AUC unchanged up to ties.
+  EXPECT_NEAR(auc(y, calibrated), auc(y, s), 0.01);
+}
+
+TEST(Reliability, BinsPartitionSamples) {
+  const std::vector<double> s{0.05, 0.15, 0.95, 0.55};
+  const std::vector<int> y{0, 0, 1, 1};
+  const auto bins = reliability_curve(s, y, 10);
+  ASSERT_EQ(bins.size(), 10u);
+  std::size_t total = 0;
+  for (const auto& b : bins) total += b.count;
+  EXPECT_EQ(total, 4u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[9].count, 1u);
+  EXPECT_DOUBLE_EQ(bins[9].observed_rate, 1.0);
+}
+
+TEST(Reliability, ScoreOneLandsInLastBin) {
+  const std::vector<double> s{1.0};
+  const std::vector<int> y{1};
+  const auto bins = reliability_curve(s, y, 5);
+  EXPECT_EQ(bins[4].count, 1u);
+}
+
+TEST(Reliability, WellCalibratedScoresTrackDiagonal) {
+  Rng rng(3);
+  std::vector<double> s(20000);
+  std::vector<int> y(20000);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = rng.uniform();
+    y[i] = rng.bernoulli(s[i]) ? 1 : 0;
+  }
+  for (const auto& bin : reliability_curve(s, y, 10)) {
+    if (bin.count < 100) continue;
+    EXPECT_NEAR(bin.observed_rate, bin.mean_score, 0.05);
+  }
+}
+
+TEST(Reliability, Errors) {
+  const std::vector<double> s{0.5};
+  const std::vector<int> y{1, 0};
+  EXPECT_THROW(reliability_curve(s, y), std::invalid_argument);
+  const std::vector<int> y1{1};
+  EXPECT_THROW(reliability_curve(s, y1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfpa::ml

@@ -1,0 +1,119 @@
+// Interface-contract sweep over every algorithm in the factory: each must
+// fit separable data, return calibrated-range probabilities, clone unfitted,
+// reject malformed inputs, and be deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "ml/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+Hyperparams fast_params(const std::string& name) {
+  Hyperparams p = default_hyperparams(name);
+  p["seed"] = 3;
+  if (name == "RF") p["n_trees"] = 10;
+  if (name == "GBDT") p["n_rounds"] = 15;
+  if (name == "CNN_LSTM") {
+    p["timesteps"] = 2;  // blobs have 4 features -> T=2, F=2
+    p["epochs"] = 4;
+    p["channels"] = 6;
+    p["hidden"] = 8;
+  }
+  if (name == "SVM") p["epochs"] = 10;
+  if (name == "LR") p["epochs"] = 20;
+  return p;
+}
+
+class ContractSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ContractSweep, FitsSeparableBlobs) {
+  const auto [X, y] = testing::make_blobs(150, 4, 3.5, 91);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+  EXPECT_GT(testing::accuracy_of(model->predict_proba(X), y), 0.85)
+      << GetParam();
+}
+
+TEST_P(ContractSweep, ProbabilitiesInUnitInterval) {
+  const auto [X, y] = testing::make_blobs(60, 4, 2.0, 92);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+  for (double p : model->predict_proba(X)) {
+    EXPECT_GE(p, 0.0) << GetParam();
+    EXPECT_LE(p, 1.0) << GetParam();
+  }
+}
+
+TEST_P(ContractSweep, PredictBeforeFitThrows) {
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  data::Matrix X(1, 4, 0.0);
+  EXPECT_ANY_THROW(model->predict_proba(X)) << GetParam();
+}
+
+TEST_P(ContractSweep, RejectsMismatchedLabels) {
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  data::Matrix X(4, 4, 0.0);
+  const std::vector<int> y{0, 1};  // wrong size
+  EXPECT_THROW(model->fit(X, y), std::invalid_argument) << GetParam();
+}
+
+TEST_P(ContractSweep, RejectsNonBinaryLabels) {
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  data::Matrix X(2, 4, 0.0);
+  const std::vector<int> y{0, 7};
+  EXPECT_THROW(model->fit(X, y), std::invalid_argument) << GetParam();
+}
+
+TEST_P(ContractSweep, CloneIsUnfittedAndRefittable) {
+  const auto [X, y] = testing::make_blobs(60, 4, 3.0, 93);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+  auto clone = model->clone_unfitted();
+  EXPECT_EQ(clone->name(), model->name());
+  EXPECT_ANY_THROW(clone->predict_proba(X));
+  clone->fit(X, y);
+  EXPECT_EQ(clone->predict_proba(X).size(), y.size());
+}
+
+TEST_P(ContractSweep, DeterministicGivenSeed) {
+  const auto [X, y] = testing::make_blobs(60, 4, 2.0, 94);
+  auto a = make_classifier(GetParam(), fast_params(GetParam()));
+  auto b = make_classifier(GetParam(), fast_params(GetParam()));
+  a->fit(X, y);
+  b->fit(X, y);
+  EXPECT_EQ(a->predict_proba(X), b->predict_proba(X)) << GetParam();
+}
+
+TEST_P(ContractSweep, PredictProbaSizeMatchesRows) {
+  const auto [X, y] = testing::make_blobs(40, 4, 2.0, 95);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+  data::Matrix probe(7, 4, 0.5);
+  EXPECT_EQ(model->predict_proba(probe).size(), 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, ContractSweep,
+                         ::testing::Values("Bayes", "SVM", "RF", "GBDT",
+                                           "CNN_LSTM", "LR", "DT"));
+
+TEST(Factory, KnownAlgorithmsBuild) {
+  for (const auto& name : known_algorithms()) {
+    EXPECT_NO_THROW(make_classifier(name, default_hyperparams(name))) << name;
+  }
+}
+
+TEST(Factory, UnknownThrows) {
+  EXPECT_THROW(make_classifier("Perceptron"), std::invalid_argument);
+  EXPECT_THROW(default_hyperparams("Perceptron"), std::invalid_argument);
+}
+
+TEST(Factory, NameRoundTrip) {
+  for (const auto& name : known_algorithms()) {
+    const auto model = make_classifier(name, default_hyperparams(name));
+    EXPECT_EQ(model->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace mfpa::ml

@@ -1,0 +1,124 @@
+#include "ml/cross_validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "ml/naive_bayes.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+TEST(KFold, PartitionsEverything) {
+  const auto splits = kfold_splits(100, 5, 1);
+  ASSERT_EQ(splits.size(), 5u);
+  std::set<std::size_t> all_val;
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.train.size() + s.validation.size(), 100u);
+    for (std::size_t i : s.validation) all_val.insert(i);
+  }
+  EXPECT_EQ(all_val.size(), 100u);  // every row validated exactly once
+}
+
+TEST(KFold, TrainValDisjoint) {
+  for (const auto& s : kfold_splits(50, 4, 2)) {
+    std::set<std::size_t> train(s.train.begin(), s.train.end());
+    for (std::size_t i : s.validation) EXPECT_FALSE(train.contains(i));
+  }
+}
+
+TEST(KFold, InvalidArgsThrow) {
+  EXPECT_THROW(kfold_splits(10, 1, 1), std::invalid_argument);
+  EXPECT_THROW(kfold_splits(3, 5, 1), std::invalid_argument);
+}
+
+TEST(TimeSeriesCv, NoFutureLeakage) {
+  // The defining property (paper Fig. 8(b)(2)): every training index
+  // precedes every validation index.
+  for (std::size_t k : {1u, 2u, 3u, 5u}) {
+    for (const auto& s : time_series_splits(100, k)) {
+      const std::size_t max_train =
+          *std::max_element(s.train.begin(), s.train.end());
+      const std::size_t min_val =
+          *std::min_element(s.validation.begin(), s.validation.end());
+      EXPECT_LT(max_train, min_val);
+    }
+  }
+}
+
+TEST(TimeSeriesCv, ProducesKIterations) {
+  EXPECT_EQ(time_series_splits(100, 4).size(), 4u);
+}
+
+TEST(TimeSeriesCv, TrainSpansKSubsets) {
+  const std::size_t n = 120, k = 3;  // 6 subsets of 20
+  const auto splits = time_series_splits(n, k);
+  EXPECT_EQ(splits[0].train.size(), 60u);       // subsets 0..2
+  EXPECT_EQ(splits[0].validation.size(), 20u);  // subset 3
+  EXPECT_EQ(splits[0].train.front(), 0u);
+  EXPECT_EQ(splits[0].validation.front(), 60u);
+  // Second iteration slides forward by one subset.
+  EXPECT_EQ(splits[1].train.front(), 20u);
+  EXPECT_EQ(splits[1].validation.front(), 80u);
+}
+
+TEST(TimeSeriesCv, TooSmallThrows) {
+  EXPECT_THROW(time_series_splits(5, 3), std::invalid_argument);
+  EXPECT_THROW(time_series_splits(10, 0), std::invalid_argument);
+}
+
+TEST(CrossValScore, HighForSeparableData) {
+  const auto [X, y] = testing::make_blobs(100, 3, 4.0, 61);
+  GaussianNB nb;
+  const auto splits = kfold_splits(y.size(), 5, 3);
+  EXPECT_GT(cross_val_score(nb, X, y, splits, CvMetric::kAuc), 0.95);
+  EXPECT_GT(cross_val_score(nb, X, y, splits, CvMetric::kAccuracy), 0.9);
+}
+
+TEST(CrossValScore, NearChanceForNoise) {
+  Rng rng(62);
+  data::Matrix X(300, 2);
+  std::vector<int> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    X(i, 0) = rng.uniform();
+    X(i, 1) = rng.uniform();
+    y[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  GaussianNB nb;
+  const auto splits = kfold_splits(y.size(), 5, 4);
+  EXPECT_NEAR(cross_val_score(nb, X, y, splits, CvMetric::kAuc), 0.5, 0.1);
+}
+
+TEST(CrossValScore, SkipsSingleClassFolds) {
+  // All positives at the end: first time-series folds may lack positives in
+  // train; the scorer must skip those instead of throwing.
+  data::Matrix X(40, 1);
+  std::vector<int> y(40, 0);
+  for (std::size_t i = 0; i < 40; ++i) X(i, 0) = static_cast<double>(i);
+  for (std::size_t i = 30; i < 40; ++i) y[i] = 1;
+  GaussianNB nb;
+  const auto splits = time_series_splits(40, 4);
+  EXPECT_NO_THROW(cross_val_score(nb, X, y, splits));
+}
+
+TEST(CrossValScore, EmptySplitsThrow) {
+  data::Matrix X{{1.0}};
+  const std::vector<int> y{1};
+  GaussianNB nb;
+  EXPECT_THROW(cross_val_score(nb, X, y, {}), std::invalid_argument);
+}
+
+TEST(CrossValScore, YoudenMetricBounded) {
+  const auto [X, y] = testing::make_blobs(80, 2, 3.0, 63);
+  GaussianNB nb;
+  const auto splits = kfold_splits(y.size(), 4, 5);
+  const double j = cross_val_score(nb, X, y, splits, CvMetric::kYouden);
+  EXPECT_GE(j, -1.0);
+  EXPECT_LE(j, 1.0);
+  EXPECT_GT(j, 0.8);  // separable data
+}
+
+}  // namespace
+}  // namespace mfpa::ml

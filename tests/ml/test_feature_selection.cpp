@@ -1,0 +1,81 @@
+#include "ml/feature_selection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ml/decision_tree.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+/// Dataset where features "good0"/"good1" carry the label and "noise*" don't.
+data::Dataset make_sfs_dataset(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Dataset ds;
+  ds.feature_names = {"good0", "noise0", "good1", "noise1", "noise2"};
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    std::vector<double> row(5);
+    row[0] = rng.normal(label * 2.0, 1.0);
+    row[1] = rng.uniform();
+    row[2] = rng.normal(label * 2.0, 1.0);
+    row[3] = rng.uniform();
+    row[4] = rng.uniform();
+    ds.add(row, label,
+           {static_cast<std::uint64_t>(i), static_cast<DayIndex>(i), 0});
+  }
+  return ds;
+}
+
+TEST(Sfs, SelectsInformativeFeaturesFirst) {
+  const auto ds = make_sfs_dataset(400, 81);
+  DecisionTreeClassifier dt({{"max_depth", 4}});
+  const auto result = sequential_forward_selection(dt, ds, 3, 1e-3);
+  ASSERT_FALSE(result.selected.empty());
+  EXPECT_TRUE(result.selected[0] == "good0" || result.selected[0] == "good1");
+}
+
+TEST(Sfs, TrajectoryScoresNonDecreasing) {
+  const auto ds = make_sfs_dataset(400, 82);
+  DecisionTreeClassifier dt({{"max_depth", 4}});
+  const auto result = sequential_forward_selection(dt, ds, 3, 0.0);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i) {
+    EXPECT_GE(result.trajectory[i].score, result.trajectory[i - 1].score);
+  }
+}
+
+TEST(Sfs, SubsetGrowsByOne) {
+  const auto ds = make_sfs_dataset(300, 83);
+  DecisionTreeClassifier dt({{"max_depth", 4}});
+  const auto result = sequential_forward_selection(dt, ds, 3, 1e-3);
+  for (std::size_t i = 0; i < result.trajectory.size(); ++i) {
+    EXPECT_EQ(result.trajectory[i].subset.size(), i + 1);
+    EXPECT_EQ(result.trajectory[i].subset.back(),
+              result.trajectory[i].added_feature);
+  }
+}
+
+TEST(Sfs, MaxFeaturesCapRespected) {
+  const auto ds = make_sfs_dataset(300, 84);
+  DecisionTreeClassifier dt({{"max_depth", 4}});
+  const auto result = sequential_forward_selection(dt, ds, 3, 0.0, 2);
+  EXPECT_LE(result.selected.size(), 2u);
+}
+
+TEST(Sfs, StopsBeforeExhaustingNoise) {
+  const auto ds = make_sfs_dataset(400, 85);
+  DecisionTreeClassifier dt({{"max_depth", 4}});
+  // Demand a real improvement per feature: noise features should not enter.
+  const auto result = sequential_forward_selection(dt, ds, 3, 5e-3);
+  EXPECT_LT(result.selected.size(), 5u);
+  for (const auto& name : result.selected) {
+    EXPECT_TRUE(name.find("noise") == std::string::npos ||
+                result.selected.size() <= 3)
+        << "unexpected noise feature " << name;
+  }
+}
+
+}  // namespace
+}  // namespace mfpa::ml

@@ -1,0 +1,55 @@
+// Shared synthetic-data helpers for the ML tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/matrix.hpp"
+
+namespace mfpa::ml::testing {
+
+/// Two Gaussian blobs separated along every feature by `gap` sigma.
+inline std::pair<data::Matrix, std::vector<int>> make_blobs(
+    std::size_t n_per_class, std::size_t dims, double gap, std::uint64_t seed) {
+  Rng rng(seed);
+  data::Matrix X(2 * n_per_class, dims);
+  std::vector<int> y(2 * n_per_class);
+  for (std::size_t i = 0; i < 2 * n_per_class; ++i) {
+    const int label = i < n_per_class ? 0 : 1;
+    y[i] = label;
+    for (std::size_t d = 0; d < dims; ++d) {
+      X(i, d) = rng.normal(label == 1 ? gap : 0.0, 1.0);
+    }
+  }
+  return {std::move(X), std::move(y)};
+}
+
+/// XOR-style dataset that linear models cannot separate but trees can:
+/// label = (x0 > 0) != (x1 > 0).
+inline std::pair<data::Matrix, std::vector<int>> make_xor(std::size_t n,
+                                                          std::uint64_t seed) {
+  Rng rng(seed);
+  data::Matrix X(n, 2);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    X(i, 0) = a;
+    X(i, 1) = b;
+    y[i] = (a > 0.0) != (b > 0.0) ? 1 : 0;
+  }
+  return {std::move(X), std::move(y)};
+}
+
+/// Fraction of correct hard predictions at threshold 0.5.
+inline double accuracy_of(const std::vector<double>& probs,
+                          const std::vector<int>& y) {
+  std::size_t hit = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if ((probs[i] >= 0.5 ? 1 : 0) == y[i]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(y.size());
+}
+
+}  // namespace mfpa::ml::testing

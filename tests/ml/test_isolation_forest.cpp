@@ -1,0 +1,120 @@
+#include "ml/isolation_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ml/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+/// Dense healthy cluster + a few far-away anomalies.
+std::pair<data::Matrix, std::vector<int>> make_anomalies(std::size_t normal,
+                                                         std::size_t outliers,
+                                                         std::uint64_t seed) {
+  Rng rng(seed);
+  data::Matrix X(normal + outliers, 3);
+  std::vector<int> y(normal + outliers, 0);
+  for (std::size_t i = 0; i < normal + outliers; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) X(i, c) = rng.normal(0.0, 1.0);
+    if (i >= normal) {
+      y[i] = 1;
+      for (std::size_t c = 0; c < 3; ++c) X(i, c) += rng.uniform(6.0, 10.0);
+    }
+  }
+  return {std::move(X), std::move(y)};
+}
+
+TEST(IsolationForest, RanksOutliersHigher) {
+  const auto [X, y] = make_anomalies(400, 20, 1);
+  IsolationForest forest({{"n_trees", 60}, {"seed", 2}});
+  forest.fit(X, y);
+  EXPECT_GT(auc(y, forest.predict_proba(X)), 0.95);
+}
+
+TEST(IsolationForest, IgnoresLabels) {
+  const auto [X, y] = make_anomalies(200, 10, 3);
+  std::vector<int> shuffled_labels(y.size(), 0);  // all zero: no information
+  IsolationForest a({{"n_trees", 30}, {"seed", 4}});
+  IsolationForest b({{"n_trees", 30}, {"seed", 4}});
+  a.fit(X, y);
+  b.fit(X, shuffled_labels);
+  EXPECT_EQ(a.predict_proba(X), b.predict_proba(X));
+}
+
+TEST(IsolationForest, ScoresInUnitInterval) {
+  const auto [X, y] = make_anomalies(150, 10, 5);
+  IsolationForest forest({{"n_trees", 25}, {"seed", 6}});
+  forest.fit(X, y);
+  for (double s : forest.predict_proba(X)) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+TEST(IsolationForest, InliersScoreBelowHalfish) {
+  // The canonical iForest property: average points score ~0.5 or below,
+  // clear anomalies approach 1.
+  const auto [X, y] = make_anomalies(400, 5, 7);
+  IsolationForest forest({{"n_trees", 80}, {"seed", 8}});
+  forest.fit(X, y);
+  const auto scores = forest.predict_proba(X);
+  double inlier_mean = 0.0, outlier_mean = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? outlier_mean : inlier_mean) += scores[i];
+  }
+  inlier_mean /= 400.0;
+  outlier_mean /= 5.0;
+  EXPECT_LT(inlier_mean, 0.55);
+  EXPECT_GT(outlier_mean, inlier_mean + 0.1);
+}
+
+TEST(IsolationForest, DeterministicGivenSeed) {
+  const auto [X, y] = make_anomalies(100, 5, 9);
+  IsolationForest a({{"seed", 11}}), b({{"seed", 11}});
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.predict_proba(X), b.predict_proba(X));
+}
+
+TEST(IsolationForest, PredictBeforeFitThrows) {
+  IsolationForest forest;
+  data::Matrix X{{0.0}};
+  EXPECT_THROW(forest.predict_proba(X), std::logic_error);
+}
+
+TEST(IsolationForest, SerializationRoundTrip) {
+  const auto [X, y] = make_anomalies(120, 8, 13);
+  IsolationForest forest({{"n_trees", 20}, {"seed", 14}});
+  forest.fit(X, y);
+  std::stringstream ss;
+  forest.save_state(ss);
+  IsolationForest restored({{"n_trees", 20}, {"seed", 14}});
+  restored.load_state(ss);
+  EXPECT_EQ(restored.predict_proba(X), forest.predict_proba(X));
+}
+
+TEST(IsolationForest, AveragePathLengthFormula) {
+  EXPECT_DOUBLE_EQ(IsolationForest::average_path_length(0), 0.0);
+  EXPECT_DOUBLE_EQ(IsolationForest::average_path_length(1), 0.0);
+  // c(2) = 2*(ln(1) + gamma) - 2*1/2 = 2*gamma - 1 ~ 0.1544.
+  EXPECT_NEAR(IsolationForest::average_path_length(2), 0.1544, 1e-3);
+  // c(n) grows logarithmically.
+  EXPECT_GT(IsolationForest::average_path_length(256),
+            IsolationForest::average_path_length(64));
+}
+
+TEST(IsolationForest, ConstantDataDoesNotCrash) {
+  data::Matrix X(50, 2, 3.0);
+  const std::vector<int> y(50, 0);
+  IsolationForest forest({{"n_trees", 10}, {"seed", 15}});
+  ASSERT_NO_THROW(forest.fit(X, y));
+  const auto scores = forest.predict_proba(X);
+  // Nothing is separable: all scores equal.
+  for (double s : scores) EXPECT_DOUBLE_EQ(s, scores[0]);
+}
+
+}  // namespace
+}  // namespace mfpa::ml

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "ml/logistic.hpp"
+#include "ml/svm.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+using testing::accuracy_of;
+using testing::make_blobs;
+using testing::make_xor;
+
+TEST(LogisticRegression, SeparatesBlobs) {
+  const auto [X, y] = make_blobs(200, 4, 3.0, 11);
+  LogisticRegression lr;
+  lr.fit(X, y);
+  EXPECT_GT(accuracy_of(lr.predict_proba(X), y), 0.97);
+}
+
+TEST(LogisticRegression, WeightsPointTowardPositives) {
+  const auto [X, y] = make_blobs(200, 3, 3.0, 12);
+  LogisticRegression lr;
+  lr.fit(X, y);
+  for (double w : lr.weights()) EXPECT_GT(w, 0.0);
+}
+
+TEST(LogisticRegression, CannotSolveXor) {
+  const auto [X, y] = make_xor(400, 13);
+  LogisticRegression lr;
+  lr.fit(X, y);
+  EXPECT_LT(accuracy_of(lr.predict_proba(X), y), 0.70);
+}
+
+TEST(LogisticRegression, DeterministicGivenSeed) {
+  const auto [X, y] = make_blobs(50, 2, 2.0, 14);
+  LogisticRegression a({{"seed", 9}}), b({{"seed", 9}});
+  a.fit(X, y);
+  b.fit(X, y);
+  EXPECT_EQ(a.weights(), b.weights());
+}
+
+TEST(LogisticRegression, PredictBeforeFitThrows) {
+  LogisticRegression lr;
+  data::Matrix X{{0.0}};
+  EXPECT_THROW(lr.predict_proba(X), std::logic_error);
+}
+
+TEST(LogisticRegression, ScalesInternally) {
+  // Wildly different feature scales would break unscaled SGD.
+  Rng rng(15);
+  data::Matrix X(200, 2);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int label = i < 100 ? 0 : 1;
+    y[i] = label;
+    X(i, 0) = rng.normal(label * 3.0, 1.0) * 1e6;
+    X(i, 1) = rng.normal(label * 3.0, 1.0) * 1e-6;
+  }
+  LogisticRegression lr;
+  lr.fit(X, y);
+  EXPECT_GT(accuracy_of(lr.predict_proba(X), y), 0.95);
+}
+
+TEST(LinearSVM, SeparatesBlobs) {
+  const auto [X, y] = make_blobs(200, 4, 3.0, 21);
+  LinearSVM svm;
+  svm.fit(X, y);
+  EXPECT_GT(accuracy_of(svm.predict_proba(X), y), 0.97);
+}
+
+TEST(LinearSVM, DecisionFunctionSignMatchesClass) {
+  const auto [X, y] = make_blobs(200, 2, 4.0, 22);
+  LinearSVM svm;
+  svm.fit(X, y);
+  const auto margins = svm.decision_function(X);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    correct += (margins[i] > 0.0) == (y[i] == 1);
+  }
+  // The raw Pegasos bias is only lightly tuned (Platt calibration fixes the
+  // operating point), so the uncalibrated sign is merely "mostly right".
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.9);
+}
+
+TEST(LinearSVM, PlattProbabilitiesCalibratedDirection) {
+  const auto [X, y] = make_blobs(200, 2, 4.0, 23);
+  LinearSVM svm;
+  svm.fit(X, y);
+  const auto probs = svm.predict_proba(X);
+  double mean_pos = 0.0, mean_neg = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    (y[i] == 1 ? mean_pos : mean_neg) += probs[i];
+  }
+  mean_pos /= 200.0;
+  mean_neg /= 200.0;
+  EXPECT_GT(mean_pos, 0.8);
+  EXPECT_LT(mean_neg, 0.2);
+}
+
+TEST(LinearSVM, CannotSolveXor) {
+  const auto [X, y] = make_xor(400, 24);
+  LinearSVM svm;
+  svm.fit(X, y);
+  EXPECT_LE(accuracy_of(svm.predict_proba(X), y), 0.72);
+}
+
+TEST(LinearSVM, PredictBeforeFitThrows) {
+  LinearSVM svm;
+  data::Matrix X{{0.0}};
+  EXPECT_THROW(svm.predict_proba(X), std::logic_error);
+  EXPECT_THROW(svm.decision_function(X), std::logic_error);
+}
+
+TEST(LinearSVM, CloneCarriesParams) {
+  LinearSVM svm({{"lambda", 0.5}});
+  auto clone = svm.clone_unfitted();
+  EXPECT_EQ(clone->name(), "SVM");
+}
+
+// Regularization sweep: stronger lambda shrinks the weight norm.
+class SvmLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SvmLambdaSweep, FitsAtAllStrengths) {
+  const auto [X, y] = make_blobs(100, 2, 3.0, 25);
+  LinearSVM svm({{"lambda", GetParam()}});
+  svm.fit(X, y);
+  EXPECT_GT(accuracy_of(svm.predict_proba(X), y), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SvmLambdaSweep,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2));
+
+}  // namespace
+}  // namespace mfpa::ml

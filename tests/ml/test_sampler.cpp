@@ -1,0 +1,96 @@
+#include "ml/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mfpa::ml {
+namespace {
+
+std::vector<int> labels(std::size_t pos, std::size_t neg) {
+  std::vector<int> y(pos, 1);
+  y.insert(y.end(), neg, 0);
+  return y;
+}
+
+TEST(RandomUnderSampler, KeepsAllMinority) {
+  const auto y = labels(10, 100);
+  RandomUnderSampler sampler(3.0, 1);
+  const auto idx = sampler.sample_indices(y);
+  std::size_t pos_kept = 0;
+  for (std::size_t i : idx) pos_kept += y[i] == 1;
+  EXPECT_EQ(pos_kept, 10u);
+}
+
+TEST(RandomUnderSampler, RatioRespected) {
+  const auto y = labels(10, 100);
+  RandomUnderSampler sampler(3.0, 1);
+  const auto idx = sampler.sample_indices(y);
+  std::size_t neg_kept = 0;
+  for (std::size_t i : idx) neg_kept += y[i] == 0;
+  EXPECT_EQ(neg_kept, 30u);
+}
+
+TEST(RandomUnderSampler, RatioLargerThanMajorityKeepsAll) {
+  const auto y = labels(10, 15);
+  RandomUnderSampler sampler(5.0, 1);
+  const auto idx = sampler.sample_indices(y);
+  EXPECT_EQ(idx.size(), 25u);
+}
+
+TEST(RandomUnderSampler, ZeroRatioKeepsEverything) {
+  const auto y = labels(5, 50);
+  RandomUnderSampler sampler(0.0, 1);
+  EXPECT_EQ(sampler.sample_indices(y).size(), 55u);
+}
+
+TEST(RandomUnderSampler, HandlesPositiveMajority) {
+  const auto y = labels(100, 10);
+  RandomUnderSampler sampler(2.0, 1);
+  const auto idx = sampler.sample_indices(y);
+  std::size_t pos_kept = 0, neg_kept = 0;
+  for (std::size_t i : idx) (y[i] == 1 ? pos_kept : neg_kept)++;
+  EXPECT_EQ(neg_kept, 10u);   // minority kept whole
+  EXPECT_EQ(pos_kept, 20u);   // majority sampled at 2:1
+}
+
+TEST(RandomUnderSampler, IndicesSortedAndUnique) {
+  const auto y = labels(20, 200);
+  RandomUnderSampler sampler(3.0, 7);
+  const auto idx = sampler.sample_indices(y);
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+  EXPECT_EQ(std::adjacent_find(idx.begin(), idx.end()), idx.end());
+}
+
+TEST(RandomUnderSampler, DeterministicGivenSeed) {
+  const auto y = labels(10, 100);
+  RandomUnderSampler a(3.0, 42), b(3.0, 42), c(3.0, 43);
+  EXPECT_EQ(a.sample_indices(y), b.sample_indices(y));
+  EXPECT_NE(a.sample_indices(y), c.sample_indices(y));
+}
+
+TEST(RandomUnderSampler, SingleClassKeepsEverything) {
+  const auto y = labels(0, 30);
+  RandomUnderSampler sampler(3.0, 1);
+  EXPECT_EQ(sampler.sample_indices(y).size(), 30u);
+}
+
+TEST(RandomUnderSampler, ResampleDatasetKeepsAlignment) {
+  data::Dataset ds;
+  ds.feature_names = {"x"};
+  for (int i = 0; i < 40; ++i) {
+    ds.add(std::vector<double>{static_cast<double>(i)}, i < 4 ? 1 : 0,
+           {static_cast<std::uint64_t>(i), i, 0});
+  }
+  RandomUnderSampler sampler(2.0, 3);
+  const auto out = sampler.resample(ds);
+  EXPECT_EQ(out.positives(), 4u);
+  EXPECT_EQ(out.negatives(), 8u);
+  // Feature value still equals the drive id used at construction.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.X(i, 0), static_cast<double>(out.meta[i].drive_id));
+  }
+}
+
+}  // namespace
+}  // namespace mfpa::ml

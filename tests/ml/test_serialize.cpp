@@ -1,0 +1,136 @@
+#include "ml/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "baselines/statistical.hpp"
+#include "ml/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+Hyperparams fast_params(const std::string& name) {
+  Hyperparams p = default_hyperparams(name);
+  p["seed"] = 3;
+  if (name == "RF") p["n_trees"] = 8;
+  if (name == "GBDT") p["n_rounds"] = 10;
+  if (name == "CNN_LSTM") {
+    p["timesteps"] = 2;
+    p["epochs"] = 2;
+    p["channels"] = 4;
+    p["hidden"] = 6;
+  }
+  if (name == "SVM") p["epochs"] = 5;
+  if (name == "LR") p["epochs"] = 10;
+  return p;
+}
+
+class SerializeSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializeSweep, RoundTripPredictsIdentically) {
+  const auto [X, y] = testing::make_blobs(80, 4, 3.0, 111);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+
+  std::stringstream ss;
+  save_classifier(ss, *model);
+  const auto restored = load_classifier(ss);
+  ASSERT_EQ(restored->name(), model->name());
+  EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X)) << GetParam();
+}
+
+TEST_P(SerializeSweep, UnfittedSaveThrows) {
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  std::stringstream ss;
+  EXPECT_THROW(save_classifier(ss, *model), std::logic_error) << GetParam();
+}
+
+TEST_P(SerializeSweep, HyperparamsSurviveRoundTrip) {
+  const auto [X, y] = testing::make_blobs(60, 4, 3.0, 112);
+  auto model = make_classifier(GetParam(), fast_params(GetParam()));
+  model->fit(X, y);
+  std::stringstream ss;
+  save_classifier(ss, *model);
+  const auto restored = load_classifier(ss);
+  EXPECT_EQ(restored->hyperparams(), model->hyperparams()) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, SerializeSweep,
+                         ::testing::Values("Bayes", "SVM", "RF", "GBDT",
+                                           "CNN_LSTM", "LR", "DT"));
+
+TEST(Serialize, FileRoundTrip) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 113);
+  auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
+  model->fit(X, y);
+  const std::string path = ::testing::TempDir() + "/mfpa_model_test.txt";
+  save_classifier_file(path, *model);
+  const auto restored = load_classifier_file(path);
+  EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_classifier_file("/nonexistent/mfpa.model"),
+               std::runtime_error);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("this is not a model");
+  EXPECT_THROW(load_classifier(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  std::stringstream ss("mfpa_model 99\nRF\nparams 0\n");
+  EXPECT_THROW(load_classifier(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsUnknownAlgorithm) {
+  std::stringstream ss("mfpa_model 1\nQuantumNet\nparams 0\n");
+  EXPECT_ANY_THROW(load_classifier(ss));
+}
+
+TEST(Serialize, RejectsTruncatedState) {
+  const auto [X, y] = testing::make_blobs(40, 3, 3.0, 114);
+  auto model = make_classifier("GBDT", {{"n_rounds", 4.0}});
+  model->fit(X, y);
+  std::stringstream ss;
+  save_classifier(ss, *model);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // chop mid-state
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_classifier(truncated), std::runtime_error);
+}
+
+TEST(Serialize, StatisticalDetectorsRoundTrip) {
+  const auto [X, y] = testing::make_blobs(80, 3, 2.0, 115);
+  for (auto* det : {static_cast<Classifier*>(new baselines::ParametricDetector()),
+                    static_cast<Classifier*>(new baselines::RankSumDetector())}) {
+    std::unique_ptr<Classifier> owned(det);
+    owned->fit(X, y);
+    std::stringstream ss;
+    owned->save_state(ss);
+    auto clone = owned->clone_unfitted();
+    clone->load_state(ss);
+    EXPECT_EQ(clone->predict_proba(X), owned->predict_proba(X))
+        << owned->name();
+  }
+}
+
+TEST(Serialize, VectorHelpersRoundTrip) {
+  std::stringstream ss;
+  const std::vector<double> values{1.0, -2.5, 3.14159265358979312, 1e-300};
+  io::write_vector(ss, "vals", values);
+  EXPECT_EQ(io::read_vector(ss, "vals"), values);
+}
+
+TEST(Serialize, ExpectTokenMismatchThrows) {
+  std::stringstream ss("wrong");
+  EXPECT_THROW(io::expect_token(ss, "right"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfpa::ml

@@ -1,0 +1,168 @@
+#include "ml/decision_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+using testing::accuracy_of;
+using testing::make_blobs;
+using testing::make_xor;
+
+std::vector<std::size_t> all_rows(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return rows;
+}
+
+TEST(RegressionTree, SingleSplitRecoversThreshold) {
+  // y = 1 iff x > 5; one split at ~5 suffices.
+  data::Matrix X(100, 1);
+  std::vector<double> g(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    X(i, 0) = static_cast<double>(i) / 10.0;
+    g[i] = X(i, 0) > 5.0 ? 1.0 : 0.0;
+  }
+  RegressionTree tree(TreeParams{.max_depth = 1});
+  Rng rng(1);
+  tree.fit(X, g, {}, all_rows(100), rng);
+  ASSERT_TRUE(tree.fitted());
+  const auto& root = tree.nodes()[0];
+  EXPECT_EQ(root.feature, 0);
+  EXPECT_NEAR(root.threshold, 5.0, 0.11);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{9.0}), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{1.0}), 0.0, 1e-9);
+}
+
+TEST(RegressionTree, DepthLimitRespected) {
+  const auto [X, y] = make_xor(300, 2);
+  std::vector<double> g(y.begin(), y.end());
+  RegressionTree tree(TreeParams{.max_depth = 3});
+  Rng rng(2);
+  tree.fit(X, g, {}, all_rows(300), rng);
+  EXPECT_LE(tree.depth(), 4);  // root at depth 1
+}
+
+TEST(RegressionTree, LeafValueIsMean) {
+  data::Matrix X{{1.0}, {1.0}, {1.0}};
+  const std::vector<double> g{0.0, 1.0, 1.0};
+  RegressionTree tree;
+  Rng rng(3);
+  tree.fit(X, g, {}, all_rows(3), rng);
+  // Constant feature: no split possible; root is a leaf with the mean.
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{1.0}), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+}
+
+TEST(RegressionTree, MinSamplesLeafBlocksTinySplits) {
+  data::Matrix X(10, 1);
+  std::vector<double> g(10, 0.0);
+  for (std::size_t i = 0; i < 10; ++i) X(i, 0) = static_cast<double>(i);
+  g[9] = 1.0;  // only a 9|1 split would isolate it
+  RegressionTree tree(TreeParams{.min_samples_leaf = 3});
+  Rng rng(4);
+  tree.fit(X, g, {}, all_rows(10), rng);
+  for (const auto& node : tree.nodes()) {
+    if (node.feature >= 0) {
+      EXPECT_GE(tree.nodes()[static_cast<std::size_t>(node.left)].samples, 3u);
+      EXPECT_GE(tree.nodes()[static_cast<std::size_t>(node.right)].samples, 3u);
+    }
+  }
+}
+
+TEST(RegressionTree, NewtonLeafUsesHessian) {
+  // With hessians, leaf = sum(g)/(sum(h)+lambda).
+  data::Matrix X{{1.0}, {1.0}};
+  const std::vector<double> g{1.0, 1.0};
+  const std::vector<double> h{0.5, 0.5};
+  RegressionTree tree(TreeParams{.lambda = 1.0});
+  Rng rng(5);
+  tree.fit(X, g, h, all_rows(2), rng);
+  EXPECT_NEAR(tree.predict_row(std::vector<double>{1.0}), 2.0 / 2.0, 1e-12);
+}
+
+TEST(RegressionTree, EmptyRowsThrows) {
+  data::Matrix X{{1.0}};
+  const std::vector<double> g{1.0};
+  RegressionTree tree;
+  Rng rng(6);
+  EXPECT_THROW(tree.fit(X, g, {}, {}, rng), std::invalid_argument);
+}
+
+TEST(RegressionTree, GradSizeMismatchThrows) {
+  data::Matrix X{{1.0}, {2.0}};
+  const std::vector<double> g{1.0};
+  RegressionTree tree;
+  Rng rng(7);
+  EXPECT_THROW(tree.fit(X, g, {}, all_rows(2), rng), std::invalid_argument);
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  RegressionTree tree;
+  EXPECT_THROW(tree.predict_row(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(RegressionTree, ImportanceConcentratesOnInformativeFeature) {
+  // Feature 1 is label-defining, feature 0 is noise.
+  Rng data_rng(8);
+  data::Matrix X(200, 2);
+  std::vector<double> g(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    X(i, 0) = data_rng.uniform();
+    X(i, 1) = data_rng.uniform();
+    g[i] = X(i, 1) > 0.5 ? 1.0 : 0.0;
+  }
+  RegressionTree tree(TreeParams{.max_depth = 4});
+  Rng rng(9);
+  tree.fit(X, g, {}, all_rows(200), rng);
+  std::vector<double> imp(2, 0.0);
+  tree.accumulate_importance(imp);
+  EXPECT_GT(imp[1], imp[0] * 10.0);
+}
+
+TEST(DecisionTreeClassifier, SolvesXor) {
+  const auto [X, y] = make_xor(500, 10);
+  DecisionTreeClassifier dt({{"max_depth", 6}});
+  dt.fit(X, y);
+  EXPECT_GT(accuracy_of(dt.predict_proba(X), y), 0.95);
+}
+
+TEST(DecisionTreeClassifier, ProbaIsLeafFraction) {
+  data::Matrix X{{0.0}, {0.0}, {0.0}, {10.0}};
+  const std::vector<int> y{0, 0, 1, 1};
+  DecisionTreeClassifier dt({{"max_depth", 1}});
+  dt.fit(X, y);
+  const auto p = dt.predict_proba(X);
+  EXPECT_NEAR(p[0], 1.0 / 3.0, 1e-9);  // left leaf has 1 of 3 positive
+  EXPECT_NEAR(p[3], 1.0, 1e-9);
+}
+
+TEST(DecisionTreeClassifier, SeparatesBlobs) {
+  const auto [X, y] = make_blobs(150, 3, 3.0, 11);
+  DecisionTreeClassifier dt;
+  dt.fit(X, y);
+  EXPECT_GT(accuracy_of(dt.predict_proba(X), y), 0.97);
+}
+
+// Depth sweep: deeper trees fit XOR better (until saturation).
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, AccuracyImprovesWithDepth) {
+  const auto [X, y] = make_xor(400, 12);
+  DecisionTreeClassifier dt({{"max_depth", static_cast<double>(GetParam())}});
+  dt.fit(X, y);
+  const double acc = accuracy_of(dt.predict_proba(X), y);
+  if (GetParam() >= 4) {
+    EXPECT_GT(acc, 0.9);
+  }
+  EXPECT_GT(acc, 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace mfpa::ml

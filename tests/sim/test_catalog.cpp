@@ -1,0 +1,158 @@
+#include "sim/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mfpa::sim {
+namespace {
+
+TEST(Catalog, SmartAttrsMatchTableII) {
+  EXPECT_EQ(smart_attr_names().size(), kNumSmartAttrs);
+  EXPECT_EQ(smart_attr_names()[0], "S_1");
+  EXPECT_EQ(smart_attr_names()[15], "S_16");
+  EXPECT_EQ(smart_attr_descriptions()[11], "Power On Hours");
+  EXPECT_EQ(smart_attr_descriptions()[15], "Capacity");
+  EXPECT_EQ(static_cast<std::size_t>(SmartAttr::kPowerOnHours), 11u);
+}
+
+TEST(Catalog, WindowsEventsMatchTableIII) {
+  const auto& events = windows_event_types();
+  EXPECT_EQ(events.size(), kNumWindowsEvents);
+  std::set<int> ids;
+  for (const auto& e : events) ids.insert(e.id);
+  // Table III ids.
+  for (int id : {7, 11, 15, 49, 51, 52, 154, 157, 161}) {
+    EXPECT_TRUE(ids.contains(id)) << "missing W_" << id;
+  }
+}
+
+TEST(Catalog, WindowsEventIndexLookup) {
+  EXPECT_EQ(windows_event_index(7), 0u);
+  EXPECT_EQ(windows_event_index(161), 8u);
+  EXPECT_THROW(windows_event_index(9999), std::out_of_range);
+}
+
+TEST(Catalog, BsodCodesMatchTableIVPlusReconstruction) {
+  const auto& codes = bsod_code_types();
+  EXPECT_EQ(codes.size(), kNumBsodCodes);
+  EXPECT_EQ(kNumBsodCodes, 23u);  // Table V counts 23 B attributes
+  std::set<int> ids;
+  for (const auto& c : codes) ids.insert(c.code);
+  for (int code : {0x23, 0x24, 0x48, 0x50, 0x6B, 0x77, 0x7A, 0x80, 0x9B, 0xC7,
+                   0xDA, 0xE4, 0xFC, 0x10C, 0x12C, 0x135, 0x13B, 0x157, 0x17E,
+                   0x189, 0x1DB, 0xC00}) {
+    EXPECT_TRUE(ids.contains(code)) << "missing stop code " << code;
+  }
+  EXPECT_TRUE(ids.contains(0x7B));  // reconstructed INACCESSIBLE_BOOT_DEVICE
+}
+
+TEST(Catalog, BsodCodeIndexLookup) {
+  EXPECT_EQ(bsod_code_types()[bsod_code_index(0x7A)].name, "B_7A");
+  EXPECT_THROW(bsod_code_index(0xDEAD), std::out_of_range);
+}
+
+TEST(Catalog, TicketCategoriesSumToOne) {
+  double total = 0.0;
+  for (const auto& c : ticket_categories()) total += c.fraction;
+  EXPECT_NEAR(total, 1.0, 0.001);
+}
+
+TEST(Catalog, TicketLevelsMatchTableI) {
+  double drive = 0.0, system = 0.0;
+  for (const auto& c : ticket_categories()) {
+    (c.level == FailureLevel::kDriveLevel ? drive : system) += c.fraction;
+  }
+  EXPECT_NEAR(drive, 0.3162, 0.001);   // Table I drive-level total
+  EXPECT_NEAR(system, 0.6838, 0.001);  // Table I system-level total
+}
+
+TEST(Catalog, BootShutdownGroupTotalMatchesPaper) {
+  double boot = 0.0;
+  for (const auto& c : ticket_categories()) {
+    if (c.group == "Boot/Shutdown failure") boot += c.fraction;
+  }
+  EXPECT_NEAR(boot, 0.4821, 0.001);  // "48.21% ... during startup or shutdown"
+}
+
+TEST(Catalog, TicketCategoryInfoRoundTrip) {
+  const auto& info = ticket_category_info(TicketCategory::kStorageDriveFailure);
+  EXPECT_EQ(info.category, TicketCategory::kStorageDriveFailure);
+  EXPECT_NEAR(info.fraction, 0.3113, 1e-9);
+}
+
+TEST(Catalog, FourVendorsTwelveModels) {
+  const auto& vendors = vendor_catalog();
+  EXPECT_EQ(vendors.size(), kNumVendors);
+  std::size_t models = 0;
+  for (const auto& v : vendors) models += v.models.size();
+  EXPECT_EQ(models, 12u);  // Table VI: 12 drive models
+}
+
+TEST(Catalog, FleetSizesMatchTableVI) {
+  const auto& vendors = vendor_catalog();
+  EXPECT_EQ(vendors[0].fleet_size, 270325u);
+  EXPECT_EQ(vendors[1].fleet_size, 1001278u);
+  EXPECT_EQ(vendors[2].fleet_size, 908037u);
+  EXPECT_EQ(vendors[3].fleet_size, 152405u);
+}
+
+TEST(Catalog, ReplacementRatesMatchTableVI) {
+  const auto& vendors = vendor_catalog();
+  EXPECT_NEAR(vendors[0].replacement_rate, 0.0068, 1e-9);
+  EXPECT_NEAR(vendors[1].replacement_rate, 0.0007, 1e-9);
+  EXPECT_NEAR(vendors[2].replacement_rate, 0.0005, 1e-9);
+  EXPECT_NEAR(vendors[3].replacement_rate, 0.0011, 1e-9);
+}
+
+TEST(Catalog, FirmwareCountsMatchFig3) {
+  const auto& vendors = vendor_catalog();
+  EXPECT_EQ(vendors[0].firmware.size(), 5u);  // Vendor I: 5 versions
+  EXPECT_EQ(vendors[1].firmware.size(), 3u);
+  EXPECT_EQ(vendors[2].firmware.size(), 2u);
+  EXPECT_EQ(vendors[3].firmware.size(), 2u);
+}
+
+TEST(Catalog, EarlierFirmwareFailsMore) {
+  // Observation #2: "the earlier the firmware version, the higher the
+  // failure rate" — multipliers must be strictly decreasing.
+  for (const auto& vendor : vendor_catalog()) {
+    for (std::size_t i = 1; i < vendor.firmware.size(); ++i) {
+      EXPECT_GT(vendor.firmware[i - 1].failure_multiplier,
+                vendor.firmware[i].failure_multiplier)
+          << vendor.name << " fw " << i;
+    }
+  }
+}
+
+TEST(Catalog, SharesSumToOne) {
+  for (const auto& vendor : vendor_catalog()) {
+    double fw = 0.0, models = 0.0;
+    for (const auto& f : vendor.firmware) fw += f.market_share;
+    for (const auto& m : vendor.models) models += m.fleet_fraction;
+    EXPECT_NEAR(fw, 1.0, 1e-9) << vendor.name;
+    EXPECT_NEAR(models, 1.0, 1e-9) << vendor.name;
+  }
+}
+
+TEST(Catalog, ArchetypeMixSumsToOne) {
+  for (const auto& vendor : vendor_catalog()) {
+    const auto& a = vendor.archetypes;
+    EXPECT_NEAR(a.wearout + a.media + a.controller + a.sudden, 1.0, 1e-9);
+  }
+}
+
+TEST(Catalog, ModelCapacitiesInRange) {
+  // Dataset: "12 models of different capacities (from 128GB to 1TB)".
+  for (const auto& vendor : vendor_catalog()) {
+    for (const auto& m : vendor.models) {
+      EXPECT_GE(m.capacity_gb, 128);
+      EXPECT_LE(m.capacity_gb, 1024);
+      EXPECT_GE(m.flash_layers, 32);   // "from 32-layer to 96-layer"
+      EXPECT_LE(m.flash_layers, 96);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mfpa::sim

@@ -1,0 +1,124 @@
+#include "sim/event_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/catalog.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+double total_w(const EventRates& r) {
+  return std::accumulate(r.w.begin(), r.w.end(), 0.0);
+}
+double total_b(const EventRates& r) {
+  return std::accumulate(r.b.begin(), r.b.end(), 0.0);
+}
+
+TEST(EventModel, HealthyRatesAreLow) {
+  const auto base = EventModel::healthy_base(false);
+  for (double r : base.w) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 0.01);
+  }
+  for (double r : base.b) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 0.001);
+  }
+}
+
+TEST(EventModel, GrumpyOsIsNoisierOverall) {
+  const auto quiet = EventModel::healthy_base(false);
+  const auto grumpy = EventModel::healthy_base(true);
+  EXPECT_GT(total_w(grumpy), total_w(quiet) * 2.0);
+  EXPECT_GT(total_b(grumpy), total_b(quiet) * 2.0);
+}
+
+TEST(EventModel, GrumpyKeepsStorageSignaturesClean) {
+  // W_52 ("predicted failure") and B_7B (boot device loss) must not inflate
+  // on grumpy-but-healthy machines — that asymmetry is what lets SFWB rescue
+  // SMART-only false positives.
+  const auto quiet = EventModel::healthy_base(false);
+  const auto grumpy = EventModel::healthy_base(true);
+  EXPECT_DOUBLE_EQ(grumpy.w[windows_event_index(52)],
+                   quiet.w[windows_event_index(52)]);
+  EXPECT_DOUBLE_EQ(grumpy.b[bsod_code_index(0x7B)],
+                   quiet.b[bsod_code_index(0x7B)]);
+}
+
+TEST(EventModel, ControllerArchetypeBoostsControllerEvents) {
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kController);
+  EXPECT_GT(boost.w[windows_event_index(11)], 1.0);   // W_11 controller error
+  EXPECT_GT(boost.w[windows_event_index(157)], 0.3);  // surprise removal
+  EXPECT_LT(boost.w[windows_event_index(7)], 0.1);    // not a bad-block story
+}
+
+TEST(EventModel, MediaArchetypeBoostsBadBlockEvents) {
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kMedia);
+  EXPECT_GT(boost.w[windows_event_index(7)], 0.5);    // W_7 bad block
+  EXPECT_GT(boost.w[windows_event_index(154)], 0.3);  // LBA hardware error
+  EXPECT_GT(boost.b[bsod_code_index(0x7A)], 0.1);     // KERNEL_DATA_INPAGE
+}
+
+TEST(EventModel, SuddenArchetypeBoostsBootDeviceLoss) {
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kSudden);
+  EXPECT_GT(boost.b[bsod_code_index(0x7B)], 0.2);     // INACCESSIBLE_BOOT_DEVICE
+  EXPECT_GT(boost.w[windows_event_index(49)], 0.5);   // crash dump config fails
+}
+
+TEST(EventModel, WearoutArchetypeBoostsPredictedFailure) {
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kWearout);
+  EXPECT_GT(boost.w[windows_event_index(52)], 0.3);   // W_52 predicted failure
+}
+
+TEST(EventModel, SampleDayZeroLevelMatchesBackground) {
+  Rng rng(1);
+  const auto base = EventModel::healthy_base(false);
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kMedia);
+  long total = 0;
+  std::array<std::uint16_t, kNumWindowsEvents> w{};
+  std::array<std::uint16_t, kNumBsodCodes> b{};
+  const int days = 20000;
+  for (int i = 0; i < days; ++i) {
+    EventModel::sample_day(base, boost, 0.0, rng, w, b);
+    for (auto c : w) total += c;
+  }
+  // Expected daily W count = sum of base rates (~0.004).
+  const double expected = total_w(base) * days;
+  EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.25 + 10);
+}
+
+TEST(EventModel, FullLevelProducesBursts) {
+  Rng rng(2);
+  const auto base = EventModel::healthy_base(false);
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kController);
+  long w11 = 0;
+  std::array<std::uint16_t, kNumWindowsEvents> w{};
+  std::array<std::uint16_t, kNumBsodCodes> b{};
+  for (int i = 0; i < 1000; ++i) {
+    EventModel::sample_day(base, boost, 1.0, rng, w, b);
+    w11 += w[windows_event_index(11)];
+  }
+  // W_11 boost is 1.6/day at full level.
+  EXPECT_NEAR(static_cast<double>(w11) / 1000.0, 1.6, 0.3);
+}
+
+TEST(EventModel, LevelScalesRates) {
+  Rng rng(3);
+  const auto base = EventModel::healthy_base(false);
+  const auto& boost = EventModel::archetype_boost(FailureArchetype::kMedia);
+  long half = 0, full = 0;
+  std::array<std::uint16_t, kNumWindowsEvents> w{};
+  std::array<std::uint16_t, kNumBsodCodes> b{};
+  for (int i = 0; i < 3000; ++i) {
+    EventModel::sample_day(base, boost, 0.5, rng, w, b);
+    for (auto c : w) half += c;
+    EventModel::sample_day(base, boost, 1.0, rng, w, b);
+    for (auto c : w) full += c;
+  }
+  EXPECT_GT(full, half * 1.5);
+}
+
+}  // namespace
+}  // namespace mfpa::sim

@@ -1,0 +1,243 @@
+#include "sim/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mfpa::sim {
+namespace {
+
+Scenario test_scenario() {
+  Scenario s = tiny_scenario(99);
+  return s;
+}
+
+TEST(Fleet, RejectsBadScenario) {
+  Scenario s = test_scenario();
+  s.telemetry_start = 300;
+  s.telemetry_end = 100;
+  EXPECT_THROW(FleetSimulator{s}, std::invalid_argument);
+  Scenario z = test_scenario();
+  z.fleet_scale = 0.0;
+  EXPECT_THROW(FleetSimulator{z}, std::invalid_argument);
+}
+
+TEST(Fleet, FleetSizeScales) {
+  FleetSimulator fleet(test_scenario());
+  const auto summaries = fleet.summarize();
+  ASSERT_EQ(summaries.size(), kNumVendors);
+  for (std::size_t v = 0; v < kNumVendors; ++v) {
+    const double expected =
+        static_cast<double>(vendor_catalog()[v].fleet_size) * 0.004;
+    EXPECT_NEAR(static_cast<double>(summaries[v].total), expected,
+                expected * 0.01 + 51);
+  }
+}
+
+TEST(Fleet, DriveIdsUniqueAndVendorTagged) {
+  FleetSimulator fleet(test_scenario());
+  std::unordered_set<std::uint64_t> ids;
+  for (const auto& d : fleet.drives()) {
+    EXPECT_TRUE(ids.insert(d.drive_id).second);
+    EXPECT_EQ(d.drive_id / 10'000'000ULL,
+              static_cast<std::uint64_t>(d.vendor) + 1);
+  }
+}
+
+TEST(Fleet, DeterministicAcrossInstances) {
+  FleetSimulator a(test_scenario()), b(test_scenario());
+  const auto& da = a.drives();
+  const auto& db = b.drives();
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); i += 97) {
+    EXPECT_EQ(da[i].drive_id, db[i].drive_id);
+    EXPECT_EQ(da[i].outcome.fails, db[i].outcome.fails);
+    EXPECT_EQ(da[i].outcome.failure_day, db[i].outcome.failure_day);
+  }
+}
+
+TEST(Fleet, DifferentSeedsDiffer) {
+  FleetSimulator a(tiny_scenario(1)), b(tiny_scenario(2));
+  std::size_t diffs = 0;
+  const auto& da = a.drives();
+  const auto& db = b.drives();
+  for (std::size_t i = 0; i < std::min(da.size(), db.size()); i += 13) {
+    if (da[i].outcome.deploy_day != db[i].outcome.deploy_day) ++diffs;
+  }
+  EXPECT_GT(diffs, 10u);
+}
+
+TEST(Fleet, TicketsOnlyForFailures) {
+  FleetSimulator fleet(test_scenario());
+  std::unordered_map<std::uint64_t, const DriveInfo*> info;
+  for (const auto& d : fleet.drives()) info[d.drive_id] = &d;
+  const auto tickets = fleet.tickets();
+  std::size_t failures = 0;
+  for (const auto& d : fleet.drives()) failures += d.outcome.fails;
+  EXPECT_EQ(tickets.size(), failures);
+  for (const auto& t : tickets) {
+    const auto* d = info.at(t.drive_id);
+    EXPECT_TRUE(d->outcome.fails);
+    EXPECT_GT(t.imt, d->outcome.failure_day);  // repair strictly after failure
+    EXPECT_EQ(t.category, d->outcome.category);
+  }
+}
+
+TEST(Fleet, TicketsSortedByImt) {
+  FleetSimulator fleet(test_scenario());
+  const auto tickets = fleet.tickets();
+  for (std::size_t i = 1; i < tickets.size(); ++i) {
+    EXPECT_LE(tickets[i - 1].imt, tickets[i].imt);
+  }
+}
+
+TEST(Fleet, TelemetryWindowRespected) {
+  FleetSimulator fleet(test_scenario());
+  const auto telemetry = fleet.generate_telemetry();
+  ASSERT_FALSE(telemetry.empty());
+  const auto& s = fleet.scenario();
+  for (const auto& series : telemetry) {
+    for (const auto& rec : series.records) {
+      EXPECT_GE(rec.day, s.telemetry_start);
+      EXPECT_LT(rec.day, s.telemetry_end);
+      if (series.failed) {
+        EXPECT_LE(rec.day, series.failure_day);
+      }
+    }
+  }
+}
+
+TEST(Fleet, TelemetryRecordsSortedStrictlyIncreasing) {
+  FleetSimulator fleet(test_scenario());
+  for (const auto& series : fleet.generate_telemetry()) {
+    for (std::size_t i = 1; i < series.records.size(); ++i) {
+      EXPECT_LT(series.records[i - 1].day, series.records[i].day);
+    }
+  }
+}
+
+TEST(Fleet, TelemetryIncludesAllWindowFailures) {
+  FleetSimulator fleet(test_scenario());
+  const auto telemetry = fleet.generate_telemetry();
+  std::unordered_set<std::uint64_t> tracked;
+  for (const auto& s : telemetry) tracked.insert(s.drive_id);
+  const auto& sc = fleet.scenario();
+  for (const auto& d : fleet.drives()) {
+    if (!d.outcome.fails) continue;
+    if (d.outcome.failure_day < sc.telemetry_start ||
+        d.outcome.failure_day >= sc.telemetry_end) {
+      continue;
+    }
+    // Failed drives are tracked unless they produced no records at all
+    // (deployed too late / never powered on).
+    const auto series = fleet.generate_drive_telemetry(d);
+    if (!series.records.empty()) {
+      EXPECT_TRUE(tracked.contains(d.drive_id)) << d.drive_id;
+    }
+  }
+}
+
+TEST(Fleet, HealthySampleRatioHonored) {
+  FleetSimulator fleet(test_scenario());
+  const auto telemetry = fleet.generate_telemetry();
+  std::size_t healthy = 0, failed = 0;
+  for (const auto& s : telemetry) s.failed ? ++failed : ++healthy;
+  ASSERT_GT(failed, 0u);
+  // healthy_per_failed = 6 with a floor of 16 per vendor; allow slack for
+  // drives dropped for lacking records.
+  EXPECT_GE(healthy, failed);
+  EXPECT_LE(healthy, failed * 6 + 4 * 16);
+}
+
+TEST(Fleet, DriveTelemetryDeterministic) {
+  FleetSimulator fleet(test_scenario());
+  const auto& drives = fleet.drives();
+  const auto* failed = &drives[0];
+  for (const auto& d : drives) {
+    if (d.outcome.fails) {
+      failed = &d;
+      break;
+    }
+  }
+  const auto a = fleet.generate_drive_telemetry(*failed);
+  const auto b = fleet.generate_drive_telemetry(*failed);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].day, b.records[i].day);
+    EXPECT_EQ(a.records[i].smart, b.records[i].smart);
+    EXPECT_EQ(a.records[i].w, b.records[i].w);
+  }
+}
+
+TEST(Fleet, FirmwareIndexesValidOrDriftRelease) {
+  FleetSimulator fleet(test_scenario());
+  for (const auto& series : fleet.generate_telemetry()) {
+    const auto catalog_size =
+        vendor_catalog()[static_cast<std::size_t>(series.vendor)].firmware.size();
+    for (const auto& rec : series.records) {
+      EXPECT_LE(rec.firmware_index, catalog_size);  // == size means drift release
+    }
+  }
+}
+
+TEST(Fleet, FirmwareNeverDowngrades) {
+  FleetSimulator fleet(test_scenario());
+  for (const auto& series : fleet.generate_telemetry()) {
+    for (std::size_t i = 1; i < series.records.size(); ++i) {
+      EXPECT_GE(series.records[i].firmware_index,
+                series.records[i - 1].firmware_index);
+    }
+  }
+}
+
+TEST(Fleet, PohAtFailurePositiveForFailures) {
+  FleetSimulator fleet(test_scenario());
+  for (const auto& d : fleet.drives()) {
+    if (d.outcome.fails) {
+      EXPECT_GT(d.poh_at_failure(), 0.0);
+    }
+  }
+}
+
+TEST(Fleet, HardwareLookupMatchesCatalog) {
+  FleetSimulator fleet(test_scenario());
+  const auto& d = fleet.drives().front();
+  const auto hw = fleet.hardware_of(d);
+  const auto& model = vendor_catalog()[static_cast<std::size_t>(d.vendor)]
+                          .models[static_cast<std::size_t>(d.model)];
+  EXPECT_EQ(hw.capacity_gb, model.capacity_gb);
+  EXPECT_EQ(hw.flash_layers, model.flash_layers);
+}
+
+TEST(Fleet, ThreadedTelemetryMatchesSerial) {
+  // Per-drive random streams derive from (seed, drive id); thread count
+  // must not change the output.
+  FleetSimulator a(test_scenario()), b(test_scenario());
+  const auto serial = a.generate_telemetry(1);
+  const auto parallel = b.generate_telemetry(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].drive_id, parallel[i].drive_id);
+    ASSERT_EQ(serial[i].records.size(), parallel[i].records.size());
+    for (std::size_t r = 0; r < serial[i].records.size(); ++r) {
+      EXPECT_EQ(serial[i].records[r].day, parallel[i].records[r].day);
+      EXPECT_EQ(serial[i].records[r].smart, parallel[i].records[r].smart);
+      EXPECT_EQ(serial[i].records[r].w, parallel[i].records[r].w);
+      EXPECT_EQ(serial[i].records[r].b, parallel[i].records[r].b);
+    }
+  }
+}
+
+TEST(Fleet, RealizedReplacementRatesOrdered) {
+  // At small scale the absolute rates are noisy, but vendor I must clearly
+  // exceed vendors II/III (its RR is ~10x theirs).
+  FleetSimulator fleet(small_scenario(5));
+  const auto summaries = fleet.summarize();
+  EXPECT_GT(summaries[0].replacement_rate, summaries[1].replacement_rate * 3);
+  EXPECT_GT(summaries[0].replacement_rate, summaries[2].replacement_rate * 3);
+}
+
+}  // namespace
+}  // namespace mfpa::sim

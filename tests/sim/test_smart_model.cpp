@@ -1,0 +1,171 @@
+#include "sim/smart_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfpa::sim {
+namespace {
+
+DriveOutcome failing_outcome(FailureArchetype a, DayIndex fail_day, int onset) {
+  DriveOutcome out;
+  out.fails = true;
+  out.failure_day = fail_day;
+  out.archetype = a;
+  out.onset_days = onset;
+  out.deploy_day = 0;
+  return out;
+}
+
+TEST(DegradationLevel, ZeroForHealthy) {
+  DriveOutcome healthy;
+  EXPECT_DOUBLE_EQ(degradation_level(healthy, 100), 0.0);
+}
+
+TEST(DegradationLevel, ZeroBeforeOnset) {
+  const auto out = failing_outcome(FailureArchetype::kMedia, 100, 20);
+  EXPECT_DOUBLE_EQ(degradation_level(out, 79), 0.0);
+  EXPECT_DOUBLE_EQ(degradation_level(out, 80), 0.0);
+}
+
+TEST(DegradationLevel, OneAtFailure) {
+  const auto out = failing_outcome(FailureArchetype::kMedia, 100, 20);
+  EXPECT_DOUBLE_EQ(degradation_level(out, 100), 1.0);
+  EXPECT_DOUBLE_EQ(degradation_level(out, 150), 1.0);
+}
+
+TEST(DegradationLevel, MonotoneOverRamp) {
+  const auto out = failing_outcome(FailureArchetype::kWearout, 100, 30);
+  double prev = 0.0;
+  for (DayIndex d = 70; d <= 100; ++d) {
+    const double level = degradation_level(out, d);
+    EXPECT_GE(level, prev);
+    EXPECT_LE(level, 1.0);
+    prev = level;
+  }
+}
+
+TEST(SmartModel, InitStateScalesWithAge) {
+  Rng rng(1);
+  const DriveHardware hw{512, 64};
+  const auto young = SmartModel::init_state(hw, UserProfile::kRegular, 30, rng);
+  const auto old = SmartModel::init_state(hw, UserProfile::kRegular, 600, rng);
+  EXPECT_GT(old.poh_hours, young.poh_hours * 5);
+  EXPECT_GT(old.gb_written, young.gb_written * 5);
+}
+
+TEST(SmartModel, CountersMonotoneUnderAdvance) {
+  Rng rng(2);
+  const DriveHardware hw{256, 64};
+  DriveOutcome healthy;
+  auto state = SmartModel::init_state(hw, UserProfile::kRegular, 100, rng);
+  for (DayIndex d = 0; d < 60; ++d) {
+    const SmartState before = state;
+    SmartModel::advance(state, hw, UserProfile::kRegular, healthy, d, 1, rng);
+    EXPECT_GE(state.poh_hours, before.poh_hours);
+    EXPECT_GE(state.gb_written, before.gb_written);
+    EXPECT_GE(state.media_errors, before.media_errors);
+    EXPECT_GE(state.error_log_entries, before.error_log_entries);
+    EXPECT_LE(state.spare_pct, before.spare_pct + 1e-9);
+  }
+}
+
+TEST(SmartModel, SpareNeverNegative) {
+  Rng rng(3);
+  const DriveHardware hw{128, 32};
+  const auto out = failing_outcome(FailureArchetype::kMedia, 60, 40);
+  auto state = SmartModel::init_state(hw, UserProfile::kAlwaysOn, 400, rng);
+  for (DayIndex d = 0; d <= 60; ++d) {
+    SmartModel::advance(state, hw, UserProfile::kAlwaysOn, out, d, 1, rng);
+    EXPECT_GE(state.spare_pct, 0.0);
+  }
+}
+
+TEST(SmartModel, MediaArchetypeAccumulatesErrors) {
+  Rng rng(4);
+  const DriveHardware hw{256, 64};
+  const auto out = failing_outcome(FailureArchetype::kMedia, 50, 30);
+  auto degrading = SmartModel::init_state(hw, UserProfile::kAlwaysOn, 200, rng);
+  degrading.grumpy = false;
+  degrading.media_errors = 0;
+  auto healthy_state = degrading;
+  DriveOutcome healthy;
+  for (DayIndex d = 20; d <= 50; ++d) {
+    SmartModel::advance(degrading, hw, UserProfile::kAlwaysOn, out, d, 1, rng);
+    SmartModel::advance(healthy_state, hw, UserProfile::kAlwaysOn, healthy, d, 1,
+                        rng);
+  }
+  EXPECT_GT(degrading.media_errors, healthy_state.media_errors + 30.0);
+}
+
+TEST(SmartModel, ObserveVectorShapeAndRanges) {
+  Rng rng(5);
+  const DriveHardware hw{512, 96};
+  DriveOutcome healthy;
+  auto state = SmartModel::init_state(hw, UserProfile::kRegular, 100, rng);
+  const auto obs = SmartModel::observe(state, hw, healthy, 100, false, rng);
+  ASSERT_EQ(obs.size(), kNumSmartAttrs);
+  auto get = [&obs](SmartAttr a) {
+    return obs[static_cast<std::size_t>(a)];
+  };
+  EXPECT_GE(get(SmartAttr::kAvailableSpare), 0.0f);
+  EXPECT_LE(get(SmartAttr::kAvailableSpare), 100.0f);
+  EXPECT_FLOAT_EQ(get(SmartAttr::kAvailableSpareThreshold), 10.0f);
+  EXPECT_FLOAT_EQ(get(SmartAttr::kCapacity), 512.0f);
+  EXPECT_GT(get(SmartAttr::kCompositeTemperature), 15.0f);
+  EXPECT_LT(get(SmartAttr::kCompositeTemperature), 90.0f);
+  EXPECT_GE(get(SmartAttr::kPercentageUsed), 0.0f);
+}
+
+TEST(SmartModel, CriticalWarningWhenSpareExhausted) {
+  Rng rng(6);
+  const DriveHardware hw{128, 32};
+  DriveOutcome healthy;
+  auto state = SmartModel::init_state(hw, UserProfile::kRegular, 10, rng);
+  state.spare_pct = 5.0;  // below the 10% threshold
+  const auto obs = SmartModel::observe(state, hw, healthy, 10, false, rng);
+  EXPECT_FLOAT_EQ(obs[static_cast<std::size_t>(SmartAttr::kCriticalWarning)],
+                  1.0f);
+}
+
+TEST(SmartModel, SeasonalDriftShiftsTemperature) {
+  Rng rng(7);
+  const DriveHardware hw{256, 64};
+  DriveOutcome healthy;
+  auto state = SmartModel::init_state(hw, UserProfile::kRegular, 100, rng);
+  state.temp_offset = 0.0;
+  // Average many observations at the seasonal peak vs trough.
+  double summer = 0.0, winter = 0.0;
+  const int n = 400;
+  for (int i = 0; i < n; ++i) {
+    // The model's sine peaks where (day+220)/365 = 0.25 mod 1 (day 236) and
+    // bottoms out half a year later (day 419).
+    summer += SmartModel::observe(state, hw, healthy, 236, true, rng)
+        [static_cast<std::size_t>(SmartAttr::kCompositeTemperature)];
+    winter += SmartModel::observe(state, hw, healthy, 419, true, rng)
+        [static_cast<std::size_t>(SmartAttr::kCompositeTemperature)];
+  }
+  EXPECT_GT(summer / n - winter / n, 5.0);
+}
+
+TEST(SmartModel, ScareBurstAddsErrorsWithoutFailure) {
+  Rng rng(8);
+  const DriveHardware hw{256, 64};
+  DriveOutcome healthy;
+  auto state = SmartModel::init_state(hw, UserProfile::kRegular, 100, rng);
+  state.grumpy = false;
+  state.media_errors = 0;
+  state.scare_day = 120;
+  state.scare_len = 5;
+  for (DayIndex d = 110; d < 140; ++d) {
+    SmartModel::advance(state, hw, UserProfile::kRegular, healthy, d, 1, rng);
+  }
+  EXPECT_GT(state.media_errors, 8.0);  // burst of ~5/day over 5 days
+}
+
+TEST(SmartModel, EnduranceHeuristicScalesWithCapacity) {
+  const DriveHardware big{1024, 96};
+  const DriveHardware small{128, 32};
+  EXPECT_GT(big.endurance_tbw(), small.endurance_tbw() * 7);
+}
+
+}  // namespace
+}  // namespace mfpa::sim

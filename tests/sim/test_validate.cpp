@@ -1,0 +1,120 @@
+#include "sim/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fleet.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+DriveTimeSeries clean_series(std::uint64_t id, std::initializer_list<DayIndex> days) {
+  DriveTimeSeries s;
+  s.drive_id = id;
+  float poh = 100.0f;
+  for (DayIndex d : days) {
+    DailyRecord r;
+    r.day = d;
+    r.smart[static_cast<std::size_t>(SmartAttr::kPowerOnHours)] = poh;
+    r.smart[static_cast<std::size_t>(SmartAttr::kAvailableSpare)] = 100.0f;
+    r.smart[static_cast<std::size_t>(SmartAttr::kCompositeTemperature)] = 36.0f;
+    poh += 8.0f;
+    s.records.push_back(r);
+  }
+  return s;
+}
+
+TEST(Validate, CleanBatchHasNoIssues) {
+  const std::vector<DriveTimeSeries> batch{clean_series(1, {1, 2, 3}),
+                                           clean_series(2, {5, 6, 8})};
+  const auto report = validate_telemetry(batch);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.drives, 2u);
+  EXPECT_EQ(report.records, 6u);
+  EXPECT_EQ(report.gaps_short, 1u);  // the 6 -> 8 gap
+}
+
+TEST(Validate, GapProfileBuckets) {
+  const std::vector<DriveTimeSeries> batch{
+      clean_series(1, {0, 1, 4, 10, 30})};  // gaps 1, 3, 6, 20
+  const auto report = validate_telemetry(batch);
+  EXPECT_EQ(report.gaps_short, 1u);
+  EXPECT_EQ(report.gaps_medium, 1u);
+  EXPECT_EQ(report.gaps_long, 1u);
+}
+
+TEST(Validate, DetectsCounterRegression) {
+  auto series = clean_series(1, {1, 2});
+  series.records[1].smart[static_cast<std::size_t>(SmartAttr::kPowerOnHours)] =
+      10.0f;  // went backwards from 108
+  const auto report = validate_telemetry({series});
+  ASSERT_EQ(report.issues_total, 1u);
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kCounterRegression);
+  EXPECT_EQ(report.issues[0].drive_id, 1u);
+}
+
+TEST(Validate, DetectsNonMonotonicDays) {
+  auto series = clean_series(1, {5, 5});
+  const auto report = validate_telemetry({series});
+  EXPECT_GE(report.issues_total, 1u);
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kNonMonotonicDays);
+}
+
+TEST(Validate, DetectsOutOfRangeValues) {
+  auto series = clean_series(1, {1});
+  series.records[0].smart[static_cast<std::size_t>(SmartAttr::kAvailableSpare)] =
+      130.0f;
+  series.records[0]
+      .smart[static_cast<std::size_t>(SmartAttr::kCompositeTemperature)] = 200.0f;
+  const auto report = validate_telemetry({series});
+  EXPECT_EQ(report.issues_total, 2u);
+}
+
+TEST(Validate, DetectsFirmwareDowngrade) {
+  auto series = clean_series(1, {1, 2});
+  series.records[0].firmware_index = 3;
+  series.records[1].firmware_index = 1;
+  const auto report = validate_telemetry({series});
+  ASSERT_GE(report.issues_total, 1u);
+  EXPECT_EQ(report.issues[0].kind, ValidationIssue::Kind::kFirmwareDowngrade);
+}
+
+TEST(Validate, DetectsEmptyAndDuplicateSeries) {
+  DriveTimeSeries empty;
+  empty.drive_id = 9;
+  const auto report =
+      validate_telemetry({empty, clean_series(9, {1, 2})});
+  EXPECT_EQ(report.issues_total, 2u);  // empty + duplicate id
+}
+
+TEST(Validate, IssueSampleCapped) {
+  std::vector<DriveTimeSeries> batch;
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    DriveTimeSeries empty;
+    empty.drive_id = i;
+    batch.push_back(empty);
+  }
+  const auto report = validate_telemetry(batch, 5);
+  EXPECT_EQ(report.issues_total, 30u);
+  EXPECT_EQ(report.issues.size(), 5u);
+}
+
+TEST(Validate, SimulatorOutputIsClean) {
+  // The simulator must produce physically coherent telemetry.
+  FleetSimulator fleet(tiny_scenario(81));
+  const auto report = validate_telemetry(fleet.generate_telemetry());
+  EXPECT_TRUE(report.clean()) << report.issues_total << " issues, first: "
+                              << (report.issues.empty()
+                                      ? "-"
+                                      : report.issues[0].detail);
+  EXPECT_GT(report.gaps_short + report.gaps_medium + report.gaps_long, 0u);
+}
+
+TEST(Validate, IssueNamesCovered) {
+  EXPECT_STREQ(validation_issue_name(ValidationIssue::Kind::kEmptySeries),
+               "empty series");
+  EXPECT_STREQ(validation_issue_name(ValidationIssue::Kind::kCounterRegression),
+               "counter regression");
+}
+
+}  // namespace
+}  // namespace mfpa::sim

@@ -1,0 +1,20 @@
+// Thin argv wrapper around the mfpa_cli library (see src/cli/cli.hpp).
+#include <iostream>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cout << mfpa::cli::usage();
+    return 1;
+  }
+  try {
+    const auto cmd = mfpa::cli::parse_command_line(args);
+    return mfpa::cli::run_command(cmd, std::cout, std::cerr);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << mfpa::cli::usage();
+    return 1;
+  }
+}
