@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa.dir/tools/mfpa_main.cpp.o"
+  "CMakeFiles/mfpa.dir/tools/mfpa_main.cpp.o.d"
+  "mfpa"
+  "mfpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

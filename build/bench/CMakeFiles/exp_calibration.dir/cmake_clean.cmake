@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_calibration.dir/exp_calibration.cpp.o"
+  "CMakeFiles/exp_calibration.dir/exp_calibration.cpp.o.d"
+  "exp_calibration"
+  "exp_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

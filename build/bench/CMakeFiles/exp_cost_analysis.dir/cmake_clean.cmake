@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cost_analysis.dir/exp_cost_analysis.cpp.o"
+  "CMakeFiles/exp_cost_analysis.dir/exp_cost_analysis.cpp.o.d"
+  "exp_cost_analysis"
+  "exp_cost_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cost_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

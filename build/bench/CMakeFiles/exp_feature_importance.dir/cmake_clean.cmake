@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_feature_importance.dir/exp_feature_importance.cpp.o"
+  "CMakeFiles/exp_feature_importance.dir/exp_feature_importance.cpp.o.d"
+  "exp_feature_importance"
+  "exp_feature_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_feature_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

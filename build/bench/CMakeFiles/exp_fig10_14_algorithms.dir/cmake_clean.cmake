@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig10_14_algorithms.dir/exp_fig10_14_algorithms.cpp.o"
+  "CMakeFiles/exp_fig10_14_algorithms.dir/exp_fig10_14_algorithms.cpp.o.d"
+  "exp_fig10_14_algorithms"
+  "exp_fig10_14_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig10_14_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig10_14_algorithms.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig11_15_vendors.dir/exp_fig11_15_vendors.cpp.o"
+  "CMakeFiles/exp_fig11_15_vendors.dir/exp_fig11_15_vendors.cpp.o.d"
+  "exp_fig11_15_vendors"
+  "exp_fig11_15_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig11_15_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

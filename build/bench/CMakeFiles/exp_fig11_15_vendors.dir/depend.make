@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig11_15_vendors.
+# This may be replaced when dependencies are built.

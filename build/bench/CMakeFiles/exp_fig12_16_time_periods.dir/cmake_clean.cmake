@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig12_16_time_periods.dir/exp_fig12_16_time_periods.cpp.o"
+  "CMakeFiles/exp_fig12_16_time_periods.dir/exp_fig12_16_time_periods.cpp.o.d"
+  "exp_fig12_16_time_periods"
+  "exp_fig12_16_time_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig12_16_time_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

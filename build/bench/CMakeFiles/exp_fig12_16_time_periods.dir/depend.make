@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig12_16_time_periods.
+# This may be replaced when dependencies are built.

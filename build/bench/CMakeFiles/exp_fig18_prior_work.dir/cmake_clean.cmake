@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig18_prior_work.dir/exp_fig18_prior_work.cpp.o"
+  "CMakeFiles/exp_fig18_prior_work.dir/exp_fig18_prior_work.cpp.o.d"
+  "exp_fig18_prior_work"
+  "exp_fig18_prior_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig18_prior_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig18_prior_work.
+# This may be replaced when dependencies are built.

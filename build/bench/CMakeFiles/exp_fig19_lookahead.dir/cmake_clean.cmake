@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig19_lookahead.dir/exp_fig19_lookahead.cpp.o"
+  "CMakeFiles/exp_fig19_lookahead.dir/exp_fig19_lookahead.cpp.o.d"
+  "exp_fig19_lookahead"
+  "exp_fig19_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig19_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig20_overhead.dir/exp_fig20_overhead.cpp.o"
+  "CMakeFiles/exp_fig20_overhead.dir/exp_fig20_overhead.cpp.o.d"
+  "exp_fig20_overhead"
+  "exp_fig20_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig20_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

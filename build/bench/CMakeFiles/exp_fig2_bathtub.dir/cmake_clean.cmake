@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig2_bathtub.dir/exp_fig2_bathtub.cpp.o"
+  "CMakeFiles/exp_fig2_bathtub.dir/exp_fig2_bathtub.cpp.o.d"
+  "exp_fig2_bathtub"
+  "exp_fig2_bathtub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig2_bathtub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig3_firmware.dir/exp_fig3_firmware.cpp.o"
+  "CMakeFiles/exp_fig3_firmware.dir/exp_fig3_firmware.cpp.o.d"
+  "exp_fig3_firmware"
+  "exp_fig3_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig3_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_5_cumulative.dir/exp_fig4_5_cumulative.cpp.o"
+  "CMakeFiles/exp_fig4_5_cumulative.dir/exp_fig4_5_cumulative.cpp.o.d"
+  "exp_fig4_5_cumulative"
+  "exp_fig4_5_cumulative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_5_cumulative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_fig4_5_cumulative.
+# This may be replaced when dependencies are built.

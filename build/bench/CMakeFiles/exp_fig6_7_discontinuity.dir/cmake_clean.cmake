@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_7_discontinuity.dir/exp_fig6_7_discontinuity.cpp.o"
+  "CMakeFiles/exp_fig6_7_discontinuity.dir/exp_fig6_7_discontinuity.cpp.o.d"
+  "exp_fig6_7_discontinuity"
+  "exp_fig6_7_discontinuity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_7_discontinuity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

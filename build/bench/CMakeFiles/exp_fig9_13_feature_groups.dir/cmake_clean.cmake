@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig9_13_feature_groups.dir/exp_fig9_13_feature_groups.cpp.o"
+  "CMakeFiles/exp_fig9_13_feature_groups.dir/exp_fig9_13_feature_groups.cpp.o.d"
+  "exp_fig9_13_feature_groups"
+  "exp_fig9_13_feature_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig9_13_feature_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig9_13_feature_groups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_grid_search.dir/exp_grid_search.cpp.o"
+  "CMakeFiles/exp_grid_search.dir/exp_grid_search.cpp.o.d"
+  "exp_grid_search"
+  "exp_grid_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_grid_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

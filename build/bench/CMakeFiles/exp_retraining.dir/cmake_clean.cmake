@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_retraining.dir/exp_retraining.cpp.o"
+  "CMakeFiles/exp_retraining.dir/exp_retraining.cpp.o.d"
+  "exp_retraining"
+  "exp_retraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_retraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table1_rasrf.dir/exp_table1_rasrf.cpp.o"
+  "CMakeFiles/exp_table1_rasrf.dir/exp_table1_rasrf.cpp.o.d"
+  "exp_table1_rasrf"
+  "exp_table1_rasrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table1_rasrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

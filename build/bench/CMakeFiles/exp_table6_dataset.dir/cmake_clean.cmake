@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table6_dataset.dir/exp_table6_dataset.cpp.o"
+  "CMakeFiles/exp_table6_dataset.dir/exp_table6_dataset.cpp.o.d"
+  "exp_table6_dataset"
+  "exp_table6_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table6_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_theta_sensitivity.dir/exp_theta_sensitivity.cpp.o"
+  "CMakeFiles/exp_theta_sensitivity.dir/exp_theta_sensitivity.cpp.o.d"
+  "exp_theta_sensitivity"
+  "exp_theta_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_theta_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

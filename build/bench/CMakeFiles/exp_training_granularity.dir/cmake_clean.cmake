@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_training_granularity.dir/exp_training_granularity.cpp.o"
+  "CMakeFiles/exp_training_granularity.dir/exp_training_granularity.cpp.o.d"
+  "exp_training_granularity"
+  "exp_training_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_training_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

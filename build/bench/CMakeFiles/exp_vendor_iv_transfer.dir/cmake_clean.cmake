@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_vendor_iv_transfer.dir/exp_vendor_iv_transfer.cpp.o"
+  "CMakeFiles/exp_vendor_iv_transfer.dir/exp_vendor_iv_transfer.cpp.o.d"
+  "exp_vendor_iv_transfer"
+  "exp_vendor_iv_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_vendor_iv_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_vendor_iv_transfer.
+# This may be replaced when dependencies are built.

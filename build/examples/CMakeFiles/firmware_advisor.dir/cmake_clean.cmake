@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_advisor.dir/firmware_advisor.cpp.o"
+  "CMakeFiles/firmware_advisor.dir/firmware_advisor.cpp.o.d"
+  "firmware_advisor"
+  "firmware_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

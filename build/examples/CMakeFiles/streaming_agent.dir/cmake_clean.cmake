@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_agent.dir/streaming_agent.cpp.o"
+  "CMakeFiles/streaming_agent.dir/streaming_agent.cpp.o.d"
+  "streaming_agent"
+  "streaming_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_portability.dir/vendor_portability.cpp.o"
+  "CMakeFiles/vendor_portability.dir/vendor_portability.cpp.o.d"
+  "vendor_portability"
+  "vendor_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

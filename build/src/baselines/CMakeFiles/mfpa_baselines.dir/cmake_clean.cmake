@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_baselines.dir/prior_work.cpp.o"
+  "CMakeFiles/mfpa_baselines.dir/prior_work.cpp.o.d"
+  "CMakeFiles/mfpa_baselines.dir/smart_threshold.cpp.o"
+  "CMakeFiles/mfpa_baselines.dir/smart_threshold.cpp.o.d"
+  "CMakeFiles/mfpa_baselines.dir/statistical.cpp.o"
+  "CMakeFiles/mfpa_baselines.dir/statistical.cpp.o.d"
+  "libmfpa_baselines.a"
+  "libmfpa_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

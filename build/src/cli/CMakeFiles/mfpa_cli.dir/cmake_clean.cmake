@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_cli.dir/cli.cpp.o"
+  "CMakeFiles/mfpa_cli.dir/cli.cpp.o.d"
+  "libmfpa_cli.a"
+  "libmfpa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

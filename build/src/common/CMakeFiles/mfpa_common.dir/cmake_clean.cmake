@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_common.dir/csv.cpp.o"
+  "CMakeFiles/mfpa_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/date.cpp.o"
+  "CMakeFiles/mfpa_common.dir/date.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/progress.cpp.o"
+  "CMakeFiles/mfpa_common.dir/progress.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/rng.cpp.o"
+  "CMakeFiles/mfpa_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/stats.cpp.o"
+  "CMakeFiles/mfpa_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/string_util.cpp.o"
+  "CMakeFiles/mfpa_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/mfpa_common.dir/table_printer.cpp.o"
+  "CMakeFiles/mfpa_common.dir/table_printer.cpp.o.d"
+  "libmfpa_common.a"
+  "libmfpa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

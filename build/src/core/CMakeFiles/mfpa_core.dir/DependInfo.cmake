@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/availability.cpp" "src/core/CMakeFiles/mfpa_core.dir/availability.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/availability.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/mfpa_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/failure_time.cpp" "src/core/CMakeFiles/mfpa_core.dir/failure_time.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/failure_time.cpp.o.d"
+  "/root/repo/src/core/feature_groups.cpp" "src/core/CMakeFiles/mfpa_core.dir/feature_groups.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/feature_groups.cpp.o.d"
+  "/root/repo/src/core/health_report.cpp" "src/core/CMakeFiles/mfpa_core.dir/health_report.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/health_report.cpp.o.d"
+  "/root/repo/src/core/mfpa.cpp" "src/core/CMakeFiles/mfpa_core.dir/mfpa.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/mfpa.cpp.o.d"
+  "/root/repo/src/core/online_predictor.cpp" "src/core/CMakeFiles/mfpa_core.dir/online_predictor.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/online_predictor.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/mfpa_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/retraining.cpp" "src/core/CMakeFiles/mfpa_core.dir/retraining.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/retraining.cpp.o.d"
+  "/root/repo/src/core/sample_builder.cpp" "src/core/CMakeFiles/mfpa_core.dir/sample_builder.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/sample_builder.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/mfpa_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/mfpa_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfpa_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_core.dir/availability.cpp.o"
+  "CMakeFiles/mfpa_core.dir/availability.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/cost_model.cpp.o"
+  "CMakeFiles/mfpa_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/failure_time.cpp.o"
+  "CMakeFiles/mfpa_core.dir/failure_time.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/feature_groups.cpp.o"
+  "CMakeFiles/mfpa_core.dir/feature_groups.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/health_report.cpp.o"
+  "CMakeFiles/mfpa_core.dir/health_report.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/mfpa.cpp.o"
+  "CMakeFiles/mfpa_core.dir/mfpa.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/online_predictor.cpp.o"
+  "CMakeFiles/mfpa_core.dir/online_predictor.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/preprocess.cpp.o"
+  "CMakeFiles/mfpa_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/retraining.cpp.o"
+  "CMakeFiles/mfpa_core.dir/retraining.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/sample_builder.cpp.o"
+  "CMakeFiles/mfpa_core.dir/sample_builder.cpp.o.d"
+  "CMakeFiles/mfpa_core.dir/streaming.cpp.o"
+  "CMakeFiles/mfpa_core.dir/streaming.cpp.o.d"
+  "libmfpa_core.a"
+  "libmfpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

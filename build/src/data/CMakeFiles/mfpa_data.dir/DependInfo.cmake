@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/mfpa_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/mfpa_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/label_encoder.cpp" "src/data/CMakeFiles/mfpa_data.dir/label_encoder.cpp.o" "gcc" "src/data/CMakeFiles/mfpa_data.dir/label_encoder.cpp.o.d"
+  "/root/repo/src/data/matrix.cpp" "src/data/CMakeFiles/mfpa_data.dir/matrix.cpp.o" "gcc" "src/data/CMakeFiles/mfpa_data.dir/matrix.cpp.o.d"
+  "/root/repo/src/data/scaler.cpp" "src/data/CMakeFiles/mfpa_data.dir/scaler.cpp.o" "gcc" "src/data/CMakeFiles/mfpa_data.dir/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_data.dir/dataset.cpp.o"
+  "CMakeFiles/mfpa_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mfpa_data.dir/label_encoder.cpp.o"
+  "CMakeFiles/mfpa_data.dir/label_encoder.cpp.o.d"
+  "CMakeFiles/mfpa_data.dir/matrix.cpp.o"
+  "CMakeFiles/mfpa_data.dir/matrix.cpp.o.d"
+  "CMakeFiles/mfpa_data.dir/scaler.cpp.o"
+  "CMakeFiles/mfpa_data.dir/scaler.cpp.o.d"
+  "libmfpa_data.a"
+  "libmfpa_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

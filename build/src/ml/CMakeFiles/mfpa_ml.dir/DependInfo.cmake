@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/calibration.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/calibration.cpp.o.d"
+  "/root/repo/src/ml/cnn_lstm.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/cnn_lstm.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/cnn_lstm.cpp.o.d"
+  "/root/repo/src/ml/cross_validation.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/cross_validation.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/factory.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/factory.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/factory.cpp.o.d"
+  "/root/repo/src/ml/feature_selection.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/feature_selection.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/feature_selection.cpp.o.d"
+  "/root/repo/src/ml/gbdt.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/gbdt.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/gbdt.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/grid_search.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/grid_search.cpp.o.d"
+  "/root/repo/src/ml/isolation_forest.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/isolation_forest.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/isolation_forest.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/sampler.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/sampler.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/sampler.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/mfpa_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/mfpa_ml.dir/svm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfpa_ml.a"
+)

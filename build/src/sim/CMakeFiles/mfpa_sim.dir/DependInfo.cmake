@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/catalog.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/catalog.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/catalog.cpp.o.d"
+  "/root/repo/src/sim/event_model.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/event_model.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/event_model.cpp.o.d"
+  "/root/repo/src/sim/failure_model.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/failure_model.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/failure_model.cpp.o.d"
+  "/root/repo/src/sim/fleet.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/fleet.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/fleet.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/scenario.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/scenario.cpp.o.d"
+  "/root/repo/src/sim/smart_model.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/smart_model.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/smart_model.cpp.o.d"
+  "/root/repo/src/sim/telemetry_io.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/telemetry_io.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/telemetry_io.cpp.o.d"
+  "/root/repo/src/sim/usage_model.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/usage_model.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/usage_model.cpp.o.d"
+  "/root/repo/src/sim/validate.cpp" "src/sim/CMakeFiles/mfpa_sim.dir/validate.cpp.o" "gcc" "src/sim/CMakeFiles/mfpa_sim.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

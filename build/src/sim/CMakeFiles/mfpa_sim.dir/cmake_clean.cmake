@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfpa_sim.dir/catalog.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/catalog.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/event_model.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/event_model.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/failure_model.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/failure_model.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/fleet.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/fleet.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/smart_model.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/smart_model.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/telemetry_io.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/telemetry_io.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/usage_model.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/usage_model.cpp.o.d"
+  "CMakeFiles/mfpa_sim.dir/validate.cpp.o"
+  "CMakeFiles/mfpa_sim.dir/validate.cpp.o.d"
+  "libmfpa_sim.a"
+  "libmfpa_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfpa_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

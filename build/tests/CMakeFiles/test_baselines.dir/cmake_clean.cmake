@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baselines.dir/baselines/test_prior_work.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_prior_work.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_smart_threshold.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_smart_threshold.cpp.o.d"
+  "CMakeFiles/test_baselines.dir/baselines/test_statistical.cpp.o"
+  "CMakeFiles/test_baselines.dir/baselines/test_statistical.cpp.o.d"
+  "test_baselines"
+  "test_baselines.pdb"
+  "test_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_csv.cpp" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_csv.cpp.o.d"
+  "/root/repo/tests/common/test_date.cpp" "tests/CMakeFiles/test_common.dir/common/test_date.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_date.cpp.o.d"
+  "/root/repo/tests/common/test_progress.cpp" "tests/CMakeFiles/test_common.dir/common/test_progress.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_progress.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_stats.cpp" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_stats.cpp.o.d"
+  "/root/repo/tests/common/test_string_util.cpp" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_string_util.cpp.o.d"
+  "/root/repo/tests/common/test_table_printer.cpp" "tests/CMakeFiles/test_common.dir/common/test_table_printer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mfpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mfpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfpa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

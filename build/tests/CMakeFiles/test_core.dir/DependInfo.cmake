@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_availability.cpp" "tests/CMakeFiles/test_core.dir/core/test_availability.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_availability.cpp.o.d"
+  "/root/repo/tests/core/test_cost_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "/root/repo/tests/core/test_failure_time.cpp" "tests/CMakeFiles/test_core.dir/core/test_failure_time.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_failure_time.cpp.o.d"
+  "/root/repo/tests/core/test_feature_groups.cpp" "tests/CMakeFiles/test_core.dir/core/test_feature_groups.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_feature_groups.cpp.o.d"
+  "/root/repo/tests/core/test_health_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_health_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_health_report.cpp.o.d"
+  "/root/repo/tests/core/test_mfpa_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_mfpa_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mfpa_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_online_predictor.cpp" "tests/CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o.d"
+  "/root/repo/tests/core/test_preprocess.cpp" "tests/CMakeFiles/test_core.dir/core/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_preprocess.cpp.o.d"
+  "/root/repo/tests/core/test_retraining.cpp" "tests/CMakeFiles/test_core.dir/core/test_retraining.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_retraining.cpp.o.d"
+  "/root/repo/tests/core/test_sample_builder.cpp" "tests/CMakeFiles/test_core.dir/core/test_sample_builder.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sample_builder.cpp.o.d"
+  "/root/repo/tests/core/test_streaming.cpp" "tests/CMakeFiles/test_core.dir/core/test_streaming.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mfpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mfpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfpa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_availability.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_availability.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_failure_time.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_failure_time.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_feature_groups.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_feature_groups.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_health_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_health_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mfpa_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mfpa_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_online_predictor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_preprocess.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_preprocess.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_retraining.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_retraining.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sample_builder.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sample_builder.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_streaming.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_streaming.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

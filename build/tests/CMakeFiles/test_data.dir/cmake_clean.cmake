@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_dataset.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_label_encoder.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_label_encoder.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_matrix.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_matrix.cpp.o.d"
+  "CMakeFiles/test_data.dir/data/test_scaler.cpp.o"
+  "CMakeFiles/test_data.dir/data/test_scaler.cpp.o.d"
+  "test_data"
+  "test_data.pdb"
+  "test_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

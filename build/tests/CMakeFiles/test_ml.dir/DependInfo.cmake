@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_calibration.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_calibration.cpp.o.d"
+  "/root/repo/tests/ml/test_classifier_contract.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_classifier_contract.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_classifier_contract.cpp.o.d"
+  "/root/repo/tests/ml/test_cnn_lstm.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_cnn_lstm.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_cnn_lstm.cpp.o.d"
+  "/root/repo/tests/ml/test_cross_validation.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/ml/test_ensembles.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_ensembles.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_ensembles.cpp.o.d"
+  "/root/repo/tests/ml/test_feature_selection.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_feature_selection.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_feature_selection.cpp.o.d"
+  "/root/repo/tests/ml/test_grid_search.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_grid_search.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_grid_search.cpp.o.d"
+  "/root/repo/tests/ml/test_isolation_forest.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_isolation_forest.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_isolation_forest.cpp.o.d"
+  "/root/repo/tests/ml/test_linear_models.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_linear_models.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_linear_models.cpp.o.d"
+  "/root/repo/tests/ml/test_metrics.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_metrics.cpp.o.d"
+  "/root/repo/tests/ml/test_naive_bayes.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_naive_bayes.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_naive_bayes.cpp.o.d"
+  "/root/repo/tests/ml/test_properties.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_properties.cpp.o.d"
+  "/root/repo/tests/ml/test_sampler.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_sampler.cpp.o.d"
+  "/root/repo/tests/ml/test_serialize.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_serialize.cpp.o.d"
+  "/root/repo/tests/ml/test_tree.cpp" "tests/CMakeFiles/test_ml.dir/ml/test_tree.cpp.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mfpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mfpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfpa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_catalog.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o.d"
+  "/root/repo/tests/sim/test_event_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_model.cpp.o.d"
+  "/root/repo/tests/sim/test_failure_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_failure_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_failure_model.cpp.o.d"
+  "/root/repo/tests/sim/test_fleet.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_fleet.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_fleet.cpp.o.d"
+  "/root/repo/tests/sim/test_smart_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_smart_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_smart_model.cpp.o.d"
+  "/root/repo/tests/sim/test_telemetry_io.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_telemetry_io.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_telemetry_io.cpp.o.d"
+  "/root/repo/tests/sim/test_usage_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_usage_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_usage_model.cpp.o.d"
+  "/root/repo/tests/sim/test_validate.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/mfpa_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mfpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfpa_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfpa_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mfpa_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mfpa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

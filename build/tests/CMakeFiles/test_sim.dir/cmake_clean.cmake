@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_catalog.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_failure_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_failure_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_fleet.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_fleet.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_smart_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_smart_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_telemetry_io.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_telemetry_io.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_usage_model.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_usage_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_validate.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_validate.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
