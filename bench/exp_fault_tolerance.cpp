@@ -1,0 +1,152 @@
+// Fault-tolerance experiment: proves the graceful-degradation ingestion path
+// survives every injected telemetry fault mode, and quantifies the prediction
+// cost of surviving it.
+//
+// For each fault mode at several injection rates, the clean simulated batch
+// is corrupted (structured modes in memory, textual modes through a CSV
+// round-trip, ticket modes on the ticket stream), then the full MFPA
+// pipeline runs in lenient mode. The table reports the ingest accounting
+// (repaired / dropped / quarantined) and the TPR/FPR delta vs the clean
+// baseline. Any uncaught exception in a lenient run fails the harness
+// (exit 1) — that is the acceptance criterion. A final strict-mode probe
+// demonstrates the fail-fast contract: first malformed row, line-numbered
+// diagnostic.
+//
+//   ./exp_fault_tolerance [--scenario=tiny|small|default|large] [--seed=N]
+#include <algorithm>
+#include <exception>
+#include <sstream>
+
+#include "bench_common.hpp"
+#include "sim/fault_injector.hpp"
+#include "sim/telemetry_io.hpp"
+
+namespace {
+
+using namespace mfpa;
+
+constexpr double kRates[] = {0.01, 0.05, 0.20};
+
+struct RunResult {
+  core::MfpaReport report;
+  IngestStats read_stats;  ///< CSV-layer stats (textual modes only)
+};
+
+core::MfpaConfig lenient_config(std::uint64_t seed) {
+  core::MfpaConfig config;
+  config.seed = seed;
+  config.preprocess.robustness.mode = IngestMode::kLenient;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::World world(args);
+  bench::print_world_banner(world, args,
+                            "Fault tolerance: TPR/FPR degradation vs "
+                            "injection rate (lenient ingestion)");
+
+  // Observation window, for the ticket-displacement mode.
+  DayIndex window_lo = 0, window_hi = 0;
+  bool have_window = false;
+  for (const auto& s : world.telemetry) {
+    if (s.records.empty()) continue;
+    if (!have_window) {
+      window_lo = s.records.front().day;
+      window_hi = s.records.back().day;
+      have_window = true;
+    } else {
+      window_lo = std::min(window_lo, s.records.front().day);
+      window_hi = std::max(window_hi, s.records.back().day);
+    }
+  }
+
+  // Clean lenient baseline.
+  core::MfpaPipeline baseline_pipeline(lenient_config(args.seed));
+  const auto baseline =
+      baseline_pipeline.run(world.telemetry, world.tickets);
+  std::cout << "clean baseline: TPR " << format_percent(baseline.cm.tpr())
+            << ", FPR " << format_percent(baseline.cm.fpr()) << "\n\n";
+
+  TablePrinter table({"fault mode", "rate", "injected", "repaired", "dropped",
+                      "quarantined", "TPR", "FPR", "dTPR", "dFPR"});
+  int failures = 0;
+
+  for (std::size_t m = 0; m < sim::kNumFaultModes; ++m) {
+    const auto mode = static_cast<sim::FaultMode>(m);
+    for (double rate : kRates) {
+      sim::FaultInjector injector({{{mode, rate}}, args.seed + m});
+      RunResult run;
+      try {
+        std::vector<sim::DriveTimeSeries> telemetry;
+        std::vector<sim::TroubleTicket> tickets = world.tickets;
+        RobustnessConfig lenient;
+        lenient.mode = IngestMode::kLenient;
+        if (sim::fault_mode_is_textual(mode)) {
+          // Textual faults only exist on the wire: serialize, corrupt the
+          // bytes, and read back through the lenient CSV path.
+          std::stringstream wire;
+          sim::write_telemetry_csv(wire, world.telemetry);
+          std::stringstream corrupted(injector.corrupt_csv(wire.str()));
+          telemetry =
+              sim::read_telemetry_csv(corrupted, lenient, &run.read_stats);
+        } else if (sim::fault_mode_is_ticket(mode)) {
+          telemetry = world.telemetry;
+          tickets = injector.corrupt_tickets(tickets, window_lo, window_hi);
+        } else {
+          telemetry = injector.corrupt(world.telemetry);
+        }
+        core::MfpaPipeline pipeline(lenient_config(args.seed));
+        run.report = pipeline.run(telemetry, tickets);
+      } catch (const std::exception& e) {
+        std::cerr << "FAULT-TOLERANCE FAILURE: lenient pipeline threw under "
+                  << sim::fault_mode_name(mode) << " @ " << rate << ": "
+                  << e.what() << "\n";
+        ++failures;
+        continue;
+      }
+      IngestStats combined = run.read_stats;
+      combined.merge(run.report.ingest_stats);
+      table.add_row({sim::fault_mode_name(mode), format_double(rate, 2),
+                     std::to_string(injector.stats().of(mode)),
+                     std::to_string(combined.rows_repaired),
+                     std::to_string(combined.rows_dropped),
+                     std::to_string(combined.drives_quarantined),
+                     format_percent(run.report.cm.tpr()),
+                     format_percent(run.report.cm.fpr()),
+                     format_percent(run.report.cm.tpr() - baseline.cm.tpr()),
+                     format_percent(run.report.cm.fpr() - baseline.cm.fpr())});
+    }
+  }
+  table.print(std::cout);
+
+  // Strict mode still fails fast, with a located diagnostic.
+  std::cout << "\nstrict-mode contract: ";
+  {
+    sim::FaultInjector injector(
+        {{{sim::FaultMode::kTruncatedRow, 0.05}}, args.seed});
+    std::stringstream wire;
+    sim::write_telemetry_csv(wire, world.telemetry);
+    std::stringstream corrupted(injector.corrupt_csv(wire.str()));
+    try {
+      (void)sim::read_telemetry_csv(corrupted);
+      std::cout << "ERROR — strict read of corrupted CSV did not throw\n";
+      ++failures;
+    } catch (const std::exception& e) {
+      std::cout << "fail-fast OK — " << e.what() << "\n";
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "\n" << failures << " fault-tolerance failure(s)\n";
+    return 1;
+  }
+  std::cout << "\nall " << sim::kNumFaultModes << " fault modes x "
+            << std::size(kRates)
+            << " rates survived lenient ingestion with zero uncaught "
+               "exceptions\n";
+  return 0;
+}

@@ -4,6 +4,11 @@
 // state online), scores the newest observation in microseconds, and decides
 // locally whether to nag the user to back up.
 //
+// The replayed uploads pass through a lossy channel (sim::FaultInjector:
+// retried uploads, NaN sensor reads), so the ingestor runs in lenient mode
+// and reports its IngestStats accounting at the end — the deployed-agent
+// configuration described in docs/ROBUSTNESS.md.
+//
 //   ./streaming_agent [scenario] [seed]
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +19,7 @@
 #include "core/mfpa.hpp"
 #include "core/streaming.hpp"
 #include "ml/serialize.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/fleet.hpp"
 
 int main(int argc, char** argv) {
@@ -57,11 +63,21 @@ int main(int argc, char** argv) {
             << " (fails on day " << failing->failure_day << " = "
             << format_date(failing->failure_day) << ")\n\n";
 
-  core::StreamingIngestor ingestor(failing->drive_id, failing->vendor);
+  // The channel between agent and scorer is lossy: some uploads are retried
+  // after lost ACKs, some sensor reads come back as NaN.
+  sim::FaultInjector channel({{{sim::FaultMode::kDuplicateDay, 0.05},
+                               {sim::FaultMode::kNanField, 0.02}},
+                              seed});
+  const auto uploads = channel.corrupt({*failing})[0].records;
+
+  core::PreprocessConfig agent_config;
+  agent_config.robustness.mode = IngestMode::kLenient;
+  core::StreamingIngestor ingestor(failing->drive_id, failing->vendor,
+                                   agent_config);
   DayIndex first_alert = -1;
   double total_us = 0.0;
   std::size_t scored = 0;
-  for (const auto& upload : failing->records) {
+  for (const auto& upload : uploads) {
     ingestor.ingest(upload);
     if (!ingestor.usable()) continue;
     const auto& latest = ingestor.segment().back();
@@ -90,6 +106,8 @@ int main(int argc, char** argv) {
             << "\nmean on-device inference: "
             << format_double(total_us / std::max<std::size_t>(1, scored), 1)
             << " us per upload (paper: microsecond-level client-side"
-               " prediction)\n";
+               " prediction)\n"
+            << "dirty-channel accounting: " << ingestor.ingest_stats().summary()
+            << "\n";
   return 0;
 }

@@ -17,8 +17,26 @@
 namespace mfpa::cli {
 namespace {
 
+RobustnessConfig robustness_from(const CommandLine& cmd) {
+  if (cmd.has("strict") && cmd.has("lenient")) {
+    throw std::invalid_argument("--strict and --lenient are mutually exclusive");
+  }
+  RobustnessConfig robustness;
+  robustness.mode =
+      cmd.has("lenient") ? IngestMode::kLenient : IngestMode::kStrict;
+  return robustness;
+}
+
+/// Prints the dirty-input accounting when there is anything to say (always
+/// under --lenient, so a clean batch is confirmed clean).
+void report_ingest(const IngestStats& stats, const RobustnessConfig& robustness,
+                   std::ostream& out) {
+  if (robustness.lenient() || !stats.clean()) print_ingest_stats(stats, out);
+}
+
 core::MfpaConfig config_from(const CommandLine& cmd) {
   core::MfpaConfig config;
+  config.preprocess.robustness = robustness_from(cmd);
   config.vendor = static_cast<int>(cmd.get_number("vendor", -1));
   config.algorithm = cmd.get("algorithm", "RF");
   config.group = core::feature_group_from_name(cmd.get("group", "SFWB"));
@@ -76,13 +94,19 @@ int cmd_simulate(const CommandLine& cmd, std::ostream& out) {
 int cmd_train(const CommandLine& cmd, std::ostream& out) {
   // Validate the configuration before any file IO for fast user feedback.
   core::MfpaPipeline pipeline(config_from(cmd));
-  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
-  const auto tickets = sim::read_tickets_file(cmd.require("tickets"));
-  const auto report = pipeline.run(telemetry, tickets);
+  const auto robustness = robustness_from(cmd);
+  IngestStats read_stats;
+  const auto telemetry =
+      sim::read_telemetry_file(cmd.require("telemetry"), robustness, &read_stats);
+  const auto tickets =
+      sim::read_tickets_file(cmd.require("tickets"), robustness, &read_stats);
+  auto report = pipeline.run(telemetry, tickets);
+  report.ingest_stats.merge(read_stats);
   ml::save_classifier_file(cmd.require("model"), pipeline.model());
   out << "trained " << pipeline.model().name() << " on "
       << report.train_size << " samples; model written to "
       << cmd.require("model") << "\n";
+  report_ingest(report.ingest_stats, robustness, out);
   if (cmd.has("report")) print_report(report, out);
   return 0;
 }
@@ -91,9 +115,15 @@ int cmd_evaluate(const CommandLine& cmd, std::ostream& out) {
   // Evaluation retrains with the same configuration and reports the honest
   // held-out slice (the model file is not needed; it documents the deploy).
   core::MfpaPipeline pipeline(config_from(cmd));
-  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
-  const auto tickets = sim::read_tickets_file(cmd.require("tickets"));
-  const auto report = pipeline.run(telemetry, tickets);
+  const auto robustness = robustness_from(cmd);
+  IngestStats read_stats;
+  const auto telemetry =
+      sim::read_telemetry_file(cmd.require("telemetry"), robustness, &read_stats);
+  const auto tickets =
+      sim::read_tickets_file(cmd.require("tickets"), robustness, &read_stats);
+  auto report = pipeline.run(telemetry, tickets);
+  report.ingest_stats.merge(read_stats);
+  report_ingest(report.ingest_stats, robustness, out);
   print_report(report, out);
   const auto drive_level = core::OnlinePredictor::drive_level(report);
   out << "drive-level: TPR "
@@ -106,7 +136,10 @@ int cmd_evaluate(const CommandLine& cmd, std::ostream& out) {
 }
 
 int cmd_predict(const CommandLine& cmd, std::ostream& out) {
-  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto robustness = robustness_from(cmd);
+  IngestStats ingest;
+  const auto telemetry =
+      sim::read_telemetry_file(cmd.require("telemetry"), robustness, &ingest);
   const auto model = ml::load_classifier_file(cmd.require("model"));
   const double threshold = cmd.get_number("threshold", 0.5);
   const auto top = static_cast<std::size_t>(cmd.get_number("top", 20));
@@ -114,8 +147,11 @@ int cmd_predict(const CommandLine& cmd, std::ostream& out) {
   // Score the latest observation of every drive; the feature layout must
   // match the group the model was trained on.
   const auto group = core::feature_group_from_name(cmd.get("group", "SFWB"));
-  const core::Preprocessor pre;
-  const auto drives = pre.process(telemetry);
+  core::PreprocessConfig pre_config;
+  pre_config.robustness = robustness;
+  const core::Preprocessor pre(pre_config);
+  const auto drives = pre.process(telemetry, nullptr, &ingest);
+  report_ingest(ingest, robustness, out);
   // Firmware vocabulary from the scored data itself (deployment would ship
   // the training-time encoder; the CLI keeps the file format model-only and
   // accepts the small code drift).
@@ -181,7 +217,11 @@ int cmd_predict(const CommandLine& cmd, std::ostream& out) {
 }
 
 int cmd_validate(const CommandLine& cmd, std::ostream& out) {
-  const auto telemetry = sim::read_telemetry_file(cmd.require("telemetry"));
+  const auto robustness = robustness_from(cmd);
+  IngestStats ingest;
+  const auto telemetry =
+      sim::read_telemetry_file(cmd.require("telemetry"), robustness, &ingest);
+  report_ingest(ingest, robustness, out);
   const auto report = sim::validate_telemetry(telemetry);
   out << "drives: " << report.drives << "\nrecords: "
       << format_with_commas(static_cast<long long>(report.records))
@@ -281,7 +321,13 @@ std::string usage() {
       "            [--top=N] [--explain]\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
-      "  help\n";
+      "  help\n"
+      "\n"
+      "ingestion modes (train/evaluate/predict/validate, see docs/ROBUSTNESS.md):\n"
+      "  --strict   fail fast on the first malformed row, with a line-numbered\n"
+      "             diagnostic (default)\n"
+      "  --lenient  skip/repair bad rows, quarantine hopeless drives, and print\n"
+      "             the ingest-stats summary table\n";
 }
 
 int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {

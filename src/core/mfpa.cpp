@@ -49,7 +49,8 @@ MfpaReport MfpaPipeline::run(const std::vector<sim::DriveTimeSeries>& telemetry,
     input = &filtered;
   }
   const Preprocessor preprocessor(config_.preprocess);
-  const auto drives = preprocessor.process(*input, &report.preprocess_stats);
+  const auto drives = preprocessor.process(*input, &report.preprocess_stats,
+                                           &report.ingest_stats);
   std::size_t raw_records = 0;
   for (const auto& s : *input) raw_records += s.records.size();
   timer.end(raw_records, raw_records * sizeof(sim::DailyRecord));
@@ -57,13 +58,8 @@ MfpaReport MfpaPipeline::run(const std::vector<sim::DriveTimeSeries>& telemetry,
     throw std::runtime_error("MfpaPipeline: no usable drives after preprocessing");
   }
 
-  // Stage 2: failure-time identification from tickets.
-  timer.begin("failure_labeling");
-  const FailureTimeIdentifier identifier(config_.theta);
-  const auto failures = identifier.identify_all(tickets, drives);
-  timer.end(tickets.size(), tickets.size() * sizeof(sim::TroubleTicket));
-
-  // Timepoint for segmentation: the train_fraction quantile of observed days.
+  // Observation window of the cleaned batch (used for the timepoint split
+  // and for lenient ticket filtering).
   DayIndex day_lo = std::numeric_limits<DayIndex>::max();
   DayIndex day_hi = std::numeric_limits<DayIndex>::min();
   for (const auto& d : drives) {
@@ -71,6 +67,37 @@ MfpaReport MfpaPipeline::run(const std::vector<sim::DriveTimeSeries>& telemetry,
     day_lo = std::min(day_lo, d.records.front().day);
     day_hi = std::max(day_hi, d.records.back().day);
   }
+
+  // Stage 2: failure-time identification from tickets. Lenient mode drops
+  // tickets whose IMT sits far outside the observation window (a wrong
+  // timestamp cannot be theta-matched to any tracking point and would only
+  // distort labeling).
+  timer.begin("failure_labeling");
+  const RobustnessConfig& robustness = config_.preprocess.robustness;
+  std::vector<sim::TroubleTicket> kept_tickets;
+  const std::vector<sim::TroubleTicket>* ticket_input = &tickets;
+  if (robustness.lenient()) {
+    const DayIndex slack = robustness.ticket_window_slack_days;
+    kept_tickets.reserve(tickets.size());
+    for (const auto& t : tickets) {
+      if (t.imt < day_lo - slack || t.imt > day_hi + slack) {
+        ++report.ingest_stats.tickets_dropped;
+        report.ingest_stats.note(
+            "ticket for drive " + std::to_string(t.drive_id) + ": IMT day " +
+                std::to_string(t.imt) + " outside observation window [" +
+                std::to_string(day_lo) + ", " + std::to_string(day_hi) + "]",
+            robustness.max_diagnostics);
+        continue;
+      }
+      kept_tickets.push_back(t);
+    }
+    ticket_input = &kept_tickets;
+  }
+  const FailureTimeIdentifier identifier(config_.theta);
+  const auto failures = identifier.identify_all(*ticket_input, drives);
+  timer.end(ticket_input->size(),
+            ticket_input->size() * sizeof(sim::TroubleTicket));
+
   const DayIndex split_day =
       day_lo + static_cast<DayIndex>(
                    static_cast<double>(day_hi - day_lo) * config_.train_fraction);

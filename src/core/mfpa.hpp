@@ -66,6 +66,7 @@ struct MfpaReport {
   std::vector<int> test_labels;
   std::vector<data::RowMeta> test_meta;
   PreprocessStats preprocess_stats;
+  IngestStats ingest_stats;               ///< dirty-input accounting (lenient)
   std::vector<StageRecord> stages;        ///< per-stage timing (Fig. 20)
 };
 

@@ -1,7 +1,9 @@
 #include "core/preprocess.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
+#include "core/robust_ingest.hpp"
 #include "sim/catalog.hpp"
 
 namespace mfpa::core {
@@ -16,7 +18,56 @@ std::string firmware_version_string(int vendor, unsigned firmware_index) {
   return cfg.name + "_F_" + std::to_string(firmware_index + 1);
 }
 
-ProcessedDrive Preprocessor::process_drive(
+ProcessedDrive Preprocessor::process_drive(const sim::DriveTimeSeries& series,
+                                           IngestStats* ingest) const {
+  if (!config_.robustness.lenient()) return process_well_formed(series);
+
+  // Lenient path: sanitize in delivery order (duplicate/rollback drops,
+  // value repair, counter-reset re-basing), then run the unchanged gap
+  // policy over the now well-formed sequence.
+  RecordSanitizer sanitizer(config_.robustness);
+  sim::DriveTimeSeries repaired;
+  repaired.drive_id = series.drive_id;
+  repaired.vendor = series.vendor;
+  repaired.model = series.model;
+  repaired.failed = series.failed;
+  repaired.failure_day = series.failure_day;
+  repaired.records.reserve(series.records.size());
+  for (const auto& raw : series.records) {
+    if (auto rec = sanitizer.sanitize(raw)) {
+      repaired.records.push_back(*rec);
+    }
+  }
+  const bool quarantined =
+      sanitizer.quarantined(static_cast<std::size_t>(config_.min_records));
+  if (ingest != nullptr) {
+    ingest->merge(sanitizer.stats(), config_.robustness.max_diagnostics);
+    if (quarantined) {
+      ++ingest->drives_quarantined;
+      ingest->note("drive " + std::to_string(series.drive_id) +
+                       ": quarantined (" +
+                       std::to_string(sanitizer.stats().rows_dropped) + "/" +
+                       std::to_string(sanitizer.stats().rows_read) +
+                       " records dropped)",
+                   config_.robustness.max_diagnostics);
+    }
+  }
+  if (quarantined) {
+    ProcessedDrive out;
+    out.drive_id = series.drive_id;
+    out.vendor = series.vendor;
+    out.model = series.model;
+    out.failed = series.failed;
+    out.failure_day = series.failure_day;
+    out.dropped_records = series.records.size();
+    return out;
+  }
+  ProcessedDrive out = process_well_formed(repaired);
+  out.dropped_records += series.records.size() - repaired.records.size();
+  return out;
+}
+
+ProcessedDrive Preprocessor::process_well_formed(
     const sim::DriveTimeSeries& series) const {
   ProcessedDrive out;
   out.drive_id = series.drive_id;
@@ -121,13 +172,28 @@ ProcessedDrive Preprocessor::process_drive(
 
 std::vector<ProcessedDrive> Preprocessor::process(
     const std::vector<sim::DriveTimeSeries>& batch,
-    PreprocessStats* stats) const {
+    PreprocessStats* stats, IngestStats* ingest) const {
   PreprocessStats local;
+  IngestStats local_ingest;
+  const bool lenient = config_.robustness.lenient();
+  std::unordered_set<std::uint64_t> seen_ids;
   std::vector<ProcessedDrive> out;
   out.reserve(batch.size());
   for (const auto& series : batch) {
     ++local.drives_in;
     local.records_in += series.records.size();
+    if (lenient && !seen_ids.insert(series.drive_id).second) {
+      // A repeated drive id in one batch is an upload-path bug (or an
+      // injected fault); the first occurrence wins.
+      ++local_ingest.duplicate_drives;
+      local_ingest.rows_read += series.records.size();
+      local_ingest.rows_dropped += series.records.size();
+      local_ingest.note("drive " + std::to_string(series.drive_id) +
+                            ": duplicate series dropped",
+                        config_.robustness.max_diagnostics);
+      local.records_dropped += series.records.size();
+      continue;
+    }
     // Long-gap accounting for the discontinuity experiment.
     for (std::size_t i = 1; i < series.records.size(); ++i) {
       if (series.records[i].day - series.records[i - 1].day >=
@@ -135,7 +201,7 @@ std::vector<ProcessedDrive> Preprocessor::process(
         ++local.long_gaps;
       }
     }
-    ProcessedDrive drive = process_drive(series);
+    ProcessedDrive drive = process_drive(series, &local_ingest);
     local.records_dropped += drive.dropped_records;
     std::size_t real_records = 0;
     for (const auto& r : drive.records) {
@@ -149,6 +215,9 @@ std::vector<ProcessedDrive> Preprocessor::process(
     out.push_back(std::move(drive));
   }
   if (stats != nullptr) *stats = local;
+  if (ingest != nullptr) {
+    ingest->merge(local_ingest, config_.robustness.max_diagnostics);
+  }
   return out;
 }
 

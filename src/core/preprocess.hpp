@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/date.hpp"
+#include "common/robustness.hpp"
 #include "data/label_encoder.hpp"
 #include "sim/telemetry.hpp"
 
@@ -27,6 +28,13 @@ struct PreprocessConfig {
   int drop_gap = 10;      ///< cut sequences at gaps >= this many days
   int fill_gap = 3;       ///< interpolate gaps <= this many days
   int min_records = 3;    ///< drop drives with fewer usable records
+
+  /// Dirty-input policy. Strict (default) assumes well-formed series (the
+  /// historical behavior); lenient runs every record through a
+  /// RecordSanitizer (core/robust_ingest.hpp) — dropping duplicate days and
+  /// clock rollbacks, repairing bad values, re-basing counter resets — and
+  /// quarantines drives whose bad-row fraction exceeds the configured limit.
+  RobustnessConfig robustness;
 };
 
 /// One cleaned observation with accumulated W/B counters.
@@ -75,14 +83,20 @@ class Preprocessor {
 
   const PreprocessConfig& config() const noexcept { return config_; }
 
-  /// Cleans one drive's raw series (gap policy + cumulative counters).
-  ProcessedDrive process_drive(const sim::DriveTimeSeries& series) const;
+  /// Cleans one drive's raw series (gap policy + cumulative counters). In
+  /// lenient mode the series is sanitized first (records in delivery order);
+  /// a quarantined drive comes back with no records and `dropped_records`
+  /// covering the whole series. Sanitation accounting is merged into
+  /// `ingest` when non-null.
+  ProcessedDrive process_drive(const sim::DriveTimeSeries& series,
+                               IngestStats* ingest = nullptr) const;
 
   /// Cleans a whole telemetry batch; drops drives with too few usable
-  /// records; fills `stats` if non-null.
+  /// records (and, leniently, repeated drive ids and quarantined drives);
+  /// fills `stats` / `ingest` if non-null.
   std::vector<ProcessedDrive> process(
       const std::vector<sim::DriveTimeSeries>& batch,
-      PreprocessStats* stats = nullptr) const;
+      PreprocessStats* stats = nullptr, IngestStats* ingest = nullptr) const;
 
   /// Fits a firmware label encoder over every record of `drives`.
   static data::LabelEncoder fit_firmware_encoder(
@@ -90,6 +104,9 @@ class Preprocessor {
 
  private:
   PreprocessConfig config_;
+
+  /// The historical gap-policy algorithm, assuming a well-formed series.
+  ProcessedDrive process_well_formed(const sim::DriveTimeSeries& series) const;
 };
 
 }  // namespace mfpa::core

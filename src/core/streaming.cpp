@@ -1,12 +1,16 @@
 #include "core/streaming.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace mfpa::core {
 
 StreamingIngestor::StreamingIngestor(std::uint64_t drive_id, int vendor,
                                      PreprocessConfig config)
-    : drive_id_(drive_id), vendor_(vendor), config_(config) {}
+    : drive_id_(drive_id),
+      vendor_(vendor),
+      config_(config),
+      sanitizer_(config.robustness) {}
 
 ProcessedRecord StreamingIngestor::convert(const sim::DailyRecord& raw) {
   // Mirrors the batch Preprocessor's to_processed exactly.
@@ -28,12 +32,19 @@ ProcessedRecord StreamingIngestor::convert(const sim::DailyRecord& raw) {
 }
 
 std::vector<ProcessedRecord> StreamingIngestor::ingest(
-    const sim::DailyRecord& record) {
-  if (last_day_ && record.day <= *last_day_) {
-    throw std::invalid_argument(
-        "StreamingIngestor: records must arrive in strictly increasing day "
-        "order");
+    const sim::DailyRecord& raw) {
+  // The sanitizer enforces the day-order contract (strict: throws; lenient:
+  // idempotent duplicate / rollback drops) and repairs values; the gap
+  // logic below then sees exactly what the batch Preprocessor would.
+  std::optional<sim::DailyRecord> sanitized;
+  try {
+    sanitized = sanitizer_.sanitize(raw);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("StreamingIngestor: ") + e.what());
   }
+  if (!sanitized.has_value()) return {};
+  const sim::DailyRecord& record = *sanitized;
+
   std::vector<ProcessedRecord> produced;
   const bool first = !last_day_.has_value();
   const int gap = first ? 1 : record.day - *last_day_;
@@ -83,7 +94,12 @@ std::vector<ProcessedRecord> StreamingIngestor::ingest(
 }
 
 bool StreamingIngestor::usable() const noexcept {
-  return real_records_ >= static_cast<std::size_t>(config_.min_records);
+  return real_records_ >= static_cast<std::size_t>(config_.min_records) &&
+         !quarantined();
+}
+
+bool StreamingIngestor::quarantined() const noexcept {
+  return sanitizer_.quarantined(static_cast<std::size_t>(config_.min_records));
 }
 
 ProcessedDrive StreamingIngestor::snapshot() const {

@@ -11,12 +11,17 @@
 // batch Preprocessor over the same series, whenever the batch keeps the
 // final segment (the streaming agent cannot know a *future* gap will
 // invalidate its current segment; it always lives in the newest one).
+// The invariant holds in *both* robustness modes: lenient mode runs the
+// same RecordSanitizer in front of the same gap logic as the batch path,
+// so it extends verbatim to corrupted input (tested in
+// tests/core/test_robust_ingest.cpp).
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/preprocess.hpp"
+#include "core/robust_ingest.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mfpa::core {
@@ -27,10 +32,18 @@ class StreamingIngestor {
   StreamingIngestor(std::uint64_t drive_id, int vendor,
                     PreprocessConfig config = {});
 
-  /// Ingests the next raw daily record (days must be strictly increasing;
-  /// throws std::invalid_argument otherwise). Returns the cleaned records
-  /// this upload produced: possibly several (gap-fill synthesizes
-  /// intermediate days), possibly the start of a fresh segment (long gap).
+  /// Ingests the next raw daily record. Returns the cleaned records this
+  /// upload produced: possibly several (gap-fill synthesizes intermediate
+  /// days), possibly the start of a fresh segment (long gap), possibly none.
+  ///
+  /// Day-order contract (config().robustness):
+  ///  * strict — days must be strictly increasing; throws
+  ///    std::invalid_argument otherwise (the historical behavior);
+  ///  * lenient — a re-delivered day (an agent retrying an upload after a
+  ///    lost ACK) is IDEMPOTENT: the call returns empty, changes no state,
+  ///    and counts a `duplicate_days` fault; a day earlier than one already
+  ///    seen is dropped the same way as a `clock_rollbacks` fault. Bad
+  ///    values are repaired and counter resets re-based per the config.
   std::vector<ProcessedRecord> ingest(const sim::DailyRecord& record);
 
   /// Records of the *current* segment, oldest first.
@@ -39,8 +52,20 @@ class StreamingIngestor {
   }
 
   /// True when the current segment has enough real records to be usable for
-  /// scoring (min_records of the config).
+  /// scoring (min_records of the config) and the drive is not quarantined.
   bool usable() const noexcept;
+
+  /// Lenient mode: true when the sanitizer-dropped fraction of delivered
+  /// records exceeds the configured quarantine threshold — the drive's
+  /// uploads are too corrupt to score. Matches the batch Preprocessor's
+  /// per-drive quarantine decision on the same delivery sequence.
+  bool quarantined() const noexcept;
+
+  /// Sanitation accounting for this drive (delivered / repaired / dropped
+  /// records and per-fault counters).
+  const IngestStats& ingest_stats() const noexcept {
+    return sanitizer_.stats();
+  }
 
   /// Number of long-gap cuts seen so far.
   int segments_started() const noexcept { return segments_started_; }
@@ -56,6 +81,7 @@ class StreamingIngestor {
   std::uint64_t drive_id_;
   int vendor_;
   PreprocessConfig config_;
+  RecordSanitizer sanitizer_;
   std::vector<ProcessedRecord> segment_;
   std::size_t real_records_ = 0;
   int segments_started_ = 0;

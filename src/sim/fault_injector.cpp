@@ -1,0 +1,243 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/string_util.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+constexpr std::array<SmartAttr, 6> kMonotoneCounters = {
+    SmartAttr::kPowerOnHours,    SmartAttr::kPowerCycles,
+    SmartAttr::kDataUnitsRead,   SmartAttr::kDataUnitsWritten,
+    SmartAttr::kMediaErrors,     SmartAttr::kErrorLogEntries,
+};
+
+constexpr const char* kFaultNames[kNumFaultModes] = {
+    "duplicate_day",      "out_of_order_upload", "clock_rollback",
+    "counter_reset",      "nan_field",           "negative_field",
+    "saturated_field",    "duplicate_drive_id",  "dropped_column",
+    "truncated_row",      "malformed_firmware",  "ticket_imt_out_of_window",
+};
+
+}  // namespace
+
+const char* fault_mode_name(FaultMode mode) noexcept {
+  return kFaultNames[static_cast<std::size_t>(mode)];
+}
+
+bool fault_mode_is_textual(FaultMode mode) noexcept {
+  return mode == FaultMode::kDroppedColumn ||
+         mode == FaultMode::kTruncatedRow ||
+         mode == FaultMode::kMalformedFirmware;
+}
+
+bool fault_mode_is_ticket(FaultMode mode) noexcept {
+  return mode == FaultMode::kTicketImtOutOfWindow;
+}
+
+std::size_t InjectionStats::total() const noexcept {
+  return std::accumulate(injected.begin(), injected.end(), std::size_t{0});
+}
+
+std::vector<DriveTimeSeries> FaultInjector::corrupt(
+    const std::vector<DriveTimeSeries>& batch) {
+  std::vector<DriveTimeSeries> out = batch;
+
+  // Faults apply in enum order regardless of plan order, each over its own
+  // seed-derived stream, so composition is deterministic.
+  std::vector<FaultSpec> ordered = plan_.faults;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.mode < b.mode;
+                   });
+
+  for (const FaultSpec& spec : ordered) {
+    if (fault_mode_is_textual(spec.mode) || fault_mode_is_ticket(spec.mode)) {
+      continue;
+    }
+    Rng rng = Rng(plan_.seed).split(static_cast<std::uint64_t>(spec.mode) + 1);
+    std::size_t& count = stats_.injected[static_cast<std::size_t>(spec.mode)];
+    std::vector<DriveTimeSeries> duplicated;
+
+    for (auto& series : out) {
+      auto& recs = series.records;
+      switch (spec.mode) {
+        case FaultMode::kDuplicateDay: {
+          std::vector<DailyRecord> with_dups;
+          with_dups.reserve(recs.size());
+          for (const auto& rec : recs) {
+            with_dups.push_back(rec);
+            if (rng.bernoulli(spec.rate)) {
+              with_dups.push_back(rec);  // the agent retried this upload
+              ++count;
+            }
+          }
+          recs = std::move(with_dups);
+          break;
+        }
+        case FaultMode::kOutOfOrderUpload:
+          for (std::size_t i = 1; i < recs.size(); ++i) {
+            if (recs[i - 1].day != recs[i].day && rng.bernoulli(spec.rate)) {
+              std::swap(recs[i - 1], recs[i]);
+              ++count;
+            }
+          }
+          break;
+        case FaultMode::kClockRollback:
+          for (std::size_t i = 1; i < recs.size(); ++i) {
+            if (rng.bernoulli(spec.rate)) {
+              recs[i].day = recs[i - 1].day -
+                            static_cast<DayIndex>(rng.uniform_int(0, 5));
+              ++count;
+            }
+          }
+          break;
+        case FaultMode::kCounterReset:
+          for (std::size_t i = 1; i < recs.size(); ++i) {
+            if (!rng.bernoulli(spec.rate)) continue;
+            // Firmware update / power event: the cumulative counters restart
+            // near zero and keep growing from there.
+            std::array<float, kMonotoneCounters.size()> base;
+            for (std::size_t a = 0; a < kMonotoneCounters.size(); ++a) {
+              base[a] =
+                  recs[i].smart[static_cast<std::size_t>(kMonotoneCounters[a])];
+            }
+            for (std::size_t j = i; j < recs.size(); ++j) {
+              for (std::size_t a = 0; a < kMonotoneCounters.size(); ++a) {
+                float& v =
+                    recs[j].smart[static_cast<std::size_t>(kMonotoneCounters[a])];
+                v = std::max(0.0f, v - base[a]);
+              }
+            }
+            ++count;
+          }
+          break;
+        case FaultMode::kNanField:
+          for (auto& rec : recs) {
+            if (rng.bernoulli(spec.rate)) {
+              rec.smart[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(kNumSmartAttrs) - 1))] =
+                  std::numeric_limits<float>::quiet_NaN();
+              ++count;
+            }
+          }
+          break;
+        case FaultMode::kNegativeField:
+          for (auto& rec : recs) {
+            if (rng.bernoulli(spec.rate)) {
+              float& v = rec.smart[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(kNumSmartAttrs) - 1))];
+              v = -std::abs(v) - 1.0f;
+              ++count;
+            }
+          }
+          break;
+        case FaultMode::kSaturatedField:
+          for (auto& rec : recs) {
+            if (!rng.bernoulli(spec.rate)) continue;
+            if (rng.bernoulli(0.5)) {
+              rec.smart[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(kNumSmartAttrs) - 1))] =
+                  std::numeric_limits<float>::max();
+            } else {
+              rec.w[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(kNumWindowsEvents) - 1))] =
+                  std::numeric_limits<std::uint16_t>::max();
+            }
+            ++count;
+          }
+          break;
+        case FaultMode::kDuplicateDriveId:
+          if (rng.bernoulli(spec.rate)) {
+            duplicated.push_back(series);
+            ++count;
+          }
+          break;
+        default:
+          break;
+      }
+    }
+    for (auto& series : duplicated) out.push_back(std::move(series));
+  }
+  return out;
+}
+
+std::string FaultInjector::corrupt_csv(const std::string& text) {
+  std::vector<std::string> lines = split(text, '\n');
+  // split() keeps the empty field after a trailing newline; remember whether
+  // to restore it so uncorrupted text round-trips byte-identically.
+  const bool trailing_newline = !lines.empty() && lines.back().empty();
+  if (trailing_newline) lines.pop_back();
+
+  std::vector<FaultSpec> ordered = plan_.faults;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.mode < b.mode;
+                   });
+
+  for (const FaultSpec& spec : ordered) {
+    if (!fault_mode_is_textual(spec.mode)) continue;
+    Rng rng = Rng(plan_.seed).split(static_cast<std::uint64_t>(spec.mode) + 1);
+    std::size_t& count = stats_.injected[static_cast<std::size_t>(spec.mode)];
+
+    for (std::size_t li = 1; li < lines.size(); ++li) {  // never the header
+      std::string& line = lines[li];
+      if (line.empty() || !rng.bernoulli(spec.rate)) continue;
+      switch (spec.mode) {
+        case FaultMode::kDroppedColumn: {
+          auto fields = split(line, ',');
+          if (fields.size() < 2) break;
+          fields.erase(fields.begin() +
+                       rng.uniform_int(0, static_cast<std::int64_t>(
+                                              fields.size()) - 1));
+          line = join(fields, ",");
+          ++count;
+          break;
+        }
+        case FaultMode::kTruncatedRow:
+          line.resize(static_cast<std::size_t>(rng.uniform_int(
+              1, static_cast<std::int64_t>(line.size()) - 1)));
+          ++count;
+          break;
+        case FaultMode::kMalformedFirmware: {
+          auto fields = split(line, ',');
+          if (fields.size() < 7) break;
+          fields[6] = "fw_corrupt!";  // firmware_index column
+          line = join(fields, ",");
+          ++count;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  std::string out = join(lines, "\n");
+  if (trailing_newline) out += '\n';
+  return out;
+}
+
+std::vector<TroubleTicket> FaultInjector::corrupt_tickets(
+    const std::vector<TroubleTicket>& tickets, DayIndex window_lo,
+    DayIndex window_hi) {
+  std::vector<TroubleTicket> out = tickets;
+  for (const FaultSpec& spec : plan_.faults) {
+    if (!fault_mode_is_ticket(spec.mode)) continue;
+    Rng rng = Rng(plan_.seed).split(static_cast<std::uint64_t>(spec.mode) + 1);
+    std::size_t& count = stats_.injected[static_cast<std::size_t>(spec.mode)];
+    for (auto& ticket : out) {
+      if (!rng.bernoulli(spec.rate)) continue;
+      const DayIndex offset = static_cast<DayIndex>(rng.uniform_int(200, 2000));
+      ticket.imt = rng.bernoulli(0.5) ? window_hi + offset : window_lo - offset;
+      ++count;
+    }
+  }
+  return out;
+}
+
+}  // namespace mfpa::sim

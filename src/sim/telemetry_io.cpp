@@ -1,7 +1,9 @@
 #include "sim/telemetry_io.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
+#include <istream>
 #include <map>
 #include <ostream>
 #include <stdexcept>
@@ -16,13 +18,46 @@ std::string category_name(TicketCategory c) {
   return ticket_category_info(c).description;
 }
 
-TicketCategory category_from_name(const std::string& name) {
+bool category_from_name(const std::string& name, TicketCategory& out) {
   for (const auto& info : ticket_categories()) {
-    if (info.description == name) return info.category;
+    if (info.description == name) {
+      out = info.category;
+      return true;
+    }
   }
-  throw std::runtime_error("telemetry_io: unknown ticket category '" + name +
-                           "'");
+  return false;
 }
+
+template <typename T>
+bool parse_number(const std::string& text, T& out) {
+  if (text.empty()) return false;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc() && ptr == last;
+}
+
+/// Shared row-fault funnel: strict throws a located std::runtime_error,
+/// lenient records the diagnostic and counts the drop/repair.
+struct RowContext {
+  const RobustnessConfig& robustness;
+  IngestStats& stats;
+  std::size_t line = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("telemetry_io: line " + std::to_string(line) +
+                             ": " + what);
+  }
+  [[noreturn]] void fail_column(const std::string& column,
+                                const std::string& what) const {
+    throw std::runtime_error("telemetry_io: line " + std::to_string(line) +
+                             ", column '" + column + "': " + what);
+  }
+  void diagnose(const std::string& what) {
+    stats.note("line " + std::to_string(line) + ": " + what,
+               robustness.max_diagnostics);
+  }
+};
 
 }  // namespace
 
@@ -58,48 +93,151 @@ void write_telemetry_csv(std::ostream& os,
   }
 }
 
-std::vector<DriveTimeSeries> read_telemetry_csv(std::istream& is) {
-  const csv::Document doc = csv::read(is);
-  const auto expected = telemetry_csv_header();
-  if (doc.header != expected) {
+std::vector<DriveTimeSeries> read_telemetry_csv(
+    std::istream& is, const RobustnessConfig& robustness, IngestStats* stats) {
+  const auto header = telemetry_csv_header();
+  const std::size_t arity = header.size();
+  constexpr std::size_t kFixed = 7;
+
+  IngestStats local;
+  RowContext ctx{robustness, local};
+  const bool lenient = robustness.lenient();
+
+  std::string line;
+  if (!std::getline(is, line) || csv::parse_line(line) != header) {
+    // A wrong header means the columns cannot be interpreted at all; no
+    // degradation is possible, so both modes fail fast.
     throw std::runtime_error("telemetry_io: unexpected telemetry header");
   }
-  constexpr std::size_t kFixed = 7;
-  const std::size_t arity =
-      kFixed + kNumSmartAttrs + kNumWindowsEvents + kNumBsodCodes;
 
   std::map<std::uint64_t, DriveTimeSeries> by_drive;
-  for (const auto& row : doc.rows) {
-    if (row.size() != arity) {
-      throw std::runtime_error("telemetry_io: row arity mismatch");
+  for (std::size_t line_no = 2; std::getline(is, line); ++line_no) {
+    if (line.empty() && is.peek() == std::char_traits<char>::eof()) break;
+    ctx.line = line_no;
+    ++local.rows_read;
+
+    std::vector<std::string> row;
+    try {
+      row = csv::parse_line(line);
+    } catch (const std::invalid_argument& e) {
+      if (!lenient) ctx.fail(e.what());
+      ++local.bad_cells;
+      ++local.rows_dropped;
+      ctx.diagnose(e.what());
+      continue;
     }
-    const std::uint64_t sn = std::stoull(row[0]);
-    DriveTimeSeries& series = by_drive[sn];
-    series.drive_id = sn;
-    series.vendor = std::stoi(row[1]);
-    series.model = std::stoi(row[2]);
-    series.failed = row[4] == "1";
-    series.failure_day = std::stoi(row[5]);
+    if (row.size() != arity) {
+      const std::string what = "expected " + std::to_string(arity) +
+                               " fields, got " + std::to_string(row.size());
+      if (!lenient) ctx.fail(what);
+      ++local.short_rows;
+      ++local.rows_dropped;
+      ctx.diagnose(what);
+      continue;
+    }
+
+    // Fixed identity/label columns. A bad cell invalidates the whole row.
+    std::uint64_t sn = 0;
+    int vendor = 0, model = 0, failure_day = 0, day = 0;
+    bool row_ok = true, repaired = false;
+    const auto need = [&](bool ok, std::size_t col) {
+      if (ok) return true;
+      if (!lenient) {
+        ctx.fail_column(header[col], "cannot parse '" + row[col] + "'");
+      }
+      ++local.bad_cells;
+      ctx.diagnose("column '" + header[col] + "': cannot parse '" + row[col] +
+                   "'");
+      row_ok = false;
+      return false;
+    };
+    if (!need(parse_number(row[0], sn), 0) ||
+        !need(parse_number(row[1], vendor) && vendor >= 0 &&
+                  vendor < static_cast<int>(kNumVendors),
+              1) ||
+        !need(parse_number(row[2], model) && model >= 0, 2) ||
+        !need(parse_number(row[3], day), 3) ||
+        !need(parse_number(row[5], failure_day), 5)) {
+      ++local.rows_dropped;
+      continue;
+    }
 
     DailyRecord rec;
-    rec.day = std::stoi(row[3]);
-    rec.firmware_index = static_cast<std::uint8_t>(std::stoi(row[6]));
+    rec.day = day;
+    // Malformed firmware is repairable: the version string is a feature, not
+    // an identity, so lenient mode resets it to the vendor's first release.
+    int fw = 0;
+    if (parse_number(row[6], fw) && fw >= 0 && fw <= 255) {
+      rec.firmware_index = static_cast<std::uint8_t>(fw);
+    } else if (lenient) {
+      rec.firmware_index = 0;
+      ++local.firmware_repairs;
+      ctx.diagnose("column 'firmware_index': repaired malformed '" + row[6] +
+                   "'");
+      repaired = true;
+    } else {
+      ctx.fail_column(header[6], "cannot parse '" + row[6] + "'");
+    }
+
     std::size_t col = kFixed;
-    for (auto& v : rec.smart) v = std::stof(row[col++]);
-    for (auto& v : rec.w) v = static_cast<std::uint16_t>(std::stoi(row[col++]));
-    for (auto& v : rec.b) v = static_cast<std::uint16_t>(std::stoi(row[col++]));
+    for (auto& v : rec.smart) {
+      if (!need(parse_number(row[col], v), col)) break;
+      ++col;
+    }
+    if (row_ok) {
+      for (auto& v : rec.w) {
+        int count = 0;
+        if (!need(parse_number(row[col], count) && count >= 0 && count <= 65535,
+                  col)) {
+          break;
+        }
+        v = static_cast<std::uint16_t>(count);
+        ++col;
+      }
+    }
+    if (row_ok) {
+      for (auto& v : rec.b) {
+        int count = 0;
+        if (!need(parse_number(row[col], count) && count >= 0 && count <= 65535,
+                  col)) {
+          break;
+        }
+        v = static_cast<std::uint16_t>(count);
+        ++col;
+      }
+    }
+    if (!row_ok) {
+      ++local.rows_dropped;
+      continue;
+    }
+    if (repaired) ++local.rows_repaired;
+
+    DriveTimeSeries& series = by_drive[sn];
+    series.drive_id = sn;
+    series.vendor = vendor;
+    series.model = model;
+    series.failed = row[4] == "1";
+    series.failure_day = failure_day;
     series.records.push_back(rec);
   }
+
   std::vector<DriveTimeSeries> out;
   out.reserve(by_drive.size());
   for (auto& [sn, series] : by_drive) {
-    std::sort(series.records.begin(), series.records.end(),
-              [](const DailyRecord& a, const DailyRecord& b) {
-                return a.day < b.day;
-              });
+    // Stable sort keeps duplicate days in file order, so lenient-mode
+    // "first upload wins" is deterministic.
+    std::stable_sort(series.records.begin(), series.records.end(),
+                     [](const DailyRecord& a, const DailyRecord& b) {
+                       return a.day < b.day;
+                     });
     out.push_back(std::move(series));
   }
+  if (stats != nullptr) stats->merge(local, robustness.max_diagnostics);
   return out;
+}
+
+std::vector<DriveTimeSeries> read_telemetry_csv(std::istream& is) {
+  return read_telemetry_csv(is, RobustnessConfig{});
 }
 
 void write_tickets_csv(std::ostream& os,
@@ -111,25 +249,84 @@ void write_tickets_csv(std::ostream& os,
   }
 }
 
-std::vector<TroubleTicket> read_tickets_csv(std::istream& is) {
-  const csv::Document doc = csv::read(is);
-  if (doc.header != std::vector<std::string>{"sn", "vendor", "imt", "category"}) {
+std::vector<TroubleTicket> read_tickets_csv(std::istream& is,
+                                            const RobustnessConfig& robustness,
+                                            IngestStats* stats) {
+  static const std::vector<std::string> kHeader = {"sn", "vendor", "imt",
+                                                   "category"};
+  IngestStats local;
+  RowContext ctx{robustness, local};
+  const bool lenient = robustness.lenient();
+
+  std::string line;
+  if (!std::getline(is, line) || csv::parse_line(line) != kHeader) {
     throw std::runtime_error("telemetry_io: unexpected ticket header");
   }
+
   std::vector<TroubleTicket> out;
-  out.reserve(doc.rows.size());
-  for (const auto& row : doc.rows) {
-    if (row.size() != 4) {
-      throw std::runtime_error("telemetry_io: ticket row arity mismatch");
+  for (std::size_t line_no = 2; std::getline(is, line); ++line_no) {
+    if (line.empty() && is.peek() == std::char_traits<char>::eof()) break;
+    ctx.line = line_no;
+    ++local.rows_read;
+
+    const auto drop = [&](const std::string& what) {
+      ++local.tickets_dropped;
+      ++local.rows_dropped;
+      ctx.diagnose(what);
+    };
+
+    std::vector<std::string> row;
+    try {
+      row = csv::parse_line(line);
+    } catch (const std::invalid_argument& e) {
+      if (!lenient) ctx.fail(e.what());
+      ++local.bad_cells;
+      drop(e.what());
+      continue;
+    }
+    if (row.size() != kHeader.size()) {
+      const std::string what = "expected 4 fields, got " +
+                               std::to_string(row.size());
+      if (!lenient) ctx.fail(what);
+      ++local.short_rows;
+      drop(what);
+      continue;
     }
     TroubleTicket t;
-    t.drive_id = std::stoull(row[0]);
-    t.vendor = std::stoi(row[1]);
-    t.imt = std::stoi(row[2]);
-    t.category = category_from_name(row[3]);
+    if (!parse_number(row[0], t.drive_id)) {
+      if (!lenient) ctx.fail_column("sn", "cannot parse '" + row[0] + "'");
+      ++local.bad_cells;
+      drop("column 'sn': cannot parse '" + row[0] + "'");
+      continue;
+    }
+    if (!parse_number(row[1], t.vendor)) {
+      if (!lenient) ctx.fail_column("vendor", "cannot parse '" + row[1] + "'");
+      ++local.bad_cells;
+      drop("column 'vendor': cannot parse '" + row[1] + "'");
+      continue;
+    }
+    if (!parse_number(row[2], t.imt)) {
+      if (!lenient) ctx.fail_column("imt", "cannot parse '" + row[2] + "'");
+      ++local.bad_cells;
+      drop("column 'imt': cannot parse '" + row[2] + "'");
+      continue;
+    }
+    if (!category_from_name(row[3], t.category)) {
+      if (!lenient) {
+        ctx.fail_column("category", "unknown ticket category '" + row[3] + "'");
+      }
+      ++local.bad_cells;
+      drop("column 'category': unknown ticket category '" + row[3] + "'");
+      continue;
+    }
     out.push_back(t);
   }
+  if (stats != nullptr) stats->merge(local, robustness.max_diagnostics);
   return out;
+}
+
+std::vector<TroubleTicket> read_tickets_csv(std::istream& is) {
+  return read_tickets_csv(is, RobustnessConfig{});
 }
 
 void write_telemetry_file(const std::string& path,
@@ -139,10 +336,12 @@ void write_telemetry_file(const std::string& path,
   write_telemetry_csv(f, batch);
 }
 
-std::vector<DriveTimeSeries> read_telemetry_file(const std::string& path) {
+std::vector<DriveTimeSeries> read_telemetry_file(
+    const std::string& path, const RobustnessConfig& robustness,
+    IngestStats* stats) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
-  return read_telemetry_csv(f);
+  return read_telemetry_csv(f, robustness, stats);
 }
 
 void write_tickets_file(const std::string& path,
@@ -152,10 +351,12 @@ void write_tickets_file(const std::string& path,
   write_tickets_csv(f, tickets);
 }
 
-std::vector<TroubleTicket> read_tickets_file(const std::string& path) {
+std::vector<TroubleTicket> read_tickets_file(const std::string& path,
+                                             const RobustnessConfig& robustness,
+                                             IngestStats* stats) {
   std::ifstream f(path);
   if (!f) throw std::runtime_error("telemetry_io: cannot open " + path);
-  return read_tickets_csv(f);
+  return read_tickets_csv(f, robustness, stats);
 }
 
 }  // namespace mfpa::sim

@@ -6,12 +6,16 @@
 // This lets the simulator's output feed external analysis tools, and lets
 // externally produced telemetry (in the same schema) flow back into the
 // pipeline.
+// Both readers come in two modes (common/robustness.hpp): strict fails fast
+// with a line-numbered, column-named diagnostic; lenient skips bad rows,
+// repairs what it can, and reports everything through `IngestStats`.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "common/robustness.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mfpa::sim {
@@ -26,21 +30,34 @@ void write_telemetry_csv(std::ostream& os,
 
 /// Reads rows written by write_telemetry_csv, regrouping them by drive
 /// (records of one drive need not be adjacent; output series are sorted by
-/// drive id with records ascending by day). Throws std::runtime_error on a
-/// malformed document.
+/// drive id with records ascending by day, duplicate days preserved in file
+/// order). Strict mode throws std::runtime_error on the first malformed row
+/// ("line N, column 'X': ..."); lenient mode drops unparsable rows, repairs
+/// malformed firmware fields, and accounts for both in `stats`.
+std::vector<DriveTimeSeries> read_telemetry_csv(
+    std::istream& is, const RobustnessConfig& robustness,
+    IngestStats* stats = nullptr);
+/// Strict-mode convenience (back-compat signature).
 std::vector<DriveTimeSeries> read_telemetry_csv(std::istream& is);
 
 /// Ticket CSV (drive_id, vendor, imt, category name).
 void write_tickets_csv(std::ostream& os,
                        const std::vector<TroubleTicket>& tickets);
+std::vector<TroubleTicket> read_tickets_csv(std::istream& is,
+                                            const RobustnessConfig& robustness,
+                                            IngestStats* stats = nullptr);
 std::vector<TroubleTicket> read_tickets_csv(std::istream& is);
 
 /// File-path conveniences (throw std::runtime_error on IO failure).
 void write_telemetry_file(const std::string& path,
                           const std::vector<DriveTimeSeries>& batch);
-std::vector<DriveTimeSeries> read_telemetry_file(const std::string& path);
+std::vector<DriveTimeSeries> read_telemetry_file(
+    const std::string& path, const RobustnessConfig& robustness = {},
+    IngestStats* stats = nullptr);
 void write_tickets_file(const std::string& path,
                         const std::vector<TroubleTicket>& tickets);
-std::vector<TroubleTicket> read_tickets_file(const std::string& path);
+std::vector<TroubleTicket> read_tickets_file(
+    const std::string& path, const RobustnessConfig& robustness = {},
+    IngestStats* stats = nullptr);
 
 }  // namespace mfpa::sim

@@ -16,10 +16,25 @@ sim::DailyRecord raw_record(DayIndex day, float poh = 0.0f) {
 }
 
 TEST(Streaming, RejectsOutOfOrderDays) {
+  // Strict (default) mode: the historical fail-fast contract.
   StreamingIngestor ingestor(1, 0);
   ingestor.ingest(raw_record(10));
   EXPECT_THROW(ingestor.ingest(raw_record(10)), std::invalid_argument);
   EXPECT_THROW(ingestor.ingest(raw_record(5)), std::invalid_argument);
+}
+
+TEST(Streaming, LenientModeDropsOutOfOrderDaysIdempotently) {
+  // Lenient mode: a retried upload (same day again) must not throw and must
+  // not change state — see the ingest() contract and test_robust_ingest.cpp.
+  PreprocessConfig cfg;
+  cfg.robustness.mode = IngestMode::kLenient;
+  StreamingIngestor ingestor(1, 0, cfg);
+  ingestor.ingest(raw_record(10));
+  EXPECT_TRUE(ingestor.ingest(raw_record(10)).empty());
+  EXPECT_TRUE(ingestor.ingest(raw_record(5)).empty());
+  EXPECT_EQ(ingestor.segment().size(), 1u);
+  EXPECT_EQ(ingestor.ingest_stats().duplicate_days, 1u);
+  EXPECT_EQ(ingestor.ingest_stats().clock_rollbacks, 1u);
 }
 
 TEST(Streaming, AccumulatesCumulativeCounters) {

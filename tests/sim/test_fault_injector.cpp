@@ -1,0 +1,246 @@
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.hpp"
+#include "sim/fleet.hpp"
+#include "sim/telemetry_io.hpp"
+
+namespace mfpa::sim {
+namespace {
+
+std::vector<DriveTimeSeries> tiny_batch(std::uint64_t seed = 3) {
+  FleetSimulator fleet(tiny_scenario(seed));
+  return fleet.generate_telemetry();
+}
+
+std::string tiny_csv(std::uint64_t seed = 3) {
+  std::stringstream ss;
+  write_telemetry_csv(ss, tiny_batch(seed));
+  return ss.str();
+}
+
+bool batches_equal(const std::vector<DriveTimeSeries>& a,
+                   const std::vector<DriveTimeSeries>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].drive_id != b[i].drive_id) return false;
+    if (a[i].records.size() != b[i].records.size()) return false;
+    for (std::size_t j = 0; j < a[i].records.size(); ++j) {
+      const auto& ra = a[i].records[j];
+      const auto& rb = b[i].records[j];
+      if (ra.day != rb.day || ra.w != rb.w || ra.b != rb.b) return false;
+      for (std::size_t k = 0; k < kNumSmartAttrs; ++k) {
+        const bool both_nan =
+            std::isnan(ra.smart[k]) && std::isnan(rb.smart[k]);
+        if (!both_nan && ra.smart[k] != rb.smart[k]) return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(FaultInjector, SameSeedProducesByteIdenticalCorruption) {
+  const auto clean = tiny_batch();
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.faults = {{FaultMode::kDuplicateDay, 0.1},
+                 {FaultMode::kCounterReset, 0.1},
+                 {FaultMode::kNanField, 0.1}};
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  EXPECT_TRUE(batches_equal(a.corrupt(clean), b.corrupt(clean)));
+  // Repeat calls on the SAME injector are also identical: each call
+  // re-derives its stream from the plan seed.
+  EXPECT_TRUE(batches_equal(a.corrupt(clean), b.corrupt(clean)));
+
+  const std::string csv = tiny_csv();
+  FaultPlan text_plan;
+  text_plan.seed = 99;
+  text_plan.faults = {{FaultMode::kTruncatedRow, 0.1},
+                      {FaultMode::kMalformedFirmware, 0.1}};
+  FaultInjector c(text_plan);
+  FaultInjector d(text_plan);
+  EXPECT_EQ(c.corrupt_csv(csv), d.corrupt_csv(csv));  // byte identical
+  EXPECT_EQ(c.corrupt_csv(csv), d.corrupt_csv(csv));
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  const std::string csv = tiny_csv();
+  FaultInjector a({{{FaultMode::kTruncatedRow, 0.2}}, 1});
+  FaultInjector b({{{FaultMode::kTruncatedRow, 0.2}}, 2});
+  EXPECT_NE(a.corrupt_csv(csv), b.corrupt_csv(csv));
+}
+
+TEST(FaultInjector, ZeroRateIsIdentity) {
+  const auto clean = tiny_batch();
+  const std::string csv = tiny_csv();
+  FaultPlan plan;
+  plan.seed = 5;
+  for (std::size_t m = 0; m < kNumFaultModes; ++m) {
+    plan.faults.push_back({static_cast<FaultMode>(m), 0.0});
+  }
+  FaultInjector injector(plan);
+  EXPECT_TRUE(batches_equal(injector.corrupt(clean), clean));
+  EXPECT_EQ(injector.corrupt_csv(csv), csv);
+  EXPECT_EQ(injector.stats().total(), 0u);
+}
+
+TEST(FaultInjector, DuplicateDayInsertsRepeatedDays) {
+  FaultInjector injector({{{FaultMode::kDuplicateDay, 0.1}}, 7});
+  const auto corrupted = injector.corrupt(tiny_batch());
+  ASSERT_GT(injector.stats().of(FaultMode::kDuplicateDay), 0u);
+  std::size_t duplicates = 0;
+  for (const auto& s : corrupted) {
+    for (std::size_t i = 1; i < s.records.size(); ++i) {
+      if (s.records[i].day == s.records[i - 1].day) ++duplicates;
+    }
+  }
+  EXPECT_EQ(duplicates, injector.stats().of(FaultMode::kDuplicateDay));
+}
+
+TEST(FaultInjector, OutOfOrderAndRollbackBreakDayOrder) {
+  for (FaultMode mode :
+       {FaultMode::kOutOfOrderUpload, FaultMode::kClockRollback}) {
+    FaultInjector injector({{{mode, 0.1}}, 7});
+    const auto corrupted = injector.corrupt(tiny_batch());
+    ASSERT_GT(injector.stats().of(mode), 0u) << fault_mode_name(mode);
+    std::size_t inversions = 0;
+    for (const auto& s : corrupted) {
+      for (std::size_t i = 1; i < s.records.size(); ++i) {
+        if (s.records[i].day < s.records[i - 1].day) ++inversions;
+      }
+    }
+    EXPECT_GT(inversions, 0u) << fault_mode_name(mode);
+  }
+}
+
+TEST(FaultInjector, CounterResetMakesMonotoneCounterDecrease) {
+  FaultInjector injector({{{FaultMode::kCounterReset, 0.05}}, 11});
+  const auto clean = tiny_batch();
+  const auto corrupted = injector.corrupt(clean);
+  ASSERT_GT(injector.stats().of(FaultMode::kCounterReset), 0u);
+  std::size_t decreases = 0;
+  const auto poh = static_cast<std::size_t>(SmartAttr::kPowerOnHours);
+  for (const auto& s : corrupted) {
+    for (std::size_t i = 1; i < s.records.size(); ++i) {
+      if (s.records[i].smart[poh] < s.records[i - 1].smart[poh]) ++decreases;
+    }
+  }
+  EXPECT_GT(decreases, 0u);
+}
+
+TEST(FaultInjector, BadValueModesProduceDetectableFields) {
+  const auto clean = tiny_batch();
+  {
+    FaultInjector injector({{{FaultMode::kNanField, 0.05}}, 13});
+    const auto corrupted = injector.corrupt(clean);
+    std::size_t nans = 0;
+    for (const auto& s : corrupted)
+      for (const auto& r : s.records)
+        for (std::size_t k = 0; k < kNumSmartAttrs; ++k)
+          if (std::isnan(r.smart[k])) ++nans;
+    EXPECT_EQ(nans, injector.stats().of(FaultMode::kNanField));
+    EXPECT_GT(nans, 0u);
+  }
+  {
+    FaultInjector injector({{{FaultMode::kNegativeField, 0.05}}, 13});
+    const auto corrupted = injector.corrupt(clean);
+    std::size_t negatives = 0;
+    for (const auto& s : corrupted)
+      for (const auto& r : s.records)
+        for (std::size_t k = 0; k < kNumSmartAttrs; ++k)
+          if (r.smart[k] < 0.0f) ++negatives;
+    EXPECT_GT(negatives, 0u);
+  }
+  {
+    FaultInjector injector({{{FaultMode::kSaturatedField, 0.05}}, 13});
+    const auto corrupted = injector.corrupt(clean);
+    ASSERT_GT(injector.stats().of(FaultMode::kSaturatedField), 0u);
+    EXPECT_FALSE(batches_equal(corrupted, clean));
+  }
+}
+
+TEST(FaultInjector, DuplicateDriveIdGrowsBatchWithRepeatedIds) {
+  FaultInjector injector({{{FaultMode::kDuplicateDriveId, 0.1}}, 17});
+  const auto clean = tiny_batch();
+  const auto corrupted = injector.corrupt(clean);
+  const std::size_t injected =
+      injector.stats().of(FaultMode::kDuplicateDriveId);
+  ASSERT_GT(injected, 0u);
+  EXPECT_EQ(corrupted.size(), clean.size() + injected);
+  std::set<std::uint64_t> seen;
+  std::size_t repeats = 0;
+  for (const auto& s : corrupted) {
+    if (!seen.insert(s.drive_id).second) ++repeats;
+  }
+  EXPECT_EQ(repeats, injected);
+}
+
+TEST(FaultInjector, TextualModesMangleRowsButNeverTheHeader) {
+  const std::string csv = tiny_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  const std::size_t arity = telemetry_csv_header().size();
+  for (FaultMode mode : {FaultMode::kDroppedColumn, FaultMode::kTruncatedRow,
+                         FaultMode::kMalformedFirmware}) {
+    ASSERT_TRUE(fault_mode_is_textual(mode));
+    FaultInjector injector({{{mode, 0.05}}, 19});
+    const std::string corrupted = injector.corrupt_csv(csv);
+    ASSERT_GT(injector.stats().of(mode), 0u) << fault_mode_name(mode);
+    EXPECT_EQ(corrupted.substr(0, corrupted.find('\n')), header);
+    std::stringstream ss(corrupted);
+    std::string line;
+    std::getline(ss, line);  // header
+    std::size_t bad_arity = 0, bad_firmware = 0;
+    while (std::getline(ss, line)) {
+      const auto fields = split(line, ',');
+      if (fields.size() != arity) ++bad_arity;
+      if (fields.size() > 6 && fields[6] == "fw_corrupt!") ++bad_firmware;
+    }
+    if (mode == FaultMode::kMalformedFirmware) {
+      EXPECT_EQ(bad_firmware, injector.stats().of(mode));
+    } else {
+      EXPECT_GT(bad_arity, 0u) << fault_mode_name(mode);
+    }
+  }
+}
+
+TEST(FaultInjector, TicketImtDisplacedOutsideWindow) {
+  FleetSimulator fleet(tiny_scenario(3));
+  auto tickets = fleet.tickets();
+  ASSERT_FALSE(tickets.empty());
+  const DayIndex lo = 0, hi = 365;
+  FaultInjector injector({{{FaultMode::kTicketImtOutOfWindow, 1.0}}, 23});
+  const auto corrupted = injector.corrupt_tickets(tickets, lo, hi);
+  ASSERT_EQ(corrupted.size(), tickets.size());
+  EXPECT_EQ(injector.stats().of(FaultMode::kTicketImtOutOfWindow),
+            tickets.size());
+  for (const auto& t : corrupted) {
+    EXPECT_TRUE(t.imt < lo || t.imt > hi) << "imt=" << t.imt;
+  }
+}
+
+TEST(FaultInjector, ComposedPlanAppliesEveryRequestedMode) {
+  FaultPlan plan;
+  plan.seed = 29;
+  plan.faults = {{FaultMode::kDuplicateDay, 0.1},
+                 {FaultMode::kClockRollback, 0.1},
+                 {FaultMode::kNanField, 0.1}};
+  FaultInjector injector(plan);
+  (void)injector.corrupt(tiny_batch());
+  for (const auto& spec : plan.faults) {
+    EXPECT_GT(injector.stats().of(spec.mode), 0u)
+        << fault_mode_name(spec.mode);
+  }
+  EXPECT_EQ(injector.stats().total(),
+            injector.stats().of(FaultMode::kDuplicateDay) +
+                injector.stats().of(FaultMode::kClockRollback) +
+                injector.stats().of(FaultMode::kNanField));
+}
+
+}  // namespace
+}  // namespace mfpa::sim
