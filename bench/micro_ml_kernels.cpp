@@ -1,10 +1,13 @@
 // google-benchmark micro-benchmarks for the hot kernels behind Fig. 20:
-// tree-ensemble training/inference, metric computation, preprocessing
-// throughput, and the CNN_LSTM forward pass.
+// tree-ensemble training/inference (exact vs histogram split paths),
+// feature binning, metric computation, preprocessing throughput, and the
+// CNN_LSTM forward pass. `cmake --build build --target bench_perf` runs the
+// suite and records BENCH_ml_kernels.json (see docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
 #include "core/preprocess.hpp"
+#include "data/binned_matrix.hpp"
 #include "ml/factory.hpp"
 #include "ml/metrics.hpp"
 #include "sim/fleet.hpp"
@@ -28,38 +31,72 @@ std::pair<data::Matrix, std::vector<int>> blob_data(std::size_t n,
   return {std::move(X), std::move(y)};
 }
 
+// range(0) = rows, range(1) = split_method (0 exact, 1 hist).
 void BM_RandomForestFit(benchmark::State& state) {
   const auto [X, y] = blob_data(static_cast<std::size_t>(state.range(0)), 45);
+  const double method = static_cast<double>(state.range(1));
   for (auto _ : state) {
-    auto rf = ml::make_classifier("RF", {{"n_trees", 30}, {"seed", 1}});
+    auto rf = ml::make_classifier(
+        "RF", {{"n_trees", 30}, {"seed", 1}, {"split_method", method}});
     rf->fit(X, y);
     benchmark::DoNotOptimize(rf);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_RandomForestFit)->Arg(1000)->Arg(4000);
+BENCHMARK(BM_RandomForestFit)
+    ->ArgNames({"n", "hist"})
+    ->ArgsProduct({{1000, 4000}, {0, 1}});
 
 void BM_RandomForestPredict(benchmark::State& state) {
   const auto [X, y] = blob_data(4000, 45);
-  auto rf = ml::make_classifier("RF", {{"n_trees", 60}, {"seed", 1}});
+  const double threads = static_cast<double>(state.range(0));
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 60}, {"seed", 1}, {"threads", threads}});
   rf->fit(X, y);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rf->predict_proba(X));
   }
   state.SetItemsProcessed(state.iterations() * 4000);
 }
-BENCHMARK(BM_RandomForestPredict);
+BENCHMARK(BM_RandomForestPredict)->ArgName("threads")->Arg(1)->Arg(0);
 
+// range(0) = rows, range(1) = split_method (0 exact, 1 hist).
 void BM_GbdtFit(benchmark::State& state) {
-  const auto [X, y] = blob_data(2000, 45);
+  const auto [X, y] = blob_data(static_cast<std::size_t>(state.range(0)), 45);
+  const double method = static_cast<double>(state.range(1));
   for (auto _ : state) {
-    auto gbdt = ml::make_classifier("GBDT", {{"n_rounds", 40}, {"seed", 1}});
+    auto gbdt = ml::make_classifier(
+        "GBDT", {{"n_rounds", 40}, {"seed", 1}, {"split_method", method}});
     gbdt->fit(X, y);
     benchmark::DoNotOptimize(gbdt);
   }
-  state.SetItemsProcessed(state.iterations() * 2000);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_GbdtFit);
+BENCHMARK(BM_GbdtFit)
+    ->ArgNames({"n", "hist"})
+    ->ArgsProduct({{2000, 4000}, {0, 1}});
+
+void BM_GbdtPredict(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  const double threads = static_cast<double>(state.range(0));
+  auto gbdt = ml::make_classifier(
+      "GBDT", {{"n_rounds", 80}, {"seed", 1}, {"threads", threads}});
+  gbdt->fit(X, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_GbdtPredict)->ArgName("threads")->Arg(1)->Arg(0);
+
+void BM_BinnedMatrixBuild(benchmark::State& state) {
+  const auto [X, y] = blob_data(static_cast<std::size_t>(state.range(0)), 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::BinnedMatrix(X));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 45);
+}
+BENCHMARK(BM_BinnedMatrixBuild)->ArgName("n")->Arg(4000)->Arg(16000);
 
 void BM_CnnLstmForward(benchmark::State& state) {
   const auto [X, y] = blob_data(512, 45 * 5);

@@ -14,10 +14,15 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
 }
 
 std::vector<double> Matrix::column(std::size_t c) const {
-  if (c >= cols_) throw std::out_of_range("Matrix::column: index out of range");
-  std::vector<double> out(rows_);
-  for (std::size_t r = 0; r < rows_; ++r) out[r] = values_[r * cols_ + c];
+  std::vector<double> out;
+  column_into(c, out);
   return out;
+}
+
+void Matrix::column_into(std::size_t c, std::vector<double>& out) const {
+  if (c >= cols_) throw std::out_of_range("Matrix::column: index out of range");
+  out.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = values_[r * cols_ + c];
 }
 
 void Matrix::add_row(std::span<const double> values) {

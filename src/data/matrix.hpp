@@ -48,6 +48,10 @@ class Matrix {
   /// Copies out column c.
   std::vector<double> column(std::size_t c) const;
 
+  /// Copies column c into `out` (resized to rows()), reusing its capacity —
+  /// the allocation-free form of column() for per-feature loops (binning).
+  void column_into(std::size_t c, std::vector<double>& out) const;
+
   /// Appends a row (arity must match cols(), or the matrix must be empty in
   /// which case the arity defines cols()).
   void add_row(std::span<const double> values);

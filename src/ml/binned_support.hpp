@@ -1,0 +1,30 @@
+// Opt-in interface for classifiers whose fit() can reuse a precomputed
+// BinnedMatrix instead of re-sketching the feature matrix.
+//
+// Binning is deterministic in (Matrix, max_bins), so a caller that evaluates
+// many models on the same training matrix — grid search over CV folds being
+// the repo's hot case — can bin each fold once and share the result across
+// every grid point with bit-identical training outcomes.
+#pragma once
+
+#include <memory>
+
+#include "data/binned_matrix.hpp"
+
+namespace mfpa::ml {
+
+/// Implemented by the tree ensembles (RF, GBDT). Callers discover support
+/// via dynamic_cast; see cross_val_score(CvCache) in ml/cross_validation.hpp.
+class BinnedFitSupport {
+ public:
+  virtual ~BinnedFitSupport() = default;
+
+  /// Registers bins describing the Matrix passed to the next fit() call(s)
+  /// (same rows/cols, built with the model's max_bins). A fit() whose input
+  /// shape does not match the registered bins silently re-bins; pass nullptr
+  /// to clear.
+  virtual void set_shared_bins(
+      std::shared_ptr<const data::BinnedMatrix> bins) = 0;
+};
+
+}  // namespace mfpa::ml

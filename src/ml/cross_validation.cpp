@@ -1,9 +1,11 @@
 #include "ml/cross_validation.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/binned_support.hpp"
 #include "ml/metrics.hpp"
 
 namespace mfpa::ml {
@@ -58,42 +60,69 @@ std::vector<Split> time_series_splits(std::size_t n, std::size_t k) {
 double cross_val_score(const Classifier& prototype, const data::Matrix& X,
                        const std::vector<int>& y,
                        const std::vector<Split>& splits, CvMetric metric) {
+  return cross_val_score(prototype, build_cv_cache(X, y, splits, false),
+                         metric);
+}
+
+CvCache build_cv_cache(const data::Matrix& X, const std::vector<int>& y,
+                       const std::vector<Split>& splits, bool with_bins,
+                       std::size_t max_bins) {
   if (splits.empty()) throw std::invalid_argument("cross_val_score: no splits");
-  double total = 0.0;
-  std::size_t used = 0;
+  CvCache cache;
+  cache.folds.reserve(splits.size());
   for (const auto& split : splits) {
-    // A fold whose training slice lacks one class cannot be fit; skip it
-    // (can happen with extreme imbalance in early time-series folds).
-    const auto Xtr = X.select_rows(split.train);
-    std::vector<int> ytr;
-    ytr.reserve(split.train.size());
+    auto& fold = cache.folds.emplace_back();
+    // A fold whose training slice lacks one class cannot be fit; mark it
+    // unusable (can happen with extreme imbalance in early time-series folds).
     bool has_pos = false, has_neg = false;
+    fold.y_train.reserve(split.train.size());
     for (std::size_t i : split.train) {
-      ytr.push_back(y[i]);
+      fold.y_train.push_back(y[i]);
       (y[i] == 1 ? has_pos : has_neg) = true;
     }
-    if (!has_pos || !has_neg) continue;
+    fold.usable = has_pos && has_neg;
+    if (!fold.usable) continue;
+    fold.X_train = X.select_rows(split.train);
+    fold.X_val = X.select_rows(split.validation);
+    fold.y_val.reserve(split.validation.size());
+    for (std::size_t i : split.validation) fold.y_val.push_back(y[i]);
+    if (with_bins) {
+      fold.bins = std::make_shared<data::BinnedMatrix>(fold.X_train, max_bins);
+    }
+  }
+  return cache;
+}
+
+double cross_val_score(const Classifier& prototype, const CvCache& cache,
+                       CvMetric metric) {
+  if (cache.folds.empty()) {
+    throw std::invalid_argument("cross_val_score: no splits");
+  }
+  double total = 0.0;
+  std::size_t used = 0;
+  for (const auto& fold : cache.folds) {
+    if (!fold.usable) continue;
 
     auto model = prototype.clone_unfitted();
-    model->fit(Xtr, ytr);
-
-    const auto Xva = X.select_rows(split.validation);
-    std::vector<int> yva;
-    yva.reserve(split.validation.size());
-    for (std::size_t i : split.validation) yva.push_back(y[i]);
-    const auto scores = model->predict_proba(Xva);
+    if (fold.bins) {
+      if (auto* binned = dynamic_cast<BinnedFitSupport*>(model.get())) {
+        binned->set_shared_bins(fold.bins);
+      }
+    }
+    model->fit(fold.X_train, fold.y_train);
+    const auto scores = model->predict_proba(fold.X_val);
 
     switch (metric) {
       case CvMetric::kAuc:
-        total += auc(yva, scores);
+        total += auc(fold.y_val, scores);
         break;
       case CvMetric::kYouden: {
-        const auto cm = confusion_at(yva, scores, 0.5);
+        const auto cm = confusion_at(fold.y_val, scores, 0.5);
         total += cm.tpr() - cm.fpr();
         break;
       }
       case CvMetric::kAccuracy: {
-        const auto cm = confusion_at(yva, scores, 0.5);
+        const auto cm = confusion_at(fold.y_val, scores, 0.5);
         total += cm.accuracy();
         break;
       }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "data/binned_matrix.hpp"
 #include "data/dataset.hpp"
 #include "ml/model.hpp"
 
@@ -36,6 +37,33 @@ enum class CvMetric { kAuc, kYouden, kAccuracy };
 double cross_val_score(const Classifier& prototype, const data::Matrix& X,
                        const std::vector<int>& y,
                        const std::vector<Split>& splits,
+                       CvMetric metric = CvMetric::kAuc);
+
+/// Fold materialization shared across repeated evaluations of the same
+/// splits (the grid-search hot path): row-selected matrices and labels are
+/// built once, and — when requested — each training fold is quantile-binned
+/// once (data::BinnedMatrix) so every tree-ensemble grid point skips
+/// re-sketching. Bins are computed from training rows only, so no
+/// validation data leaks into the sketch.
+struct CvCache {
+  struct Fold {
+    data::Matrix X_train, X_val;
+    std::vector<int> y_train, y_val;
+    bool usable = false;  ///< training slice contains both classes
+    std::shared_ptr<const data::BinnedMatrix> bins;  ///< over X_train; may be null
+  };
+  std::vector<Fold> folds;
+};
+
+/// Materializes folds once. `with_bins` additionally bins each training fold
+/// (for classifiers implementing BinnedFitSupport; see ml/binned_support.hpp).
+CvCache build_cv_cache(const data::Matrix& X, const std::vector<int>& y,
+                       const std::vector<Split>& splits, bool with_bins,
+                       std::size_t max_bins = data::BinnedMatrix::kMaxBins);
+
+/// Identical scoring semantics to the (X, y, splits) overload, against a
+/// prebuilt cache. Thread-safe for concurrent calls on the same cache.
+double cross_val_score(const Classifier& prototype, const CvCache& cache,
                        CvMetric metric = CvMetric::kAuc);
 
 }  // namespace mfpa::ml

@@ -1,5 +1,6 @@
 #include "ml/decision_tree.hpp"
 
+#include "data/binned_matrix.hpp"
 #include "ml/serialize.hpp"
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace mfpa::ml {
 namespace {
@@ -51,6 +53,11 @@ void RegressionTree::fit(const data::Matrix& X, std::span<const double> grad,
   }
   if (rows.empty()) {
     throw std::invalid_argument("RegressionTree::fit: empty row set");
+  }
+  if (params_.split_method == SplitMethod::kHist) {
+    const data::BinnedMatrix bins(X, params_.max_bins);
+    fit(bins, grad, hess, rows, rng);
+    return;
   }
   nodes_.clear();
   BuildContext ctx;
@@ -164,6 +171,244 @@ int RegressionTree::build_node(BuildContext& ctx, std::vector<std::size_t>& rows
   return node_id;
 }
 
+/// One (sum grad, sum hess, count) accumulator cell of a node histogram.
+struct RegressionTree::HistBin {
+  double g = 0.0;
+  double h = 0.0;
+  std::size_t n = 0;
+};
+
+struct RegressionTree::HistContext {
+  const data::BinnedMatrix* bins = nullptr;
+  std::span<const double> grad;
+  std::span<const double> hess;  // empty => all ones
+  Rng* rng = nullptr;
+  std::size_t n_candidate_features = 0;
+  /// All features histogrammed per node => the sibling-subtraction trick is
+  /// valid. With per-node feature subsampling (random forests) the child's
+  /// candidate set differs from the parent's, so each node builds directly.
+  bool subtraction = false;
+  std::vector<std::size_t> offset;  ///< per-feature slot into a node histogram
+  std::size_t total_bins = 0;
+  std::vector<std::vector<HistBin>> pool;  ///< released node histograms
+
+  double h_of(std::size_t row) const noexcept {
+    return hess.empty() ? 1.0 : hess[row];
+  }
+
+  /// Buffer of total_bins cells; zeroed only when `zeroed` (direct-build
+  /// nodes clear just the feature ranges they touch).
+  std::vector<HistBin> acquire(bool zeroed) {
+    std::vector<HistBin> out;
+    if (!pool.empty()) {
+      out = std::move(pool.back());
+      pool.pop_back();
+      if (zeroed) std::fill(out.begin(), out.end(), HistBin{});
+    } else {
+      out.assign(total_bins, HistBin{});
+    }
+    return out;
+  }
+
+  void release(std::vector<HistBin>&& v) { pool.push_back(std::move(v)); }
+
+  /// Accumulates feature f over `rows` into `hist` (range must be zeroed).
+  void add_feature(std::span<const std::size_t> rows, std::size_t f,
+                   std::vector<HistBin>& hist) const {
+    const std::uint8_t* code = bins->column(f);
+    HistBin* cell = hist.data() + offset[f];
+    if (hess.empty()) {
+      for (std::size_t r : rows) {
+        HistBin& b = cell[code[r]];
+        b.g += grad[r];
+        b.h += 1.0;
+        ++b.n;
+      }
+    } else {
+      for (std::size_t r : rows) {
+        HistBin& b = cell[code[r]];
+        b.g += grad[r];
+        b.h += hess[r];
+        ++b.n;
+      }
+    }
+  }
+
+  void add_all_features(std::span<const std::size_t> rows,
+                        std::vector<HistBin>& hist) const {
+    for (std::size_t f = 0; f < bins->cols(); ++f) add_feature(rows, f, hist);
+  }
+};
+
+void RegressionTree::fit(const data::BinnedMatrix& bins,
+                         std::span<const double> grad,
+                         std::span<const double> hess,
+                         std::span<const std::size_t> rows, Rng& rng) {
+  if (grad.size() != bins.rows()) {
+    throw std::invalid_argument("RegressionTree::fit: grad size mismatch");
+  }
+  if (!hess.empty() && hess.size() != bins.rows()) {
+    throw std::invalid_argument("RegressionTree::fit: hess size mismatch");
+  }
+  if (rows.empty()) {
+    throw std::invalid_argument("RegressionTree::fit: empty row set");
+  }
+  nodes_.clear();
+  HistContext ctx;
+  ctx.bins = &bins;
+  ctx.grad = grad;
+  ctx.hess = hess;
+  ctx.rng = &rng;
+  const std::size_t d = bins.cols();
+  if (params_.max_features < 0) {
+    ctx.n_candidate_features = d;
+  } else if (params_.max_features == 0) {
+    ctx.n_candidate_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(d))));
+  } else {
+    ctx.n_candidate_features =
+        std::min<std::size_t>(d, static_cast<std::size_t>(params_.max_features));
+  }
+  ctx.subtraction = ctx.n_candidate_features >= d;
+  ctx.offset.resize(d);
+  std::size_t total = 0;
+  for (std::size_t f = 0; f < d; ++f) {
+    ctx.offset[f] = total;
+    total += bins.n_bins(f);
+  }
+  ctx.total_bins = total;
+  std::vector<std::size_t> row_copy(rows.begin(), rows.end());
+  build_node_hist(ctx, row_copy, params_.max_depth, {});
+}
+
+int RegressionTree::build_node_hist(HistContext& ctx,
+                                    std::vector<std::size_t>& rows,
+                                    int depth_left,
+                                    std::vector<HistBin> hist) {
+  const data::BinnedMatrix& bins = *ctx.bins;
+  double g_total = 0.0, h_total = 0.0;
+  for (std::size_t r : rows) {
+    g_total += ctx.grad[r];
+    h_total += ctx.h_of(r);
+  }
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_id].samples = rows.size();
+  nodes_[node_id].value = leaf_value(g_total, h_total, params_.lambda);
+
+  if (depth_left <= 0 || rows.size() < params_.min_samples_split) {
+    if (!hist.empty()) ctx.release(std::move(hist));
+    return node_id;
+  }
+
+  const std::size_t d = bins.cols();
+  std::vector<std::size_t> features;
+  if (ctx.n_candidate_features >= d) {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), std::size_t{0});
+  } else {
+    features = ctx.rng->sample_without_replacement(d, ctx.n_candidate_features);
+  }
+
+  if (hist.empty()) {
+    if (ctx.subtraction) {
+      hist = ctx.acquire(true);
+      ctx.add_all_features(rows, hist);
+    } else {
+      hist = ctx.acquire(false);
+      for (std::size_t f : features) {
+        std::fill_n(hist.begin() + static_cast<std::ptrdiff_t>(ctx.offset[f]),
+                    bins.n_bins(f), HistBin{});
+        ctx.add_feature(rows, f, hist);
+      }
+    }
+  }
+
+  const double parent_score = score(g_total, h_total, params_.lambda);
+  double best_gain = params_.min_gain;
+  int best_feature = -1;
+  int best_bin = -1;
+
+  for (std::size_t f : features) {
+    const std::size_t n_cuts = bins.cuts(f).size();
+    if (n_cuts == 0) continue;  // constant feature
+    const HistBin* cell = hist.data() + ctx.offset[f];
+    double g_left = 0.0, h_left = 0.0;
+    std::size_t n_left = 0;
+    for (std::size_t b = 0; b < n_cuts; ++b) {
+      g_left += cell[b].g;
+      h_left += cell[b].h;
+      n_left += cell[b].n;
+      const std::size_t n_right = rows.size() - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double gain = score(g_left, h_left, params_.lambda) +
+                          score(g_total - g_left, h_total - h_left,
+                                params_.lambda) -
+                          parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_bin = static_cast<int>(b);
+      }
+    }
+  }
+
+  if (best_feature < 0) {
+    ctx.release(std::move(hist));
+    return node_id;
+  }
+
+  const std::uint8_t* code = bins.column(static_cast<std::size_t>(best_feature));
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (std::size_t r : rows) {
+    (code[r] <= best_bin ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) {
+    ctx.release(std::move(hist));
+    return node_id;
+  }
+
+  rows.clear();
+  rows.shrink_to_fit();  // free before recursing
+
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = bins.cut(static_cast<std::size_t>(best_feature),
+                                       static_cast<std::size_t>(best_bin));
+  nodes_[node_id].gain = best_gain;
+
+  // Sibling subtraction: build the smaller child's histogram from its rows,
+  // then turn the parent's buffer into the larger child's in place.
+  std::vector<HistBin> left_hist, right_hist;
+  if (ctx.subtraction) {
+    const bool left_small = left_rows.size() <= right_rows.size();
+    std::vector<HistBin> small_hist = ctx.acquire(true);
+    ctx.add_all_features(left_small ? left_rows : right_rows, small_hist);
+    for (std::size_t i = 0; i < ctx.total_bins; ++i) {
+      hist[i].g -= small_hist[i].g;
+      hist[i].h -= small_hist[i].h;
+      hist[i].n -= small_hist[i].n;
+    }
+    left_hist = left_small ? std::move(small_hist) : std::move(hist);
+    right_hist = left_small ? std::move(hist) : std::move(small_hist);
+  } else {
+    ctx.release(std::move(hist));
+  }
+
+  const int left = build_node_hist(ctx, left_rows, depth_left - 1,
+                                   std::move(left_hist));
+  nodes_[node_id].left = left;
+  const int right = build_node_hist(ctx, right_rows, depth_left - 1,
+                                    std::move(right_hist));
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
 double RegressionTree::predict_row(std::span<const double> row) const {
   if (nodes_.empty()) throw std::logic_error("RegressionTree: predict before fit");
   int id = 0;
@@ -177,8 +422,16 @@ double RegressionTree::predict_row(std::span<const double> row) const {
 
 std::vector<double> RegressionTree::predict(const data::Matrix& X) const {
   std::vector<double> out(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict_row(X.row(r));
+  predict_into(X, out);
   return out;
+}
+
+void RegressionTree::predict_into(const data::Matrix& X,
+                                  std::span<double> out) const {
+  if (out.size() != X.rows()) {
+    throw std::invalid_argument("RegressionTree::predict_into: size mismatch");
+  }
+  for (std::size_t r = 0; r < X.rows(); ++r) out[r] = predict_row(X.row(r));
 }
 
 int RegressionTree::depth() const noexcept {
@@ -250,6 +503,11 @@ DecisionTreeClassifier::DecisionTreeClassifier(Hyperparams params)
   tp.min_samples_leaf =
       static_cast<std::size_t>(param_or(params_, "min_samples_leaf", 1));
   tp.max_features = static_cast<int>(param_or(params_, "max_features", -1));
+  tp.split_method = param_or(params_, "split_method", 1) != 0
+                        ? SplitMethod::kHist
+                        : SplitMethod::kExact;
+  tp.max_bins = static_cast<std::size_t>(
+      std::clamp(param_or(params_, "max_bins", 255.0), 2.0, 255.0));
   tree_ = RegressionTree(tp);
 }
 

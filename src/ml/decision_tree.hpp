@@ -5,6 +5,17 @@
 // class-1 fraction and the split gain reduces to variance reduction — which
 // for binary targets selects the same splits as Gini — so the same engine
 // backs the RandomForest classifier and the GBDT booster.
+//
+// Two split-finding paths share the TreeNode output format:
+//  - exact: per node, sort (value, row) pairs per feature and scan every
+//    boundary between distinct values — O(features * n log n) per node;
+//  - hist (default): quantile-bin each feature once per fit (see
+//    data/binned_matrix.hpp), accumulate (grad, hess, count) histograms per
+//    node, and scan at most 255 bins per feature — O(features * n) per node,
+//    with the smaller child's histogram built from its rows and the sibling's
+//    derived as parent − child.
+// Trained trees are identical in representation either way, so
+// serialization and predict_row are path-agnostic.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +27,14 @@
 #include "data/matrix.hpp"
 #include "ml/model.hpp"
 
+namespace mfpa::data {
+class BinnedMatrix;
+}
+
 namespace mfpa::ml {
+
+/// Split-finding strategy (see file comment).
+enum class SplitMethod : int { kExact = 0, kHist = 1 };
 
 /// Tree growth limits and split behaviour.
 struct TreeParams {
@@ -27,6 +45,8 @@ struct TreeParams {
   int max_features = -1;
   double lambda = 0.0;     ///< L2 on leaf values (Newton denominator)
   double min_gain = 1e-12; ///< minimum split gain
+  SplitMethod split_method = SplitMethod::kHist;
+  std::size_t max_bins = 255;  ///< hist path: bins per feature (2..255)
 };
 
 /// Flat node storage (children by index; feature < 0 marks a leaf).
@@ -48,7 +68,16 @@ class RegressionTree {
 
   /// Fits on the subset `rows` of X with per-row gradient/hessian targets.
   /// grad/hess are indexed by absolute row id; hess may be empty (all ones).
+  /// With split_method == kHist, X is binned internally first; ensembles
+  /// that fit many trees should bin once and use the BinnedMatrix overload.
   void fit(const data::Matrix& X, std::span<const double> grad,
+           std::span<const double> hess, std::span<const std::size_t> rows,
+           Rng& rng);
+
+  /// Histogram-path fit against a prebuilt binned view. `rows`, grad and
+  /// hess are indexed by absolute row id of the binned matrix, so one
+  /// BinnedMatrix can be shared across every tree of an ensemble.
+  void fit(const data::BinnedMatrix& bins, std::span<const double> grad,
            std::span<const double> hess, std::span<const std::size_t> rows,
            Rng& rng);
 
@@ -57,6 +86,10 @@ class RegressionTree {
 
   /// Predictions for every row of X.
   std::vector<double> predict(const data::Matrix& X) const;
+
+  /// Predictions for every row of X into caller-owned storage
+  /// (out.size() == X.rows()) — the allocation-free form of predict().
+  void predict_into(const data::Matrix& X, std::span<double> out) const;
 
   bool fitted() const noexcept { return !nodes_.empty(); }
   const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
@@ -81,11 +114,17 @@ class RegressionTree {
 
   struct BuildContext;
   int build_node(BuildContext& ctx, std::vector<std::size_t>& rows, int depth_left);
+
+  struct HistBin;
+  struct HistContext;
+  int build_node_hist(HistContext& ctx, std::vector<std::size_t>& rows,
+                      int depth_left, std::vector<HistBin> hist);
 };
 
 /// Single decision tree classifier (the engine with g = y, h = 1).
 /// Hyperparams: "max_depth", "min_samples_split", "min_samples_leaf",
-/// "max_features", "seed".
+/// "max_features", "seed", "split_method" (0 = exact, 1 = hist; default 1),
+/// "max_bins" (hist path, default 255).
 class DecisionTreeClassifier final : public Classifier {
  public:
   explicit DecisionTreeClassifier(Hyperparams params = {});

@@ -1,5 +1,6 @@
 #include "ml/gbdt.hpp"
 
+#include "ml/parallel_for.hpp"
 #include "ml/serialize.hpp"
 
 #include <istream>
@@ -7,10 +8,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "data/binned_matrix.hpp"
 
 namespace mfpa::ml {
 namespace {
@@ -35,6 +38,8 @@ void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
   learning_rate_ = param_or(params_, "learning_rate", 0.2);
   const double subsample = std::clamp(param_or(params_, "subsample", 0.9), 0.1, 1.0);
   const auto seed = static_cast<std::uint64_t>(param_or(params_, "seed", 1));
+  const std::size_t threads =
+      static_cast<std::size_t>(param_or(params_, "threads", 1));
 
   TreeParams tp;
   tp.max_depth = static_cast<int>(param_or(params_, "max_depth", 5));
@@ -44,9 +49,25 @@ void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
       static_cast<std::size_t>(param_or(params_, "min_samples_leaf", 8));
   tp.max_features = static_cast<int>(param_or(params_, "max_features", -1));
   tp.lambda = param_or(params_, "lambda", 1.0);
+  tp.split_method = param_or(params_, "split_method", 1) != 0
+                        ? SplitMethod::kHist
+                        : SplitMethod::kExact;
+  tp.max_bins = static_cast<std::size_t>(
+      std::clamp(param_or(params_, "max_bins", 255.0), 2.0, 255.0));
 
   const std::size_t n = X.rows();
   n_features_ = X.cols();
+
+  // Bin once, share across every boosting round (and fits, via shared bins).
+  std::shared_ptr<const data::BinnedMatrix> bins;
+  if (tp.split_method == SplitMethod::kHist) {
+    if (shared_bins_ && shared_bins_->rows() == X.rows() &&
+        shared_bins_->cols() == X.cols()) {
+      bins = shared_bins_;
+    } else {
+      bins = std::make_shared<data::BinnedMatrix>(X, tp.max_bins);
+    }
+  }
 
   // Log-odds prior.
   const double pos =
@@ -79,10 +100,16 @@ void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
     }
     RegressionTree tree(tp);
     Rng tree_rng = rng.split(round + 1);
-    tree.fit(X, grad, hess, rows, tree_rng);
-    for (std::size_t i = 0; i < n; ++i) {
-      raw[i] += learning_rate_ * tree.predict_row(X.row(i));
+    if (bins) {
+      tree.fit(*bins, grad, hess, rows, tree_rng);
+    } else {
+      tree.fit(X, grad, hess, rows, tree_rng);
     }
+    parallel_for_blocks(n, threads, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        raw[i] += learning_rate_ * tree.predict_row(X.row(i));
+      }
+    });
     trees_.push_back(std::move(tree));
   }
 }
@@ -95,10 +122,14 @@ double GbdtClassifier::raw_score_row(std::span<const double> row) const {
 
 std::vector<double> GbdtClassifier::predict_proba(const Matrix& X) const {
   if (trees_.empty()) throw std::logic_error("GbdtClassifier: predict before fit");
+  const std::size_t threads =
+      static_cast<std::size_t>(param_or(params_, "threads", 1));
   std::vector<double> out(X.rows());
-  for (std::size_t r = 0; r < X.rows(); ++r) {
-    out[r] = sigmoid(raw_score_row(X.row(r)));
-  }
+  parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = sigmoid(raw_score_row(X.row(r)));
+    }
+  });
   return out;
 }
 

@@ -1,17 +1,23 @@
 // Gradient-boosted decision trees with logistic loss and Newton leaf values
-// (XGBoost-style second-order boosting, exact splits).
+// (XGBoost-style second-order boosting; histogram splits by default).
 #pragma once
 
+#include "ml/binned_support.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/model.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace mfpa::ml {
 
 /// Hyperparams: "n_rounds" (80), "learning_rate" (0.2), "max_depth" (5),
-/// "min_samples_leaf" (8), "lambda" (1.0), "subsample" (0.9), "seed" (1).
-class GbdtClassifier final : public Classifier {
+/// "min_samples_leaf" (8), "lambda" (1.0), "subsample" (0.9), "seed" (1),
+/// "threads" (1; 0 = hardware, parallelizes per-round score updates and
+/// predict_proba over rows, thread-count-invariant), "split_method"
+/// (0 = exact, 1 = hist; default 1), "max_bins" (255). With the hist path
+/// the feature matrix is binned once per fit and shared by every round.
+class GbdtClassifier final : public Classifier, public BinnedFitSupport {
  public:
   explicit GbdtClassifier(Hyperparams params = {});
 
@@ -28,12 +34,19 @@ class GbdtClassifier final : public Classifier {
   /// Gain-weighted feature importance, normalized to sum 1.
   std::vector<double> feature_importance() const;
 
+  /// BinnedFitSupport: reuse a precomputed binning of the next fit matrix.
+  void set_shared_bins(
+      std::shared_ptr<const data::BinnedMatrix> bins) override {
+    shared_bins_ = std::move(bins);
+  }
+
  private:
   Hyperparams params_;
   std::vector<RegressionTree> trees_;
   double base_score_ = 0.0;  ///< log-odds prior
   double learning_rate_ = 0.2;
   std::size_t n_features_ = 0;
+  std::shared_ptr<const data::BinnedMatrix> shared_bins_;
 
   double raw_score_row(std::span<const double> row) const;
 };

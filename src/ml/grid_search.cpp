@@ -1,5 +1,6 @@
 #include "ml/grid_search.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <thread>
@@ -42,9 +43,21 @@ GridSearchResult grid_search(const std::string& algorithm,
     for (const auto& [k, v] : points[i]) param_sets[i][k] = v;
   }
 
+  // Bin each training fold once and share it across the whole sweep — valid
+  // whenever every grid point trains a histogram-path ensemble with one bin
+  // geometry (i.e. the sweep itself does not vary the binning parameters).
+  const bool tree_ensemble = algorithm == "RF" || algorithm == "GBDT";
+  const bool sweeps_binning =
+      grid.count("split_method") != 0 || grid.count("max_bins") != 0;
+  const bool share_bins = tree_ensemble && !sweeps_binning &&
+                          param_or(base, "split_method", 1) != 0;
+  const std::size_t max_bins = static_cast<std::size_t>(
+      std::clamp(param_or(base, "max_bins", 255.0), 2.0, 255.0));
+  const CvCache cache = build_cv_cache(X, y, splits, share_bins, max_bins);
+
   auto evaluate = [&](std::size_t i) {
     const auto model = make_classifier(algorithm, param_sets[i]);
-    scores[i] = cross_val_score(*model, X, y, splits, metric);
+    scores[i] = cross_val_score(*model, cache, metric);
   };
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());

@@ -1,0 +1,43 @@
+// Minimal deterministic data-parallel helper shared by the ensemble
+// inference paths. Thread-count convention matches random_forest.cpp and
+// sim/fleet.cpp: 0 = hardware_concurrency, <=1 = serial.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace mfpa::ml {
+
+/// Resolves the "threads" hyperparameter convention (0 = all hardware).
+inline std::size_t resolve_threads(std::size_t threads) {
+  return threads == 0
+             ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+             : threads;
+}
+
+/// Invokes fn(begin, end) over [0, n) split into contiguous per-worker
+/// blocks. The partition depends only on (n, workers), and each index is
+/// written by exactly one worker, so results are thread-count-invariant
+/// whenever fn(i) is independent of fn(j).
+template <typename Fn>
+void parallel_for_blocks(std::size_t n, std::size_t threads, Fn&& fn) {
+  threads = resolve_threads(threads);
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  const std::size_t workers = std::min(threads, n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t lo = w * n / workers;
+    const std::size_t hi = (w + 1) * n / workers;
+    pool.emplace_back([&fn, lo, hi] { fn(lo, hi); });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace mfpa::ml

@@ -1,16 +1,20 @@
 #include "ml/random_forest.hpp"
 
+#include "ml/parallel_for.hpp"
 #include "ml/serialize.hpp"
 
 #include <istream>
 #include <ostream>
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
 
 #include "common/rng.hpp"
+#include "data/binned_matrix.hpp"
 
 namespace mfpa::ml {
 
@@ -23,8 +27,8 @@ void RandomForestClassifier::fit(const Matrix& X, const std::vector<int>& y) {
       static_cast<std::size_t>(param_or(params_, "n_trees", 60));
   const bool bootstrap = param_or(params_, "bootstrap", 1) != 0;
   const auto seed = static_cast<std::uint64_t>(param_or(params_, "seed", 1));
-  std::size_t threads = static_cast<std::size_t>(param_or(params_, "threads", 1));
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t threads = resolve_threads(
+      static_cast<std::size_t>(param_or(params_, "threads", 1)));
 
   TreeParams tp;
   tp.max_depth = static_cast<int>(param_or(params_, "max_depth", 14));
@@ -33,11 +37,27 @@ void RandomForestClassifier::fit(const Matrix& X, const std::vector<int>& y) {
   tp.min_samples_leaf =
       static_cast<std::size_t>(param_or(params_, "min_samples_leaf", 1));
   tp.max_features = static_cast<int>(param_or(params_, "max_features", 0));
+  tp.split_method = param_or(params_, "split_method", 1) != 0
+                        ? SplitMethod::kHist
+                        : SplitMethod::kExact;
+  tp.max_bins = static_cast<std::size_t>(
+      std::clamp(param_or(params_, "max_bins", 255.0), 2.0, 255.0));
 
   const std::size_t n = X.rows();
   n_features_ = X.cols();
   std::vector<double> targets(y.begin(), y.end());
   trees_.assign(n_trees, RegressionTree(tp));
+
+  // Bin once, share across every tree (and across fits, via shared bins).
+  std::shared_ptr<const data::BinnedMatrix> bins;
+  if (tp.split_method == SplitMethod::kHist) {
+    if (shared_bins_ && shared_bins_->rows() == X.rows() &&
+        shared_bins_->cols() == X.cols()) {
+      bins = shared_bins_;
+    } else {
+      bins = std::make_shared<data::BinnedMatrix>(X, tp.max_bins);
+    }
+  }
 
   const Rng base(seed);
   auto fit_tree = [&](std::size_t t) {
@@ -51,7 +71,11 @@ void RandomForestClassifier::fit(const Matrix& X, const std::vector<int>& y) {
     } else {
       std::iota(rows.begin(), rows.end(), std::size_t{0});
     }
-    trees_[t].fit(X, targets, {}, rows, rng);
+    if (bins) {
+      trees_[t].fit(*bins, targets, {}, rows, rng);
+    } else {
+      trees_[t].fit(X, targets, {}, rows, rng);
+    }
   };
 
   if (threads <= 1 || n_trees <= 1) {
@@ -77,14 +101,20 @@ std::vector<double> RandomForestClassifier::predict_proba(const Matrix& X) const
   if (trees_.empty()) {
     throw std::logic_error("RandomForestClassifier: predict before fit");
   }
+  const std::size_t threads =
+      static_cast<std::size_t>(param_or(params_, "threads", 1));
   std::vector<double> out(X.rows(), 0.0);
-  for (const auto& tree : trees_) {
-    for (std::size_t r = 0; r < X.rows(); ++r) {
-      out[r] += tree.predict_row(X.row(r));
-    }
-  }
   const double inv = 1.0 / static_cast<double>(trees_.size());
-  for (auto& p : out) p = std::clamp(p * inv, 0.0, 1.0);
+  // Row-parallel, tree-order summation per row: the per-row result is a sum
+  // in a fixed order regardless of thread count.
+  parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto row = X.row(r);
+      double acc = 0.0;
+      for (const auto& tree : trees_) acc += tree.predict_row(row);
+      out[r] = std::clamp(acc * inv, 0.0, 1.0);
+    }
+  });
   return out;
 }
 

@@ -2,17 +2,23 @@
 // (98.18% TPR / 0.56% FPR with the SFWB feature group).
 #pragma once
 
+#include "ml/binned_support.hpp"
 #include "ml/decision_tree.hpp"
 #include "ml/model.hpp"
 
+#include <memory>
 #include <vector>
 
 namespace mfpa::ml {
 
 /// Bagged ensemble of Newton trees with per-split feature subsampling.
 /// Hyperparams: "n_trees" (60), "max_depth" (14), "min_samples_leaf" (1),
-/// "max_features" (0 = sqrt), "bootstrap" (1), "seed" (1), "threads" (1).
-class RandomForestClassifier final : public Classifier {
+/// "max_features" (0 = sqrt), "bootstrap" (1), "seed" (1), "threads" (1;
+/// 0 = hardware, used for both fit and predict_proba), "split_method"
+/// (0 = exact, 1 = hist; default 1), "max_bins" (255). With the hist path
+/// the feature matrix is binned once per fit and shared by every tree.
+class RandomForestClassifier final : public Classifier,
+                                     public BinnedFitSupport {
  public:
   explicit RandomForestClassifier(Hyperparams params = {});
 
@@ -31,10 +37,17 @@ class RandomForestClassifier final : public Classifier {
   /// forest never split).
   std::vector<double> feature_importance() const;
 
+  /// BinnedFitSupport: reuse a precomputed binning of the next fit matrix.
+  void set_shared_bins(
+      std::shared_ptr<const data::BinnedMatrix> bins) override {
+    shared_bins_ = std::move(bins);
+  }
+
  private:
   Hyperparams params_;
   std::vector<RegressionTree> trees_;
   std::size_t n_features_ = 0;
+  std::shared_ptr<const data::BinnedMatrix> shared_bins_;
 };
 
 }  // namespace mfpa::ml

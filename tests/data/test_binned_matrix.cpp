@@ -1,0 +1,137 @@
+#include "data/binned_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace mfpa::data {
+namespace {
+
+TEST(BinnedMatrix, ConstantColumnHasSingleBin) {
+  Matrix X{{3.0}, {3.0}, {3.0}};
+  const BinnedMatrix bins(X);
+  EXPECT_EQ(bins.n_bins(0), 1u);
+  EXPECT_TRUE(bins.cuts(0).empty());
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_EQ(bins.code(r, 0), 0);
+}
+
+TEST(BinnedMatrix, LowCardinalityCutsAreAdjacentMidpoints) {
+  // 10 distinct integer values -> 9 cuts at x.5, one value per bin.
+  Matrix X(20, 1);
+  for (std::size_t r = 0; r < 20; ++r) X(r, 0) = static_cast<double>(r % 10);
+  const BinnedMatrix bins(X);
+  ASSERT_EQ(bins.n_bins(0), 10u);
+  for (std::size_t b = 0; b + 1 < 10; ++b) {
+    EXPECT_DOUBLE_EQ(bins.cut(0, b), static_cast<double>(b) + 0.5);
+  }
+  for (std::size_t r = 0; r < 20; ++r) {
+    EXPECT_EQ(bins.code(r, 0), static_cast<std::uint8_t>(r % 10));
+  }
+}
+
+TEST(BinnedMatrix, CodeThresholdConsistency) {
+  // The invariant the tree relies on: code <= b  <=>  value <= cut(b),
+  // so a split learned on codes predicts identically on raw values.
+  Rng rng(7);
+  Matrix X(500, 3);
+  for (std::size_t r = 0; r < 500; ++r) {
+    X(r, 0) = rng.normal(0.0, 5.0);
+    X(r, 1) = static_cast<double>(rng.uniform_int(0, 5));  // heavy ties
+    X(r, 2) = rng.uniform();
+  }
+  const BinnedMatrix bins(X, 64);
+  for (std::size_t f = 0; f < 3; ++f) {
+    const auto& cuts = bins.cuts(f);
+    for (std::size_t r = 0; r < 500; ++r) {
+      for (std::size_t b = 0; b < cuts.size(); ++b) {
+        EXPECT_EQ(bins.code(r, f) <= b, X(r, f) <= cuts[b])
+            << "f=" << f << " r=" << r << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(BinnedMatrix, CutsStrictlyAscending) {
+  Rng rng(8);
+  Matrix X(2000, 2);
+  for (std::size_t r = 0; r < 2000; ++r) {
+    X(r, 0) = rng.uniform();
+    X(r, 1) = rng.normal();
+  }
+  const BinnedMatrix bins(X, 32);
+  for (std::size_t f = 0; f < 2; ++f) {
+    const auto& cuts = bins.cuts(f);
+    for (std::size_t b = 1; b < cuts.size(); ++b) {
+      EXPECT_LT(cuts[b - 1], cuts[b]);
+    }
+  }
+}
+
+TEST(BinnedMatrix, CapsBinCountAtMaxBins) {
+  Rng rng(9);
+  Matrix X(10000, 1);
+  for (std::size_t r = 0; r < 10000; ++r) X(r, 0) = rng.uniform();
+  const BinnedMatrix bins(X);  // 10k distinct values, 255-bin cap
+  EXPECT_LE(bins.n_bins(0), BinnedMatrix::kMaxBins);
+  EXPECT_GT(bins.n_bins(0), 200u);  // quantile sketch should use the budget
+  // Codes stay within the bin count.
+  for (std::size_t r = 0; r < 10000; ++r) {
+    EXPECT_LT(bins.code(r, 0), bins.n_bins(0));
+  }
+}
+
+TEST(BinnedMatrix, QuantileBinsBalancedOnUniformData) {
+  Rng rng(10);
+  const std::size_t n = 8000;
+  Matrix X(n, 1);
+  for (std::size_t r = 0; r < n; ++r) X(r, 0) = rng.uniform();
+  const BinnedMatrix bins(X, 16);
+  std::vector<std::size_t> counts(bins.n_bins(0), 0);
+  for (std::size_t r = 0; r < n; ++r) ++counts[bins.code(r, 0)];
+  for (std::size_t c : counts) {
+    EXPECT_GT(c, n / 16 / 2);
+    EXPECT_LT(c, n / 16 * 2);
+  }
+}
+
+TEST(BinnedMatrix, SelectRowsPreservesEdgesAndCodes) {
+  Rng rng(11);
+  Matrix X(100, 2);
+  for (std::size_t r = 0; r < 100; ++r) {
+    X(r, 0) = rng.normal();
+    X(r, 1) = rng.uniform();
+  }
+  const BinnedMatrix bins(X, 16);
+  const std::vector<std::size_t> idx{5, 99, 0, 42, 42};
+  const BinnedMatrix sub = bins.select_rows(idx);
+  ASSERT_EQ(sub.rows(), 5u);
+  ASSERT_EQ(sub.cols(), 2u);
+  for (std::size_t f = 0; f < 2; ++f) {
+    EXPECT_EQ(sub.cuts(f), bins.cuts(f));
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      EXPECT_EQ(sub.code(i, f), bins.code(idx[i], f));
+    }
+  }
+}
+
+TEST(BinnedMatrix, SelectRowsOutOfRangeThrows) {
+  Matrix X{{1.0}, {2.0}};
+  const BinnedMatrix bins(X);
+  const std::vector<std::size_t> idx{2};
+  EXPECT_THROW(bins.select_rows(idx), std::out_of_range);
+}
+
+TEST(BinnedMatrix, RejectsEmptyAndBadBinCounts) {
+  Matrix empty;
+  EXPECT_THROW(BinnedMatrix{empty}, std::invalid_argument);
+  Matrix X{{1.0}, {2.0}};
+  EXPECT_THROW(BinnedMatrix(X, 1), std::invalid_argument);
+  EXPECT_THROW(BinnedMatrix(X, 256), std::invalid_argument);
+  EXPECT_NO_THROW(BinnedMatrix(X, 2));
+  EXPECT_NO_THROW(BinnedMatrix(X, 255));
+}
+
+}  // namespace
+}  // namespace mfpa::data

@@ -1,0 +1,82 @@
+// Acceptance guard for the histogram split path: the full MFPA pipeline on a
+// simulated fleet must not degrade RF/GBDT TPR/FPR relative to the exact-path
+// baseline. The small scenario has only ~120 test positives, so a single
+// seed's TPR moves in ~0.8% steps; metrics are averaged over three seeds and
+// the bound is one-sided — the coarser cut grid acts as mild regularization
+// and may legitimately score a little *better* here. (The paper's
+// ±0.5%/±0.25% two-sided criterion is checked at full scale via exp_fig10_14.)
+#include <gtest/gtest.h>
+
+#include "core/mfpa.hpp"
+#include "ml/factory.hpp"
+#include "sim/fleet.hpp"
+
+namespace mfpa {
+namespace {
+
+class HistParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    fleet_ = new sim::FleetSimulator(sim::small_scenario(33));
+    telemetry_ =
+        new std::vector<sim::DriveTimeSeries>(fleet_->generate_telemetry());
+    tickets_ = new std::vector<sim::TroubleTicket>(fleet_->tickets());
+  }
+  static void TearDownTestSuite() {
+    delete tickets_;
+    delete telemetry_;
+    delete fleet_;
+  }
+
+  struct MeanRates {
+    double tpr = 0.0;
+    double fpr = 0.0;
+  };
+
+  static MeanRates mean_rates(const std::string& algo, double split_method) {
+    constexpr std::uint64_t kSeeds[] = {33, 34, 35};
+    MeanRates mean;
+    for (const std::uint64_t seed : kSeeds) {
+      core::MfpaConfig config;
+      config.vendor = 0;
+      config.seed = seed;
+      config.algorithm = algo;
+      config.hyperparams = ml::default_hyperparams(algo);
+      config.hyperparams["split_method"] = split_method;
+      core::MfpaPipeline pipeline(config);
+      const auto report = pipeline.run(*telemetry_, *tickets_);
+      mean.tpr += report.cm.tpr() / std::size(kSeeds);
+      mean.fpr += report.cm.fpr() / std::size(kSeeds);
+    }
+    return mean;
+  }
+
+  static sim::FleetSimulator* fleet_;
+  static std::vector<sim::DriveTimeSeries>* telemetry_;
+  static std::vector<sim::TroubleTicket>* tickets_;
+};
+
+sim::FleetSimulator* HistParityTest::fleet_ = nullptr;
+std::vector<sim::DriveTimeSeries>* HistParityTest::telemetry_ = nullptr;
+std::vector<sim::TroubleTicket>* HistParityTest::tickets_ = nullptr;
+
+TEST_F(HistParityTest, RfHistMatchesExactOnSimulatedFleet) {
+  const auto exact = mean_rates("RF", 0.0);
+  const auto hist = mean_rates("RF", 1.0);
+  EXPECT_GT(hist.tpr, exact.tpr - 0.02);
+  EXPECT_LT(hist.fpr, exact.fpr + 0.02);
+  EXPECT_GT(hist.tpr, 0.85);
+  EXPECT_LT(hist.fpr, 0.05);
+}
+
+TEST_F(HistParityTest, GbdtHistMatchesExactOnSimulatedFleet) {
+  const auto exact = mean_rates("GBDT", 0.0);
+  const auto hist = mean_rates("GBDT", 1.0);
+  EXPECT_GT(hist.tpr, exact.tpr - 0.02);
+  EXPECT_LT(hist.fpr, exact.fpr + 0.02);
+  EXPECT_GT(hist.tpr, 0.85);
+  EXPECT_LT(hist.fpr, 0.05);
+}
+
+}  // namespace
+}  // namespace mfpa

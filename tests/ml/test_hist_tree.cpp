@@ -1,0 +1,273 @@
+// Exact-vs-histogram split-path parity suite: the hist path must find the
+// same splits as the exact sorted path on low-cardinality data, stay within
+// metric noise of it on continuous data, serialize identically, and remain
+// deterministic across thread counts and shared-bin reuse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "data/binned_matrix.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/factory.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/grid_search.hpp"
+#include "ml/metrics.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/serialize.hpp"
+#include "test_helpers.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+using testing::accuracy_of;
+using testing::make_blobs;
+using testing::make_xor;
+
+std::vector<std::size_t> all_rows(std::size_t n) {
+  std::vector<std::size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  return rows;
+}
+
+TreeParams with_method(TreeParams tp, SplitMethod m) {
+  tp.split_method = m;
+  return tp;
+}
+
+// Low-cardinality features (fewer distinct values than bins): the binned
+// candidate-cut set equals the exact path's distinct-boundary set, so both
+// paths must grow the identical tree — same features, node sample counts,
+// gains, and partition-equivalent thresholds. (Thresholds may differ as
+// doubles when a node is missing a feature value: several cuts then tie on
+// gain and the two paths pick different representatives of the same gap.)
+TEST(HistTree, IdenticalTreeOnLowCardinalityData) {
+  Rng data_rng(101);
+  const std::size_t n = 400;
+  data::Matrix X(n, 3);
+  std::vector<double> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    X(i, 0) = static_cast<double>(data_rng.uniform_int(0, 9));
+    X(i, 1) = static_cast<double>(data_rng.uniform_int(0, 19));
+    X(i, 2) = static_cast<double>(data_rng.uniform_int(0, 4));
+    g[i] = (X(i, 0) + X(i, 1) > 12.0) ? 1.0 : 0.0;
+  }
+  const TreeParams base{.max_depth = 6};
+
+  RegressionTree exact(with_method(base, SplitMethod::kExact));
+  RegressionTree hist(with_method(base, SplitMethod::kHist));
+  Rng rng_a(1), rng_b(1);
+  exact.fit(X, g, {}, all_rows(n), rng_a);
+  hist.fit(X, g, {}, all_rows(n), rng_b);
+
+  ASSERT_EQ(exact.nodes().size(), hist.nodes().size());
+  // Route every row down the exact tree (children are appended after their
+  // parent, so one ascending pass fills node_rows before it is consumed).
+  std::vector<std::vector<std::size_t>> node_rows(exact.nodes().size());
+  node_rows[0] = all_rows(n);
+  for (std::size_t i = 0; i < exact.nodes().size(); ++i) {
+    const auto& e = exact.nodes()[i];
+    const auto& h = hist.nodes()[i];
+    EXPECT_EQ(e.feature, h.feature) << "node " << i;
+    EXPECT_EQ(e.samples, h.samples) << "node " << i;
+    EXPECT_EQ(e.left, h.left) << "node " << i;
+    EXPECT_EQ(e.right, h.right) << "node " << i;
+    if (e.feature >= 0) {
+      const auto f = static_cast<std::size_t>(e.feature);
+      for (const std::size_t r : node_rows[i]) {
+        // Thresholds must split this node's rows identically even when they
+        // differ as doubles (different representatives of an empty gap).
+        ASSERT_EQ(X(r, f) <= e.threshold, X(r, f) <= h.threshold)
+            << "node " << i << " row " << r;
+        auto& child = node_rows[static_cast<std::size_t>(
+            X(r, f) <= e.threshold ? e.left : e.right)];
+        child.push_back(r);
+      }
+      EXPECT_NEAR(e.gain, h.gain, 1e-9 * (1.0 + std::abs(e.gain)))
+          << "node " << i;
+    } else {
+      EXPECT_NEAR(e.value, h.value, 1e-12) << "node " << i;
+    }
+  }
+}
+
+TEST(HistTree, PrebuiltBinsMatchInternalBinning) {
+  const auto [X, y] = make_xor(300, 102);
+  std::vector<double> g(y.begin(), y.end());
+  const TreeParams tp{.max_depth = 6};
+
+  RegressionTree internal(tp), prebuilt(tp);
+  Rng rng_a(2), rng_b(2);
+  internal.fit(X, g, {}, all_rows(300), rng_a);
+  const data::BinnedMatrix bins(X, tp.max_bins);
+  prebuilt.fit(bins, g, {}, all_rows(300), rng_b);
+
+  EXPECT_EQ(internal.predict(X), prebuilt.predict(X));
+}
+
+TEST(HistTree, SolvesXorAndBlobs) {
+  {
+    const auto [X, y] = make_xor(500, 103);
+    RandomForestClassifier rf({{"n_trees", 30}, {"max_depth", 8}});
+    rf.fit(X, y);
+    EXPECT_GT(accuracy_of(rf.predict_proba(X), y), 0.95);
+  }
+  {
+    const auto [X, y] = make_blobs(200, 3, 2.5, 104);
+    GbdtClassifier gbdt;
+    gbdt.fit(X, y);
+    EXPECT_GT(accuracy_of(gbdt.predict_proba(X), y), 0.97);
+  }
+}
+
+// Train/test TPR/FPR of the hist path must sit within metric noise of the
+// exact path on overlapping continuous-feature data (the fleet-style
+// acceptance check; the full-pipeline variant lives in
+// tests/integration/test_hist_parity.cpp).
+TEST(HistTree, EnsembleTprFprWithinNoiseOfExactPath) {
+  const auto [Xtr, ytr] = make_blobs(1500, 10, 2.0, 105);
+  const auto [Xte, yte] = make_blobs(1500, 10, 2.0, 106);
+
+  const auto eval = [&](const Hyperparams& params, bool rf) {
+    std::unique_ptr<Classifier> model;
+    if (rf) {
+      model = std::make_unique<RandomForestClassifier>(params);
+    } else {
+      model = std::make_unique<GbdtClassifier>(params);
+    }
+    model->fit(Xtr, ytr);
+    return confusion_at(yte, model->predict_proba(Xte), 0.5);
+  };
+
+  for (const bool rf : {true, false}) {
+    const Hyperparams base{{"seed", 1}};
+    Hyperparams exact = base, hist = base;
+    exact["split_method"] = 0;
+    hist["split_method"] = 1;
+    const auto cm_exact = eval(exact, rf);
+    const auto cm_hist = eval(hist, rf);
+    EXPECT_NEAR(cm_hist.tpr(), cm_exact.tpr(), 0.005) << (rf ? "RF" : "GBDT");
+    EXPECT_NEAR(cm_hist.fpr(), cm_exact.fpr(), 0.0025) << (rf ? "RF" : "GBDT");
+  }
+}
+
+TEST(HistTree, ExactPathStillSelectable) {
+  const auto [X, y] = make_xor(400, 107);
+  RandomForestClassifier exact({{"n_trees", 20}, {"split_method", 0}});
+  RandomForestClassifier hist({{"n_trees", 20}, {"split_method", 1}});
+  exact.fit(X, y);
+  hist.fit(X, y);
+  EXPECT_GT(accuracy_of(exact.predict_proba(X), y), 0.95);
+  EXPECT_GT(accuracy_of(hist.predict_proba(X), y), 0.95);
+}
+
+TEST(HistTree, SerializationRoundTripOfHistTrainedEnsembles) {
+  const auto [X, y] = make_blobs(150, 5, 2.0, 108);
+  for (const std::string algo : {"RF", "GBDT"}) {
+    Hyperparams p{{"seed", 3}, {"split_method", 1}};
+    if (algo == "RF") p["n_trees"] = 8;
+    if (algo == "GBDT") p["n_rounds"] = 10;
+    auto model = make_classifier(algo, p);
+    model->fit(X, y);
+    std::stringstream ss;
+    save_classifier(ss, *model);
+    const auto restored = load_classifier(ss);
+    EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X)) << algo;
+  }
+}
+
+TEST(HistTree, DeterministicAcrossThreadCounts) {
+  const auto [X, y] = make_blobs(300, 6, 1.5, 109);
+  // RF: threaded hist fit and threaded predict must be invariant.
+  RandomForestClassifier rf1({{"n_trees", 12}, {"seed", 7}, {"threads", 1}});
+  RandomForestClassifier rf4({{"n_trees", 12}, {"seed", 7}, {"threads", 4}});
+  rf1.fit(X, y);
+  rf4.fit(X, y);
+  EXPECT_EQ(rf1.predict_proba(X), rf4.predict_proba(X));
+
+  // GBDT: per-round score updates and predict_proba are row-parallel; the
+  // model and its outputs must be identical for any thread count.
+  GbdtClassifier g1({{"n_rounds", 15}, {"seed", 7}, {"threads", 1}});
+  GbdtClassifier g4({{"n_rounds", 15}, {"seed", 7}, {"threads", 4}});
+  GbdtClassifier ghw({{"n_rounds", 15}, {"seed", 7}, {"threads", 0}});
+  g1.fit(X, y);
+  g4.fit(X, y);
+  ghw.fit(X, y);
+  EXPECT_EQ(g1.predict_proba(X), g4.predict_proba(X));
+  EXPECT_EQ(g1.predict_proba(X), ghw.predict_proba(X));
+}
+
+TEST(HistTree, SharedBinsMatchSelfBinnedFit) {
+  const auto [X, y] = make_blobs(200, 4, 2.0, 110);
+  const auto bins = std::make_shared<const data::BinnedMatrix>(X);
+
+  RandomForestClassifier plain({{"n_trees", 10}, {"seed", 5}});
+  RandomForestClassifier shared({{"n_trees", 10}, {"seed", 5}});
+  shared.set_shared_bins(bins);
+  plain.fit(X, y);
+  shared.fit(X, y);
+  EXPECT_EQ(plain.predict_proba(X), shared.predict_proba(X));
+
+  GbdtClassifier gplain({{"n_rounds", 12}, {"seed", 5}});
+  GbdtClassifier gshared({{"n_rounds", 12}, {"seed", 5}});
+  gshared.set_shared_bins(bins);
+  gplain.fit(X, y);
+  gshared.fit(X, y);
+  EXPECT_EQ(gplain.predict_proba(X), gshared.predict_proba(X));
+}
+
+TEST(HistTree, MismatchedSharedBinsAreIgnored) {
+  const auto [X, y] = make_blobs(100, 3, 2.0, 111);
+  const auto [Xother, yother] = make_blobs(60, 3, 2.0, 112);
+  const auto stale = std::make_shared<const data::BinnedMatrix>(Xother);
+
+  RandomForestClassifier plain({{"n_trees", 8}, {"seed", 9}});
+  RandomForestClassifier with_stale({{"n_trees", 8}, {"seed", 9}});
+  with_stale.set_shared_bins(stale);  // wrong row count -> silently re-bins
+  plain.fit(X, y);
+  with_stale.fit(X, y);
+  EXPECT_EQ(plain.predict_proba(X), with_stale.predict_proba(X));
+}
+
+TEST(HistTree, CvCacheScoresMatchDirectCrossValScore) {
+  const auto [X, y] = make_blobs(120, 4, 1.5, 113);
+  const auto splits = kfold_splits(X.rows(), 4, 42);
+  for (const std::string algo : {"RF", "GBDT"}) {
+    Hyperparams p{{"seed", 2}};
+    if (algo == "RF") p["n_trees"] = 8;
+    if (algo == "GBDT") p["n_rounds"] = 8;
+    const auto model = make_classifier(algo, p);
+    const double direct = cross_val_score(*model, X, y, splits);
+    const auto cache = build_cv_cache(X, y, splits, true);
+    const double cached = cross_val_score(*model, cache);
+    EXPECT_DOUBLE_EQ(direct, cached) << algo;
+  }
+}
+
+TEST(HistTree, GridSearchSharedBinsDeterministicAcrossThreads) {
+  const auto [X, y] = make_blobs(100, 3, 1.5, 114);
+  const auto splits = kfold_splits(X.rows(), 3, 7);
+  const ParamGrid grid{{"n_trees", {5, 10}}, {"max_depth", {4, 8}}};
+  const auto serial = grid_search("RF", {{"seed", 1}}, grid, X, y, splits,
+                                  CvMetric::kAuc, 1);
+  const auto threaded = grid_search("RF", {{"seed", 1}}, grid, X, y, splits,
+                                    CvMetric::kAuc, 4);
+  EXPECT_EQ(serial.best_params, threaded.best_params);
+  ASSERT_EQ(serial.all.size(), threaded.all.size());
+  for (std::size_t i = 0; i < serial.all.size(); ++i) {
+    EXPECT_EQ(serial.all[i].second, threaded.all[i].second);
+  }
+}
+
+TEST(HistTree, GridSearchExactBaseStillWorks) {
+  const auto [X, y] = make_blobs(60, 3, 2.0, 115);
+  const auto splits = kfold_splits(X.rows(), 3, 8);
+  const ParamGrid grid{{"n_trees", {4, 8}}};
+  const auto result = grid_search("RF", {{"seed", 1}, {"split_method", 0}},
+                                  grid, X, y, splits);
+  EXPECT_GT(result.best_score, 0.5);
+}
+
+}  // namespace
+}  // namespace mfpa::ml
