@@ -1,0 +1,114 @@
+// Serving-path benchmark: trains and publishes an RF model, then streams
+// the simulated fleet through the micro-batched ScoringEngine at maximum
+// rate, reporting sustained throughput, batching behaviour, tail latency,
+// and drive-level accuracy against simulator ground truth. Results are
+// written to BENCH_serving.json (uploaded as a CI artifact alongside
+// BENCH_ml_kernels.json; see docs/PERFORMANCE.md and docs/SERVING.md).
+//
+//   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
+//                   [--batch=256] [--threads=0] [--out=BENCH_serving.json]
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/scoring_engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mfpa;
+  const auto args = bench::parse_args(argc, argv);
+  std::size_t max_batch = 256;
+  std::size_t threads = 0;
+  std::string out_path = "BENCH_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (starts_with(arg, "--batch=")) max_batch = std::stoul(arg.substr(8));
+    if (starts_with(arg, "--threads=")) threads = std::stoul(arg.substr(10));
+    if (starts_with(arg, "--out=")) out_path = arg.substr(6);
+  }
+
+  bench::World world(args);
+  std::cout << "fleet: " << world.telemetry.size() << " drives\n";
+
+  const auto registry_dir =
+      (std::filesystem::temp_directory_path() / "mfpa-bench-registry")
+          .string();
+  std::filesystem::remove_all(registry_dir);
+  serve::ModelRegistry registry(registry_dir, threads);
+  core::MfpaConfig config;
+  config.seed = args.seed;
+  const int version = serve::train_and_publish(registry, config,
+                                               world.telemetry, world.tickets);
+  std::cout << "published RF v" << version << " (threshold "
+            << format_double(registry.current()->manifest.threshold, 3)
+            << ")\n";
+
+  serve::EngineConfig engine_config;
+  engine_config.max_batch = max_batch;
+  engine_config.store.shards = threads;
+  serve::ScoringEngine engine(registry, engine_config);
+  const serve::FleetReplayer replayer(world.telemetry);
+  const auto report = replayer.replay(engine);
+  engine.stop();
+
+  const double mean_batch =
+      report.engine.batches == 0
+          ? 0.0
+          : static_cast<double>(report.engine.records_processed) /
+                static_cast<double>(report.engine.batches);
+  TablePrinter table({"metric", "value"});
+  table.add_row({"records", std::to_string(report.engine.submitted)});
+  table.add_row({"wall seconds", format_double(report.wall_seconds, 3)});
+  table.add_row({"records/sec",
+                 format_with_commas(
+                     static_cast<long long>(report.records_per_sec))});
+  table.add_row({"micro-batches", std::to_string(report.engine.batches)});
+  table.add_row({"mean batch size", format_double(mean_batch, 1)});
+  table.add_row({"max queue depth",
+                 std::to_string(report.engine.max_queue_depth)});
+  table.add_row({"latency p50 (us)",
+                 format_double(report.engine.latency_us.quantile(0.5), 1)});
+  table.add_row({"latency p99 (us)",
+                 format_double(report.engine.latency_us.quantile(0.99), 1)});
+  table.add_row({"rows scored", std::to_string(report.engine.rows_scored)});
+  table.add_row({"alerts", std::to_string(report.engine.alerts)});
+  table.add_row({"drive TPR", format_percent(report.drives.drive_tpr())});
+  table.add_row({"drive FPR", format_percent(report.drives.drive_fpr())});
+  table.print(std::cout);
+
+  std::ofstream json(out_path, std::ios::trunc);
+  if (!json) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"serving_replay\",\n"
+       << "  \"scenario\": \"" << args.scenario << "\",\n"
+       << "  \"seed\": " << args.seed << ",\n"
+       << "  \"algorithm\": \"RF\",\n"
+       << "  \"max_batch\": " << max_batch << ",\n"
+       << "  \"records\": " << report.engine.submitted << ",\n"
+       << "  \"days\": " << report.days_replayed << ",\n"
+       << "  \"wall_seconds\": " << report.wall_seconds << ",\n"
+       << "  \"records_per_sec\": " << report.records_per_sec << ",\n"
+       << "  \"micro_batches\": " << report.engine.batches << ",\n"
+       << "  \"mean_batch_size\": " << mean_batch << ",\n"
+       << "  \"max_queue_depth\": " << report.engine.max_queue_depth << ",\n"
+       << "  \"latency_p50_us\": " << report.engine.latency_us.quantile(0.5)
+       << ",\n"
+       << "  \"latency_p99_us\": " << report.engine.latency_us.quantile(0.99)
+       << ",\n"
+       << "  \"rows_scored\": " << report.engine.rows_scored << ",\n"
+       << "  \"synthetic_rows\": " << report.engine.synthetic_rows << ",\n"
+       << "  \"alerts\": " << report.engine.alerts << ",\n"
+       << "  \"drives_quarantined\": " << report.store.drives_quarantined
+       << ",\n"
+       << "  \"drive_tpr\": " << report.drives.drive_tpr() << ",\n"
+       << "  \"drive_fpr\": " << report.drives.drive_fpr() << "\n"
+       << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

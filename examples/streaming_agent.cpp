@@ -1,24 +1,22 @@
-// Streaming agent: what runs *on the consumer machine*. A model trained
-// fleet-side is serialized and shipped down; the agent then processes each
-// day's telemetry incrementally (StreamingIngestor maintains the cleaned
-// state online), scores the newest observation in microseconds, and decides
-// locally whether to nag the user to back up.
-//
-// The replayed uploads pass through a lossy channel (sim::FaultInjector:
-// retried uploads, NaN sensor reads), so the ingestor runs in lenient mode
-// and reports its IngestStats accounting at the end — the deployed-agent
-// configuration described in docs/ROBUSTNESS.md.
+// Streaming scoring service: the fleet-side counterpart of the on-device
+// agent. Telemetry uploads arrive day by day over a lossy channel
+// (sim::FaultInjector: retried uploads, NaN sensor reads), stream through
+// the bounded ingress queue of a serve::ScoringEngine, and are scored in
+// micro-batches against whatever model the serve::ModelRegistry currently
+// publishes. Halfway through the replay a newly trained model is published
+// — the engine hot-swaps between micro-batches without dropping or blocking
+// a single in-flight record, which is the whole point of the RCU registry.
 //
 //   ./streaming_agent [scenario] [seed]
-#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
-#include <sstream>
 
 #include "common/string_util.hpp"
 #include "core/mfpa.hpp"
-#include "core/streaming.hpp"
-#include "ml/serialize.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/replay.hpp"
+#include "serve/scoring_engine.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/fleet.hpp"
 
@@ -28,86 +26,79 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
 
-  // --- Fleet side: train and "ship" the model as a byte stream. ----------
   sim::FleetSimulator fleet(sim::scenario_by_name(scenario_name, seed));
   const auto telemetry = fleet.generate_telemetry();
   const auto tickets = fleet.tickets();
-  core::MfpaConfig config;
-  config.vendor = 0;
-  config.seed = seed;
-  core::MfpaPipeline pipeline(config);
-  const auto report = pipeline.run(telemetry, tickets);
-  std::stringstream wire;
-  ml::save_classifier(wire, pipeline.model());
-  std::cout << "fleet side: trained " << pipeline.model().name() << " (TPR "
-            << format_percent(report.cm.tpr()) << ", FPR "
-            << format_percent(report.cm.fpr()) << "); model payload "
-            << wire.str().size() / 1024 << " KiB\n";
 
-  // --- Client side: receive the model, replay a failing drive day by day.
-  const auto model = ml::load_classifier(wire);
-  const auto builder = pipeline.make_builder();
-
-  const sim::DriveTimeSeries* failing = nullptr;
-  for (const auto& series : telemetry) {
-    if (series.vendor == 0 && series.failed && series.records.size() > 20) {
-      failing = &series;
-      break;
-    }
-  }
-  if (failing == nullptr) {
-    std::cout << "no suitable failing drive in this scenario/seed\n";
-    return 0;
-  }
-  std::cout << "client side: replaying drive " << failing->drive_id
-            << " (fails on day " << failing->failure_day << " = "
-            << format_date(failing->failure_day) << ")\n\n";
-
-  // The channel between agent and scorer is lossy: some uploads are retried
-  // after lost ACKs, some sensor reads come back as NaN.
+  // The channel between agents and the service is lossy; the store runs its
+  // ingestors in lenient mode and accounts for every repair.
   sim::FaultInjector channel({{{sim::FaultMode::kDuplicateDay, 0.05},
                                {sim::FaultMode::kNanField, 0.02}},
                               seed});
-  const auto uploads = channel.corrupt({*failing})[0].records;
+  const auto uploads = channel.corrupt(telemetry);
 
-  core::PreprocessConfig agent_config;
-  agent_config.robustness.mode = IngestMode::kLenient;
-  core::StreamingIngestor ingestor(failing->drive_id, failing->vendor,
-                                   agent_config);
-  DayIndex first_alert = -1;
-  double total_us = 0.0;
-  std::size_t scored = 0;
-  for (const auto& upload : uploads) {
-    ingestor.ingest(upload);
-    if (!ingestor.usable()) continue;
-    const auto& latest = ingestor.segment().back();
-    const auto t0 = std::chrono::steady_clock::now();
-    data::Matrix row(0, 0);
-    row.add_row(builder.features_of(latest));
-    const double score = model->predict_proba(row)[0];
-    total_us += std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-    ++scored;
-    const bool alert = score >= pipeline.threshold();
-    if (alert && first_alert < 0) first_alert = latest.day;
-    if (alert || upload.day + 14 >= failing->failure_day) {
-      std::cout << "  " << format_date(upload.day) << "  risk "
-                << format_double(score, 3) << (alert ? "  << BACK UP NOW" : "")
-                << "\n";
+  const auto registry_dir =
+      (std::filesystem::temp_directory_path() / "mfpa-example-registry")
+          .string();
+  std::filesystem::remove_all(registry_dir);
+  serve::ModelRegistry registry(registry_dir);
+
+  // --- Train + publish v1 (RF), and prepare a v2 (GBDT) to ship mid-run. --
+  core::MfpaConfig config_v1;
+  config_v1.seed = seed;
+  const int v1 =
+      serve::train_and_publish(registry, config_v1, telemetry, tickets);
+  core::MfpaConfig config_v2 = config_v1;
+  config_v2.algorithm = "GBDT";
+  core::MfpaPipeline pipeline_v2(config_v2);
+  const auto report_v2 = pipeline_v2.run(telemetry, tickets);
+  std::cout << "fleet side: published "
+            << registry.current()->manifest.algorithm << " v" << v1 << " to "
+            << registry_dir << "; GBDT standing by (test TPR "
+            << format_percent(report_v2.cm.tpr()) << ")\n";
+
+  // --- Service side: replay the lossy upload stream through the engine. --
+  serve::EngineConfig engine_config;
+  engine_config.store.preprocess.robustness.mode = IngestMode::kLenient;
+  engine_config.record_scores = true;  // keep per-version score log
+  serve::ScoringEngine engine(registry, engine_config);
+
+  const serve::FleetReplayer replayer(uploads);
+  const DayIndex swap_day =
+      replayer.first_day() +
+      (replayer.last_day() - replayer.first_day()) / 2;
+  int v2 = 0;
+  const auto report = replayer.replay(engine, [&](DayIndex day) {
+    if (v2 == 0 && day >= swap_day) {
+      v2 = registry.publish_pipeline(pipeline_v2, 0, day);
+      std::cout << "service side: hot-swapped to GBDT v" << v2 << " on "
+                << format_date(day) << " (queue keeps draining)\n";
     }
+  });
+  engine.stop();
+
+  std::size_t scored_v1 = 0, scored_v2 = 0;
+  for (const auto& row : engine.take_scored_rows()) {
+    (row.model_version == v1 ? scored_v1 : scored_v2) += 1;
   }
-  std::cout << "\nfirst alert: "
-            << (first_alert >= 0 ? format_date(first_alert) : "(never)")
-            << (first_alert >= 0
-                    ? " — " + std::to_string(failing->failure_day - first_alert) +
-                          " days before the drive died"
-                    : "")
-            << "\nmean on-device inference: "
-            << format_double(total_us / std::max<std::size_t>(1, scored), 1)
-            << " us per upload (paper: microsecond-level client-side"
-               " prediction)\n"
-            << "dirty-channel accounting: " << ingestor.ingest_stats().summary()
+  std::cout << "\nreplayed " << report.engine.submitted << " uploads in "
+            << format_double(report.wall_seconds, 2) << " s ("
+            << format_with_commas(
+                   static_cast<long long>(report.records_per_sec))
+            << " rec/s), " << report.engine.batches << " micro-batches\n"
+            << "rows scored: " << scored_v1 << " on v" << v1 << ", "
+            << scored_v2 << " on v" << v2 << " ("
+            << report.engine.model_swaps
+            << " swap observed; nothing dropped: shed="
+            << report.engine.shed << ")\n"
+            << "alerts: " << report.engine.alerts << " -> drive-level TPR "
+            << format_percent(report.drives.drive_tpr()) << ", FPR "
+            << format_percent(report.drives.drive_fpr()) << "\n"
+            << "latency p50/p99: "
+            << format_double(report.engine.latency_us.quantile(0.5), 0) << "/"
+            << format_double(report.engine.latency_us.quantile(0.99), 0)
+            << " us\n"
+            << "dirty-channel accounting: " << report.store.ingest.summary()
             << "\n";
   return 0;
 }

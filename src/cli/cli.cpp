@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <ostream>
 #include <stdexcept>
 
@@ -10,6 +11,7 @@
 #include "core/mfpa.hpp"
 #include "core/online_predictor.hpp"
 #include "ml/serialize.hpp"
+#include "serve/replay.hpp"
 #include "sim/fleet.hpp"
 #include "sim/telemetry_io.hpp"
 #include "sim/validate.hpp"
@@ -216,6 +218,93 @@ int cmd_predict(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
+int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
+  const auto robustness = robustness_from(cmd);
+  // Input: either a saved telemetry/ticket pair or a generated scenario.
+  std::vector<sim::DriveTimeSeries> telemetry;
+  std::vector<sim::TroubleTicket> tickets;
+  IngestStats read_stats;
+  if (cmd.has("telemetry")) {
+    telemetry = sim::read_telemetry_file(cmd.require("telemetry"), robustness,
+                                         &read_stats);
+    tickets =
+        sim::read_tickets_file(cmd.require("tickets"), robustness, &read_stats);
+  } else {
+    auto scenario = sim::scenario_by_name(
+        cmd.get("scenario", "default"),
+        static_cast<std::uint64_t>(cmd.get_number("seed", 42)));
+    scenario.fleet_scale = cmd.get_number("scale", scenario.fleet_scale);
+    sim::FleetSimulator fleet(scenario);
+    telemetry = fleet.generate_telemetry();
+    tickets = fleet.tickets();
+  }
+
+  const auto registry_dir = cmd.get(
+      "registry",
+      (std::filesystem::temp_directory_path() / "mfpa-serve-registry").string());
+  // A stale registry from a previous run would serve yesterday's model.
+  std::filesystem::remove_all(registry_dir);
+  const auto threads =
+      static_cast<std::size_t>(cmd.get_number("threads", 0));
+  serve::ModelRegistry registry(registry_dir, threads);
+
+  auto train_config = config_from(cmd);
+  const int version =
+      serve::train_and_publish(registry, train_config, telemetry, tickets);
+  out << "published " << train_config.algorithm << " v" << version << " to "
+      << registry_dir << "\n";
+
+  serve::EngineConfig engine_config;
+  engine_config.store.preprocess = train_config.preprocess;
+  engine_config.store.shards = threads;
+  engine_config.alert_policy.min_consecutive =
+      static_cast<int>(cmd.get_number("alert-consecutive", 1));
+  engine_config.alert_policy.cooldown_days =
+      static_cast<int>(cmd.get_number("cooldown", 0));
+  engine_config.queue_capacity =
+      static_cast<std::size_t>(cmd.get_number("queue-capacity", 4096));
+  engine_config.max_batch =
+      static_cast<std::size_t>(cmd.get_number("batch", 256));
+  engine_config.shed_on_full = cmd.has("shed");
+  serve::ScoringEngine engine(registry, engine_config);
+
+  const serve::FleetReplayer replayer(telemetry);
+  const auto report = replayer.replay(engine);
+  engine.stop();
+
+  TablePrinter table({"metric", "value"});
+  table.add_row({"records submitted", std::to_string(report.engine.submitted)});
+  table.add_row({"records shed", std::to_string(report.engine.shed)});
+  table.add_row({"days replayed", std::to_string(report.days_replayed)});
+  table.add_row({"throughput (rec/s)",
+                 format_with_commas(
+                     static_cast<long long>(report.records_per_sec))});
+  table.add_row({"micro-batches", std::to_string(report.engine.batches)});
+  table.add_row(
+      {"mean batch size",
+       format_double(report.engine.batches == 0
+                         ? 0.0
+                         : static_cast<double>(report.engine.records_processed) /
+                               static_cast<double>(report.engine.batches),
+                     1)});
+  table.add_row({"max queue depth",
+                 std::to_string(report.engine.max_queue_depth)});
+  table.add_row({"latency p50 (us)",
+                 format_double(report.engine.latency_us.quantile(0.5), 1)});
+  table.add_row({"latency p99 (us)",
+                 format_double(report.engine.latency_us.quantile(0.99), 1)});
+  table.add_row({"rows scored", std::to_string(report.engine.rows_scored)});
+  table.add_row({"alerts", std::to_string(report.engine.alerts)});
+  table.add_row({"drives quarantined",
+                 std::to_string(report.store.drives_quarantined)});
+  table.add_row({"drive-level TPR", format_percent(report.drives.drive_tpr())});
+  table.add_row({"drive-level FPR", format_percent(report.drives.drive_fpr())});
+  table.print(out);
+  read_stats.merge(report.store.ingest);
+  report_ingest(read_stats, robustness, out);
+  return 0;
+}
+
 int cmd_validate(const CommandLine& cmd, std::ostream& out) {
   const auto robustness = robustness_from(cmd);
   IngestStats ingest;
@@ -319,6 +408,13 @@ std::string usage() {
       "  evaluate  --telemetry=FILE --tickets=FILE [--vendor=N] [--group=G] ...\n"
       "  predict   --telemetry=FILE --model=FILE [--group=G] [--threshold=T]\n"
       "            [--top=N] [--explain]\n"
+      "  serve-replay  [--telemetry=FILE --tickets=FILE | --scenario=NAME\n"
+      "            --seed=N --scale=X] [--algorithm=RF] [--group=G]\n"
+      "            [--threads=N] [--batch=256] [--queue-capacity=4096]\n"
+      "            [--shed] [--registry=DIR] [--alert-consecutive=1]\n"
+      "            [--cooldown=0]\n"
+      "            train + publish to the model registry, then stream the\n"
+      "            fleet through the micro-batched scoring service\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
       "  help\n"
@@ -336,6 +432,7 @@ int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     if (cmd.command == "train") return cmd_train(cmd, out);
     if (cmd.command == "evaluate") return cmd_evaluate(cmd, out);
     if (cmd.command == "predict") return cmd_predict(cmd, out);
+    if (cmd.command == "serve-replay") return cmd_serve_replay(cmd, out);
     if (cmd.command == "validate") return cmd_validate(cmd, out);
     if (cmd.command == "info") return cmd_info(cmd, out);
     if (cmd.command == "help" || cmd.command == "--help") {

@@ -118,6 +118,35 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::add_count(double x, std::size_t n) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_);
+  std::ptrdiff_t i = static_cast<std::ptrdiff_t>(
+      t * static_cast<double>(counts_.size()));
+  i = std::clamp<std::ptrdiff_t>(i, 0,
+                                 static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(i)] += n;
+  total_ += n;
+}
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+  }
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double c = static_cast<double>(counts_[i]);
+    if (c == 0.0) continue;
+    if (seen + c >= target) {
+      const double frac = c == 0.0 ? 0.0 : std::max(0.0, target - seen) / c;
+      return bin_lo(i) + frac * (bin_hi(i) - bin_lo(i));
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
 double Histogram::bin_lo(std::size_t i) const noexcept {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());

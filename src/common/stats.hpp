@@ -56,6 +56,16 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+
+  /// Adds `n` identical observations (merging pre-counted tallies).
+  void add_count(double x, std::size_t n) noexcept;
+
+  /// Value at quantile q in [0, 1], linearly interpolated inside the
+  /// containing bin (the usual latency-histogram estimator: exact to one bin
+  /// width). Returns lo for an empty histogram; values clamped into the edge
+  /// bins report edge-bin positions. Throws on q outside [0, 1].
+  double quantile(double q) const;
+
   std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const noexcept { return counts_.size(); }
   std::size_t total() const noexcept { return total_; }

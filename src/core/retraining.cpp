@@ -61,6 +61,14 @@ void RetrainingScheduler::train(
   }
   model_ = ml::make_classifier(config_.algorithm, params);
   model_->fit(balanced.X, balanced.y);
+
+  if (publish_hook_) {
+    DayIndex lo = cutoff;
+    for (const auto& d : drives) {
+      if (!d.records.empty()) lo = std::min(lo, d.records.front().day);
+    }
+    publish_hook_(*model_, encoder_, lo, cutoff);
+  }
 }
 
 data::Dataset RetrainingScheduler::month_samples(

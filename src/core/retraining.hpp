@@ -10,6 +10,7 @@
 // releases unseen at training time) that Fig. 12/16 show accumulating.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,15 @@
 #include "ml/model.hpp"
 
 namespace mfpa::core {
+
+/// Callback invoked whenever the scheduler ships a model (the initial train
+/// and every refresh). The serving tier wires this to
+/// serve::ModelRegistry::publish so a deployment's registry receives every
+/// iteration without core depending on the serve layer. `train_lo`/`train_hi`
+/// bound the data the model saw (the manifest's training window).
+using ModelPublishHook = std::function<void(
+    const ml::Classifier& model, const data::LabelEncoder& encoder,
+    DayIndex train_lo, DayIndex train_hi)>;
 
 struct RetrainingPolicy {
   /// Retrain after this many months regardless of metrics (paper: 2).
@@ -54,10 +64,16 @@ class RetrainingScheduler {
   /// Number of times a refreshed model shipped during the last run().
   int retrain_count() const noexcept { return retrain_count_; }
 
+  /// Registers the publish hook (may be empty to unregister).
+  void set_publish_hook(ModelPublishHook hook) {
+    publish_hook_ = std::move(hook);
+  }
+
  private:
   MfpaConfig config_;
   RetrainingPolicy policy_;
   int retrain_count_ = 0;
+  ModelPublishHook publish_hook_;
 
   // Live deployment state.
   data::LabelEncoder encoder_;

@@ -1,5 +1,6 @@
 #include "core/streaming.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -91,6 +92,15 @@ std::vector<ProcessedRecord> StreamingIngestor::ingest(
   ++real_records_;
   produced.push_back(std::move(rec));
   return produced;
+}
+
+std::size_t StreamingIngestor::compact(std::size_t max_records) {
+  max_records = std::max<std::size_t>(1, max_records);
+  if (segment_.size() <= max_records) return 0;
+  const std::size_t drop = segment_.size() - max_records;
+  segment_.erase(segment_.begin(),
+                 segment_.begin() + static_cast<std::ptrdiff_t>(drop));
+  return drop;
 }
 
 bool StreamingIngestor::usable() const noexcept {

@@ -67,6 +67,15 @@ class StreamingIngestor {
     return sanitizer_.stats();
   }
 
+  /// Drops the oldest records of the current segment until at most
+  /// `max_records` remain; returns how many were dropped. The conversion
+  /// state (cumulative counters, last-day, sanitizer) is independent of the
+  /// retained records, and gap filling only reads segment().back(), so
+  /// compaction never changes future ingest output — it only bounds memory
+  /// for long-running per-drive state (the serving tier's DriveStateStore
+  /// compacts after every emit). `max_records` is clamped to >= 1.
+  std::size_t compact(std::size_t max_records);
+
   /// Number of long-gap cuts seen so far.
   int segments_started() const noexcept { return segments_started_; }
 

@@ -1,0 +1,34 @@
+#include "ml/checksum.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace mfpa::ml {
+
+std::string checksum_hex(std::uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return std::string(buf, 16);
+}
+
+std::uint64_t parse_checksum_hex(const std::string& hex) {
+  if (hex.size() != 16) {
+    throw std::runtime_error("checksum: expected 16 hex digits, got '" + hex +
+                             "'");
+  }
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw std::runtime_error("checksum: bad hex digit in '" + hex + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,34 @@
+// Content checksums for model artifacts. Serialized models travel from the
+// training fleet to the serving tier (and onward to client agents) through
+// object stores and flaky links; a truncated or bit-flipped artifact must be
+// rejected at load time, not discovered as silently wrong scores. FNV-1a is
+// enough: the threat model is corruption, not an adversary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfpa::ml {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// FNV-1a 64-bit over a byte range; pass a previous digest to chain blocks.
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnv1aOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Fixed-width (16 digit) lowercase hex rendering of a digest.
+std::string checksum_hex(std::uint64_t digest);
+
+/// Parses checksum_hex output; throws std::runtime_error on malformed input.
+std::uint64_t parse_checksum_hex(const std::string& hex);
+
+}  // namespace mfpa::ml

@@ -4,8 +4,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
+#include "ml/checksum.hpp"
 #include "ml/factory.hpp"
 
 namespace mfpa::ml {
@@ -50,25 +52,12 @@ std::vector<double> read_vector(std::istream& is, const std::string& tag) {
 
 }  // namespace io
 
-void save_classifier(std::ostream& os, const Classifier& model) {
-  os << "mfpa_model 1\n" << model.name() << '\n';
-  const Hyperparams& params = model.hyperparams();
-  os << "params " << params.size() << ' ';
-  for (const auto& [key, value] : params) {
-    os << key << ' ';
-    io::write_double(os, value);
-  }
-  os << '\n';
-  model.save_state(os);
-  if (!os) throw std::runtime_error("save_classifier: stream failure");
-}
+namespace {
 
-std::unique_ptr<Classifier> load_classifier(std::istream& is) {
-  io::expect_token(is, "mfpa_model");
-  int version = 0;
-  if (!(is >> version) || version != 1) {
-    throw std::runtime_error("load_classifier: unsupported format version");
-  }
+/// Parses the checksummed portion (name, params, model state) from `is`,
+/// applying `overrides` on top of the stored hyperparameters.
+std::unique_ptr<Classifier> load_body(std::istream& is,
+                                      const Hyperparams& overrides) {
   std::string name;
   if (!(is >> name)) throw std::runtime_error("load_classifier: missing name");
   io::expect_token(is, "params");
@@ -82,9 +71,73 @@ std::unique_ptr<Classifier> load_classifier(std::istream& is) {
     if (!(is >> key)) throw std::runtime_error("load_classifier: bad param key");
     params[key] = io::read_double(is);
   }
+  for (const auto& [key, value] : overrides) params[key] = value;
   auto model = make_classifier(name, params);
   model->load_state(is);
   return model;
+}
+
+}  // namespace
+
+std::uint64_t save_classifier(std::ostream& os, const Classifier& model) {
+  // The body (everything the checksum covers) is rendered first so the
+  // header can carry its exact byte length and FNV-1a digest; the loader can
+  // then reject truncation and corruption before touching the payload.
+  std::ostringstream body_stream;
+  body_stream << model.name() << '\n';
+  const Hyperparams& params = model.hyperparams();
+  body_stream << "params " << params.size() << ' ';
+  for (const auto& [key, value] : params) {
+    body_stream << key << ' ';
+    io::write_double(body_stream, value);
+  }
+  body_stream << '\n';
+  model.save_state(body_stream);
+  const std::string body = body_stream.str();
+  const std::uint64_t digest = fnv1a(body);
+  os << "mfpa_model 2 " << body.size() << ' ' << checksum_hex(digest) << '\n'
+     << body;
+  if (!os) throw std::runtime_error("save_classifier: stream failure");
+  return digest;
+}
+
+std::unique_ptr<Classifier> load_classifier(std::istream& is,
+                                            const Hyperparams& overrides) {
+  io::expect_token(is, "mfpa_model");
+  int version = 0;
+  if (!(is >> version) || version < 1 || version > 2) {
+    throw std::runtime_error("load_classifier: unsupported format version");
+  }
+  if (version == 1) {
+    // Legacy un-checksummed framing (still readable so artifacts written by
+    // older builds keep deploying).
+    return load_body(is, overrides);
+  }
+  std::size_t body_size = 0;
+  std::string hex;
+  if (!(is >> body_size >> hex) || body_size > (1u << 30)) {
+    throw std::runtime_error("load_classifier: malformed checksum header");
+  }
+  const std::uint64_t expected = parse_checksum_hex(hex);
+  if (is.get() != '\n') {
+    throw std::runtime_error("load_classifier: malformed checksum header");
+  }
+  std::string body(body_size, '\0');
+  is.read(body.data(), static_cast<std::streamsize>(body_size));
+  if (static_cast<std::size_t>(is.gcount()) != body_size) {
+    throw std::runtime_error(
+        "load_classifier: truncated artifact (expected " +
+        std::to_string(body_size) + " payload bytes, got " +
+        std::to_string(is.gcount()) + ")");
+  }
+  const std::uint64_t actual = fnv1a(body);
+  if (actual != expected) {
+    throw std::runtime_error(
+        "load_classifier: checksum mismatch (artifact corrupt): expected " +
+        checksum_hex(expected) + ", payload hashes to " + checksum_hex(actual));
+  }
+  std::istringstream body_is(body);
+  return load_body(body_is, overrides);
 }
 
 void save_classifier_file(const std::string& path, const Classifier& model) {

@@ -3,17 +3,23 @@
 // round-trip through a portable representation.
 //
 // Format: line-oriented text, whitespace-tokenized, doubles at full
-// round-trip precision. Layout:
+// round-trip precision. Layout (version 2):
 //
-//   mfpa_model 1
+//   mfpa_model 2 <payload bytes> <fnv1a-64 hex of payload>
 //   <algorithm name>
 //   params <n> (<key> <value>)*
 //   <algorithm-specific state written by Classifier::save_state>
+//
+// The header's byte count and FNV-1a digest cover everything after the
+// header line, so a truncated or bit-flipped artifact is rejected at load
+// time with a clear error instead of silently mis-scoring. Version 1
+// (the pre-checksum framing, no count/digest) is still readable.
 //
 // load_classifier() rebuilds the model through the factory and restores its
 // state, so a deserialized model predicts bit-identically to the original.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -24,13 +30,19 @@
 
 namespace mfpa::ml {
 
-/// Writes a trained classifier. Throws std::logic_error if unfitted (models
-/// validate their own state) and std::runtime_error on stream failure.
-void save_classifier(std::ostream& os, const Classifier& model);
+/// Writes a trained classifier (version-2 checksummed framing) and returns
+/// the payload's FNV-1a digest (recorded in registry manifests). Throws
+/// std::logic_error if unfitted (models validate their own state) and
+/// std::runtime_error on stream failure.
+std::uint64_t save_classifier(std::ostream& os, const Classifier& model);
 
-/// Reads a classifier saved by save_classifier. Throws std::runtime_error on
-/// malformed input.
-std::unique_ptr<Classifier> load_classifier(std::istream& is);
+/// Reads a classifier saved by save_classifier, verifying the payload
+/// checksum (version 2). `overrides` replaces stored hyperparameters before
+/// the model is rebuilt — the serving tier uses this to set deployment-side
+/// knobs like "threads" that are not properties of the learned state.
+/// Throws std::runtime_error on malformed, truncated, or corrupt input.
+std::unique_ptr<Classifier> load_classifier(std::istream& is,
+                                            const Hyperparams& overrides = {});
 
 /// File-path conveniences.
 void save_classifier_file(const std::string& path, const Classifier& model);

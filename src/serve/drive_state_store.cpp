@@ -1,0 +1,106 @@
+#include "serve/drive_state_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ml/parallel_for.hpp"
+
+namespace mfpa::serve {
+
+DriveStateStore::DriveStateStore(StoreConfig config) : config_(config) {
+  const std::size_t n = ml::resolve_threads(config_.shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+DriveStateStore::Shard& DriveStateStore::shard_for(
+    std::uint64_t drive_id) const {
+  // Fibonacci hash spreads sequential drive ids across stripes.
+  const std::uint64_t mixed = drive_id * 0x9E3779B97F4A7C15ULL;
+  return *shards_[mixed % shards_.size()];
+}
+
+void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
+                             const sim::DailyRecord& record,
+                             std::vector<PendingRow>& out) {
+  Shard& shard = shard_for(drive_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.drives
+                      .try_emplace(drive_id, drive_id, vendor,
+                                   config_.preprocess)
+                      .first;
+  DriveState& state = it->second;
+  ++shard.records_ingested;
+  state.ingestor.ingest(record);
+
+  if (state.ingestor.segments_started() != state.segments_seen) {
+    // Long gap cut the segment: the batch path would only ever see the new
+    // segment, so emission and alert hysteresis restart from zero.
+    state.segments_seen = state.ingestor.segments_started();
+    state.emitted = 0;
+    state.consecutive = 0;
+    state.last_alert = std::numeric_limits<DayIndex>::min();
+    ++shard.segments_restarted;
+  }
+
+  if (!state.ingestor.usable()) return;
+
+  const auto& segment = state.ingestor.segment();
+  for (std::size_t i = state.emitted; i < segment.size(); ++i) {
+    out.push_back({drive_id, vendor, segment[i]});
+    ++shard.rows_emitted;
+  }
+  state.emitted = segment.size();
+
+  if (config_.max_records_per_drive > 0 &&
+      segment.size() > config_.max_records_per_drive) {
+    state.emitted -= state.ingestor.compact(config_.max_records_per_drive);
+  }
+}
+
+bool DriveStateStore::should_alert(std::uint64_t drive_id, DayIndex day,
+                                   bool crossed,
+                                   const core::AlertPolicy& policy) {
+  Shard& shard = shard_for(drive_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.drives.find(drive_id);
+  if (it == shard.drives.end()) {
+    throw std::logic_error("DriveStateStore: should_alert for unknown drive " +
+                           std::to_string(drive_id));
+  }
+  DriveState& state = it->second;
+  if (!crossed) {
+    state.consecutive = 0;
+    return false;
+  }
+  ++state.consecutive;
+  if (state.consecutive < policy.min_consecutive) return false;
+  if (policy.cooldown_days > 0 &&
+      state.last_alert > std::numeric_limits<DayIndex>::min() &&
+      day - state.last_alert < policy.cooldown_days) {
+    return false;
+  }
+  state.last_alert = day;
+  return true;
+}
+
+StoreStats DriveStateStore::stats() const {
+  StoreStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.drives_tracked += shard->drives.size();
+    out.records_ingested += shard->records_ingested;
+    out.rows_emitted += shard->rows_emitted;
+    out.segments_restarted += shard->segments_restarted;
+    for (const auto& [id, state] : shard->drives) {
+      (void)id;
+      if (state.ingestor.quarantined()) ++out.drives_quarantined;
+      out.ingest.merge(state.ingestor.ingest_stats());
+    }
+  }
+  return out;
+}
+
+}  // namespace mfpa::serve

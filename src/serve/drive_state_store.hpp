@@ -1,0 +1,112 @@
+// Shard-per-core, lock-striped store of per-drive incremental state.
+//
+// The batch Preprocessor recomputes a drive's cleaned history from scratch;
+// at fleet scale the scoring service instead keeps one StreamingIngestor per
+// drive (cumulative WindowsEvent/BSOD counters, short-gap fill, long-gap
+// cut, lenient-mode sanitation) so the features for a newly arrived record
+// cost O(window), not O(history). Drives hash onto independently locked
+// shards, so concurrent ingest for different drives contends only when two
+// drives share a stripe; per-drive delivery order is the caller's contract
+// (the ScoringEngine's single drain loop preserves queue order).
+//
+// Emission contract (what keeps the service's alerts equal to the batch
+// MfpaPipeline + OnlinePredictor replay): a drive's records are withheld
+// until its current segment is usable (min_records real observations, not
+// quarantined) and then emitted in order — the catch-up burst first, every
+// subsequent cleaned record (synthetic gap-fills included) as it arrives. A
+// long gap starts a fresh segment: emission state and alert hysteresis reset
+// exactly like the batch path, which would never have seen the old segment.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/online_predictor.hpp"
+#include "core/preprocess.hpp"
+#include "core/streaming.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::serve {
+
+struct StoreConfig {
+  core::PreprocessConfig preprocess;
+  /// Lock stripes; 0 = one per hardware core.
+  std::size_t shards = 0;
+  /// Per-drive retained records after emission (bounds memory; must cover
+  /// any feature window the builder needs). 0 = unbounded.
+  std::size_t max_records_per_drive = 16;
+};
+
+/// One cleaned record ready for feature extraction + scoring.
+struct PendingRow {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  core::ProcessedRecord record;
+};
+
+/// Aggregate store accounting (snapshot).
+struct StoreStats {
+  std::size_t drives_tracked = 0;
+  std::size_t drives_quarantined = 0;
+  std::size_t records_ingested = 0;   ///< raw records fed in
+  std::size_t rows_emitted = 0;       ///< cleaned rows handed to scoring
+  std::size_t segments_restarted = 0; ///< long-gap cuts across the fleet
+  IngestStats ingest;                 ///< merged sanitizer accounting
+};
+
+class DriveStateStore {
+ public:
+  explicit DriveStateStore(StoreConfig config);
+
+  const StoreConfig& config() const noexcept { return config_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Feeds one raw record, appending any rows that became ready for scoring
+  /// to `out` (in per-drive day order). Strict mode propagates the
+  /// sanitizer's std::invalid_argument on day-order violations; lenient mode
+  /// absorbs them into the drive's ingest accounting.
+  void ingest(std::uint64_t drive_id, int vendor,
+              const sim::DailyRecord& record, std::vector<PendingRow>& out);
+
+  /// Applies the alert policy (consecutive-crossing hysteresis + cooldown)
+  /// for one scored row, mirroring OnlinePredictor's state machine. Must be
+  /// called in the same order rows were emitted. Returns true when an alert
+  /// should be raised.
+  bool should_alert(std::uint64_t drive_id, DayIndex day, bool crossed,
+                    const core::AlertPolicy& policy);
+
+  /// Merged accounting across all shards (takes every stripe briefly).
+  StoreStats stats() const;
+
+ private:
+  struct DriveState {
+    explicit DriveState(std::uint64_t id, int vendor,
+                        const core::PreprocessConfig& config)
+        : ingestor(id, vendor, config) {}
+    core::StreamingIngestor ingestor;
+    std::size_t emitted = 0;  ///< segment records already handed out
+    int segments_seen = 0;
+    // Alert-policy state (OnlinePredictor's loop variables, kept per drive).
+    int consecutive = 0;
+    DayIndex last_alert = std::numeric_limits<DayIndex>::min();
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, DriveState> drives;
+    std::size_t records_ingested = 0;
+    std::size_t rows_emitted = 0;
+    std::size_t segments_restarted = 0;
+  };
+
+  StoreConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  Shard& shard_for(std::uint64_t drive_id) const;
+};
+
+}  // namespace mfpa::serve

@@ -1,0 +1,89 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+namespace mfpa::serve {
+
+int train_and_publish(ModelRegistry& registry, const core::MfpaConfig& config,
+                      const std::vector<sim::DriveTimeSeries>& telemetry,
+                      const std::vector<sim::TroubleTicket>& tickets) {
+  core::MfpaPipeline pipeline(config);
+  const auto report = pipeline.run(telemetry, tickets);
+  DayIndex lo = report.split_day;
+  for (const auto& series : telemetry) {
+    if (!series.records.empty()) lo = std::min(lo, series.records.front().day);
+  }
+  return registry.publish_pipeline(pipeline, lo, report.split_day);
+}
+
+FleetReplayer::FleetReplayer(
+    const std::vector<sim::DriveTimeSeries>& telemetry)
+    : telemetry_(&telemetry) {
+  std::size_t total = 0;
+  for (const auto& series : telemetry) total += series.records.size();
+  order_.reserve(total);
+  for (const auto& series : telemetry) {
+    for (const auto& record : series.records) {
+      order_.push_back({record.day, series.drive_id, series.vendor, &record});
+    }
+  }
+  std::sort(order_.begin(), order_.end(),
+            [](const Arrival& a, const Arrival& b) {
+              if (a.day != b.day) return a.day < b.day;
+              return a.drive_id < b.drive_id;
+            });
+  if (!order_.empty()) {
+    first_day_ = order_.front().day;
+    last_day_ = order_.back().day;
+  }
+}
+
+ReplayReport FleetReplayer::replay(ScoringEngine& engine,
+                                   const DayHook& on_day) const {
+  ReplayReport report;
+  const auto start = std::chrono::steady_clock::now();
+  DayIndex current_day = first_day_ - 1;
+  for (const Arrival& arrival : order_) {
+    if (arrival.day != current_day) {
+      current_day = arrival.day;
+      ++report.days_replayed;
+      if (on_day) on_day(current_day);
+    }
+    engine.submit({arrival.drive_id, arrival.vendor, *arrival.record});
+  }
+  engine.flush();
+  const auto end = std::chrono::steady_clock::now();
+  report.wall_seconds = std::chrono::duration<double>(end - start).count();
+  report.engine = engine.stats();
+  report.store = engine.store().stats();
+  report.alerts = engine.alerts();
+  report.records_per_sec =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.engine.submitted) / report.wall_seconds
+          : 0.0;
+  report.drives = drive_level(report.alerts, *telemetry_);
+  return report;
+}
+
+core::DriveLevelMetrics FleetReplayer::drive_level(
+    const std::vector<core::Alert>& alerts,
+    const std::vector<sim::DriveTimeSeries>& telemetry) {
+  std::unordered_set<std::uint64_t> alerted;
+  alerted.reserve(alerts.size());
+  for (const auto& alert : alerts) alerted.insert(alert.drive_id);
+  core::DriveLevelMetrics metrics;
+  for (const auto& series : telemetry) {
+    if (series.failed) {
+      ++metrics.faulty_drives;
+      if (alerted.count(series.drive_id)) ++metrics.detected_drives;
+    } else {
+      ++metrics.healthy_drives;
+      if (alerted.count(series.drive_id)) ++metrics.false_alarm_drives;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace mfpa::serve

@@ -1,0 +1,79 @@
+// Fleet replay: streams simulated telemetry through the ScoringEngine in
+// arrival order (day by day, drive id within a day) the way a production
+// ingestion tier would, measures sustained throughput and latency, and
+// scores the resulting alert stream against the simulator's ground truth.
+// Shared by the `serve-replay` CLI subcommand, bench/bench_serving, and the
+// streaming example.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/mfpa.hpp"
+#include "core/online_predictor.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_engine.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::serve {
+
+/// Everything the replay measured, ready for a table or a JSON bench row.
+struct ReplayReport {
+  double wall_seconds = 0.0;
+  double records_per_sec = 0.0;   ///< submitted / wall_seconds
+  std::size_t days_replayed = 0;
+  EngineStats engine;
+  StoreStats store;
+  std::vector<core::Alert> alerts;
+  core::DriveLevelMetrics drives;  ///< vs simulator ground truth
+};
+
+/// Called at the start of each replay day (before that day's records are
+/// submitted) — the hook hot-swap demos and mid-replay retraining use.
+using DayHook = std::function<void(DayIndex day)>;
+
+/// Trains an MfpaPipeline on the given telemetry/tickets and publishes the
+/// fitted model (classifier + firmware vocabulary + tuned threshold) to the
+/// registry. Returns the published version.
+int train_and_publish(ModelRegistry& registry, const core::MfpaConfig& config,
+                      const std::vector<sim::DriveTimeSeries>& telemetry,
+                      const std::vector<sim::TroubleTicket>& tickets);
+
+class FleetReplayer {
+ public:
+  /// Borrows the telemetry (must outlive the replayer); flattens it into
+  /// the deterministic arrival order once.
+  explicit FleetReplayer(const std::vector<sim::DriveTimeSeries>& telemetry);
+
+  std::size_t total_records() const noexcept { return order_.size(); }
+  DayIndex first_day() const noexcept { return first_day_; }
+  DayIndex last_day() const noexcept { return last_day_; }
+
+  /// Streams every record through the engine at maximum rate, flushes, and
+  /// snapshots the engine/store accounting. The engine's alert stream is
+  /// evaluated drive-level against the simulator's failure flags.
+  ReplayReport replay(ScoringEngine& engine, const DayHook& on_day = {}) const;
+
+  /// Drive-level verdicts for an alert stream against simulator truth: a
+  /// failed drive is detected if it has any alert; a healthy drive with any
+  /// alert is a false alarm.
+  static core::DriveLevelMetrics drive_level(
+      const std::vector<core::Alert>& alerts,
+      const std::vector<sim::DriveTimeSeries>& telemetry);
+
+ private:
+  struct Arrival {
+    DayIndex day = 0;
+    std::uint64_t drive_id = 0;
+    int vendor = 0;
+    const sim::DailyRecord* record = nullptr;
+  };
+
+  const std::vector<sim::DriveTimeSeries>* telemetry_;
+  std::vector<Arrival> order_;
+  DayIndex first_day_ = 0;
+  DayIndex last_day_ = 0;
+};
+
+}  // namespace mfpa::serve

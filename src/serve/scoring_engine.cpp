@@ -1,0 +1,227 @@
+#include "serve/scoring_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "data/matrix.hpp"
+
+namespace mfpa::serve {
+
+ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
+    : registry_(&registry), config_(config), store_(config.store) {
+  if (config_.queue_capacity == 0 || config_.max_batch == 0) {
+    throw std::invalid_argument(
+        "ScoringEngine: queue_capacity and max_batch must be positive");
+  }
+  stats_.batch_size = stats::Histogram(
+      0.0, static_cast<double>(config_.max_batch) + 1.0,
+      std::min<std::size_t>(config_.max_batch + 1, 512));
+  stats_.queue_depth = stats::Histogram(
+      0.0, static_cast<double>(config_.queue_capacity) + 1.0,
+      std::min<std::size_t>(config_.queue_capacity + 1, 128));
+  stats_.latency_us = stats::Histogram(0.0, config_.latency_hi_us, 512);
+  if (!config_.manual_drain) {
+    drain_thread_ = std::thread([this] { drain_loop(); });
+  }
+}
+
+ScoringEngine::~ScoringEngine() { stop(); }
+
+bool ScoringEngine::submit(const TelemetryUpdate& update) {
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    ++stats_.submitted;
+  }
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (config_.shed_on_full && queue_.size() >= config_.queue_capacity) {
+    lock.unlock();
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    ++stats_.shed;
+    return false;
+  }
+  queue_not_full_.wait(lock, [this] {
+    return queue_.size() < config_.queue_capacity || stopping_;
+  });
+  if (stopping_) {
+    lock.unlock();
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    ++stats_.shed;
+    return false;
+  }
+  queue_.push_back({update, Clock::now()});
+  {
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    ++stats_.accepted;
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+  }
+  lock.unlock();
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+void ScoringEngine::drain_loop() {
+  for (;;) {
+    std::vector<QueuedUpdate> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) break;  // stopping_ and fully drained
+      const std::size_t depth = queue_.size();
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      processing_ = true;
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      stats_.queue_depth.add(static_cast<double>(depth));
+    }
+    queue_not_full_.notify_all();
+    process_batch(batch);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      processing_ = false;
+      if (queue_.empty()) drained_.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  processing_ = false;
+  drained_.notify_all();
+}
+
+std::size_t ScoringEngine::drain_once() {
+  std::vector<QueuedUpdate> batch;
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (queue_.empty()) return 0;
+    const std::size_t depth = queue_.size();
+    const std::size_t take = std::min(config_.max_batch, queue_.size());
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    stats_.queue_depth.add(static_cast<double>(depth));
+  }
+  queue_not_full_.notify_all();
+  return process_batch(batch);
+}
+
+std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
+  // RCU read: one atomic snapshot pins the model (and its encoder/builder
+  // inputs) for the whole batch; a concurrent publish affects the next batch.
+  auto model = registry_->current();
+  if (model && (!cached_model_ ||
+                cached_model_->manifest.version != model->manifest.version)) {
+    const bool swap = cached_model_ != nullptr;
+    cached_model_ = model;
+    cached_builder_.emplace(model->make_builder());
+    if (swap) {
+      std::lock_guard<std::mutex> rlock(results_mu_);
+      ++stats_.model_swaps;
+    }
+  }
+
+  std::vector<PendingRow> rows;
+  rows.reserve(batch.size());
+  std::uint64_t processed = 0;
+  std::uint64_t rejected = 0;
+  for (const auto& queued : batch) {
+    try {
+      store_.ingest(queued.update.drive_id, queued.update.vendor,
+                    queued.update.record, rows);
+      ++processed;
+    } catch (const std::invalid_argument&) {
+      // Strict-mode day-order violation: the record is unusable but must
+      // never stall the queue; account and move on.
+      ++rejected;
+    }
+  }
+
+  std::vector<double> scores;
+  if (!rows.empty() && model) {
+    data::Matrix X(0, 0);
+    for (const auto& row : rows) {
+      X.add_row(cached_builder_->features_of(row.record));
+    }
+    scores = model->classifier->predict_proba(X);
+  }
+
+  const auto now = Clock::now();
+  std::lock_guard<std::mutex> rlock(results_mu_);
+  ++stats_.batches;
+  stats_.batch_size.add(static_cast<double>(batch.size()));
+  stats_.records_processed += processed;
+  stats_.rejected += rejected;
+  for (const auto& queued : batch) {
+    stats_.latency_us.add(
+        std::chrono::duration<double, std::micro>(now - queued.enqueued)
+            .count());
+  }
+  if (!model) {
+    stats_.unscored_no_model += rows.size();
+    return batch.size();
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const PendingRow& row = rows[i];
+    ++stats_.rows_scored;
+    if (row.record.synthetic) ++stats_.synthetic_rows;
+    const bool crossed = scores[i] >= model->manifest.threshold;
+    if (config_.record_scores) {
+      scored_rows_.push_back({row.drive_id, row.record.day, scores[i],
+                              model->manifest.version, row.record.synthetic});
+    }
+    if (store_.should_alert(row.drive_id, row.record.day, crossed,
+                            config_.alert_policy)) {
+      alerts_.push_back({row.drive_id, row.record.day, scores[i]});
+      ++stats_.alerts;
+    }
+  }
+  return batch.size();
+}
+
+void ScoringEngine::flush() {
+  if (config_.manual_drain) {
+    while (drain_once() > 0) {
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && !processing_; });
+}
+
+void ScoringEngine::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      // Already stopping; fall through to join below.
+    }
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (drain_thread_.joinable()) drain_thread_.join();
+  if (config_.manual_drain) flush();
+}
+
+std::vector<core::Alert> ScoringEngine::alerts() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return alerts_;
+}
+
+std::vector<ScoredRow> ScoringEngine::take_scored_rows() {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<ScoredRow> out;
+  out.swap(scored_rows_);
+  return out;
+}
+
+EngineStats ScoringEngine::stats() const {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  return stats_;
+}
+
+}  // namespace mfpa::serve

@@ -1,0 +1,174 @@
+// Micro-batched, hot-swappable scoring service over the trained MFPA models.
+//
+// Producers (telemetry receivers, the replay driver) push per-drive daily
+// records into a bounded ingress queue; a drain loop pulls up to
+// `max_batch` records at a time, runs them through the DriveStateStore
+// (incremental cleaning), extracts feature rows with the active model's
+// builder, scores the whole batch in one predict_proba call on the
+// ml/parallel_for pool, and applies the AlertPolicy per drive. Scores are
+// per-row and the drain is single-threaded, so results are independent of
+// batch boundaries, queue timing, and the scoring thread count — the
+// batch/online parity tests rely on this.
+//
+// Backpressure: when the queue is full, submit() either blocks (default;
+// producers slow to the service's sustainable rate) or sheds the record with
+// accounting (`shed_on_full`) — a deliberately load-shedding deployment.
+//
+// Hot swap: every batch starts by atomically snapshotting the registry's
+// current model (RCU read). A publish lands between batches: in-flight
+// records finish on the old version (never dropped, never blocked), the
+// next batch scores on the new one, and `model_swaps` counts the
+// transitions observed.
+//
+// Observability: throughput counters, batch-size / queue-depth / latency
+// histograms (p50/p99 via common/stats) — the numbers a fleet operator
+// graphs, exported by `serve-replay` and bench/bench_serving.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/online_predictor.hpp"
+#include "serve/drive_state_store.hpp"
+#include "serve/model_registry.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::serve {
+
+/// One queued unit of work: a drive's daily upload.
+struct TelemetryUpdate {
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  sim::DailyRecord record;
+};
+
+struct EngineConfig {
+  StoreConfig store;
+  core::AlertPolicy alert_policy;
+  std::size_t queue_capacity = 4096;
+  std::size_t max_batch = 256;
+  /// When true, submit() drops the record (counted) instead of blocking on a
+  /// full queue.
+  bool shed_on_full = false;
+  /// When true, every scored row is retained for inspection (parity tests,
+  /// the example); a production deployment leaves this off.
+  bool record_scores = false;
+  /// When true, no drain thread is started; the owner calls drain_once()
+  /// explicitly (deterministic unit tests, single-threaded embedding).
+  bool manual_drain = false;
+  /// Histogram range for per-record latency, microseconds.
+  double latency_hi_us = 50000.0;
+};
+
+/// One retained scored row (record_scores mode).
+struct ScoredRow {
+  std::uint64_t drive_id = 0;
+  DayIndex day = 0;
+  double score = 0.0;
+  int model_version = 0;
+  bool synthetic = false;
+};
+
+/// Counter/histogram snapshot. Histograms are copied whole so callers can
+/// take quantiles without holding engine locks.
+struct EngineStats {
+  std::uint64_t submitted = 0;        ///< submit() calls
+  std::uint64_t accepted = 0;         ///< enqueued (submitted - shed)
+  std::uint64_t shed = 0;             ///< dropped by shed_on_full
+  std::uint64_t rejected = 0;         ///< strict-mode day-order violations
+  std::uint64_t unscored_no_model = 0;///< rows ready before any publish
+  std::uint64_t records_processed = 0;///< records drained through the store
+  std::uint64_t rows_scored = 0;      ///< cleaned rows scored (incl. synthetic)
+  std::uint64_t synthetic_rows = 0;   ///< gap-fill rows among rows_scored
+  std::uint64_t batches = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t model_swaps = 0;      ///< version changes observed by the drain
+  stats::Histogram batch_size{0.0, 1.0, 1};     ///< replaced in snapshot
+  stats::Histogram queue_depth{0.0, 1.0, 1};
+  stats::Histogram latency_us{0.0, 1.0, 1};
+  std::size_t max_queue_depth = 0;
+};
+
+class ScoringEngine {
+ public:
+  /// The registry must outlive the engine. A model need not be published
+  /// yet: rows that become scoreable before the first publish are counted
+  /// as `unscored_no_model` and the queue keeps draining (the service
+  /// starts, the model catches up).
+  ScoringEngine(const ModelRegistry& registry, EngineConfig config);
+  ~ScoringEngine();
+
+  ScoringEngine(const ScoringEngine&) = delete;
+  ScoringEngine& operator=(const ScoringEngine&) = delete;
+
+  const EngineConfig& config() const noexcept { return config_; }
+  const DriveStateStore& store() const noexcept { return store_; }
+
+  /// Enqueues one record. Returns false only when shed_on_full dropped it.
+  bool submit(const TelemetryUpdate& update);
+
+  /// Blocks until everything submitted so far has been drained and scored.
+  /// (Manual-drain mode: drains inline on the calling thread.)
+  void flush();
+
+  /// Drains and scores at most one micro-batch; returns the number of
+  /// records processed (manual_drain mode; also safe while stopped).
+  std::size_t drain_once();
+
+  /// Stops the drain thread after flushing. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Alerts raised so far, in emission order.
+  std::vector<core::Alert> alerts() const;
+
+  /// Retained rows (record_scores mode), in scoring order; clears the log.
+  std::vector<ScoredRow> take_scored_rows();
+
+  EngineStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct QueuedUpdate {
+    TelemetryUpdate update;
+    Clock::time_point enqueued;
+  };
+
+  const ModelRegistry* registry_;
+  EngineConfig config_;
+  DriveStateStore store_;
+
+  // Ingress queue.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable drained_;
+  std::deque<QueuedUpdate> queue_;
+  bool stopping_ = false;
+  bool processing_ = false;
+
+  // Cached builder for the active model version (drain loop only).
+  std::shared_ptr<const ServedModel> cached_model_;
+  std::optional<core::SampleBuilder> cached_builder_;
+
+  // Results + counters.
+  mutable std::mutex results_mu_;
+  std::vector<core::Alert> alerts_;
+  std::vector<ScoredRow> scored_rows_;
+  EngineStats stats_;
+
+  std::thread drain_thread_;
+
+  void drain_loop();
+  std::size_t process_batch(std::vector<QueuedUpdate>& batch);
+};
+
+}  // namespace mfpa::serve

@@ -141,5 +141,36 @@ TEST(Histogram, InvalidConstruction) {
   EXPECT_THROW(stats::Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, AddCountMergesTallies) {
+  stats::Histogram h(0.0, 10.0, 5);
+  h.add_count(1.0, 3);
+  h.add_count(9.0, 2);
+  EXPECT_EQ(h.bin_count(0), 3u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBins) {
+  stats::Histogram h(0.0, 100.0, 100);  // 1-wide bins
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  // With one observation per 1-wide bin the quantile is ~the value itself.
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1e-9);
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  stats::Histogram empty(0.0, 10.0, 5);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);  // lo for an empty histogram
+  stats::Histogram h(0.0, 10.0, 5);
+  h.add(3.0);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+  // A single observation lands inside its bin.
+  EXPECT_GE(h.quantile(0.5), 2.0);
+  EXPECT_LE(h.quantile(0.5), 4.0);
+}
+
 }  // namespace
 }  // namespace mfpa::stats

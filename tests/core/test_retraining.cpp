@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "sim/fleet.hpp"
 
 namespace mfpa::core {
@@ -99,6 +101,29 @@ TEST_F(RetrainingTest, TripWireFiresOnHighFpr) {
   RetrainingScheduler scheduler(base_config(), trigger_happy);
   scheduler.run(*telemetry_, *tickets_, 240);
   EXPECT_GT(scheduler.retrain_count(), 0);
+}
+
+TEST_F(RetrainingTest, PublishHookReceivesEveryShippedModel) {
+  RetrainingPolicy policy;
+  policy.cadence_months = 2;
+  policy.fpr_trip_wire = 0.0;
+  RetrainingScheduler scheduler(base_config(), policy);
+  int publishes = 0;
+  DayIndex last_hi = std::numeric_limits<DayIndex>::min();
+  scheduler.set_publish_hook([&](const ml::Classifier& model,
+                                 const data::LabelEncoder& encoder,
+                                 DayIndex lo, DayIndex hi) {
+    ++publishes;
+    EXPECT_EQ(model.name(), "RF");
+    EXPECT_FALSE(encoder.classes().empty());
+    EXPECT_LE(lo, hi);
+    // Each refresh trains on a strictly longer window.
+    EXPECT_GT(hi, last_hi);
+    last_hi = hi;
+  });
+  scheduler.run(*telemetry_, *tickets_, 240);
+  // The initial train ships too, not only the refreshes.
+  EXPECT_EQ(publishes, scheduler.retrain_count() + 1);
 }
 
 TEST_F(RetrainingTest, ThrowsWithoutDrives) {

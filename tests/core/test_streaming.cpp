@@ -132,5 +132,35 @@ TEST(Streaming, MatchesBatchPreprocessorOnRealTelemetry) {
   EXPECT_GE(compared, 10u);
 }
 
+TEST(Streaming, CompactBoundsMemoryWithoutChangingFutureOutput) {
+  // Two ingestors fed identically; one compacts aggressively after every
+  // record. Their produced records must stay byte-identical — conversion
+  // state (cumulative counters, gap fill) is independent of retained rows.
+  StreamingIngestor full(1, 0);
+  StreamingIngestor compacted(1, 0);
+  std::vector<ProcessedRecord> from_full, from_compacted;
+  for (DayIndex day = 10; day < 40; ++day) {
+    // An irregular cadence with short gaps exercises the fill path.
+    if (day % 5 == 2) continue;
+    const auto a = full.ingest(raw_record(day, 100.0f + day));
+    const auto b = compacted.ingest(raw_record(day, 100.0f + day));
+    from_full.insert(from_full.end(), a.begin(), a.end());
+    from_compacted.insert(from_compacted.end(), b.begin(), b.end());
+    compacted.compact(2);
+    EXPECT_LE(compacted.segment().size(), 2u);
+  }
+  ASSERT_EQ(from_full.size(), from_compacted.size());
+  for (std::size_t i = 0; i < from_full.size(); ++i) {
+    EXPECT_EQ(from_full[i].day, from_compacted[i].day);
+    EXPECT_EQ(from_full[i].synthetic, from_compacted[i].synthetic);
+    EXPECT_EQ(from_full[i].smart, from_compacted[i].smart);
+    EXPECT_EQ(from_full[i].w_cum, from_compacted[i].w_cum);
+    EXPECT_EQ(from_full[i].b_cum, from_compacted[i].b_cum);
+  }
+  const std::size_t dropped = full.compact(1);
+  EXPECT_EQ(full.segment().size(), 1u);
+  EXPECT_GT(dropped, 0u);
+}
+
 }  // namespace
 }  // namespace mfpa::core

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "baselines/statistical.hpp"
+#include "ml/checksum.hpp"
 #include "ml/factory.hpp"
 #include "test_helpers.hpp"
 
@@ -130,6 +131,99 @@ TEST(Serialize, VectorHelpersRoundTrip) {
 TEST(Serialize, ExpectTokenMismatchThrows) {
   std::stringstream ss("wrong");
   EXPECT_THROW(io::expect_token(ss, "right"), std::runtime_error);
+}
+
+// --- Checksummed framing (format version 2) -------------------------------
+
+namespace {
+
+/// A fitted model serialized to a string, for corruption tests.
+std::string serialized_model(const data::Matrix& X, const std::vector<int>& y) {
+  auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
+  model->fit(X, y);
+  std::ostringstream os;
+  save_classifier(os, *model);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(SerializeChecksum, SaveReturnsPayloadDigest) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 114);
+  auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
+  model->fit(X, y);
+  std::ostringstream os;
+  const std::uint64_t digest = save_classifier(os, *model);
+  const std::string artifact = os.str();
+  const std::size_t body_start = artifact.find('\n') + 1;
+  EXPECT_EQ(digest, fnv1a(artifact.substr(body_start)));
+  EXPECT_NE(artifact.find(checksum_hex(digest)), std::string::npos);
+}
+
+TEST(SerializeChecksum, ByteFlipIsRejected) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 115);
+  std::string artifact = serialized_model(X, y);
+  // Flip one payload byte well past the header.
+  const std::size_t body_start = artifact.find('\n') + 1;
+  artifact[body_start + (artifact.size() - body_start) / 2] ^= 0x01;
+  std::istringstream is(artifact);
+  try {
+    load_classifier(is);
+    FAIL() << "corrupt artifact was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeChecksum, TruncationIsRejected) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 116);
+  const std::string artifact = serialized_model(X, y);
+  std::istringstream is(artifact.substr(0, artifact.size() - 10));
+  try {
+    load_classifier(is);
+    FAIL() << "truncated artifact was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SerializeChecksum, GarbageHeaderIsRejected) {
+  std::istringstream is("mfpa_model 9 12 deadbeef\nrest");
+  EXPECT_THROW(load_classifier(is), std::runtime_error);
+}
+
+TEST(SerializeChecksum, LegacyV1StillLoads) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 117);
+  auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
+  model->fit(X, y);
+  std::ostringstream os;
+  save_classifier(os, *model);
+  const std::string artifact = os.str();
+  // Re-frame the body the way pre-checksum builds wrote it.
+  std::istringstream legacy("mfpa_model 1\n" +
+                            artifact.substr(artifact.find('\n') + 1));
+  const auto restored = load_classifier(legacy);
+  EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X));
+}
+
+TEST(SerializeChecksum, LoadAppliesOverrides) {
+  const auto [X, y] = testing::make_blobs(60, 3, 3.0, 118);
+  auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
+  model->fit(X, y);
+  std::stringstream ss;
+  save_classifier(ss, *model);
+  const auto restored = load_classifier(ss, {{"threads", 3.0}});
+  EXPECT_EQ(restored->hyperparams().at("threads"), 3.0);
+  EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X));
+}
+
+TEST(SerializeChecksum, HexHelpersRoundTrip) {
+  EXPECT_EQ(parse_checksum_hex(checksum_hex(0)), 0u);
+  EXPECT_EQ(parse_checksum_hex(checksum_hex(kFnv1aOffset)), kFnv1aOffset);
+  EXPECT_THROW(parse_checksum_hex("xyz"), std::runtime_error);
 }
 
 }  // namespace

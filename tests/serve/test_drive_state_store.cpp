@@ -1,0 +1,162 @@
+#include "serve/drive_state_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/catalog.hpp"
+
+namespace mfpa::serve {
+namespace {
+
+sim::DailyRecord raw_record(DayIndex day, float poh = 0.0f) {
+  sim::DailyRecord r;
+  r.day = day;
+  r.smart[static_cast<std::size_t>(sim::SmartAttr::kPowerOnHours)] = poh;
+  r.w[0] = 1;
+  return r;
+}
+
+StoreConfig small_config(std::size_t shards = 2) {
+  StoreConfig config;
+  config.shards = shards;
+  return config;
+}
+
+TEST(DriveStateStore, WithholdsRowsUntilSegmentUsable) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  store.ingest(7, 0, raw_record(10), out);
+  store.ingest(7, 0, raw_record(11), out);
+  EXPECT_TRUE(out.empty());  // min_records = 3 not reached
+  store.ingest(7, 0, raw_record(12), out);
+  ASSERT_EQ(out.size(), 3u);  // catch-up burst, in day order
+  EXPECT_EQ(out[0].record.day, 10);
+  EXPECT_EQ(out[2].record.day, 12);
+  EXPECT_EQ(out[0].drive_id, 7u);
+}
+
+TEST(DriveStateStore, EmitsIncrementallyAfterCatchUp) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
+  out.clear();
+  store.ingest(7, 0, raw_record(13), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].record.day, 13);
+  EXPECT_FALSE(out[0].record.synthetic);
+}
+
+TEST(DriveStateStore, GapFillRowsAreEmitted) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
+  out.clear();
+  store.ingest(7, 0, raw_record(15), out);  // 2-day gap -> mean fill
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out[0].record.synthetic);
+  EXPECT_EQ(out[0].record.day, 13);
+  EXPECT_TRUE(out[1].record.synthetic);
+  EXPECT_FALSE(out[2].record.synthetic);
+  EXPECT_EQ(out[2].record.day, 15);
+}
+
+TEST(DriveStateStore, LongGapRestartsSegmentAndEmission) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 13; ++day) store.ingest(7, 0, raw_record(day), out);
+  out.clear();
+  // >= drop_gap days of silence: the batch path would discard the old
+  // segment, so the store must restart emission from scratch.
+  store.ingest(7, 0, raw_record(40), out);
+  store.ingest(7, 0, raw_record(41), out);
+  EXPECT_TRUE(out.empty());
+  store.ingest(7, 0, raw_record(42), out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].record.day, 40);
+  EXPECT_EQ(store.stats().segments_restarted, 1u);
+}
+
+TEST(DriveStateStore, CumulativeCountersSurviveCompaction) {
+  StoreConfig config = small_config();
+  config.max_records_per_drive = 4;
+  DriveStateStore store(config);
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day < 40; ++day) store.ingest(7, 0, raw_record(day), out);
+  // Every raw record emitted exactly once despite the retained window being
+  // capped at 4 records.
+  ASSERT_EQ(out.size(), 30u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].record.day, 10 + static_cast<DayIndex>(i));
+    // w[0] = 1 every day, so the cumulative counter keeps climbing across
+    // compactions.
+    EXPECT_DOUBLE_EQ(out[i].record.w_cum[0], static_cast<double>(i + 1));
+  }
+}
+
+TEST(DriveStateStore, ShardsAreIndependent) {
+  DriveStateStore store(small_config(4));
+  EXPECT_EQ(store.shard_count(), 4u);
+  std::vector<PendingRow> out;
+  for (std::uint64_t drive = 0; drive < 32; ++drive) {
+    for (DayIndex day = 10; day <= 12; ++day) {
+      store.ingest(drive, 0, raw_record(day), out);
+    }
+  }
+  EXPECT_EQ(out.size(), 32u * 3u);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.drives_tracked, 32u);
+  EXPECT_EQ(stats.records_ingested, 32u * 3u);
+  EXPECT_EQ(stats.rows_emitted, 32u * 3u);
+}
+
+TEST(DriveStateStore, StrictModePropagatesDayOrderViolations) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  store.ingest(7, 0, raw_record(10), out);
+  EXPECT_THROW(store.ingest(7, 0, raw_record(10), out), std::invalid_argument);
+}
+
+TEST(DriveStateStore, LenientModeAbsorbsAndAccounts) {
+  StoreConfig config = small_config();
+  config.preprocess.robustness.mode = IngestMode::kLenient;
+  DriveStateStore store(config);
+  std::vector<PendingRow> out;
+  store.ingest(7, 0, raw_record(10), out);
+  EXPECT_NO_THROW(store.ingest(7, 0, raw_record(10), out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(store.stats().ingest.duplicate_days, 1u);
+}
+
+TEST(DriveStateStore, AlertHysteresisMatchesPolicy) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
+  core::AlertPolicy policy;
+  policy.min_consecutive = 2;
+  // First crossing arms, second fires.
+  EXPECT_FALSE(store.should_alert(7, 10, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 11, true, policy));
+  // A miss resets the consecutive counter.
+  EXPECT_FALSE(store.should_alert(7, 12, false, policy));
+  EXPECT_FALSE(store.should_alert(7, 13, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 14, true, policy));
+}
+
+TEST(DriveStateStore, AlertCooldownSilencesRepeats) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
+  core::AlertPolicy policy;
+  policy.cooldown_days = 5;
+  EXPECT_TRUE(store.should_alert(7, 10, true, policy));
+  EXPECT_FALSE(store.should_alert(7, 12, true, policy));  // inside cooldown
+  EXPECT_TRUE(store.should_alert(7, 15, true, policy));   // cooldown over
+}
+
+TEST(DriveStateStore, ShouldAlertForUnknownDriveThrows) {
+  DriveStateStore store(small_config());
+  EXPECT_THROW(store.should_alert(99, 10, true, core::AlertPolicy{}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mfpa::serve

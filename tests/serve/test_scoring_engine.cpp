@@ -1,0 +1,271 @@
+#include "serve/scoring_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+
+#include "core/mfpa.hpp"
+#include "core/preprocess.hpp"
+#include "serve/model_registry.hpp"
+#include "sim/fleet.hpp"
+
+namespace mfpa::serve {
+namespace {
+namespace fs = std::filesystem;
+
+/// Telemetry flattened into service arrival order (day, then drive id).
+std::vector<TelemetryUpdate> arrival_order(
+    const std::vector<sim::DriveTimeSeries>& telemetry) {
+  std::vector<TelemetryUpdate> updates;
+  for (const auto& series : telemetry) {
+    for (const auto& record : series.records) {
+      updates.push_back({series.drive_id, series.vendor, record});
+    }
+  }
+  std::stable_sort(updates.begin(), updates.end(),
+                   [](const TelemetryUpdate& a, const TelemetryUpdate& b) {
+                     if (a.record.day != b.record.day) {
+                       return a.record.day < b.record.day;
+                     }
+                     return a.drive_id < b.drive_id;
+                   });
+  return updates;
+}
+
+class ScoringEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::FleetSimulator fleet(sim::tiny_scenario(52));
+    telemetry_ = new std::vector<sim::DriveTimeSeries>(
+        fleet.generate_telemetry());
+    const auto tickets = fleet.tickets();
+    core::MfpaConfig config_a;
+    config_a.seed = 52;
+    config_a.hyperparams = {{"n_trees", 10.0}, {"seed", 1.0}};
+    pipeline_a_ = new core::MfpaPipeline(config_a);
+    pipeline_a_->run(*telemetry_, tickets);
+    core::MfpaConfig config_b = config_a;
+    config_b.hyperparams = {{"n_trees", 7.0}, {"seed", 9.0}};
+    pipeline_b_ = new core::MfpaPipeline(config_b);
+    pipeline_b_->run(*telemetry_, tickets);
+    updates_ = new std::vector<TelemetryUpdate>(arrival_order(*telemetry_));
+  }
+  static void TearDownTestSuite() {
+    delete updates_;
+    delete pipeline_b_;
+    delete pipeline_a_;
+    delete telemetry_;
+  }
+  void SetUp() override {
+    // Unique per test: ctest runs discovered tests as parallel processes.
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("mfpa_engine_registry_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<sim::DriveTimeSeries>* telemetry_;
+  static core::MfpaPipeline* pipeline_a_;
+  static core::MfpaPipeline* pipeline_b_;
+  static std::vector<TelemetryUpdate>* updates_;
+  fs::path dir_;
+};
+
+std::vector<sim::DriveTimeSeries>* ScoringEngineTest::telemetry_ = nullptr;
+core::MfpaPipeline* ScoringEngineTest::pipeline_a_ = nullptr;
+core::MfpaPipeline* ScoringEngineTest::pipeline_b_ = nullptr;
+std::vector<TelemetryUpdate>* ScoringEngineTest::updates_ = nullptr;
+
+TEST_F(ScoringEngineTest, KeepsDrainingWithoutAModel) {
+  ModelRegistry registry(dir_.string());  // nothing published
+  EngineConfig config;
+  config.manual_drain = true;
+  config.queue_capacity = updates_->size() + 1;
+  ScoringEngine engine(registry, config);
+  for (const auto& update : *updates_) engine.submit(update);
+  engine.flush();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.accepted, updates_->size());
+  EXPECT_EQ(stats.records_processed, updates_->size());
+  EXPECT_EQ(stats.rows_scored, 0u);
+  EXPECT_GT(stats.unscored_no_model, 0u);
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST_F(ScoringEngineTest, ShedOnFullDropsWithAccounting) {
+  ModelRegistry registry(dir_.string());
+  registry.publish_pipeline(*pipeline_a_, 0, 100);
+  EngineConfig config;
+  config.manual_drain = true;
+  config.shed_on_full = true;
+  config.queue_capacity = 2;
+  ScoringEngine engine(registry, config);
+  EXPECT_TRUE(engine.submit((*updates_)[0]));
+  EXPECT_TRUE(engine.submit((*updates_)[1]));
+  EXPECT_FALSE(engine.submit((*updates_)[2]));  // full -> shed, not blocked
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+}
+
+TEST_F(ScoringEngineTest, BlockingBackpressureLosesNothing) {
+  ModelRegistry registry(dir_.string());
+  registry.publish_pipeline(*pipeline_a_, 0, 100);
+  EngineConfig config;
+  config.queue_capacity = 64;  // far smaller than the stream
+  config.max_batch = 32;
+  ScoringEngine engine(registry, config);
+  for (const auto& update : *updates_) engine.submit(update);
+  engine.flush();
+  engine.stop();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.accepted, updates_->size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.records_processed, updates_->size());
+  EXPECT_LE(stats.max_queue_depth, 64u);
+  EXPECT_GT(stats.rows_scored, 0u);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_EQ(stats.latency_us.total(), updates_->size());
+}
+
+TEST_F(ScoringEngineTest, ResultsIndependentOfBatchSize) {
+  auto run_with_batch = [&](std::size_t max_batch) {
+    const fs::path dir = dir_ / ("b" + std::to_string(max_batch));
+    ModelRegistry registry(dir.string());
+    registry.publish_pipeline(*pipeline_a_, 0, 100);
+    EngineConfig config;
+    config.manual_drain = true;
+    config.record_scores = true;
+    config.queue_capacity = updates_->size() + 1;
+    config.max_batch = max_batch;
+    ScoringEngine engine(registry, config);
+    for (const auto& update : *updates_) engine.submit(update);
+    engine.flush();
+    return std::make_pair(engine.alerts(), engine.take_scored_rows());
+  };
+  const auto [alerts_1, rows_1] = run_with_batch(1);
+  const auto [alerts_big, rows_big] = run_with_batch(256);
+  ASSERT_EQ(rows_1.size(), rows_big.size());
+  ASSERT_GT(rows_1.size(), 0u);
+  for (std::size_t i = 0; i < rows_1.size(); ++i) {
+    EXPECT_EQ(rows_1[i].drive_id, rows_big[i].drive_id);
+    EXPECT_EQ(rows_1[i].day, rows_big[i].day);
+    EXPECT_DOUBLE_EQ(rows_1[i].score, rows_big[i].score);
+  }
+  ASSERT_EQ(alerts_1.size(), alerts_big.size());
+  for (std::size_t i = 0; i < alerts_1.size(); ++i) {
+    EXPECT_EQ(alerts_1[i].drive_id, alerts_big[i].drive_id);
+    EXPECT_EQ(alerts_1[i].day, alerts_big[i].day);
+  }
+}
+
+// The hot-swap acceptance check: publish A, stream half the fleet, publish
+// B mid-stream, stream the rest. Nothing may be dropped or blocked, and
+// every scored row must match the model that was live when its batch ran —
+// verified against scores recomputed directly from the on-disk artifacts.
+TEST_F(ScoringEngineTest, HotSwapKeepsEveryRecordAndSwitchesModels) {
+  ModelRegistry registry(dir_.string());
+  const int v1 = registry.publish_pipeline(*pipeline_a_, 0, 100);
+  EngineConfig config;
+  config.manual_drain = true;
+  config.record_scores = true;
+  config.queue_capacity = updates_->size() + 1;
+  ScoringEngine engine(registry, config);
+
+  const std::size_t half = updates_->size() / 2;
+  for (std::size_t i = 0; i < half; ++i) engine.submit((*updates_)[i]);
+  engine.flush();
+  const std::size_t rows_before_swap = engine.stats().rows_scored;
+  const int v2 = registry.publish_pipeline(*pipeline_b_, 0, 130);
+  for (std::size_t i = half; i < updates_->size(); ++i) {
+    engine.submit((*updates_)[i]);
+  }
+  engine.flush();
+
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.accepted, updates_->size());
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.records_processed, updates_->size());
+  EXPECT_EQ(stats.model_swaps, 1u);
+
+  // Independent reference: batch-preprocess each drive and score its cleaned
+  // records with both artifacts as loaded from disk.
+  const auto model_a = registry.load_version(v1);
+  const auto model_b = registry.load_version(v2);
+  const auto builder_a = model_a->make_builder();
+  const auto builder_b = model_b->make_builder();
+  const core::Preprocessor pre;
+  std::map<std::pair<std::uint64_t, DayIndex>, core::ProcessedRecord> batch;
+  for (const auto& series : *telemetry_) {
+    const auto drive = pre.process_drive(series);
+    for (const auto& r : drive.records) batch.insert({{drive.drive_id, r.day}, r});
+  }
+
+  const auto rows = engine.take_scored_rows();
+  ASSERT_GT(rows.size(), rows_before_swap);
+  std::size_t verified = 0;
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.model_version == v1 || row.model_version == v2);
+    const auto it = batch.find({row.drive_id, row.day});
+    if (it == batch.end()) continue;  // batch kept an earlier segment
+    const bool on_v1 = row.model_version == v1;
+    data::Matrix X(0, 0);
+    X.add_row(on_v1 ? builder_a.features_of(it->second)
+                    : builder_b.features_of(it->second));
+    const double expected =
+        (on_v1 ? model_a : model_b)->classifier->predict_proba(X)[0];
+    ASSERT_DOUBLE_EQ(row.score, expected)
+        << "drive " << row.drive_id << " day " << row.day << " v"
+        << row.model_version;
+    ++verified;
+  }
+  EXPECT_GT(verified, rows.size() / 2);
+  // Both versions actually scored traffic.
+  EXPECT_GT(rows_before_swap, 0u);
+  EXPECT_TRUE(std::any_of(rows.begin(), rows.end(), [&](const ScoredRow& r) {
+    return r.model_version == v2;
+  }));
+  // Rows scored before the publish all carry v1.
+  for (std::size_t i = 0; i < rows_before_swap; ++i) {
+    EXPECT_EQ(rows[i].model_version, v1);
+  }
+}
+
+TEST_F(ScoringEngineTest, ThreadedDrainMatchesManualDrain) {
+  auto run = [&](bool manual, const fs::path& dir) {
+    ModelRegistry registry(dir.string());
+    registry.publish_pipeline(*pipeline_a_, 0, 100);
+    EngineConfig config;
+    config.manual_drain = manual;
+    config.record_scores = true;
+    config.queue_capacity = manual ? updates_->size() + 1 : 128;
+    ScoringEngine engine(registry, config);
+    for (const auto& update : *updates_) engine.submit(update);
+    engine.flush();
+    engine.stop();
+    return engine.take_scored_rows();
+  };
+  const auto manual = run(true, dir_ / "manual");
+  const auto threaded = run(false, dir_ / "threaded");
+  ASSERT_EQ(manual.size(), threaded.size());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_EQ(manual[i].drive_id, threaded[i].drive_id);
+    EXPECT_EQ(manual[i].day, threaded[i].day);
+    EXPECT_DOUBLE_EQ(manual[i].score, threaded[i].score);
+  }
+}
+
+TEST_F(ScoringEngineTest, RejectsZeroSizedQueueOrBatch) {
+  ModelRegistry registry(dir_.string());
+  EngineConfig config;
+  config.queue_capacity = 0;
+  EXPECT_THROW(ScoringEngine(registry, config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfpa::serve
