@@ -13,6 +13,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
 #include "serve/scoring_engine.hpp"
@@ -107,7 +108,10 @@ int main(int argc, char** argv) {
        << "  \"drives_quarantined\": " << report.store.drives_quarantined
        << ",\n"
        << "  \"drive_tpr\": " << report.drives.drive_tpr() << ",\n"
-       << "  \"drive_fpr\": " << report.drives.drive_fpr() << "\n"
+       << "  \"drive_fpr\": " << report.drives.drive_fpr() << ",\n"
+       // The full registry snapshot, in the same mfpa.metrics.v1 schema that
+       // `mfpa serve-replay --metrics-out` writes (CI diffs both).
+       << "  \"metrics\": " << obs::to_json(obs::registry().snapshot()) << "\n"
        << "}\n";
   std::cout << "wrote " << out_path << "\n";
   return 0;

@@ -14,6 +14,7 @@
 
 #include "common/string_util.hpp"
 #include "core/mfpa.hpp"
+#include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
 #include "serve/scoring_engine.hpp"
@@ -100,5 +101,10 @@ int main(int argc, char** argv) {
             << " us\n"
             << "dirty-channel accounting: " << report.store.ingest.summary()
             << "\n";
+
+  // Everything above is also in the process metrics registry — this is what
+  // a scrape of the service (or `mfpa metrics`) would see.
+  std::cout << "\nprocess metrics registry:\n"
+            << obs::to_prometheus(obs::registry().snapshot());
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "common/string_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/health_report.hpp"
+#include "obs/export.hpp"
 #include "core/mfpa.hpp"
 #include "core/online_predictor.hpp"
 #include "ml/serialize.hpp"
@@ -343,6 +344,25 @@ int cmd_info(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
+int cmd_metrics(std::ostream& out) {
+  out << obs::to_prometheus(obs::registry().snapshot());
+  return 0;
+}
+
+/// Global exporter flags, honored after any successful command:
+/// --metrics-out=FILE writes the stable JSON schema, --metrics-dump prints
+/// Prometheus text to stdout.
+void export_metrics(const CommandLine& cmd, std::ostream& out) {
+  const auto path = cmd.get("metrics-out", "");
+  if (!path.empty()) {
+    obs::write_json_file(path, obs::registry().snapshot());
+    out << "wrote metrics to " << path << "\n";
+  }
+  if (cmd.has("metrics-dump")) {
+    out << obs::to_prometheus(obs::registry().snapshot());
+  }
+}
+
 }  // namespace
 
 std::string CommandLine::get(const std::string& key,
@@ -417,7 +437,12 @@ std::string usage() {
       "            fleet through the micro-batched scoring service\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
+      "  metrics   print the process metrics registry (Prometheus text)\n"
       "  help\n"
+      "\n"
+      "observability (any command, see docs/OBSERVABILITY.md):\n"
+      "  --metrics-out=FILE  write a mfpa.metrics.v1 JSON snapshot on success\n"
+      "  --metrics-dump      print the registry as Prometheus text on exit\n"
       "\n"
       "ingestion modes (train/evaluate/predict/validate, see docs/ROBUSTNESS.md):\n"
       "  --strict   fail fast on the first malformed row, with a line-numbered\n"
@@ -428,19 +453,24 @@ std::string usage() {
 
 int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
   try {
-    if (cmd.command == "simulate") return cmd_simulate(cmd, out);
-    if (cmd.command == "train") return cmd_train(cmd, out);
-    if (cmd.command == "evaluate") return cmd_evaluate(cmd, out);
-    if (cmd.command == "predict") return cmd_predict(cmd, out);
-    if (cmd.command == "serve-replay") return cmd_serve_replay(cmd, out);
-    if (cmd.command == "validate") return cmd_validate(cmd, out);
-    if (cmd.command == "info") return cmd_info(cmd, out);
-    if (cmd.command == "help" || cmd.command == "--help") {
+    int rc = -1;
+    if (cmd.command == "simulate") rc = cmd_simulate(cmd, out);
+    else if (cmd.command == "train") rc = cmd_train(cmd, out);
+    else if (cmd.command == "evaluate") rc = cmd_evaluate(cmd, out);
+    else if (cmd.command == "predict") rc = cmd_predict(cmd, out);
+    else if (cmd.command == "serve-replay") rc = cmd_serve_replay(cmd, out);
+    else if (cmd.command == "validate") rc = cmd_validate(cmd, out);
+    else if (cmd.command == "info") rc = cmd_info(cmd, out);
+    else if (cmd.command == "metrics") rc = cmd_metrics(out);
+    else if (cmd.command == "help" || cmd.command == "--help") {
       out << usage();
-      return 0;
+      rc = 0;
+    } else {
+      err << "unknown command '" << cmd.command << "'\n" << usage();
+      return 1;
     }
-    err << "unknown command '" << cmd.command << "'\n" << usage();
-    return 1;
+    export_metrics(cmd, out);
+    return rc;
   } catch (const std::invalid_argument& e) {
     err << "error: " << e.what() << "\n";
     return 1;

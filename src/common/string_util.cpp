@@ -1,6 +1,7 @@
 #include "common/string_util.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace mfpa {
@@ -72,6 +73,40 @@ std::string format_with_commas(long long value) {
   }
   if (neg) out += '-';
   return {out.rbegin(), out.rend()};
+}
+
+std::string format_json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace mfpa

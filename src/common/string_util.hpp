@@ -31,4 +31,14 @@ std::string format_percent(double fraction, int precision = 2);
 /// Formats an integer with thousands separators, e.g. 1001278 -> "1,001,278".
 std::string format_with_commas(long long value);
 
+/// Deterministic JSON number rendering: integral values print without a
+/// fractional part, everything else as shortest-ish %.9g; non-finite values
+/// (JSON has no NaN/Inf) print as 0. Shared by the metrics exporter and the
+/// benchmark JSON writers.
+std::string format_json_number(double value);
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view text);
+
 }  // namespace mfpa

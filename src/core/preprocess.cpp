@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "core/robust_ingest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/catalog.hpp"
 
 namespace mfpa::core {
@@ -40,6 +42,9 @@ ProcessedDrive Preprocessor::process_drive(const sim::DriveTimeSeries& series,
   }
   const bool quarantined =
       sanitizer.quarantined(static_cast<std::size_t>(config_.min_records));
+  if (quarantined) {
+    obs::registry().counter("mfpa_ingest_drives_quarantined_total").inc();
+  }
   if (ingest != nullptr) {
     ingest->merge(sanitizer.stats(), config_.robustness.max_diagnostics);
     if (quarantined) {
@@ -173,6 +178,9 @@ ProcessedDrive Preprocessor::process_well_formed(
 std::vector<ProcessedDrive> Preprocessor::process(
     const std::vector<sim::DriveTimeSeries>& batch,
     PreprocessStats* stats, IngestStats* ingest) const {
+  obs::ScopedSpan span("ingest.batch");
+  obs::ScopedTimer batch_timer(
+      obs::registry().histogram("mfpa_ingest_batch_seconds", 0.0, 60.0, 256));
   PreprocessStats local;
   IngestStats local_ingest;
   const bool lenient = config_.robustness.lenient();

@@ -27,7 +27,20 @@ const std::array<sim::SmartAttr, 6>& monotone_smart_attrs() noexcept {
   return kAttrs;
 }
 
-RecordSanitizer::RecordSanitizer(RobustnessConfig config) : config_(config) {}
+RecordSanitizer::RecordSanitizer(RobustnessConfig config) : config_(config) {
+  auto& reg = obs::registry();
+  metrics_.records = &reg.counter("mfpa_ingest_records_total");
+  metrics_.rows_repaired = &reg.counter("mfpa_ingest_rows_repaired_total");
+  metrics_.rows_dropped = &reg.counter("mfpa_ingest_rows_dropped_total");
+  metrics_.duplicate_days =
+      &reg.counter("mfpa_ingest_faults_total", {{"cause", "duplicate_day"}});
+  metrics_.clock_rollbacks =
+      &reg.counter("mfpa_ingest_faults_total", {{"cause", "clock_rollback"}});
+  metrics_.counter_resets = &reg.counter(
+      "mfpa_ingest_faults_total", {{"cause", "counter_reset_rebased"}});
+  metrics_.values_repaired =
+      &reg.counter("mfpa_ingest_faults_total", {{"cause", "value_repaired"}});
+}
 
 void RecordSanitizer::reset() {
   stats_ = IngestStats{};
@@ -47,6 +60,7 @@ bool RecordSanitizer::quarantined(std::size_t min_delivered) const noexcept {
 std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
     const sim::DailyRecord& raw) {
   ++stats_.rows_read;
+  metrics_.records->inc();
 
   // Day-order policy. Strict keeps the historical fail-fast contract;
   // lenient treats a re-delivered day as an idempotent retry and a rollback
@@ -59,12 +73,15 @@ std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
           ")");
     }
     ++stats_.rows_dropped;
+    metrics_.rows_dropped->inc();
     if (raw.day == *last_day_) {
       ++stats_.duplicate_days;
+      metrics_.duplicate_days->inc();
       stats_.note("day " + std::to_string(raw.day) + ": duplicate upload",
                   config_.max_diagnostics);
     } else {
       ++stats_.clock_rollbacks;
+      metrics_.clock_rollbacks->inc();
       stats_.note("day " + std::to_string(raw.day) + ": clock rollback past " +
                       std::to_string(*last_day_),
                   config_.max_diagnostics);
@@ -75,6 +92,7 @@ std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
   if (!config_.lenient()) return raw;
 
   sim::DailyRecord rec = raw;
+  const std::size_t values_before = stats_.values_repaired;
   bool repaired = false;
 
   // Monotone counters first: re-base resets on the raw scale, then repair
@@ -97,6 +115,7 @@ std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
         // pre-reset total forward so deltas stay meaningful.
         rebase_offset_[m] += static_cast<double>(last_raw_[m]);
         ++stats_.counter_resets_rebased;
+        metrics_.counter_resets->inc();
         stats_.note("day " + std::to_string(rec.day) + ": counter reset (" +
                         sim::smart_attr_names()[a] + " " +
                         std::to_string(last_raw_[m]) + " -> " +
@@ -140,7 +159,11 @@ std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
     }
   }
 
-  if (repaired) ++stats_.rows_repaired;
+  metrics_.values_repaired->inc(stats_.values_repaired - values_before);
+  if (repaired) {
+    ++stats_.rows_repaired;
+    metrics_.rows_repaired->inc();
+  }
   return rec;
 }
 

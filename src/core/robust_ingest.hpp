@@ -23,6 +23,7 @@
 #include <optional>
 
 #include "common/robustness.hpp"
+#include "obs/metrics.hpp"
 #include "sim/catalog.hpp"
 #include "sim/telemetry.hpp"
 
@@ -61,6 +62,19 @@ class RecordSanitizer {
  private:
   RobustnessConfig config_;
   IngestStats stats_;
+  // Fleet-wide registry mirrors (mfpa_ingest_*). IngestStats stays the
+  // per-drive/per-run accounting; these accumulate the same events across
+  // every sanitizer in the process so exporters see ingestion as one layer.
+  struct Metrics {
+    obs::Counter* records = nullptr;
+    obs::Counter* rows_repaired = nullptr;
+    obs::Counter* rows_dropped = nullptr;
+    obs::Counter* duplicate_days = nullptr;
+    obs::Counter* clock_rollbacks = nullptr;
+    obs::Counter* counter_resets = nullptr;
+    obs::Counter* values_repaired = nullptr;
+  };
+  Metrics metrics_;
   std::optional<DayIndex> last_day_;
   // Counter-reset re-basing state, indexed over monotone_smart_attrs().
   std::array<float, 6> last_raw_{};

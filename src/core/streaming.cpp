@@ -11,7 +11,15 @@ StreamingIngestor::StreamingIngestor(std::uint64_t drive_id, int vendor,
     : drive_id_(drive_id),
       vendor_(vendor),
       config_(config),
-      sanitizer_(config.robustness) {}
+      sanitizer_(config.robustness) {
+  auto& reg = obs::registry();
+  metrics_.rows_real =
+      &reg.counter("mfpa_stream_rows_total", {{"kind", "real"}});
+  metrics_.rows_synthetic =
+      &reg.counter("mfpa_stream_rows_total", {{"kind", "synthetic"}});
+  metrics_.segments_restarted =
+      &reg.counter("mfpa_stream_segments_restarted_total");
+}
 
 ProcessedRecord StreamingIngestor::convert(const sim::DailyRecord& raw) {
   // Mirrors the batch Preprocessor's to_processed exactly.
@@ -59,6 +67,7 @@ std::vector<ProcessedRecord> StreamingIngestor::ingest(
     w_cum_.fill(0.0);
     b_cum_.fill(0.0);
     ++segments_started_;
+    metrics_.segments_restarted->inc();
   } else if (!first && gap >= 2 && gap <= config_.fill_gap &&
              !segment_.empty()) {
     const ProcessedRecord prev = segment_.back();
@@ -80,9 +89,11 @@ std::vector<ProcessedRecord> StreamingIngestor::ingest(
       }
       segment_.push_back(fill);
       produced.push_back(std::move(fill));
+      metrics_.rows_synthetic->inc();
     }
     segment_.push_back(next_actual);
     ++real_records_;
+    metrics_.rows_real->inc();
     produced.push_back(std::move(next_actual));
     return produced;
   }
@@ -90,6 +101,7 @@ std::vector<ProcessedRecord> StreamingIngestor::ingest(
   ProcessedRecord rec = convert(record);
   segment_.push_back(rec);
   ++real_records_;
+  metrics_.rows_real->inc();
   produced.push_back(std::move(rec));
   return produced;
 }

@@ -7,6 +7,8 @@
 
 #include "ml/binned_support.hpp"
 #include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mfpa::ml {
 
@@ -98,11 +100,18 @@ double cross_val_score(const Classifier& prototype, const CvCache& cache,
   if (cache.folds.empty()) {
     throw std::invalid_argument("cross_val_score: no splits");
   }
+  auto& reg = obs::registry();
+  auto& fold_seconds =
+      reg.histogram("mfpa_train_fold_seconds", 0.0, 60.0, 256);
+  auto& folds_evaluated = reg.counter("mfpa_train_folds_total");
   double total = 0.0;
   std::size_t used = 0;
   for (const auto& fold : cache.folds) {
     if (!fold.usable) continue;
 
+    obs::ScopedSpan fold_span("train.fold");
+    obs::ScopedTimer fold_timer(fold_seconds);
+    folds_evaluated.inc();
     auto model = prototype.clone_unfitted();
     if (fold.bins) {
       if (auto* binned = dynamic_cast<BinnedFitSupport*>(model.get())) {

@@ -1,0 +1,146 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/string_util.hpp"
+
+namespace mfpa::obs {
+namespace {
+
+std::string labels_json(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// {k="v",...} (empty string when there are no labels).
+std::string labels_prometheus(const Labels& labels, const char* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + json_escape(v) + "\"";
+  }
+  if (extra != nullptr) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  // Object keys in strict alphabetical order, metrics in snapshot order
+  // (already sorted by name then labels) — the golden test diffs this
+  // byte-for-byte.
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& m : snapshot.metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {";
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "\"labels\": " + labels_json(m.labels);
+        out += ", \"name\": \"" + json_escape(m.name) + "\"";
+        out += ", \"type\": \"counter\"";
+        out += ", \"value\": " + std::to_string(m.counter);
+        break;
+      case MetricKind::kGauge:
+        out += "\"labels\": " + labels_json(m.labels);
+        out += ", \"name\": \"" + json_escape(m.name) + "\"";
+        out += ", \"type\": \"gauge\"";
+        out += ", \"value\": " + format_json_number(m.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        const std::uint64_t n = m.hist.total();
+        const double mean =
+            n == 0 ? 0.0 : m.hist_sum / static_cast<double>(n);
+        out += "\"count\": " + std::to_string(n);
+        out += ", \"labels\": " + labels_json(m.labels);
+        out += ", \"mean\": " + format_json_number(mean);
+        out += ", \"name\": \"" + json_escape(m.name) + "\"";
+        out += ", \"p50\": " + format_json_number(m.hist.quantile(0.5));
+        out += ", \"p90\": " + format_json_number(m.hist.quantile(0.9));
+        out += ", \"p99\": " + format_json_number(m.hist.quantile(0.99));
+        out += ", \"sum\": " + format_json_number(m.hist_sum);
+        out += ", \"type\": \"histogram\"";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ],\n  \"schema\": \"";
+  out += kMetricsJsonSchema;
+  out += "\"\n}\n";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_typed;
+  for (const auto& m : snapshot.metrics) {
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        if (m.name != last_typed) {
+          out += "# TYPE " + m.name + " counter\n";
+          last_typed = m.name;
+        }
+        out += m.name + labels_prometheus(m.labels) + " " +
+               std::to_string(m.counter) + "\n";
+        break;
+      case MetricKind::kGauge:
+        if (m.name != last_typed) {
+          out += "# TYPE " + m.name + " gauge\n";
+          last_typed = m.name;
+        }
+        out += m.name + labels_prometheus(m.labels) + " " +
+               format_json_number(m.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (m.name != last_typed) {
+          out += "# TYPE " + m.name + " summary\n";
+          last_typed = m.name;
+        }
+        const std::string labels = labels_prometheus(m.labels);
+        out += m.name + "_count" + labels + " " +
+               std::to_string(m.hist.total()) + "\n";
+        out += m.name + "_sum" + labels + " " + format_json_number(m.hist_sum) +
+               "\n";
+        out += m.name + labels_prometheus(m.labels, "quantile=\"0.5\"") + " " +
+               format_json_number(m.hist.quantile(0.5)) + "\n";
+        out += m.name + labels_prometheus(m.labels, "quantile=\"0.9\"") + " " +
+               format_json_number(m.hist.quantile(0.9)) + "\n";
+        out += m.name + labels_prometheus(m.labels, "quantile=\"0.99\"") + " " +
+               format_json_number(m.hist.quantile(0.99)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void write_json_file(const std::string& path,
+                     const MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot write metrics file " + path);
+  }
+  out << to_json(snapshot);
+  if (!out) {
+    throw std::runtime_error("failed writing metrics file " + path);
+  }
+}
+
+}  // namespace mfpa::obs

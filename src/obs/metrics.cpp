@@ -1,0 +1,218 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace mfpa::obs {
+namespace {
+
+/// Serializes name + sorted labels into the registry's map key. '\x1f'
+/// (unit separator) cannot appear in sane metric names, so keys cannot
+/// collide across families.
+std::string entry_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+std::atomic<std::uint64_t> g_generation{0};
+std::atomic<MetricsRegistry*> g_override{nullptr};
+
+}  // namespace
+
+std::int64_t monotonic_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// HistogramMetric
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(std::max<std::size_t>(1, bins)) {
+  if (!(hi > lo)) {
+    throw std::invalid_argument("HistogramMetric: hi must exceed lo");
+  }
+}
+
+void HistogramMetric::observe(double x) noexcept {
+  // Same edge-bin clamping as stats::Histogram::add, with atomic tallies.
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::ptrdiff_t i =
+      static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  i = std::clamp<std::ptrdiff_t>(
+      i, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(i)].fetch_add(1,
+                                                 std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::uint64_t HistogramMetric::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+stats::Histogram HistogramMetric::snapshot() const {
+  stats::Histogram out(lo_, hi_, counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.add_count((out.bin_lo(i) + out.bin_hi(i)) / 2.0,
+                  static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+void HistogramMetric::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+
+ScopedTimer::ScopedTimer(HistogramMetric& hist) noexcept
+    : hist_(&hist), start_ns_(monotonic_now_ns()) {}
+
+ScopedTimer::~ScopedTimer() {
+  hist_->observe(static_cast<double>(monotonic_now_ns() - start_ns_) * 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry::MetricsRegistry()
+    : generation_(g_generation.fetch_add(1, std::memory_order_relaxed) + 1) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never freed
+  return *instance;
+}
+
+std::unique_ptr<MetricsRegistry> MetricsRegistry::create_isolated() {
+  return std::make_unique<MetricsRegistry>();
+}
+
+// Requires mu_ to be held by the caller: the returned Entry& is only safe
+// to mutate (first-time instrument creation) while the lock protects it
+// from concurrent first resolutions of the same family.
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, MetricKind kind) {
+  if (name.empty()) {
+    throw std::invalid_argument("MetricsRegistry: empty metric name");
+  }
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  const std::string key = entry_key(name, sorted);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.name = name;
+    entry.labels = std::move(sorted);
+    entry.kind = kind;
+    it = entries_.emplace(key, std::move(entry)).first;
+  } else if (it->second.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, labels, MetricKind::kCounter);
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, labels, MetricKind::kGauge);
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins,
+                                            const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = find_or_create(name, labels, MetricKind::kHistogram);
+  if (!entry.hist) {
+    entry.hist = std::make_unique<HistogramMetric>(lo, hi, bins);
+  } else if (entry.hist->lo() != lo || entry.hist->hi() != hi ||
+             entry.hist->bins() != std::max<std::size_t>(1, bins)) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram '" + name +
+        "' already registered with a different geometry");
+  }
+  return *entry.hist;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.metrics.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    (void)key;
+    MetricValue value;
+    value.name = entry.name;
+    value.labels = entry.labels;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        value.counter = entry.counter->value();
+        break;
+      case MetricKind::kGauge:
+        value.gauge = entry.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        value.hist = entry.hist->snapshot();
+        value.hist_sum = entry.hist->sum();
+        break;
+    }
+    out.metrics.push_back(std::move(value));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, entry] : entries_) {
+    (void)key;
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.hist) entry.hist->reset();
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide accessor + override
+
+MetricsRegistry& registry() {
+  MetricsRegistry* override = g_override.load(std::memory_order_acquire);
+  return override ? *override : MetricsRegistry::global();
+}
+
+ScopedMetricsOverride::ScopedMetricsOverride(MetricsRegistry& target) noexcept
+    : previous_(g_override.exchange(&target, std::memory_order_acq_rel)) {}
+
+ScopedMetricsOverride::~ScopedMetricsOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+}  // namespace mfpa::obs

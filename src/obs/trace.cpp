@@ -1,0 +1,95 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics.hpp"  // monotonic_now_ns
+
+namespace mfpa::obs {
+namespace {
+
+std::atomic<Tracer*> g_override{nullptr};
+std::atomic<std::uint64_t> g_thread_seq{0};
+
+/// Per-thread span state. The whole subtree under one root shares a single
+/// sampling decision and tracer, pinned at root open.
+struct ThreadTraceState {
+  std::uint64_t thread_id =
+      g_thread_seq.fetch_add(1, std::memory_order_relaxed);
+  std::uint32_t depth = 0;
+  bool sampled = false;
+  Tracer* pinned = nullptr;
+};
+
+thread_local ThreadTraceState t_state;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never freed
+  return *instance;
+}
+
+void Tracer::set_capacity(std::size_t spans) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = spans;
+}
+
+std::vector<SpanRecord> Tracer::take_spans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.swap(spans_);
+  dropped_.store(0, std::memory_order_relaxed);
+  return out;
+}
+
+bool Tracer::sample_root() noexcept {
+  const std::uint64_t every = sample_every();
+  if (every == 0) return false;
+  return root_seq_.fetch_add(1, std::memory_order_relaxed) % every == 0;
+}
+
+void Tracer::record(SpanRecord span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spans_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+Tracer& tracer() {
+  Tracer* override = g_override.load(std::memory_order_acquire);
+  return override ? *override : Tracer::global();
+}
+
+ScopedTracerOverride::ScopedTracerOverride(Tracer& target) noexcept
+    : previous_(g_override.exchange(&target, std::memory_order_acq_rel)) {}
+
+ScopedTracerOverride::~ScopedTracerOverride() {
+  g_override.store(previous_, std::memory_order_release);
+}
+
+ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
+  if (t_state.depth == 0) {
+    // Root span: pin the tracer and take the sampling decision for the
+    // whole subtree.
+    Tracer& t = tracer();
+    t_state.pinned = &t;
+    t_state.sampled = t.sample_root();
+  }
+  depth_ = t_state.depth++;
+  recorded_ = t_state.sampled;
+  if (recorded_) start_ns_ = monotonic_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  --t_state.depth;
+  if (recorded_) {
+    t_state.pinned->record({name_, t_state.thread_id, depth_, start_ns_,
+                            monotonic_now_ns()});
+  }
+  if (t_state.depth == 0) {
+    t_state.sampled = false;
+    t_state.pinned = nullptr;
+  }
+}
+
+}  // namespace mfpa::obs

@@ -1,0 +1,116 @@
+// Lightweight trace spans — where did the wall-clock go, per operation.
+//
+// `ScopedSpan` is an RAII marker over a named operation: construction pushes
+// onto a thread-local span stack and reads the monotonic clock, destruction
+// pops and (when sampled) appends a SpanRecord to the tracer's bounded
+// buffer. The stack discipline means spans on one thread are always
+// perfectly nested — the exported stream carries (thread, depth, start, end)
+// so consumers (and the property tests) can rebuild and verify the tree.
+//
+// Sampling is decided once per *root* span: with sample_every = N, every
+// Nth root span on any thread is recorded together with its entire subtree;
+// 0 disables tracing entirely, making a span cost two thread-local updates
+// and one relaxed atomic load — cheap enough to leave in hot-ish paths
+// (batch drains, fold fits; not per-record loops).
+//
+// The default tracer is process-wide and disabled; tests use
+// `ScopedTracerOverride` with a private Tracer for isolation, mirroring
+// obs::ScopedMetricsOverride.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mfpa::obs {
+
+/// One completed, sampled span.
+struct SpanRecord {
+  std::string name;
+  std::uint64_t thread = 0;   ///< sequential per-thread id (first-use order)
+  std::uint32_t depth = 0;    ///< nesting depth at open (0 = root)
+  std::int64_t start_ns = 0;  ///< monotonic clock
+  std::int64_t end_ns = 0;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide default tracer (disabled until configured).
+  static Tracer& global();
+
+  /// Records every Nth root span (with its whole subtree); 0 disables.
+  void set_sample_every(std::uint64_t n) noexcept {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  std::uint64_t sample_every() const noexcept {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return sample_every() != 0; }
+
+  /// Bounds the completed-span buffer; once full, further spans are counted
+  /// in dropped() instead of recorded (export is sampled, not lossless).
+  void set_capacity(std::size_t spans);
+
+  /// Moves out everything recorded so far (buffer is emptied).
+  std::vector<SpanRecord> take_spans();
+
+  /// Spans lost to the capacity bound since the last take_spans().
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Root-sampling decision (internal, used by ScopedSpan).
+  bool sample_root() noexcept;
+  /// Appends a completed span (internal, used by ScopedSpan).
+  void record(SpanRecord span);
+
+ private:
+  std::atomic<std::uint64_t> sample_every_{0};
+  std::atomic<std::uint64_t> root_seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 65536;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The tracer ScopedSpan resolves against: the process-wide default, unless
+/// a ScopedTracerOverride is active.
+Tracer& tracer();
+
+/// Re-points obs::tracer() at `target` for this object's lifetime. The
+/// override only affects *root* spans opened inside the scope — an open
+/// span pins its tracer so a subtree never splits across tracers.
+class ScopedTracerOverride {
+ public:
+  explicit ScopedTracerOverride(Tracer& target) noexcept;
+  ~ScopedTracerOverride();
+  ScopedTracerOverride(const ScopedTracerOverride&) = delete;
+  ScopedTracerOverride& operator=(const ScopedTracerOverride&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// RAII span over a named operation. `name` must outlive the span (string
+/// literals; per-call formatting would defeat the cheap-when-disabled goal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool recorded_ = false;
+};
+
+}  // namespace mfpa::obs

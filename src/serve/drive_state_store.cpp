@@ -13,6 +13,14 @@ DriveStateStore::DriveStateStore(StoreConfig config) : config_(config) {
   for (std::size_t i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  auto& reg = obs::registry();
+  metrics_.records_ingested = &reg.counter("mfpa_store_records_ingested_total");
+  metrics_.rows_emitted = &reg.counter("mfpa_store_rows_emitted_total");
+  metrics_.segments_restarted =
+      &reg.counter("mfpa_store_segments_restarted_total");
+  metrics_.drives_quarantined =
+      &reg.counter("mfpa_store_drives_quarantined_total");
+  metrics_.drives_tracked = &reg.gauge("mfpa_store_drives_tracked");
 }
 
 DriveStateStore::Shard& DriveStateStore::shard_for(
@@ -27,13 +35,18 @@ void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
                              std::vector<PendingRow>& out) {
   Shard& shard = shard_for(drive_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.drives
-                      .try_emplace(drive_id, drive_id, vendor,
-                                   config_.preprocess)
-                      .first;
+  const auto [it, inserted] = shard.drives.try_emplace(
+      drive_id, drive_id, vendor, config_.preprocess);
+  if (inserted) metrics_.drives_tracked->add(1.0);
   DriveState& state = it->second;
   ++shard.records_ingested;
+  metrics_.records_ingested->inc();
   state.ingestor.ingest(record);
+
+  if (!state.quarantine_counted && state.ingestor.quarantined()) {
+    state.quarantine_counted = true;
+    metrics_.drives_quarantined->inc();
+  }
 
   if (state.ingestor.segments_started() != state.segments_seen) {
     // Long gap cut the segment: the batch path would only ever see the new
@@ -43,11 +56,15 @@ void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
     state.consecutive = 0;
     state.last_alert = std::numeric_limits<DayIndex>::min();
     ++shard.segments_restarted;
+    metrics_.segments_restarted->inc();
   }
 
   if (!state.ingestor.usable()) return;
 
   const auto& segment = state.ingestor.segment();
+  if (segment.size() > state.emitted) {
+    metrics_.rows_emitted->inc(segment.size() - state.emitted);
+  }
   for (std::size_t i = state.emitted; i < segment.size(); ++i) {
     out.push_back({drive_id, vendor, segment[i]});
     ++shard.rows_emitted;

@@ -28,6 +28,7 @@
 #include "core/online_predictor.hpp"
 #include "core/preprocess.hpp"
 #include "core/streaming.hpp"
+#include "obs/metrics.hpp"
 #include "sim/telemetry.hpp"
 
 namespace mfpa::serve {
@@ -90,6 +91,7 @@ class DriveStateStore {
     core::StreamingIngestor ingestor;
     std::size_t emitted = 0;  ///< segment records already handed out
     int segments_seen = 0;
+    bool quarantine_counted = false;  ///< metrics: transition seen
     // Alert-policy state (OnlinePredictor's loop variables, kept per drive).
     int consecutive = 0;
     DayIndex last_alert = std::numeric_limits<DayIndex>::min();
@@ -105,6 +107,18 @@ class DriveStateStore {
 
   StoreConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Fleet-level registry instruments (mfpa_store_*). The per-shard counters
+  // above stay authoritative for StoreStats (per-store accounting); these
+  // mirror the same events into the process-wide registry for exporters.
+  struct Metrics {
+    obs::Counter* records_ingested = nullptr;
+    obs::Counter* rows_emitted = nullptr;
+    obs::Counter* segments_restarted = nullptr;
+    obs::Counter* drives_quarantined = nullptr;
+    obs::Gauge* drives_tracked = nullptr;
+  };
+  Metrics metrics_;
 
   Shard& shard_for(std::uint64_t drive_id) const;
 };

@@ -67,6 +67,12 @@ core::SampleBuilder ServedModel::make_builder() const {
 
 ModelRegistry::ModelRegistry(std::string directory, std::size_t score_threads)
     : dir_(std::move(directory)), score_threads_(score_threads) {
+  auto& reg = obs::registry();
+  metrics_.publishes = &reg.counter("mfpa_registry_publishes_total");
+  metrics_.activations = &reg.counter("mfpa_registry_activations_total");
+  metrics_.swap_seconds =
+      &reg.histogram("mfpa_registry_swap_seconds", 0.0, 10.0, 256);
+  metrics_.current_version = &reg.gauge("mfpa_registry_current_version");
   fs::create_directories(dir_);
   const fs::path marker = fs::path(dir_) / "CURRENT";
   if (fs::exists(marker)) {
@@ -78,7 +84,8 @@ ModelRegistry::ModelRegistry(std::string directory, std::size_t score_threads)
       throw std::runtime_error("ModelRegistry: malformed CURRENT marker '" +
                                name + "' in " + dir_);
     }
-    current_.store(load_version(version), std::memory_order_release);
+    set_current(load_version(version));
+    metrics_.current_version->set(version);
   }
 }
 
@@ -86,7 +93,7 @@ std::string ModelRegistry::artifact_path(int version) const {
   return (fs::path(dir_) / (version_name(version) + ".model")).string();
 }
 
-int ModelRegistry::current_version() const noexcept {
+int ModelRegistry::current_version() const {
   const auto snapshot = current();
   return snapshot ? snapshot->manifest.version : 0;
 }
@@ -134,7 +141,12 @@ int ModelRegistry::publish(const ml::Classifier& model,
 
   atomic_write(artifact_path(version), artifact.str());
   write_current_marker(version);
-  current_.store(load_version(version), std::memory_order_release);
+  {
+    obs::ScopedTimer timer(*metrics_.swap_seconds);
+    set_current(load_version(version));
+  }
+  metrics_.publishes->inc();
+  metrics_.current_version->set(version);
   return version;
 }
 
@@ -233,9 +245,12 @@ std::shared_ptr<const ServedModel> ModelRegistry::load_version(
 
 void ModelRegistry::activate(int version) {
   std::lock_guard<std::mutex> lock(publish_mu_);
+  obs::ScopedTimer timer(*metrics_.swap_seconds);
   auto served = load_version(version);
   write_current_marker(version);
-  current_.store(std::move(served), std::memory_order_release);
+  set_current(std::move(served));
+  metrics_.activations->inc();
+  metrics_.current_version->set(version);
 }
 
 void ModelRegistry::write_current_marker(int version) {

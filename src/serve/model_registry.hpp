@@ -15,11 +15,15 @@
 // feature group, decision threshold, training window, firmware vocabulary,
 // payload checksum) followed by the checksummed ml::save_classifier framing.
 //
-// In memory, the active version is a std::shared_ptr<const ServedModel> held
-// in a std::atomic: readers (the ScoringEngine's batch loop) take a snapshot
-// with one atomic load and keep scoring on it while a publisher swaps in the
-// next version — no lock, no pause, and the old version stays alive until
-// its last in-flight batch drops the reference (classic RCU).
+// In memory, the active version is a std::shared_ptr<const ServedModel>
+// guarded by a tiny pointer mutex: readers (the ScoringEngine's batch loop)
+// take a snapshot once per *batch* — a copy under an uncontended lock — and
+// keep scoring on it while a publisher swaps in the next version. The old
+// version stays alive until its last in-flight batch drops the reference
+// (RCU-style grace period). A dedicated mutex rather than
+// std::atomic<shared_ptr> keeps the swap ThreadSanitizer-provable: the
+// libstdc++ atomic specialization hides its pointer word behind an embedded
+// lock bit with a futex wait path TSan cannot see through.
 #pragma once
 
 #include <atomic>
@@ -35,6 +39,7 @@
 #include "core/sample_builder.hpp"
 #include "data/label_encoder.hpp"
 #include "ml/model.hpp"
+#include "obs/metrics.hpp"
 
 namespace mfpa::serve {
 
@@ -84,14 +89,16 @@ class ModelRegistry {
   int publish_pipeline(const core::MfpaPipeline& pipeline, DayIndex train_lo,
                        DayIndex train_hi);
 
-  /// Active model snapshot (RCU read: one atomic shared_ptr load). Null when
-  /// nothing was published yet.
-  std::shared_ptr<const ServedModel> current() const noexcept {
-    return current_.load(std::memory_order_acquire);
+  /// Active model snapshot: one shared_ptr copy under the pointer mutex
+  /// (held only for the copy, never during artifact I/O). Null when nothing
+  /// was published yet.
+  std::shared_ptr<const ServedModel> current() const {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    return current_;
   }
 
   /// Version number of the active model (0 = none).
-  int current_version() const noexcept;
+  int current_version() const;
 
   /// Loads one on-disk version (verifying manifest and payload checksums).
   /// Throws std::runtime_error on missing or corrupt artifacts.
@@ -107,8 +114,25 @@ class ModelRegistry {
  private:
   std::string dir_;
   std::size_t score_threads_;
-  std::atomic<std::shared_ptr<const ServedModel>> current_;
+  mutable std::mutex current_mu_;  ///< guards only the current_ pointer copy
+  std::shared_ptr<const ServedModel> current_;
   mutable std::mutex publish_mu_;  ///< serializes publishers, never readers
+
+  void set_current(std::shared_ptr<const ServedModel> served) {
+    std::lock_guard<std::mutex> lock(current_mu_);
+    current_ = std::move(served);
+  }
+
+  // Registry instruments (mfpa_registry_*): deploy-side observability. The
+  // swap histogram times artifact-load + pointer swap — the window in which a
+  // publish/activate is in flight (readers keep scoring throughout).
+  struct Metrics {
+    obs::Counter* publishes = nullptr;
+    obs::Counter* activations = nullptr;
+    obs::HistogramMetric* swap_seconds = nullptr;
+    obs::Gauge* current_version = nullptr;
+  };
+  Metrics metrics_;
 
   std::string artifact_path(int version) const;
   void write_current_marker(int version);

@@ -1,11 +1,23 @@
 #include "serve/scoring_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <string>
 
 #include "data/matrix.hpp"
+#include "obs/trace.hpp"
 
 namespace mfpa::serve {
+namespace {
+
+/// Distinguishes concurrently (or sequentially) live engines in one
+/// process: each instance gets its own mfpa_serve_* family members, so
+/// EngineStats snapshots never mix traffic across engines (tests construct
+/// many engines per process; production runs one).
+std::atomic<std::uint64_t> g_engine_seq{0};
+
+}  // namespace
 
 ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
     : registry_(&registry), config_(config), store_(config.store) {
@@ -13,13 +25,34 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
     throw std::invalid_argument(
         "ScoringEngine: queue_capacity and max_batch must be positive");
   }
-  stats_.batch_size = stats::Histogram(
-      0.0, static_cast<double>(config_.max_batch) + 1.0,
-      std::min<std::size_t>(config_.max_batch + 1, 512));
-  stats_.queue_depth = stats::Histogram(
-      0.0, static_cast<double>(config_.queue_capacity) + 1.0,
-      std::min<std::size_t>(config_.queue_capacity + 1, 128));
-  stats_.latency_us = stats::Histogram(0.0, config_.latency_hi_us, 512);
+  auto& reg = obs::registry();
+  const obs::Labels labels = {
+      {"engine",
+       std::to_string(g_engine_seq.fetch_add(1, std::memory_order_relaxed))}};
+  metrics_.submitted = &reg.counter("mfpa_serve_submitted_total", labels);
+  metrics_.accepted = &reg.counter("mfpa_serve_accepted_total", labels);
+  metrics_.shed = &reg.counter("mfpa_serve_shed_total", labels);
+  metrics_.rejected = &reg.counter("mfpa_serve_rejected_total", labels);
+  metrics_.unscored_no_model =
+      &reg.counter("mfpa_serve_unscored_no_model_total", labels);
+  metrics_.records_processed =
+      &reg.counter("mfpa_serve_records_processed_total", labels);
+  metrics_.rows_scored = &reg.counter("mfpa_serve_rows_scored_total", labels);
+  metrics_.synthetic_rows =
+      &reg.counter("mfpa_serve_synthetic_rows_total", labels);
+  metrics_.batches = &reg.counter("mfpa_serve_batches_total", labels);
+  metrics_.alerts = &reg.counter("mfpa_serve_alerts_total", labels);
+  metrics_.model_swaps = &reg.counter("mfpa_serve_model_swaps_total", labels);
+  metrics_.batch_size = &reg.histogram(
+      "mfpa_serve_batch_size", 0.0, static_cast<double>(config_.max_batch) + 1.0,
+      std::min<std::size_t>(config_.max_batch + 1, 512), labels);
+  metrics_.queue_depth = &reg.histogram(
+      "mfpa_serve_queue_depth", 0.0,
+      static_cast<double>(config_.queue_capacity) + 1.0,
+      std::min<std::size_t>(config_.queue_capacity + 1, 128), labels);
+  metrics_.latency_us = &reg.histogram("mfpa_serve_latency_us", 0.0,
+                                       config_.latency_hi_us, 512, labels);
+  metrics_.max_queue_depth = &reg.gauge("mfpa_serve_max_queue_depth", labels);
   if (!config_.manual_drain) {
     drain_thread_ = std::thread([this] { drain_loop(); });
   }
@@ -28,15 +61,11 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
 ScoringEngine::~ScoringEngine() { stop(); }
 
 bool ScoringEngine::submit(const TelemetryUpdate& update) {
-  {
-    std::lock_guard<std::mutex> lock(results_mu_);
-    ++stats_.submitted;
-  }
+  metrics_.submitted->inc();
   std::unique_lock<std::mutex> lock(queue_mu_);
   if (config_.shed_on_full && queue_.size() >= config_.queue_capacity) {
     lock.unlock();
-    std::lock_guard<std::mutex> rlock(results_mu_);
-    ++stats_.shed;
+    metrics_.shed->inc();
     return false;
   }
   queue_not_full_.wait(lock, [this] {
@@ -44,17 +73,14 @@ bool ScoringEngine::submit(const TelemetryUpdate& update) {
   });
   if (stopping_) {
     lock.unlock();
-    std::lock_guard<std::mutex> rlock(results_mu_);
-    ++stats_.shed;
+    metrics_.shed->inc();
     return false;
   }
   queue_.push_back({update, Clock::now()});
-  {
-    std::lock_guard<std::mutex> rlock(results_mu_);
-    ++stats_.accepted;
-    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
-  }
+  const std::size_t depth = queue_.size();
   lock.unlock();
+  metrics_.accepted->inc();
+  metrics_.max_queue_depth->max_of(static_cast<double>(depth));
   queue_not_empty_.notify_one();
   return true;
 }
@@ -75,8 +101,7 @@ void ScoringEngine::drain_loop() {
         queue_.pop_front();
       }
       processing_ = true;
-      std::lock_guard<std::mutex> rlock(results_mu_);
-      stats_.queue_depth.add(static_cast<double>(depth));
+      metrics_.queue_depth->observe(static_cast<double>(depth));
     }
     queue_not_full_.notify_all();
     process_batch(batch);
@@ -103,15 +128,15 @@ std::size_t ScoringEngine::drain_once() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
-    std::lock_guard<std::mutex> rlock(results_mu_);
-    stats_.queue_depth.add(static_cast<double>(depth));
+    metrics_.queue_depth->observe(static_cast<double>(depth));
   }
   queue_not_full_.notify_all();
   return process_batch(batch);
 }
 
 std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
-  // RCU read: one atomic snapshot pins the model (and its encoder/builder
+  obs::ScopedSpan span("serve.batch");
+  // RCU-style read: one snapshot pins the model (and its encoder/builder
   // inputs) for the whole batch; a concurrent publish affects the next batch.
   auto model = registry_->current();
   if (model && (!cached_model_ ||
@@ -119,30 +144,31 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
     const bool swap = cached_model_ != nullptr;
     cached_model_ = model;
     cached_builder_.emplace(model->make_builder());
-    if (swap) {
-      std::lock_guard<std::mutex> rlock(results_mu_);
-      ++stats_.model_swaps;
-    }
+    if (swap) metrics_.model_swaps->inc();
   }
 
   std::vector<PendingRow> rows;
   rows.reserve(batch.size());
   std::uint64_t processed = 0;
   std::uint64_t rejected = 0;
-  for (const auto& queued : batch) {
-    try {
-      store_.ingest(queued.update.drive_id, queued.update.vendor,
-                    queued.update.record, rows);
-      ++processed;
-    } catch (const std::invalid_argument&) {
-      // Strict-mode day-order violation: the record is unusable but must
-      // never stall the queue; account and move on.
-      ++rejected;
+  {
+    obs::ScopedSpan ingest_span("serve.store_ingest");
+    for (const auto& queued : batch) {
+      try {
+        store_.ingest(queued.update.drive_id, queued.update.vendor,
+                      queued.update.record, rows);
+        ++processed;
+      } catch (const std::invalid_argument&) {
+        // Strict-mode day-order violation: the record is unusable but must
+        // never stall the queue; account and move on.
+        ++rejected;
+      }
     }
   }
 
   std::vector<double> scores;
   if (!rows.empty() && model) {
+    obs::ScopedSpan predict_span("serve.predict");
     data::Matrix X(0, 0);
     for (const auto& row : rows) {
       X.add_row(cached_builder_->features_of(row.record));
@@ -151,24 +177,25 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
   }
 
   const auto now = Clock::now();
-  std::lock_guard<std::mutex> rlock(results_mu_);
-  ++stats_.batches;
-  stats_.batch_size.add(static_cast<double>(batch.size()));
-  stats_.records_processed += processed;
-  stats_.rejected += rejected;
+  metrics_.batches->inc();
+  metrics_.batch_size->observe(static_cast<double>(batch.size()));
+  metrics_.records_processed->inc(processed);
+  metrics_.rejected->inc(rejected);
   for (const auto& queued : batch) {
-    stats_.latency_us.add(
+    metrics_.latency_us->observe(
         std::chrono::duration<double, std::micro>(now - queued.enqueued)
             .count());
   }
   if (!model) {
-    stats_.unscored_no_model += rows.size();
+    metrics_.unscored_no_model->inc(rows.size());
     return batch.size();
   }
+  obs::ScopedSpan alert_span("serve.alerts");
+  std::lock_guard<std::mutex> rlock(results_mu_);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const PendingRow& row = rows[i];
-    ++stats_.rows_scored;
-    if (row.record.synthetic) ++stats_.synthetic_rows;
+    metrics_.rows_scored->inc();
+    if (row.record.synthetic) metrics_.synthetic_rows->inc();
     const bool crossed = scores[i] >= model->manifest.threshold;
     if (config_.record_scores) {
       scored_rows_.push_back({row.drive_id, row.record.day, scores[i],
@@ -177,7 +204,7 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
     if (store_.should_alert(row.drive_id, row.record.day, crossed,
                             config_.alert_policy)) {
       alerts_.push_back({row.drive_id, row.record.day, scores[i]});
-      ++stats_.alerts;
+      metrics_.alerts->inc();
     }
   }
   return batch.size();
@@ -220,8 +247,24 @@ std::vector<ScoredRow> ScoringEngine::take_scored_rows() {
 }
 
 EngineStats ScoringEngine::stats() const {
-  std::lock_guard<std::mutex> lock(results_mu_);
-  return stats_;
+  EngineStats out;
+  out.submitted = metrics_.submitted->value();
+  out.accepted = metrics_.accepted->value();
+  out.shed = metrics_.shed->value();
+  out.rejected = metrics_.rejected->value();
+  out.unscored_no_model = metrics_.unscored_no_model->value();
+  out.records_processed = metrics_.records_processed->value();
+  out.rows_scored = metrics_.rows_scored->value();
+  out.synthetic_rows = metrics_.synthetic_rows->value();
+  out.batches = metrics_.batches->value();
+  out.alerts = metrics_.alerts->value();
+  out.model_swaps = metrics_.model_swaps->value();
+  out.batch_size = metrics_.batch_size->snapshot();
+  out.queue_depth = metrics_.queue_depth->snapshot();
+  out.latency_us = metrics_.latency_us->snapshot();
+  out.max_queue_depth =
+      static_cast<std::size_t>(metrics_.max_queue_depth->value());
+  return out;
 }
 
 }  // namespace mfpa::serve

@@ -20,9 +20,14 @@
 // next batch scores on the new one, and `model_swaps` counts the
 // transitions observed.
 //
-// Observability: throughput counters, batch-size / queue-depth / latency
-// histograms (p50/p99 via common/stats) — the numbers a fleet operator
-// graphs, exported by `serve-replay` and bench/bench_serving.
+// Observability: every throughput counter and batch-size / queue-depth /
+// latency histogram lives in the process-wide obs::MetricsRegistry
+// (mfpa_serve_* families, one label set per engine instance), so the same
+// numbers a fleet operator graphs are exported by `serve-replay
+// --metrics-out`, `mfpa metrics`, and bench/bench_serving. EngineStats is a
+// point-in-time snapshot of this engine's instruments — the legacy ad-hoc
+// counters were migrated onto the registry without changing the snapshot
+// contract (see docs/OBSERVABILITY.md).
 #pragma once
 
 #include <chrono>
@@ -37,6 +42,7 @@
 
 #include "common/stats.hpp"
 #include "core/online_predictor.hpp"
+#include "obs/metrics.hpp"
 #include "serve/drive_state_store.hpp"
 #include "serve/model_registry.hpp"
 #include "sim/telemetry.hpp"
@@ -77,8 +83,8 @@ struct ScoredRow {
   bool synthetic = false;
 };
 
-/// Counter/histogram snapshot. Histograms are copied whole so callers can
-/// take quantiles without holding engine locks.
+/// Point-in-time copy of this engine's registry instruments. Histograms are
+/// copied whole so callers can take quantiles without holding engine locks.
 struct EngineStats {
   std::uint64_t submitted = 0;        ///< submit() calls
   std::uint64_t accepted = 0;         ///< enqueued (submitted - shed)
@@ -159,11 +165,33 @@ class ScoringEngine {
   std::shared_ptr<const ServedModel> cached_model_;
   std::optional<core::SampleBuilder> cached_builder_;
 
-  // Results + counters.
+  // Registry instruments (mfpa_serve_*, labeled per engine instance so a
+  // snapshot reads back exactly this engine's traffic). Lock-free hot path:
+  // counters/histograms are relaxed atomics; results_mu_ now only guards
+  // the alert/score logs.
+  struct Metrics {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* accepted = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* unscored_no_model = nullptr;
+    obs::Counter* records_processed = nullptr;
+    obs::Counter* rows_scored = nullptr;
+    obs::Counter* synthetic_rows = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* alerts = nullptr;
+    obs::Counter* model_swaps = nullptr;
+    obs::HistogramMetric* batch_size = nullptr;
+    obs::HistogramMetric* queue_depth = nullptr;
+    obs::HistogramMetric* latency_us = nullptr;
+    obs::Gauge* max_queue_depth = nullptr;
+  };
+  Metrics metrics_;
+
+  // Retained results (alert stream, optional score log).
   mutable std::mutex results_mu_;
   std::vector<core::Alert> alerts_;
   std::vector<ScoredRow> scored_rows_;
-  EngineStats stats_;
 
   std::thread drain_thread_;
 

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "obs/metrics.hpp"
 
 namespace mfpa::cli {
 namespace {
@@ -179,6 +182,53 @@ TEST(RunCommand, ValidateCleanSimulatedBatch) {
   EXPECT_NE(out.str().find("batch is clean"), std::string::npos);
   std::remove(telemetry.c_str());
   std::remove(tickets.c_str());
+}
+
+TEST(RunCommand, MetricsCommandPrintsPrometheusText) {
+  auto reg = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride scope(*reg);
+  reg->counter("mfpa_cli_probe_total").inc(2);
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line({"metrics"}), out, err), 0)
+      << err.str();
+  EXPECT_NE(out.str().find("# TYPE mfpa_cli_probe_total counter"),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("mfpa_cli_probe_total 2"), std::string::npos);
+}
+
+TEST(RunCommand, MetricsOutWritesSchemaStableJson) {
+  auto reg = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride scope(*reg);
+  const std::string dir = ::testing::TempDir();
+  const std::string telemetry = dir + "/mfpa_cli_mo.csv";
+  const std::string tickets = dir + "/mfpa_cli_mok.csv";
+  const std::string metrics = dir + "/mfpa_cli_mo_metrics.json";
+  std::ostringstream out, err;
+  ASSERT_EQ(run_command(parse_command_line(
+                            {"simulate", "--telemetry=" + telemetry,
+                             "--tickets=" + tickets, "--scenario=tiny",
+                             "--seed=6", "--metrics-out=" + metrics}),
+                        out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("wrote metrics to"), std::string::npos);
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema\": \"mfpa.metrics.v1\""),
+            std::string::npos)
+      << buf.str();
+  std::remove(telemetry.c_str());
+  std::remove(tickets.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(Usage, DocumentsObservabilityFlags) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("metrics"), std::string::npos);
+  EXPECT_NE(text.find("--metrics-out"), std::string::npos);
 }
 
 TEST(RunCommand, SimulateScaleOverride) {

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include <unistd.h>
+
 namespace mfpa::csv {
 namespace {
 
@@ -99,7 +101,9 @@ TEST(Csv, ColumnIndexLookup) {
 }
 
 TEST(Csv, FileRoundTrip) {
-  const std::string path = ::testing::TempDir() + "/mfpa_csv_test.csv";
+  // pid-unique so parallel test processes never race on the same file.
+  const std::string path = ::testing::TempDir() + "/mfpa_csv_test_" +
+                           std::to_string(::getpid()) + ".csv";
   Document doc;
   doc.header = {"x"};
   doc.rows = {{"1"}, {"2"}};

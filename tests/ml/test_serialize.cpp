@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include <unistd.h>
+
 #include "baselines/statistical.hpp"
 #include "ml/checksum.hpp"
 #include "ml/factory.hpp"
@@ -67,7 +69,10 @@ TEST(Serialize, FileRoundTrip) {
   const auto [X, y] = testing::make_blobs(60, 3, 3.0, 113);
   auto model = make_classifier("RF", {{"n_trees", 5.0}, {"seed", 1.0}});
   model->fit(X, y);
-  const std::string path = ::testing::TempDir() + "/mfpa_model_test.txt";
+  // pid-unique so parallel test processes (ctest -j, sanitizer jobs) never
+  // race on the same file.
+  const std::string path = ::testing::TempDir() + "/mfpa_model_test_" +
+                           std::to_string(::getpid()) + ".txt";
   save_classifier_file(path, *model);
   const auto restored = load_classifier_file(path);
   EXPECT_EQ(restored->predict_proba(X), model->predict_proba(X));

@@ -1,0 +1,164 @@
+// Tracer / ScopedSpan contract: disabled-by-default, every-Nth root
+// sampling with whole-subtree capture, well-formed nesting on every thread,
+// and the bounded buffer's drop accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mfpa::obs {
+namespace {
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer t;
+  ScopedTracerOverride scope(t);
+  {
+    ScopedSpan outer("outer");
+    ScopedSpan inner("inner");
+  }
+  EXPECT_TRUE(t.take_spans().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(TraceTest, SampleEveryOneCapturesWholeSubtree) {
+  Tracer t;
+  t.set_sample_every(1);
+  ScopedTracerOverride scope(t);
+  {
+    ScopedSpan root("root");
+    {
+      ScopedSpan child("child");
+      ScopedSpan grandchild("grandchild");
+    }
+    ScopedSpan sibling("sibling");
+  }
+  auto spans = t.take_spans();
+  ASSERT_EQ(spans.size(), 4u);
+  // Spans are recorded on close (LIFO), so the root comes last.
+  EXPECT_EQ(spans.back().name, "root");
+  EXPECT_EQ(spans.back().depth, 0u);
+  std::map<std::string, std::uint32_t> depth;
+  for (const auto& s : spans) depth[s.name] = s.depth;
+  EXPECT_EQ(depth.at("child"), 1u);
+  EXPECT_EQ(depth.at("grandchild"), 2u);
+  EXPECT_EQ(depth.at("sibling"), 1u);
+  for (const auto& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns) << s.name;
+  }
+}
+
+TEST(TraceTest, SampleEveryNKeepsEveryNthRoot) {
+  Tracer t;
+  t.set_sample_every(3);
+  ScopedTracerOverride scope(t);
+  for (int i = 0; i < 9; ++i) {
+    ScopedSpan root("root");
+  }
+  // Every 3rd root span: 3 of 9.
+  EXPECT_EQ(t.take_spans().size(), 3u);
+}
+
+TEST(TraceTest, SamplingDecisionIsPerRootNotPerSpan) {
+  Tracer t;
+  t.set_sample_every(2);
+  ScopedTracerOverride scope(t);
+  for (int i = 0; i < 4; ++i) {
+    ScopedSpan root("root");
+    ScopedSpan child("child");  // must ride its root's decision
+  }
+  const auto spans = t.take_spans();
+  // 2 of 4 roots sampled, each with its child.
+  ASSERT_EQ(spans.size(), 4u);
+  const auto roots = static_cast<std::size_t>(
+      std::count_if(spans.begin(), spans.end(),
+                    [](const SpanRecord& s) { return s.depth == 0; }));
+  EXPECT_EQ(roots, 2u);
+}
+
+TEST(TraceTest, NestingIsWellFormedPerThread) {
+  Tracer t;
+  t.set_sample_every(1);
+  ScopedTracerOverride scope(t);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      for (int j = 0; j < 10; ++j) {
+        ScopedSpan a("a");
+        {
+          ScopedSpan b("b");
+          ScopedSpan c("c");
+        }
+        ScopedSpan d("d");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Rebuild each thread's stream: for perfect nesting, walking spans in
+  // record order and pushing/popping by depth must always pop a span whose
+  // interval contains every deeper span recorded since it opened.
+  std::map<std::uint64_t, std::vector<SpanRecord>> by_thread;
+  for (auto& s : t.take_spans()) by_thread[s.thread].push_back(s);
+  ASSERT_EQ(by_thread.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, spans] : by_thread) {
+    EXPECT_EQ(spans.size(), 40u) << "thread " << tid;
+    // Spans close LIFO: a span at depth d must contain (in time) every
+    // span recorded before it at depth d+1 since the previous depth-d close.
+    std::vector<const SpanRecord*> pending;  // deeper spans awaiting a parent
+    for (const auto& s : spans) {
+      while (!pending.empty() && pending.back()->depth > s.depth) {
+        EXPECT_GE(pending.back()->start_ns, s.start_ns);
+        EXPECT_LE(pending.back()->end_ns, s.end_ns);
+        pending.pop_back();
+      }
+      pending.push_back(&s);
+    }
+    for (const auto* s : pending) {
+      EXPECT_LE(s->depth, 1u);  // only roots and their direct children remain
+    }
+  }
+}
+
+TEST(TraceTest, CapacityBoundDropsAndCounts) {
+  Tracer t;
+  t.set_sample_every(1);
+  t.set_capacity(5);
+  ScopedTracerOverride scope(t);
+  for (int i = 0; i < 8; ++i) {
+    ScopedSpan root("root");
+  }
+  EXPECT_EQ(t.dropped(), 3u);
+  EXPECT_EQ(t.take_spans().size(), 5u);
+  EXPECT_EQ(t.dropped(), 0u);  // take_spans resets the drop counter
+}
+
+TEST(TraceTest, OpenSpanPinsItsTracerAcrossOverrideChange) {
+  Tracer a;
+  Tracer b;
+  a.set_sample_every(1);
+  b.set_sample_every(1);
+  std::vector<SpanRecord> from_a;
+  {
+    ScopedTracerOverride scope_a(a);
+    ScopedSpan root("root");
+    {
+      // A nested override must not split root's subtree across tracers.
+      ScopedTracerOverride scope_b(b);
+      ScopedSpan child("child");
+    }
+  }
+  EXPECT_EQ(a.take_spans().size(), 2u);
+  EXPECT_TRUE(b.take_spans().empty());
+}
+
+TEST(TraceTest, GlobalTracerIsDisabledByDefault) {
+  EXPECT_FALSE(Tracer::global().enabled());
+}
+
+}  // namespace
+}  // namespace mfpa::obs

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <map>
+#include <thread>
 
 #include "core/mfpa.hpp"
 #include "core/preprocess.hpp"
@@ -265,6 +268,89 @@ TEST_F(ScoringEngineTest, RejectsZeroSizedQueueOrBatch) {
   EngineConfig config;
   config.queue_capacity = 0;
   EXPECT_THROW(ScoringEngine(registry, config), std::invalid_argument);
+}
+
+// Two engines in one process must keep disjoint stats: the registry is
+// process-wide, but each engine gets its own mfpa_serve_* family members.
+TEST_F(ScoringEngineTest, StatsAreIsolatedPerEngineInstance) {
+  ModelRegistry registry(dir_.string());
+  registry.publish_pipeline(*pipeline_a_, 0, 100);
+  EngineConfig config;
+  config.manual_drain = true;
+  config.queue_capacity = updates_->size() + 1;
+  ScoringEngine busy(registry, config);
+  ScoringEngine idle(registry, config);
+  for (std::size_t i = 0; i < 100; ++i) busy.submit((*updates_)[i]);
+  busy.flush();
+  EXPECT_EQ(busy.stats().submitted, 100u);
+  EXPECT_EQ(idle.stats().submitted, 0u);
+  EXPECT_EQ(idle.stats().batches, 0u);
+  EXPECT_EQ(idle.stats().latency_us.total(), 0u);
+}
+
+// Concurrency hammer: multiple producers racing the threaded drain loop,
+// repeated hot swaps racing the batch snapshot, and a stats() reader racing
+// everything. The engine must neither lose accounting (conservation laws
+// below) nor crash/tear; run under TSan this is the serving data-race gate.
+TEST_F(ScoringEngineTest, HammerConcurrentSubmitSwapAndStats) {
+  ModelRegistry registry(dir_.string());
+  registry.publish_pipeline(*pipeline_a_, 0, 100);
+  EngineConfig config;
+  config.queue_capacity = 64;
+  config.max_batch = 16;
+  ScoringEngine engine(registry, config);
+
+  constexpr int kProducers = 3;
+  const std::size_t per_producer = updates_->size() / kProducers;
+  std::atomic<bool> done{false};
+
+  std::thread swapper([&] {
+    // Alternate the published pipeline while traffic flows; every publish
+    // is a full artifact write + RCU swap.
+    int flips = 0;
+    while (!done.load(std::memory_order_acquire) && flips < 6) {
+      registry.publish_pipeline(flips % 2 == 0 ? *pipeline_b_ : *pipeline_a_,
+                                0, 100 + flips);
+      ++flips;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::thread reader([&] {
+    // Snapshots while the hot path runs: totals must be monotone.
+    std::uint64_t last_accepted = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto stats = engine.stats();
+      EXPECT_GE(stats.accepted, last_accepted);
+      EXPECT_LE(stats.accepted, stats.submitted);
+      last_accepted = stats.accepted;
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const std::size_t lo = static_cast<std::size_t>(p) * per_producer;
+      for (std::size_t i = lo; i < lo + per_producer; ++i) {
+        engine.submit((*updates_)[i]);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  engine.flush();
+  done.store(true, std::memory_order_release);
+  swapper.join();
+  reader.join();
+  engine.stop();
+
+  const auto stats = engine.stats();
+  const std::uint64_t sent = static_cast<std::uint64_t>(kProducers) *
+                             per_producer;
+  EXPECT_EQ(stats.submitted, sent);
+  EXPECT_EQ(stats.accepted, sent);  // blocking backpressure: nothing shed
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.records_processed + stats.rejected, sent);
+  EXPECT_EQ(stats.latency_us.total(), sent);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_GT(stats.rows_scored, 0u);
 }
 
 }  // namespace

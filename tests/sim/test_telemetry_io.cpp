@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "sim/fleet.hpp"
 
@@ -91,7 +94,9 @@ TEST(TelemetryIo, RejectsUnknownTicketCategory) {
 TEST(TelemetryIo, FileRoundTrip) {
   FleetSimulator fleet(tiny_scenario(5));
   const auto telemetry = fleet.generate_telemetry();
-  const std::string path = ::testing::TempDir() + "/mfpa_telemetry.csv";
+  // pid-unique so parallel test processes never race on the same file.
+  const std::string path = ::testing::TempDir() + "/mfpa_telemetry_" +
+                           std::to_string(::getpid()) + ".csv";
   write_telemetry_file(path, telemetry);
   const auto restored = read_telemetry_file(path);
   EXPECT_EQ(restored.size(), telemetry.size());
