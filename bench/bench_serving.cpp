@@ -7,6 +7,11 @@
 //
 //   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
 //                   [--batch=256] [--threads=0] [--out=BENCH_serving.json]
+//                   [--no-flat]
+//
+// --no-flat serves from the node-pointer trees instead of the compiled
+// flat-forest path; running both and diffing records_per_sec measures the
+// serving-side speedup of compiled inference (scores are identical).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -23,12 +28,14 @@ int main(int argc, char** argv) {
   const auto args = bench::parse_args(argc, argv);
   std::size_t max_batch = 256;
   std::size_t threads = 0;
+  bool flat = true;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (starts_with(arg, "--batch=")) max_batch = std::stoul(arg.substr(8));
     if (starts_with(arg, "--threads=")) threads = std::stoul(arg.substr(10));
     if (starts_with(arg, "--out=")) out_path = arg.substr(6);
+    if (arg == "--no-flat") flat = false;
   }
 
   bench::World world(args);
@@ -38,7 +45,7 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "mfpa-bench-registry")
           .string();
   std::filesystem::remove_all(registry_dir);
-  serve::ModelRegistry registry(registry_dir, threads);
+  serve::ModelRegistry registry(registry_dir, threads, flat);
   core::MfpaConfig config;
   config.seed = args.seed;
   const int version = serve::train_and_publish(registry, config,
@@ -61,6 +68,7 @@ int main(int argc, char** argv) {
           : static_cast<double>(report.engine.records_processed) /
                 static_cast<double>(report.engine.batches);
   TablePrinter table({"metric", "value"});
+  table.add_row({"flat inference", flat ? "on" : "off"});
   table.add_row({"records", std::to_string(report.engine.submitted)});
   table.add_row({"wall seconds", format_double(report.wall_seconds, 3)});
   table.add_row({"records/sec",
@@ -90,6 +98,7 @@ int main(int argc, char** argv) {
        << "  \"scenario\": \"" << args.scenario << "\",\n"
        << "  \"seed\": " << args.seed << ",\n"
        << "  \"algorithm\": \"RF\",\n"
+       << "  \"flat_inference\": " << (flat ? "true" : "false") << ",\n"
        << "  \"max_batch\": " << max_batch << ",\n"
        << "  \"records\": " << report.engine.submitted << ",\n"
        << "  \"days\": " << report.days_replayed << ",\n"

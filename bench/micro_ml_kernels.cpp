@@ -9,6 +9,7 @@
 #include "core/preprocess.hpp"
 #include "data/binned_matrix.hpp"
 #include "ml/factory.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/metrics.hpp"
 #include "sim/fleet.hpp"
 
@@ -88,6 +89,56 @@ void BM_GbdtPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4000);
 }
 BENCHMARK(BM_GbdtPredict)->ArgName("threads")->Arg(1)->Arg(0);
+
+// Compiled (flat-forest) vs node-pointer ensemble scoring, single thread.
+// range(0) = flat (0 pointer path, 1 compiled); 100-tree paper-scale RF.
+// The perf-regression gate tracks both: the pair documents the compiled
+// path's speedup and bench_compare.py fails CI when either regresses.
+void BM_FlatForestPredictRF(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 100}, {"seed", 1}, {"threads", 1}});
+  rf->fit(X, y);
+  if (state.range(0) != 0) {
+    dynamic_cast<ml::CompiledInference&>(*rf).compile();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_FlatForestPredictRF)->ArgName("flat")->Arg(0)->Arg(1);
+
+// Same A/B for the boosted ensemble (100 rounds, depth-5 trees).
+void BM_FlatForestPredictGbdt(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto gbdt = ml::make_classifier(
+      "GBDT", {{"n_rounds", 100}, {"seed", 1}, {"threads", 1}});
+  gbdt->fit(X, y);
+  if (state.range(0) != 0) {
+    dynamic_cast<ml::CompiledInference&>(*gbdt).compile();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_FlatForestPredictGbdt)->ArgName("flat")->Arg(0)->Arg(1);
+
+// One-off cost of flattening a 100-tree forest (paid once per model
+// activation in the serving tier; see docs/PERFORMANCE.md amortization).
+void BM_FlatForestCompile(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 100}, {"seed", 1}, {"threads", 1}});
+  rf->fit(X, y);
+  auto& compilable = dynamic_cast<ml::CompiledInference&>(*rf);
+  for (auto _ : state) {
+    compilable.compile();
+    benchmark::DoNotOptimize(compilable.flat());
+  }
+}
+BENCHMARK(BM_FlatForestCompile);
 
 void BM_BinnedMatrixBuild(benchmark::State& state) {
   const auto [X, y] = blob_data(static_cast<std::size_t>(state.range(0)), 45);

@@ -247,7 +247,10 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   std::filesystem::remove_all(registry_dir);
   const auto threads =
       static_cast<std::size_t>(cmd.get_number("threads", 0));
-  serve::ModelRegistry registry(registry_dir, threads);
+  // --no-flat serves from the node-pointer trees instead of the compiled
+  // flat-forest representation (probabilities are identical either way;
+  // the flag exists for perf A/B runs and debugging).
+  serve::ModelRegistry registry(registry_dir, threads, !cmd.has("no-flat"));
 
   auto train_config = config_from(cmd);
   const int version =
@@ -432,9 +435,11 @@ std::string usage() {
       "            --seed=N --scale=X] [--algorithm=RF] [--group=G]\n"
       "            [--threads=N] [--batch=256] [--queue-capacity=4096]\n"
       "            [--shed] [--registry=DIR] [--alert-consecutive=1]\n"
-      "            [--cooldown=0]\n"
+      "            [--cooldown=0] [--no-flat]\n"
       "            train + publish to the model registry, then stream the\n"
       "            fleet through the micro-batched scoring service\n"
+      "            (--no-flat disables compiled flat-forest inference;\n"
+      "            scores are identical, see docs/PERFORMANCE.md)\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
       "  metrics   print the process metrics registry (Prometheus text)\n"

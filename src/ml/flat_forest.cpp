@@ -1,0 +1,320 @@
+#include "ml/flat_forest.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/decision_tree.hpp"
+#include "ml/parallel_for.hpp"
+#include "obs/metrics.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+/// Compile/scoring instruments, cached per thread the same way as
+/// parallel_for.hpp's: predict_into runs on every serving micro-batch, so
+/// the handles must not take the registry mutex on the hot path. The cache
+/// key is the (registry address, generation) pair, which invalidates it
+/// whenever a test swaps in an isolated registry.
+struct FlatMetrics {
+  obs::Counter* compiles = nullptr;
+  obs::Counter* rows_scored = nullptr;
+  obs::Gauge* nodes = nullptr;
+  obs::HistogramMetric* compile_seconds = nullptr;
+  obs::HistogramMetric* batch_seconds = nullptr;
+};
+
+const FlatMetrics& flat_metrics() {
+  thread_local obs::MetricsRegistry* cached_registry = nullptr;
+  thread_local std::uint64_t cached_generation = 0;
+  thread_local FlatMetrics metrics;
+  auto& reg = obs::registry();
+  if (&reg != cached_registry || reg.generation() != cached_generation) {
+    metrics.compiles = &reg.counter("mfpa_flat_compiles_total");
+    metrics.rows_scored = &reg.counter("mfpa_flat_rows_scored_total");
+    metrics.nodes = &reg.gauge("mfpa_flat_nodes");
+    metrics.compile_seconds =
+        &reg.histogram("mfpa_flat_compile_seconds", 0.0, 10.0, 256);
+    metrics.batch_seconds =
+        &reg.histogram("mfpa_flat_batch_seconds", 0.0, 1.0, 512);
+    cached_registry = &reg;
+    cached_generation = reg.generation();
+  }
+  return metrics;
+}
+
+/// Rows per cache block: one tree's node arrays are fetched once per block,
+/// so larger blocks amortize deep-tree traffic better as long as the
+/// block's feature rows still fit beside the tree in cache.
+constexpr std::size_t kRowBlock = 96;
+
+}  // namespace
+
+FlatForest FlatForest::compile(std::span<const RegressionTree> trees,
+                               Output output, double per_tree_scale,
+                               double base) {
+  if (trees.empty()) {
+    throw std::invalid_argument("FlatForest::compile: empty ensemble");
+  }
+  std::size_t total = 0;
+  for (const auto& tree : trees) {
+    if (!tree.fitted()) {
+      throw std::invalid_argument("FlatForest::compile: unfitted tree");
+    }
+    total += tree.nodes().size();
+  }
+  if (total > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::invalid_argument("FlatForest::compile: ensemble too large");
+  }
+  const auto& metrics = flat_metrics();
+  obs::ScopedTimer timer(*metrics.compile_seconds);
+
+  FlatForest out;
+  out.output_ = output;
+  out.per_tree_scale_ = per_tree_scale;
+  out.base_ = base;
+  out.inv_trees_ = 1.0 / static_cast<double>(trees.size());
+  out.feat_.resize(total);
+  out.thr_.resize(total);
+  out.left_.resize(total);
+  out.roots_.reserve(trees.size());
+
+  // Per tree: breadth-first renumbering with the two children of every
+  // split allocated adjacently (right child = left child + 1, so no right_
+  // array exists). The BFS pair queue doubles as the slot allocator.
+  std::vector<std::pair<std::int32_t, std::int32_t>> queue;  // (src, dst)
+  std::int32_t next = 0;
+  for (const auto& tree : trees) {
+    const auto& nodes = tree.nodes();
+    out.roots_.push_back(next);
+    queue.clear();
+    queue.emplace_back(0, next++);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto [src, dst] = queue[head];
+      const TreeNode& n = nodes[static_cast<std::size_t>(src)];
+      if (n.feature < 0) {
+        out.feat_[static_cast<std::size_t>(dst)] = -1;
+        out.thr_[static_cast<std::size_t>(dst)] = n.value;
+        out.left_[static_cast<std::size_t>(dst)] = dst;  // leaves self-loop
+      } else {
+        const std::int32_t l = next;
+        next += 2;
+        out.feat_[static_cast<std::size_t>(dst)] = n.feature;
+        out.thr_[static_cast<std::size_t>(dst)] = n.threshold;
+        out.left_[static_cast<std::size_t>(dst)] = l;
+        queue.emplace_back(n.left, l);
+        queue.emplace_back(n.right, l + 1);
+      }
+    }
+  }
+  metrics.compiles->inc();
+  metrics.nodes->set(static_cast<double>(total));
+  return out;
+}
+
+std::size_t FlatForest::bytes() const noexcept {
+  return feat_.size() * sizeof(std::int32_t) + thr_.size() * sizeof(double) +
+         left_.size() * sizeof(std::int32_t) +
+         roots_.size() * sizeof(std::int32_t);
+}
+
+void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
+                                  std::size_t row_hi, std::size_t tree_lo,
+                                  std::size_t tree_hi, double* acc) const {
+  const std::int32_t* feat = feat_.data();
+  const double* thr = thr_.data();
+  const std::int32_t* left = left_.data();
+  const double scale = per_tree_scale_;
+  // One branchless descend: !(x <= thr) sends NaN right, matching the
+  // pointer path's `x <= thr ? left : right`; a lane already at a leaf
+  // clamps its feature index to 0 (thr there holds the leaf value — the
+  // comparison result is discarded) and keeps its node. The leaf select
+  // uses sign-mask arithmetic rather than ternaries: ternaries here tempt
+  // the compiler into emitting data-dependent skip branches, which
+  // mispredict every time a lane reaches its leaf.
+  const auto step = [feat, thr, left](std::int32_t n, std::int32_t f,
+                                      const double* x) noexcept {
+    const std::int32_t keep = f >> 31;  // all-ones at a leaf, else zero
+    const std::int32_t idx = f & ~keep;
+    const std::int32_t next =
+        left[n] + static_cast<std::int32_t>(!(x[idx] <= thr[n]));
+    return (n & keep) | (next & ~keep);
+  };
+  for (std::size_t t = tree_lo; t < tree_hi; ++t) {
+    const std::int32_t root = roots_[t];
+    const std::int32_t root_feat = feat[root];
+    std::size_t r = row_lo;
+    // Eight rows descend in lockstep: each lane's walk is a serial
+    // load→compare→step chain of roughly L2 latency per level, so the only
+    // way to keep the core busy is many independent chains in flight.
+    // Eight lanes saturate the load ports without spilling the lane state.
+    // The level loop is unrolled two levels deep — stepping a finished
+    // lane is a no-op, so the all-leaves test only needs to run every
+    // other level and its AND-reduce drops off the critical path.
+    for (; r + 8 <= row_hi; r += 8) {
+      const double* x0 = X.row(r).data();
+      const double* x1 = X.row(r + 1).data();
+      const double* x2 = X.row(r + 2).data();
+      const double* x3 = X.row(r + 3).data();
+      const double* x4 = X.row(r + 4).data();
+      const double* x5 = X.row(r + 5).data();
+      const double* x6 = X.row(r + 6).data();
+      const double* x7 = X.row(r + 7).data();
+      std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+      std::int32_t n4 = root, n5 = root, n6 = root, n7 = root;
+      std::int32_t f0 = root_feat, f1 = root_feat, f2 = root_feat;
+      std::int32_t f3 = root_feat, f4 = root_feat, f5 = root_feat;
+      std::int32_t f6 = root_feat, f7 = root_feat;
+      for (;;) {
+        n0 = step(n0, f0, x0);
+        n1 = step(n1, f1, x1);
+        n2 = step(n2, f2, x2);
+        n3 = step(n3, f3, x3);
+        n4 = step(n4, f4, x4);
+        n5 = step(n5, f5, x5);
+        n6 = step(n6, f6, x6);
+        n7 = step(n7, f7, x7);
+        f0 = feat[n0];
+        f1 = feat[n1];
+        f2 = feat[n2];
+        f3 = feat[n3];
+        f4 = feat[n4];
+        f5 = feat[n5];
+        f6 = feat[n6];
+        f7 = feat[n7];
+        n0 = step(n0, f0, x0);
+        n1 = step(n1, f1, x1);
+        n2 = step(n2, f2, x2);
+        n3 = step(n3, f3, x3);
+        n4 = step(n4, f4, x4);
+        n5 = step(n5, f5, x5);
+        n6 = step(n6, f6, x6);
+        n7 = step(n7, f7, x7);
+        f0 = feat[n0];
+        f1 = feat[n1];
+        f2 = feat[n2];
+        f3 = feat[n3];
+        f4 = feat[n4];
+        f5 = feat[n5];
+        f6 = feat[n6];
+        f7 = feat[n7];
+        // A leaf's feature is -1, an internal node's is >= 0, so the AND
+        // of the lanes' features has its sign bit set iff every lane has
+        // reached a leaf.
+        const std::int32_t pending =
+            f0 & f1 & f2 & f3 & f4 & f5 & f6 & f7;
+        if (pending < 0) break;
+      }
+      acc[r - row_lo + 0] += scale * thr[n0];
+      acc[r - row_lo + 1] += scale * thr[n1];
+      acc[r - row_lo + 2] += scale * thr[n2];
+      acc[r - row_lo + 3] += scale * thr[n3];
+      acc[r - row_lo + 4] += scale * thr[n4];
+      acc[r - row_lo + 5] += scale * thr[n5];
+      acc[r - row_lo + 6] += scale * thr[n6];
+      acc[r - row_lo + 7] += scale * thr[n7];
+    }
+    for (; r < row_hi; ++r) {
+      const double* x = X.row(r).data();
+      std::int32_t n = root;
+      std::int32_t f = root_feat;
+      while (f >= 0) {
+        n = left[n] + static_cast<std::int32_t>(!(x[f] <= thr[n]));
+        f = feat[n];
+      }
+      acc[r - row_lo] += scale * thr[n];
+    }
+  }
+}
+
+void FlatForest::finish_range(const double* acc, std::span<double> out,
+                              std::size_t lo, std::size_t hi) const {
+  if (output_ == Output::kMeanClamp) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = std::clamp(acc[r - lo] * inv_trees_, 0.0, 1.0);
+    }
+  } else {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = stable_sigmoid(acc[r - lo]);
+    }
+  }
+}
+
+void FlatForest::predict_into(const data::Matrix& X, std::span<double> out,
+                              std::size_t threads) const {
+  if (empty()) {
+    throw std::logic_error("FlatForest: predict on an empty forest");
+  }
+  if (out.size() != X.rows()) {
+    throw std::invalid_argument("FlatForest::predict_into: size mismatch");
+  }
+  const auto& metrics = flat_metrics();
+  obs::ScopedTimer timer(*metrics.batch_seconds);
+  parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
+    double acc[kRowBlock];
+    for (std::size_t block = lo; block < hi; block += kRowBlock) {
+      const std::size_t block_hi = std::min(block + kRowBlock, hi);
+      std::fill(acc, acc + (block_hi - block), base_);
+      accumulate_range(X, block, block_hi, 0, roots_.size(), acc);
+      finish_range(acc, out, block, block_hi);
+    }
+  });
+  metrics.rows_scored->inc(X.rows());
+}
+
+std::vector<double> FlatForest::predict(const data::Matrix& X,
+                                        std::size_t threads) const {
+  std::vector<double> out(X.rows());
+  predict_into(X, out, threads);
+  return out;
+}
+
+void FlatForest::predict_tree_parallel_into(const data::Matrix& X,
+                                            std::span<double> out,
+                                            std::size_t threads) const {
+  if (empty()) {
+    throw std::logic_error("FlatForest: predict on an empty forest");
+  }
+  if (out.size() != X.rows()) {
+    throw std::invalid_argument(
+        "FlatForest::predict_tree_parallel_into: size mismatch");
+  }
+  threads = resolve_threads(threads);
+  const std::size_t workers = std::min(threads, roots_.size());
+  if (workers <= 1) {
+    predict_into(X, out, 1);
+    return;
+  }
+  const auto& metrics = flat_metrics();
+  obs::ScopedTimer timer(*metrics.batch_seconds);
+  const std::size_t n = X.rows();
+  // Each worker owns a contiguous tree slice and a private accumulator;
+  // partials combine in slice order afterwards, so a fixed thread count is
+  // deterministic (but the regrouped additions are not bit-identical across
+  // thread counts — see the header).
+  std::vector<std::vector<double>> partial(workers,
+                                           std::vector<double>(n, 0.0));
+  parallel_for_blocks(workers, workers, [&](std::size_t wlo, std::size_t whi) {
+    for (std::size_t w = wlo; w < whi; ++w) {
+      const std::size_t tree_lo = w * roots_.size() / workers;
+      const std::size_t tree_hi = (w + 1) * roots_.size() / workers;
+      double acc[kRowBlock];
+      for (std::size_t block = 0; block < n; block += kRowBlock) {
+        const std::size_t block_hi = std::min(block + kRowBlock, n);
+        std::fill(acc, acc + (block_hi - block), 0.0);
+        accumulate_range(X, block, block_hi, tree_lo, tree_hi, acc);
+        for (std::size_t r = block; r < block_hi; ++r) {
+          partial[w][r] = acc[r - block];
+        }
+      }
+    }
+  });
+  std::vector<double> total(n, base_);
+  for (std::size_t w = 0; w < workers; ++w) {
+    for (std::size_t r = 0; r < n; ++r) total[r] += partial[w][r];
+  }
+  finish_range(total.data(), out, 0, n);
+  metrics.rows_scored->inc(n);
+}
+
+}  // namespace mfpa::ml

@@ -16,23 +16,15 @@
 #include "data/binned_matrix.hpp"
 
 namespace mfpa::ml {
-namespace {
 
-double sigmoid(double z) noexcept {
-  if (z >= 0.0) {
-    const double e = std::exp(-z);
-    return 1.0 / (1.0 + e);
-  }
-  const double e = std::exp(z);
-  return e / (1.0 + e);
-}
-
-}  // namespace
+// The logistic lives in flat_forest.hpp (stable_sigmoid) so the pointer and
+// compiled paths share one definition and stay bit-identical.
 
 GbdtClassifier::GbdtClassifier(Hyperparams params) : params_(std::move(params)) {}
 
 void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
   validate_fit_args(X, y);
+  flat_.reset();  // compiled form derives from the trees being replaced
   const std::size_t n_rounds =
       static_cast<std::size_t>(param_or(params_, "n_rounds", 80));
   learning_rate_ = param_or(params_, "learning_rate", 0.2);
@@ -83,7 +75,7 @@ void GbdtClassifier::fit(const Matrix& X, const std::vector<int>& y) {
 
   for (std::size_t round = 0; round < n_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
-      const double p = sigmoid(raw[i]);
+      const double p = stable_sigmoid(raw[i]);
       grad[i] = static_cast<double>(y[i]) - p;  // negative gradient of BCE
       hess[i] = std::max(p * (1.0 - p), 1e-12);
     }
@@ -124,10 +116,16 @@ std::vector<double> GbdtClassifier::predict_proba(const Matrix& X) const {
   if (trees_.empty()) throw std::logic_error("GbdtClassifier: predict before fit");
   const std::size_t threads =
       static_cast<std::size_t>(param_or(params_, "threads", 1));
+  if (flat_) {
+    // Compiled path: bit-identical to the loop below (see flat_forest.hpp).
+    std::vector<double> compiled(X.rows());
+    flat_->predict_into(X, compiled, threads);
+    return compiled;
+  }
   std::vector<double> out(X.rows());
   parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) {
-      out[r] = sigmoid(raw_score_row(X.row(r)));
+      out[r] = stable_sigmoid(raw_score_row(X.row(r)));
     }
   });
   return out;
@@ -154,8 +152,16 @@ void GbdtClassifier::load_state(std::istream& is) {
   }
   base_score_ = io::read_double(is);
   learning_rate_ = io::read_double(is);
+  flat_.reset();
   trees_.assign(count, RegressionTree{});
   for (auto& tree : trees_) tree.load(is);
+}
+
+bool GbdtClassifier::compile() {
+  if (trees_.empty()) return false;
+  flat_ = std::make_shared<const FlatForest>(FlatForest::compile(
+      trees_, FlatForest::Output::kSigmoid, learning_rate_, base_score_));
+  return true;
 }
 
 std::vector<double> GbdtClassifier::feature_importance() const {

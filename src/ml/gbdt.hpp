@@ -4,6 +4,7 @@
 
 #include "ml/binned_support.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/model.hpp"
 
 #include <memory>
@@ -17,7 +18,11 @@ namespace mfpa::ml {
 /// predict_proba over rows, thread-count-invariant), "split_method"
 /// (0 = exact, 1 = hist; default 1), "max_bins" (255). With the hist path
 /// the feature matrix is binned once per fit and shared by every round.
-class GbdtClassifier final : public Classifier, public BinnedFitSupport {
+/// After compile(), predict_proba serves bit-identical probabilities from
+/// the flattened ensemble (see ml/flat_forest.hpp).
+class GbdtClassifier final : public Classifier,
+                             public BinnedFitSupport,
+                             public CompiledInference {
  public:
   explicit GbdtClassifier(Hyperparams params = {});
 
@@ -40,6 +45,11 @@ class GbdtClassifier final : public Classifier, public BinnedFitSupport {
     shared_bins_ = std::move(bins);
   }
 
+  /// CompiledInference: flatten the fitted booster; fit()/load_state()
+  /// invalidate the compiled form.
+  bool compile() override;
+  const FlatForest* flat() const noexcept override { return flat_.get(); }
+
  private:
   Hyperparams params_;
   std::vector<RegressionTree> trees_;
@@ -47,6 +57,7 @@ class GbdtClassifier final : public Classifier, public BinnedFitSupport {
   double learning_rate_ = 0.2;
   std::size_t n_features_ = 0;
   std::shared_ptr<const data::BinnedMatrix> shared_bins_;
+  std::shared_ptr<const FlatForest> flat_;
 
   double raw_score_row(std::span<const double> row) const;
 };

@@ -23,6 +23,7 @@ RandomForestClassifier::RandomForestClassifier(Hyperparams params)
 
 void RandomForestClassifier::fit(const Matrix& X, const std::vector<int>& y) {
   validate_fit_args(X, y);
+  flat_.reset();  // compiled form derives from the trees being replaced
   const std::size_t n_trees =
       static_cast<std::size_t>(param_or(params_, "n_trees", 60));
   const bool bootstrap = param_or(params_, "bootstrap", 1) != 0;
@@ -103,6 +104,12 @@ std::vector<double> RandomForestClassifier::predict_proba(const Matrix& X) const
   }
   const std::size_t threads =
       static_cast<std::size_t>(param_or(params_, "threads", 1));
+  if (flat_) {
+    // Compiled path: bit-identical to the loop below (see flat_forest.hpp).
+    std::vector<double> out(X.rows());
+    flat_->predict_into(X, out, threads);
+    return out;
+  }
   std::vector<double> out(X.rows(), 0.0);
   const double inv = 1.0 / static_cast<double>(trees_.size());
   // Row-parallel, tree-order summation per row: the per-row result is a sum
@@ -136,8 +143,16 @@ void RandomForestClassifier::load_state(std::istream& is) {
   if (!(is >> count >> n_features_) || count == 0 || count > 100000) {
     throw std::runtime_error("RandomForestClassifier: bad forest header");
   }
+  flat_.reset();
   trees_.assign(count, RegressionTree{});
   for (auto& tree : trees_) tree.load(is);
+}
+
+bool RandomForestClassifier::compile() {
+  if (trees_.empty()) return false;
+  flat_ = std::make_shared<const FlatForest>(FlatForest::compile(
+      trees_, FlatForest::Output::kMeanClamp, 1.0, 0.0));
+  return true;
 }
 
 std::vector<double> RandomForestClassifier::feature_importance() const {

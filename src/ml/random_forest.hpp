@@ -4,6 +4,7 @@
 
 #include "ml/binned_support.hpp"
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/model.hpp"
 
 #include <memory>
@@ -17,8 +18,11 @@ namespace mfpa::ml {
 /// 0 = hardware, used for both fit and predict_proba), "split_method"
 /// (0 = exact, 1 = hist; default 1), "max_bins" (255). With the hist path
 /// the feature matrix is binned once per fit and shared by every tree.
+/// After compile(), predict_proba serves bit-identical probabilities from
+/// the flattened ensemble (see ml/flat_forest.hpp).
 class RandomForestClassifier final : public Classifier,
-                                     public BinnedFitSupport {
+                                     public BinnedFitSupport,
+                                     public CompiledInference {
  public:
   explicit RandomForestClassifier(Hyperparams params = {});
 
@@ -43,11 +47,17 @@ class RandomForestClassifier final : public Classifier,
     shared_bins_ = std::move(bins);
   }
 
+  /// CompiledInference: flatten the fitted forest; fit()/load_state()
+  /// invalidate the compiled form.
+  bool compile() override;
+  const FlatForest* flat() const noexcept override { return flat_.get(); }
+
  private:
   Hyperparams params_;
   std::vector<RegressionTree> trees_;
   std::size_t n_features_ = 0;
   std::shared_ptr<const data::BinnedMatrix> shared_bins_;
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace mfpa::ml

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "ml/checksum.hpp"
+#include "ml/flat_forest.hpp"
 #include "ml/serialize.hpp"
 
 namespace mfpa::serve {
@@ -65,8 +66,11 @@ core::SampleBuilder ServedModel::make_builder() const {
   return core::SampleBuilder(sc, &encoder);
 }
 
-ModelRegistry::ModelRegistry(std::string directory, std::size_t score_threads)
-    : dir_(std::move(directory)), score_threads_(score_threads) {
+ModelRegistry::ModelRegistry(std::string directory, std::size_t score_threads,
+                             bool compile_models)
+    : dir_(std::move(directory)),
+      score_threads_(score_threads),
+      compile_models_(compile_models) {
   auto& reg = obs::registry();
   metrics_.publishes = &reg.counter("mfpa_registry_publishes_total");
   metrics_.activations = &reg.counter("mfpa_registry_activations_total");
@@ -240,6 +244,15 @@ std::shared_ptr<const ServedModel> ModelRegistry::load_version(
   ml::Hyperparams overrides;
   overrides["threads"] = static_cast<double>(score_threads_);
   served->classifier = ml::load_classifier(f, overrides);
+  // Compile tree ensembles into the flat inference format here, at
+  // activation time, so every model the engine hot-swaps to serves from
+  // the compiled representation (probabilities stay bit-identical).
+  if (compile_models_) {
+    if (auto* compiled =
+            dynamic_cast<ml::CompiledInference*>(served->classifier.get())) {
+      compiled->compile();
+    }
+  }
   return served;
 }
 

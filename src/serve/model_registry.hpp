@@ -72,8 +72,12 @@ class ModelRegistry {
   /// version when one is recorded. `score_threads` is stamped onto every
   /// loaded classifier's "threads" hyperparameter (0 = all cores) so batch
   /// predict_proba uses the serving tier's pool regardless of how the
-  /// trainer was configured.
-  explicit ModelRegistry(std::string directory, std::size_t score_threads = 0);
+  /// trainer was configured. With `compile_models` (the default), every
+  /// loaded classifier that supports ml::CompiledInference is flattened at
+  /// activation time, so hot-swapped models always serve from the compiled
+  /// representation (bit-identical probabilities; see ml/flat_forest.hpp).
+  explicit ModelRegistry(std::string directory, std::size_t score_threads = 0,
+                         bool compile_models = true);
 
   const std::string& directory() const noexcept { return dir_; }
 
@@ -114,6 +118,7 @@ class ModelRegistry {
  private:
   std::string dir_;
   std::size_t score_threads_;
+  bool compile_models_;
   mutable std::mutex current_mu_;  ///< guards only the current_ pointer copy
   std::shared_ptr<const ServedModel> current_;
   mutable std::mutex publish_mu_;  ///< serializes publishers, never readers

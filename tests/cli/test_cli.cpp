@@ -231,6 +231,11 @@ TEST(Usage, DocumentsObservabilityFlags) {
   EXPECT_NE(text.find("--metrics-out"), std::string::npos);
 }
 
+TEST(Usage, DocumentsCompiledInferenceFlag) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("--no-flat"), std::string::npos);
+}
+
 TEST(RunCommand, SimulateScaleOverride) {
   const std::string dir = ::testing::TempDir();
   const std::string telemetry = dir + "/mfpa_cli_s.csv";

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a benchmark JSON against a committed baseline.
+
+Two input schemas are understood, detected per file:
+
+* google-benchmark JSON (micro_ml_kernels): every non-aggregate entry in
+  `benchmarks` is compared by `name` on `real_time` — lower is better.
+* serving-replay JSON (bench_serving, `"bench": "serving_replay"`): compared
+  on `records_per_sec` — higher is better.
+
+A benchmark regresses when it is worse than the baseline by more than
+`--tolerance` (default 0.15 = 15%). Any regression prints a table and exits
+non-zero, so CI can gate on it. Baselines live in bench/baselines/ and are
+refreshed deliberately with --update after an accepted perf change.
+
+Exit codes: 0 ok (or baseline updated), 1 regression, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_compare: cannot read {path}: {err}")
+
+
+def metrics(doc: dict, path: str) -> dict[str, tuple[float, bool]]:
+    """Extract {name: (value, lower_is_better)} from either schema."""
+    if doc.get("bench") == "serving_replay":
+        try:
+            return {"records_per_sec": (float(doc["records_per_sec"]), False)}
+        except (KeyError, TypeError, ValueError):
+            raise SystemExit(
+                f"bench_compare: {path}: serving schema lacks records_per_sec")
+    if "benchmarks" in doc:
+        out: dict[str, tuple[float, bool]] = {}
+        for entry in doc["benchmarks"]:
+            # Aggregate rows (mean/median/stddev) duplicate the plain runs.
+            if entry.get("run_type", "iteration") != "iteration":
+                continue
+            try:
+                out[entry["name"]] = (float(entry["real_time"]), True)
+            except (KeyError, TypeError, ValueError):
+                raise SystemExit(
+                    f"bench_compare: {path}: malformed benchmark entry")
+        if not out:
+            raise SystemExit(f"bench_compare: {path}: no benchmark entries")
+        return out
+    raise SystemExit(f"bench_compare: {path}: unrecognized schema")
+
+
+def compare(baseline: dict[str, tuple[float, bool]],
+            current: dict[str, tuple[float, bool]],
+            tolerance: float) -> tuple[list[str], list[str]]:
+    """Returns (regressions, notes) as printable lines."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name, (base_value, lower_better) in sorted(baseline.items()):
+        if name not in current:
+            notes.append(f"  missing in current run (skipped): {name}")
+            continue
+        cur_value, _ = current[name]
+        if base_value <= 0:
+            notes.append(f"  non-positive baseline (skipped): {name}")
+            continue
+        # Normalize so +ratio always means "worse than baseline".
+        if lower_better:
+            ratio = cur_value / base_value - 1.0
+        else:
+            ratio = base_value / cur_value - 1.0 if cur_value > 0 else float("inf")
+        line = (f"  {name}: baseline {base_value:,.1f}  current "
+                f"{cur_value:,.1f}  ({ratio:+.1%} vs tolerance "
+                f"{tolerance:.0%})")
+        if ratio > tolerance:
+            regressions.append(line)
+        elif ratio < -tolerance:
+            notes.append("  improved beyond tolerance (consider --update):"
+                         + line)
+    for name in sorted(set(current) - set(baseline)):
+        notes.append(f"  new benchmark without baseline (skipped): {name}")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (bench/baselines/...)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative slowdown (default 0.15)")
+    parser.add_argument("--update", action="store_true",
+                        help="overwrite the baseline with the current run")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+
+    if args.update:
+        load(args.current)  # validate before clobbering the baseline
+        shutil.copyfile(args.current, args.baseline)
+        print(f"bench_compare: baseline {args.baseline} updated from "
+              f"{args.current}")
+        return 0
+
+    baseline = metrics(load(args.baseline), args.baseline)
+    current = metrics(load(args.current), args.current)
+    regressions, notes = compare(baseline, current, args.tolerance)
+    for note in notes:
+        print(note)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for line in regressions:
+            print(line)
+        return 1
+    print(f"bench_compare: OK — {len(baseline)} benchmark(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except SystemExit as err:
+        if isinstance(err.code, str):
+            print(err.code, file=sys.stderr)
+            sys.exit(2)
+        raise
