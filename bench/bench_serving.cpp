@@ -7,11 +7,15 @@
 //
 //   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
 //                   [--batch=256] [--threads=0] [--out=BENCH_serving.json]
-//                   [--no-flat]
+//                   [--no-flat] [--no-durable]
 //
 // --no-flat serves from the node-pointer trees instead of the compiled
 // flat-forest path; running both and diffing records_per_sec measures the
 // serving-side speedup of compiled inference (scores are identical).
+//
+// Unless --no-durable is given, a second replay pass runs with the
+// checksummed WAL + checkpoints enabled (docs/DURABILITY.md), reporting
+// durable_records_per_sec so the perf gate tracks the durability tax.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   std::size_t max_batch = 256;
   std::size_t threads = 0;
   bool flat = true;
+  bool durable = true;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -36,6 +41,7 @@ int main(int argc, char** argv) {
     if (starts_with(arg, "--threads=")) threads = std::stoul(arg.substr(10));
     if (starts_with(arg, "--out=")) out_path = arg.substr(6);
     if (arg == "--no-flat") flat = false;
+    if (arg == "--no-durable") durable = false;
   }
 
   bench::World world(args);
@@ -62,6 +68,23 @@ int main(int argc, char** argv) {
   const auto report = replayer.replay(engine);
   engine.stop();
 
+  // Durable pass: same fleet, same model, with the WAL + checkpoint path
+  // on. The throughput delta is the price of crash consistency.
+  double durable_records_per_sec = 0.0;
+  if (durable) {
+    const auto durable_dir =
+        (std::filesystem::temp_directory_path() / "mfpa-bench-durable")
+            .string();
+    std::filesystem::remove_all(durable_dir);
+    serve::EngineConfig durable_config = engine_config;
+    durable_config.durability.dir = durable_dir;
+    serve::ScoringEngine durable_engine(registry, durable_config);
+    const auto durable_report = replayer.replay(durable_engine);
+    durable_engine.stop();
+    durable_records_per_sec = durable_report.records_per_sec;
+    std::filesystem::remove_all(durable_dir);
+  }
+
   const double mean_batch =
       report.engine.batches == 0
           ? 0.0
@@ -74,6 +97,11 @@ int main(int argc, char** argv) {
   table.add_row({"records/sec",
                  format_with_commas(
                      static_cast<long long>(report.records_per_sec))});
+  if (durable) {
+    table.add_row({"durable records/sec",
+                   format_with_commas(
+                       static_cast<long long>(durable_records_per_sec))});
+  }
   table.add_row({"micro-batches", std::to_string(report.engine.batches)});
   table.add_row({"mean batch size", format_double(mean_batch, 1)});
   table.add_row({"max queue depth",
@@ -103,7 +131,12 @@ int main(int argc, char** argv) {
        << "  \"records\": " << report.engine.submitted << ",\n"
        << "  \"days\": " << report.days_replayed << ",\n"
        << "  \"wall_seconds\": " << report.wall_seconds << ",\n"
-       << "  \"records_per_sec\": " << report.records_per_sec << ",\n"
+       << "  \"records_per_sec\": " << report.records_per_sec << ",\n";
+  if (durable) {
+    json << "  \"durable_records_per_sec\": " << durable_records_per_sec
+         << ",\n";
+  }
+  json
        << "  \"micro_batches\": " << report.engine.batches << ",\n"
        << "  \"mean_batch_size\": " << mean_batch << ",\n"
        << "  \"max_queue_depth\": " << report.engine.max_queue_depth << ",\n"

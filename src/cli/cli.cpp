@@ -1,7 +1,9 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <csignal>
 #include <filesystem>
+#include <fstream>
 #include <ostream>
 #include <stdexcept>
 
@@ -19,6 +21,12 @@
 
 namespace mfpa::cli {
 namespace {
+
+/// Set by SIGTERM/SIGINT during serve-replay; the feed checks it between
+/// submissions, drains the queue, seals the durable state, and exits 0.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void handle_shutdown_signal(int) { g_shutdown_requested = 1; }
 
 RobustnessConfig robustness_from(const CommandLine& cmd) {
   if (cmd.has("strict") && cmd.has("lenient")) {
@@ -243,8 +251,12 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   const auto registry_dir = cmd.get(
       "registry",
       (std::filesystem::temp_directory_path() / "mfpa-serve-registry").string());
-  // A stale registry from a previous run would serve yesterday's model.
-  std::filesystem::remove_all(registry_dir);
+  // A stale registry from a previous run would serve yesterday's model —
+  // unless the caller asked for exactly that (--reuse-registry pairs with
+  // --durable-dir: a recovering process must score under the same model the
+  // checkpoint was taken with).
+  const bool reuse_registry = cmd.has("reuse-registry");
+  if (!reuse_registry) std::filesystem::remove_all(registry_dir);
   const auto threads =
       static_cast<std::size_t>(cmd.get_number("threads", 0));
   // --no-flat serves from the node-pointer trees instead of the compiled
@@ -253,10 +265,15 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   serve::ModelRegistry registry(registry_dir, threads, !cmd.has("no-flat"));
 
   auto train_config = config_from(cmd);
-  const int version =
-      serve::train_and_publish(registry, train_config, telemetry, tickets);
-  out << "published " << train_config.algorithm << " v" << version << " to "
-      << registry_dir << "\n";
+  int version = registry.current_version();
+  if (reuse_registry && version > 0) {
+    out << "reusing model v" << version << " from " << registry_dir << "\n";
+  } else {
+    version =
+        serve::train_and_publish(registry, train_config, telemetry, tickets);
+    out << "published " << train_config.algorithm << " v" << version << " to "
+        << registry_dir << "\n";
+  }
 
   serve::EngineConfig engine_config;
   engine_config.store.preprocess = train_config.preprocess;
@@ -270,14 +287,57 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   engine_config.max_batch =
       static_cast<std::size_t>(cmd.get_number("batch", 256));
   engine_config.shed_on_full = cmd.has("shed");
+  engine_config.durability.dir = cmd.get("durable-dir", "");
+  engine_config.durability.group_commit_records =
+      static_cast<std::size_t>(cmd.get_number("wal-group-commit", 256));
+  engine_config.durability.checkpoint_interval_records =
+      static_cast<std::size_t>(cmd.get_number("checkpoint-interval", 4096));
+  // Recovery happens in the constructor; corruption and model-version
+  // mismatches throw and surface as a loud failure (exit 2).
   serve::ScoringEngine engine(registry, engine_config);
 
+  if (engine.recovery().has_value()) {
+    const auto& rec = *engine.recovery();
+    out << "durable recovery: "
+        << (rec.checkpoint_loaded
+                ? "checkpoint @ lsn " + std::to_string(rec.checkpoint_lsn)
+                : std::string("no checkpoint"))
+        << ", wal tail replayed " << rec.wal.records_replayable
+        << ", durable alerts " << rec.alerts.size() << ", torn tails "
+        << rec.wal.torn_tails;
+    if (rec.checkpoints_skipped > 0) {
+      out << ", corrupt checkpoints skipped " << rec.checkpoints_skipped;
+    }
+    out << "\n";
+    if (engine.durable_resume_records() > 0) {
+      out << "resuming feed after " << engine.durable_resume_records()
+          << " durable records\n";
+    }
+  }
+
   const serve::FleetReplayer replayer(telemetry);
-  const auto report = replayer.replay(engine);
+  serve::ReplayOptions replay_options;
+  replay_options.skip_records = engine.durable_resume_records();
+  replay_options.kill_after_records =
+      static_cast<std::size_t>(cmd.get_number("kill-after", 0));
+  replay_options.cancel = &g_shutdown_requested;
+  g_shutdown_requested = 0;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  const auto report = replayer.replay(engine, replay_options);
   engine.stop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (report.interrupted) {
+    out << "shutdown signal received: queue drained, durable state sealed\n";
+  }
 
   TablePrinter table({"metric", "value"});
   table.add_row({"records submitted", std::to_string(report.engine.submitted)});
+  if (report.records_skipped > 0) {
+    table.add_row({"records resumed past",
+                   std::to_string(report.records_skipped)});
+  }
   table.add_row({"records shed", std::to_string(report.engine.shed)});
   table.add_row({"days replayed", std::to_string(report.days_replayed)});
   table.add_row({"throughput (rec/s)",
@@ -306,6 +366,28 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   table.print(out);
   read_stats.merge(report.store.ingest);
   report_ingest(read_stats, robustness, out);
+
+  // The full alert stream (recovered durable prefix + this run), one line
+  // per alert with round-trip score precision — the byte-comparable proof
+  // artifact of the crash-recovery tests.
+  const auto alerts_path = cmd.get("alerts-out", "");
+  if (!alerts_path.empty()) {
+    std::ofstream alerts_file(alerts_path, std::ios::binary | std::ios::trunc);
+    if (!alerts_file) {
+      throw std::runtime_error("cannot write alerts to " + alerts_path);
+    }
+    for (const auto& alert : report.alerts) {
+      alerts_file << alert.drive_id << ' ' << alert.day << ' ';
+      ml::io::write_double(alerts_file, alert.score);
+      alerts_file << '\n';
+    }
+    alerts_file.flush();
+    if (!alerts_file) {
+      throw std::runtime_error("write failed for " + alerts_path);
+    }
+    out << "wrote " << report.alerts.size() << " alerts to " << alerts_path
+        << "\n";
+  }
   return 0;
 }
 
@@ -436,10 +518,19 @@ std::string usage() {
       "            [--threads=N] [--batch=256] [--queue-capacity=4096]\n"
       "            [--shed] [--registry=DIR] [--alert-consecutive=1]\n"
       "            [--cooldown=0] [--no-flat]\n"
+      "            [--durable-dir=DIR] [--wal-group-commit=256]\n"
+      "            [--checkpoint-interval=4096] [--reuse-registry]\n"
+      "            [--alerts-out=FILE] [--kill-after=N]\n"
       "            train + publish to the model registry, then stream the\n"
       "            fleet through the micro-batched scoring service\n"
       "            (--no-flat disables compiled flat-forest inference;\n"
       "            scores are identical, see docs/PERFORMANCE.md)\n"
+      "            --durable-dir enables the checksummed WAL + checkpoints\n"
+      "            and auto-resumes from existing durable state; pair with\n"
+      "            --reuse-registry so recovery scores under the same model\n"
+      "            (see docs/DURABILITY.md). SIGTERM/SIGINT drain the queue,\n"
+      "            seal the durable state, and exit 0. --kill-after raises\n"
+      "            SIGKILL mid-stream (crash-recovery testing).\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
       "  metrics   print the process metrics registry (Prometheus text)\n"

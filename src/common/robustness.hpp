@@ -93,6 +93,12 @@ struct IngestStats {
 
   /// One-line summary ("rows 1200 (repaired 3, dropped 2), faults: ...").
   std::string summary() const;
+
+  /// Whitespace-tokenized serialization (used inside durable checkpoints;
+  /// integrity is the enclosing format's job). Diagnostics are
+  /// length-prefixed so embedded spaces survive the round trip.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 };
 
 /// Renders the full report (summary, per-cause table, diagnostics) to `os`.

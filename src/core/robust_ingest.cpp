@@ -1,8 +1,13 @@
 #include "core/robust_ingest.hpp"
 
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 #include <stdexcept>
+#include <type_traits>
+
+#include "ml/serialize.hpp"
 
 namespace mfpa::core {
 namespace {
@@ -165,6 +170,53 @@ std::optional<sim::DailyRecord> RecordSanitizer::sanitize(
     metrics_.rows_repaired->inc();
   }
   return rec;
+}
+
+void RecordSanitizer::save_state(std::ostream& os) const {
+  os << "sanitizer 1\n";
+  stats_.save(os);
+  os << "last_day " << (last_day_.has_value() ? 1 : 0) << ' '
+     << (last_day_.has_value() ? *last_day_ : 0) << '\n';
+  const auto write_array = [&os](const char* tag, const auto& values) {
+    os << tag << ' ' << values.size();
+    for (const auto v : values) {
+      os << ' ';
+      ml::io::write_double(os, static_cast<double>(v));
+    }
+    os << '\n';
+  };
+  write_array("last_raw", last_raw_);
+  write_array("rebase_offset", rebase_offset_);
+  write_array("last_good", last_good_);
+}
+
+void RecordSanitizer::load_state(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "sanitizer" || version != 1) {
+    throw std::runtime_error("RecordSanitizer: malformed state header");
+  }
+  stats_.load(is);
+  int has = 0;
+  DayIndex day = 0;
+  if (!(is >> tag >> has >> day) || tag != "last_day") {
+    throw std::runtime_error("RecordSanitizer: malformed last_day");
+  }
+  last_day_ = has ? std::optional<DayIndex>(day) : std::nullopt;
+  const auto read_array = [&is](const char* expect_tag, auto& values) {
+    std::string t;
+    std::size_t n = 0;
+    if (!(is >> t >> n) || t != expect_tag || n != values.size()) {
+      throw std::runtime_error(std::string("RecordSanitizer: malformed ") +
+                               expect_tag);
+    }
+    for (auto& v : values) {
+      v = static_cast<std::decay_t<decltype(v)>>(ml::io::read_double(is));
+    }
+  };
+  read_array("last_raw", last_raw_);
+  read_array("rebase_offset", rebase_offset_);
+  read_array("last_good", last_good_);
 }
 
 }  // namespace mfpa::core

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <optional>
 
 #include "common/robustness.hpp"
@@ -58,6 +59,14 @@ class RecordSanitizer {
 
   /// Resets all state for a new drive.
   void reset();
+
+  /// Serializes the full sanitizer state (day-order cursor, re-basing
+  /// offsets, last-good values, accounting) for durable checkpoints; a
+  /// loaded sanitizer continues the delivery sequence bit-identically.
+  /// Doubles round-trip at full precision; integrity is the enclosing
+  /// checkpoint's checksum.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   RobustnessConfig config_;

@@ -1,8 +1,12 @@
 #include "core/streaming.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <string>
+
+#include "ml/serialize.hpp"
 
 namespace mfpa::core {
 
@@ -130,6 +134,88 @@ ProcessedDrive StreamingIngestor::snapshot() const {
   out.vendor = vendor_;
   out.records = segment_;
   return out;
+}
+
+void StreamingIngestor::save_state(std::ostream& os) const {
+  os << "ingestor 1\n";
+  sanitizer_.save_state(os);
+  os << "counters " << real_records_ << ' ' << segments_started_ << ' '
+     << (last_day_.has_value() ? 1 : 0) << ' '
+     << (last_day_.has_value() ? *last_day_ : 0) << '\n';
+  const auto write_doubles = [&os](const auto& values) {
+    for (const double v : values) {
+      os << ' ';
+      ml::io::write_double(os, v);
+    }
+  };
+  os << "w_cum";
+  write_doubles(w_cum_);
+  os << "\nb_cum";
+  write_doubles(b_cum_);
+  os << '\n';
+  os << "segment " << segment_.size() << '\n';
+  for (const auto& rec : segment_) {
+    os << rec.day << ' ' << (rec.synthetic ? 1 : 0) << ' '
+       << rec.firmware.size() << ' ' << rec.firmware;
+    write_doubles(rec.smart);
+    write_doubles(rec.w_cum);
+    write_doubles(rec.b_cum);
+    os << '\n';
+  }
+}
+
+void StreamingIngestor::load_state(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "ingestor" || version != 1) {
+    throw std::runtime_error("StreamingIngestor: malformed state header");
+  }
+  sanitizer_.load_state(is);
+  int has_day = 0;
+  DayIndex day = 0;
+  if (!(is >> tag >> real_records_ >> segments_started_ >> has_day >> day) ||
+      tag != "counters") {
+    throw std::runtime_error("StreamingIngestor: malformed counters");
+  }
+  last_day_ = has_day ? std::optional<DayIndex>(day) : std::nullopt;
+  const auto read_doubles = [&is](auto& values) {
+    for (double& v : values) v = ml::io::read_double(is);
+  };
+  if (!(is >> tag) || tag != "w_cum") {
+    throw std::runtime_error("StreamingIngestor: malformed w_cum");
+  }
+  read_doubles(w_cum_);
+  if (!(is >> tag) || tag != "b_cum") {
+    throw std::runtime_error("StreamingIngestor: malformed b_cum");
+  }
+  read_doubles(b_cum_);
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "segment" || n > (1u << 24)) {
+    throw std::runtime_error("StreamingIngestor: malformed segment size");
+  }
+  segment_.clear();
+  segment_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ProcessedRecord rec;
+    int synthetic = 0;
+    std::size_t fw_len = 0;
+    if (!(is >> rec.day >> synthetic >> fw_len) || fw_len > 4096 ||
+        is.get() != ' ') {
+      throw std::runtime_error("StreamingIngestor: malformed segment record");
+    }
+    rec.synthetic = synthetic != 0;
+    rec.firmware.assign(fw_len, '\0');
+    if (!is.read(rec.firmware.data(), static_cast<std::streamsize>(fw_len))) {
+      throw std::runtime_error("StreamingIngestor: truncated firmware string");
+    }
+    read_doubles(rec.smart);
+    read_doubles(rec.w_cum);
+    read_doubles(rec.b_cum);
+    segment_.push_back(std::move(rec));
+  }
+  if (!is) {
+    throw std::runtime_error("StreamingIngestor: truncated state");
+  }
 }
 
 }  // namespace mfpa::core

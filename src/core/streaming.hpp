@@ -17,6 +17,7 @@
 // tests/core/test_robust_ingest.cpp).
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -85,6 +86,14 @@ class StreamingIngestor {
   /// Materializes the current segment as a ProcessedDrive (for scoring
   /// through SampleBuilder / OnlinePredictor).
   ProcessedDrive snapshot() const;
+
+  /// Serializes the full incremental state (sanitizer, current segment,
+  /// cumulative counters, day cursor) for durable checkpoints. Identity
+  /// (drive_id, vendor) and config are NOT serialized — the loader must
+  /// construct the ingestor with the same arguments, after which a loaded
+  /// ingestor continues the ingest sequence bit-identically.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   std::uint64_t drive_id_;

@@ -1,0 +1,320 @@
+#include "serve/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/checksum.hpp"
+
+namespace mfpa::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path ckpt_dir(const std::string& dir) { return fs::path(dir) / "ckpt"; }
+
+std::string ckpt_name(std::uint64_t lsn) {
+  return "ckpt-" + std::to_string(lsn) + ".mfc";
+}
+
+/// Parses "ckpt-42.mfc" -> 42; nullopt for other names.
+std::optional<std::uint64_t> parse_ckpt_name(const std::string& name) {
+  if (!name.starts_with("ckpt-") || !name.ends_with(".mfc")) {
+    return std::nullopt;
+  }
+  try {
+    std::size_t used = 0;
+    const std::string digits = name.substr(5, name.size() - 9);
+    const std::uint64_t lsn = std::stoull(digits, &used);
+    if (used != digits.size()) return std::nullopt;
+    return lsn;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path,
+                           const DriveStateStore& store, std::uint64_t lsn,
+                           std::uint64_t alert_count, int model_version,
+                           bool fsync) {
+  std::ostringstream payload;
+  payload << "checkpoint 1 " << lsn << ' ' << alert_count << ' '
+          << model_version << '\n';
+  store.save_state(payload);
+  const std::string body = payload.str();
+
+  const fs::path final_path(path);
+  const fs::path tmp = final_path.parent_path() /
+                       ("." + final_path.filename().string() + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot create " + tmp.string());
+    }
+    out << "mfpa_ckpt 1 " << body.size() << ' '
+        << ml::checksum_hex(ml::fnv1a(body)) << '\n';
+    out << body;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("checkpoint: write failed for " + tmp.string());
+    }
+  }
+  if (fsync) fsync_path(tmp.string());
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint: cannot publish " + path + ": " +
+                             ec.message());
+  }
+  if (fsync) fsync_path(final_path.parent_path().string());
+}
+
+CheckpointImage load_checkpoint_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  const std::size_t nl = bytes.find('\n');
+  if (nl == std::string::npos) {
+    throw std::runtime_error("checkpoint: missing header in " + path);
+  }
+  std::istringstream header(bytes.substr(0, nl));
+  std::string tag, hex;
+  int version = 0;
+  std::size_t payload_bytes = 0;
+  if (!(header >> tag >> version >> payload_bytes >> hex) ||
+      tag != "mfpa_ckpt" || version != 1) {
+    throw std::runtime_error("checkpoint: malformed header in " + path);
+  }
+  const std::string payload = bytes.substr(nl + 1);
+  if (payload.size() != payload_bytes) {
+    throw std::runtime_error(
+        "checkpoint: " + path + " holds " + std::to_string(payload.size()) +
+        " payload bytes, header declares " + std::to_string(payload_bytes) +
+        " (truncated or trailing garbage)");
+  }
+  if (ml::fnv1a(payload) != ml::parse_checksum_hex(hex)) {
+    throw std::runtime_error("checkpoint: payload checksum mismatch in " +
+                             path);
+  }
+  const std::size_t body_nl = payload.find('\n');
+  if (body_nl == std::string::npos) {
+    throw std::runtime_error("checkpoint: missing payload header in " + path);
+  }
+  std::istringstream body_header(payload.substr(0, body_nl));
+  CheckpointImage image;
+  if (!(body_header >> tag >> version >> image.lsn >> image.alert_count >>
+        image.model_version) ||
+      tag != "checkpoint" || version != 1) {
+    throw std::runtime_error("checkpoint: malformed payload header in " + path);
+  }
+  image.store_state = payload.substr(body_nl + 1);
+  return image;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  const fs::path d = ckpt_dir(dir);
+  if (!fs::exists(d)) return out;
+  for (const auto& entry : fs::directory_iterator(d)) {
+    const auto lsn = parse_ckpt_name(entry.path().filename().string());
+    if (lsn.has_value()) out.emplace_back(*lsn, entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- DurabilityManager -----------------------------------------------------
+
+namespace {
+
+/// Rejecting the empty dir here, before the member initializers run, keeps
+/// WalWriter/AlertLog from creating stray `wal/` dirs relative to the cwd.
+DurabilityConfig validated(DurabilityConfig config) {
+  if (!config.enabled()) {
+    throw std::invalid_argument("DurabilityManager: empty durable dir");
+  }
+  return config;
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(DurabilityConfig config)
+    : config_(validated(std::move(config))),
+      wal_(WalWriterConfig{config_.dir, config_.wal_shards,
+                           config_.group_commit_records, config_.fsync}),
+      alerts_(config_.dir, config_.fsync) {
+  fs::create_directories(ckpt_dir(config_.dir));
+  auto& reg = obs::registry();
+  metrics_.writes = &reg.counter("mfpa_ckpt_writes_total");
+  metrics_.bytes = &reg.counter("mfpa_ckpt_bytes_total");
+  metrics_.loads = &reg.counter("mfpa_ckpt_loads_total");
+  metrics_.fallbacks = &reg.counter("mfpa_ckpt_fallbacks_total");
+  metrics_.pruned = &reg.counter("mfpa_ckpt_pruned_total");
+  metrics_.last_lsn = &reg.gauge("mfpa_ckpt_last_lsn");
+}
+
+RecoveryResult DurabilityManager::recover(DriveStateStore& store,
+                                          int current_model_version) {
+  RecoveryResult result;
+
+  // A crash mid-publish leaves a dot-temp behind; it was never the durable
+  // truth, so clear it before selecting a checkpoint.
+  for (const auto& entry : fs::directory_iterator(ckpt_dir(config_.dir))) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(".") && name.ends_with(".tmp")) {
+      fs::remove(entry.path());
+    }
+  }
+
+  auto candidates = list_checkpoints(config_.dir);
+  std::optional<CheckpointImage> image;
+  std::string failure;
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    try {
+      image = load_checkpoint_file(it->second);
+      break;
+    } catch (const std::exception& e) {
+      // A corrupt newest checkpoint falls back one generation (the WAL keeps
+      // segments that far); anything beyond that is unrecoverable below.
+      ++result.checkpoints_skipped;
+      metrics_.fallbacks->inc();
+      if (failure.empty()) failure = e.what();
+    }
+  }
+  if (!image.has_value() && !candidates.empty()) {
+    throw std::runtime_error(
+        "checkpoint: no valid checkpoint among " +
+        std::to_string(candidates.size()) +
+        " candidates; refusing to rebuild state over a hole (first error: " +
+        failure + ")");
+  }
+
+  std::uint64_t after_lsn = 0;
+  std::uint64_t durable_alerts = 0;
+  if (image.has_value()) {
+    if (image->model_version != current_model_version) {
+      throw std::runtime_error(
+          "checkpoint: pinned to model version " +
+          std::to_string(image->model_version) +
+          " but the registry's current version is " +
+          std::to_string(current_model_version) +
+          "; replaying under a different model would fabricate alerts");
+    }
+    std::istringstream state(image->store_state);
+    store.load_state(state);
+    result.checkpoint_loaded = true;
+    result.checkpoint_lsn = image->lsn;
+    result.model_version = image->model_version;
+    after_lsn = image->lsn;
+    durable_alerts = image->alert_count;
+    metrics_.loads->inc();
+  }
+
+  result.alerts = recover_alert_log(config_.dir, durable_alerts);
+  alerts_.open(durable_alerts);
+  result.tail = recover_wal(config_.dir, after_lsn, &result.wal);
+  result.durable_records = after_lsn + result.tail.size();
+  wal_.set_next_lsn(result.durable_records + 1);
+  last_checkpoint_lsn_ = after_lsn;
+  prev_checkpoint_lsn_ = after_lsn;
+  return result;
+}
+
+void DurabilityManager::finish_recovery(const DriveStateStore& store,
+                                        int model_version) {
+  // Seal the replayed state: checkpoint it, then restart the WAL from a
+  // clean generation (the old segments are fully covered by the snapshot).
+  alerts_.flush();
+  const std::uint64_t lsn = wal_.last_lsn();
+  write_checkpoint_file(
+      (ckpt_dir(config_.dir) / ckpt_name(lsn)).string(), store, lsn,
+      alerts_.count(), model_version, config_.fsync);
+  metrics_.writes->inc();
+  metrics_.last_lsn->set(static_cast<double>(lsn));
+  prev_checkpoint_lsn_ = last_checkpoint_lsn_;
+  last_checkpoint_lsn_ = lsn;
+  wal_.reset(lsn);
+  prune_checkpoints();
+  records_since_checkpoint_ = 0;
+  recovered_ = true;
+}
+
+std::uint64_t DurabilityManager::append(std::uint64_t drive_id, int vendor,
+                                        const sim::DailyRecord& record) {
+  if (!recovered_) {
+    throw std::logic_error("DurabilityManager: append before finish_recovery");
+  }
+  ++records_since_checkpoint_;
+  return wal_.append(drive_id, vendor, record);
+}
+
+void DurabilityManager::append_alert(const core::Alert& alert) {
+  alerts_.append(alert);
+}
+
+void DurabilityManager::on_batch_end(const DriveStateStore& store,
+                                     int model_version) {
+  if (config_.checkpoint_interval_records > 0 &&
+      records_since_checkpoint_ >= config_.checkpoint_interval_records) {
+    checkpoint_now(store, model_version);
+  }
+}
+
+void DurabilityManager::checkpoint_now(const DriveStateStore& store,
+                                       int model_version) {
+  // Everything appended so far must be durable before the snapshot claims
+  // to cover it (WAL-then-checkpoint ordering).
+  wal_.flush();
+  alerts_.flush();
+  const std::uint64_t lsn = wal_.last_lsn();
+  const std::string path = (ckpt_dir(config_.dir) / ckpt_name(lsn)).string();
+  write_checkpoint_file(path, store, lsn, alerts_.count(), model_version,
+                        config_.fsync);
+  metrics_.writes->inc();
+  metrics_.bytes->inc(fs::file_size(path));
+  metrics_.last_lsn->set(static_cast<double>(lsn));
+  if (lsn != last_checkpoint_lsn_) {
+    prev_checkpoint_lsn_ = last_checkpoint_lsn_;
+    last_checkpoint_lsn_ = lsn;
+  }
+  // Keep WAL generations back to the fallback checkpoint, no further.
+  wal_.rotate(lsn, prev_checkpoint_lsn_);
+  prune_checkpoints();
+  records_since_checkpoint_ = 0;
+}
+
+void DurabilityManager::flush() {
+  wal_.flush();
+  alerts_.flush();
+}
+
+void DurabilityManager::prune_checkpoints() {
+  auto checkpoints = list_checkpoints(config_.dir);
+  if (checkpoints.size() <= 2) return;
+  for (std::size_t i = 0; i + 2 < checkpoints.size(); ++i) {
+    fs::remove(checkpoints[i].second);
+    metrics_.pruned->inc();
+  }
+}
+
+}  // namespace mfpa::serve

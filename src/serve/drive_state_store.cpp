@@ -1,7 +1,11 @@
 #include "serve/drive_state_store.hpp"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "ml/parallel_for.hpp"
 
@@ -101,6 +105,97 @@ bool DriveStateStore::should_alert(std::uint64_t drive_id, DayIndex day,
   }
   state.last_alert = day;
   return true;
+}
+
+void DriveStateStore::save_state(std::ostream& os) const {
+  std::size_t drives = 0;
+  std::size_t records_ingested = 0;
+  std::size_t rows_emitted = 0;
+  std::size_t segments_restarted = 0;
+  std::vector<std::pair<std::uint64_t, const DriveState*>> ordered;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    drives += shard->drives.size();
+    records_ingested += shard->records_ingested;
+    rows_emitted += shard->rows_emitted;
+    segments_restarted += shard->segments_restarted;
+    for (const auto& [id, state] : shard->drives) {
+      ordered.emplace_back(id, &state);
+    }
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os << "store 1 " << records_ingested << ' ' << rows_emitted << ' '
+     << segments_restarted << '\n';
+  os << "drives " << drives << '\n';
+  for (const auto& [id, state] : ordered) {
+    os << "drive " << id << ' ' << state->ingestor.vendor() << ' '
+       << state->emitted << ' ' << state->segments_seen << ' '
+       << (state->quarantine_counted ? 1 : 0) << ' ' << state->consecutive
+       << ' ' << state->last_alert << '\n';
+    state->ingestor.save_state(os);
+  }
+}
+
+void DriveStateStore::load_state(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  std::size_t records_ingested = 0;
+  std::size_t rows_emitted = 0;
+  std::size_t segments_restarted = 0;
+  if (!(is >> tag >> version >> records_ingested >> rows_emitted >>
+        segments_restarted) ||
+      tag != "store" || version != 1) {
+    throw std::runtime_error("DriveStateStore: malformed state header");
+  }
+  std::size_t n = 0;
+  if (!(is >> tag >> n) || tag != "drives" || n > (1u << 26)) {
+    throw std::runtime_error("DriveStateStore: malformed drive count");
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->drives.empty()) {
+      throw std::logic_error("DriveStateStore: load_state into non-empty store");
+    }
+    shard->records_ingested = 0;
+    shard->rows_emitted = 0;
+    shard->segments_restarted = 0;
+  }
+  // The checkpoint's shard layout is irrelevant: drives re-hash into this
+  // store's stripes; the aggregate counters land on shard 0.
+  shards_[0]->records_ingested = records_ingested;
+  shards_[0]->rows_emitted = rows_emitted;
+  shards_[0]->segments_restarted = segments_restarted;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    int vendor = 0;
+    std::size_t emitted = 0;
+    int segments_seen = 0;
+    int quarantine_counted = 0;
+    int consecutive = 0;
+    DayIndex last_alert = 0;
+    if (!(is >> tag >> id >> vendor >> emitted >> segments_seen >>
+          quarantine_counted >> consecutive >> last_alert) ||
+        tag != "drive") {
+      throw std::runtime_error("DriveStateStore: malformed drive record");
+    }
+    Shard& shard = shard_for(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] =
+        shard.drives.try_emplace(id, id, vendor, config_.preprocess);
+    if (!inserted) {
+      throw std::runtime_error("DriveStateStore: duplicate drive " +
+                               std::to_string(id) + " in checkpoint");
+    }
+    DriveState& state = it->second;
+    state.emitted = emitted;
+    state.segments_seen = segments_seen;
+    state.quarantine_counted = quarantine_counted != 0;
+    state.consecutive = consecutive;
+    state.last_alert = last_alert;
+    state.ingestor.load_state(is);
+    metrics_.drives_tracked->add(1.0);
+  }
 }
 
 StoreStats DriveStateStore::stats() const {

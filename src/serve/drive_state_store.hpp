@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -82,6 +83,16 @@ class DriveStateStore {
 
   /// Merged accounting across all shards (takes every stripe briefly).
   StoreStats stats() const;
+
+  /// Serializes every tracked drive's full state (ingestor, emission cursor,
+  /// alert hysteresis) plus the aggregate counters, drives ordered by id so
+  /// the image is deterministic regardless of shard count or hash-map
+  /// iteration order. load_state() rebuilds the fleet into the *current*
+  /// shard layout (aggregate counters land on shard 0), so a checkpoint
+  /// taken with N shards restores correctly under M. Not thread-safe against
+  /// concurrent ingest — call from the single drain thread or before start.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   struct DriveState {

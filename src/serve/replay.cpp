@@ -42,16 +42,41 @@ FleetReplayer::FleetReplayer(
 
 ReplayReport FleetReplayer::replay(ScoringEngine& engine,
                                    const DayHook& on_day) const {
+  ReplayOptions options;
+  options.on_day = on_day;
+  return replay(engine, options);
+}
+
+ReplayReport FleetReplayer::replay(ScoringEngine& engine,
+                                   const ReplayOptions& options) const {
   ReplayReport report;
   const auto start = std::chrono::steady_clock::now();
   DayIndex current_day = first_day_ - 1;
+  std::size_t index = 0;
   for (const Arrival& arrival : order_) {
+    if (index++ < options.skip_records) {
+      // Already durably applied by a previous process; the engine holds the
+      // recovered state, so re-submitting would double-count.
+      ++report.records_skipped;
+      current_day = arrival.day;
+      continue;
+    }
+    if (options.cancel != nullptr && *options.cancel) {
+      report.interrupted = true;
+      break;
+    }
     if (arrival.day != current_day) {
       current_day = arrival.day;
       ++report.days_replayed;
-      if (on_day) on_day(current_day);
+      if (options.on_day) options.on_day(current_day);
     }
     engine.submit({arrival.drive_id, arrival.vendor, *arrival.record});
+    ++report.records_submitted;
+    if (options.kill_after_records > 0 &&
+        report.records_submitted >= options.kill_after_records) {
+      // Die exactly as a power cut would: no flush, no destructors.
+      std::raise(SIGKILL);
+    }
   }
   engine.flush();
   const auto end = std::chrono::steady_clock::now();

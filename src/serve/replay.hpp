@@ -6,6 +6,7 @@
 // streaming example.
 #pragma once
 
+#include <csignal>
 #include <cstddef>
 #include <functional>
 #include <vector>
@@ -23,6 +24,9 @@ struct ReplayReport {
   double wall_seconds = 0.0;
   double records_per_sec = 0.0;   ///< submitted / wall_seconds
   std::size_t days_replayed = 0;
+  std::size_t records_skipped = 0;   ///< resumed past (already durable)
+  std::size_t records_submitted = 0; ///< submitted by this run
+  bool interrupted = false;          ///< cancel flag stopped the feed early
   EngineStats engine;
   StoreStats store;
   std::vector<core::Alert> alerts;
@@ -32,6 +36,24 @@ struct ReplayReport {
 /// Called at the start of each replay day (before that day's records are
 /// submitted) — the hook hot-swap demos and mid-replay retraining use.
 using DayHook = std::function<void(DayIndex day)>;
+
+/// Knobs for a single replay pass.
+struct ReplayOptions {
+  DayHook on_day;
+  /// Records of the deterministic arrival order to skip before submitting —
+  /// a resuming process sets this to the engine's durable_resume_records()
+  /// so the feed re-delivers exactly the not-yet-durable suffix.
+  std::size_t skip_records = 0;
+  /// Raise SIGKILL after submitting this many records (0 = never). The
+  /// crash-recovery tests use this to die mid-stream deterministically,
+  /// with no flush or destructor running — as close to power loss as a
+  /// process can get.
+  std::size_t kill_after_records = 0;
+  /// Graceful-shutdown flag (a signal handler sets it): checked between
+  /// submissions; when set the feed stops, the queue drains, and the
+  /// report is marked interrupted.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+};
 
 /// Trains an MfpaPipeline on the given telemetry/tickets and publishes the
 /// fitted model (classifier + firmware vocabulary + tuned threshold) to the
@@ -54,6 +76,9 @@ class FleetReplayer {
   /// snapshots the engine/store accounting. The engine's alert stream is
   /// evaluated drive-level against the simulator's failure flags.
   ReplayReport replay(ScoringEngine& engine, const DayHook& on_day = {}) const;
+
+  /// Same, with resume / crash-injection / graceful-cancel knobs.
+  ReplayReport replay(ScoringEngine& engine, const ReplayOptions& options) const;
 
   /// Drive-level verdicts for an alert stream against simulator truth: a
   /// failed drive is detected if it has any alert; a healthy drive with any

@@ -53,12 +53,52 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
   metrics_.latency_us = &reg.histogram("mfpa_serve_latency_us", 0.0,
                                        config_.latency_hi_us, 512, labels);
   metrics_.max_queue_depth = &reg.gauge("mfpa_serve_max_queue_depth", labels);
+  if (config_.durability.enabled()) {
+    recover_durable_state();
+  }
   if (!config_.manual_drain) {
     drain_thread_ = std::thread([this] { drain_loop(); });
   }
 }
 
-ScoringEngine::~ScoringEngine() { stop(); }
+void ScoringEngine::recover_durable_state() {
+  durability_ = std::make_unique<DurabilityManager>(config_.durability);
+  const auto model = registry_->current();
+  const int version = model ? model->manifest.version : -1;
+  RecoveryResult recovered = durability_->recover(store_, version);
+
+  // The durable alert prefix is restored verbatim; the WAL tail regenerates
+  // the rest through the normal scoring path (no WAL re-append, no
+  // checkpoint cadence — `recovering_` gates both in process_batch).
+  alerts_ = recovered.alerts;
+  recovering_ = true;
+  std::vector<QueuedUpdate> batch;
+  batch.reserve(config_.max_batch);
+  const auto now = Clock::now();
+  for (const WalEntry& entry : recovered.tail) {
+    batch.push_back({{entry.drive_id, entry.vendor, entry.record}, now});
+    if (batch.size() == config_.max_batch) {
+      process_batch(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) process_batch(batch);
+  recovering_ = false;
+  durability_->finish_recovery(store_, version);
+
+  durable_resume_records_ = recovered.durable_records;
+  recovered.tail.clear();  // keep the summary, not the replayed records
+  recovery_ = std::move(recovered);
+}
+
+ScoringEngine::~ScoringEngine() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor: a failed final checkpoint leaves the WAL authoritative;
+    // recovery replays it.
+  }
+}
 
 bool ScoringEngine::submit(const TelemetryUpdate& update) {
   metrics_.submitted->inc();
@@ -147,6 +187,17 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
     if (swap) metrics_.model_swaps->inc();
   }
 
+  if (durability_ && !recovering_) {
+    // WAL-before-apply: every record is durable (modulo group commit)
+    // before any state it produced can be checkpointed. Rejected records
+    // are logged too — rejection is deterministic, so replay re-rejects.
+    obs::ScopedSpan wal_span("serve.wal_append");
+    for (const auto& queued : batch) {
+      durability_->append(queued.update.drive_id, queued.update.vendor,
+                          queued.update.record);
+    }
+  }
+
   std::vector<PendingRow> rows;
   rows.reserve(batch.size());
   std::uint64_t processed = 0;
@@ -188,24 +239,36 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
   }
   if (!model) {
     metrics_.unscored_no_model->inc(rows.size());
+    if (durability_ && !recovering_) {
+      durability_->on_batch_end(store_, -1);
+    }
     return batch.size();
   }
-  obs::ScopedSpan alert_span("serve.alerts");
-  std::lock_guard<std::mutex> rlock(results_mu_);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const PendingRow& row = rows[i];
-    metrics_.rows_scored->inc();
-    if (row.record.synthetic) metrics_.synthetic_rows->inc();
-    const bool crossed = scores[i] >= model->manifest.threshold;
-    if (config_.record_scores) {
-      scored_rows_.push_back({row.drive_id, row.record.day, scores[i],
-                              model->manifest.version, row.record.synthetic});
+  {
+    obs::ScopedSpan alert_span("serve.alerts");
+    std::lock_guard<std::mutex> rlock(results_mu_);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PendingRow& row = rows[i];
+      metrics_.rows_scored->inc();
+      if (row.record.synthetic) metrics_.synthetic_rows->inc();
+      const bool crossed = scores[i] >= model->manifest.threshold;
+      if (config_.record_scores) {
+        scored_rows_.push_back({row.drive_id, row.record.day, scores[i],
+                                model->manifest.version, row.record.synthetic});
+      }
+      if (store_.should_alert(row.drive_id, row.record.day, crossed,
+                              config_.alert_policy)) {
+        const core::Alert alert{row.drive_id, row.record.day, scores[i]};
+        alerts_.push_back(alert);
+        metrics_.alerts->inc();
+        // During recovery this regenerates the truncated post-checkpoint
+        // alert tail; during normal operation it extends the durable log.
+        if (durability_) durability_->append_alert(alert);
+      }
     }
-    if (store_.should_alert(row.drive_id, row.record.day, crossed,
-                            config_.alert_policy)) {
-      alerts_.push_back({row.drive_id, row.record.day, scores[i]});
-      metrics_.alerts->inc();
-    }
+  }
+  if (durability_ && !recovering_) {
+    durability_->on_batch_end(store_, model->manifest.version);
   }
   return batch.size();
 }
@@ -232,6 +295,21 @@ void ScoringEngine::stop() {
   queue_not_full_.notify_all();
   if (drain_thread_.joinable()) drain_thread_.join();
   if (config_.manual_drain) flush();
+  if (durability_ && !final_checkpoint_done_) {
+    // Clean shutdown seals the durable state: the next start recovers from
+    // the checkpoint alone, with an empty WAL tail.
+    final_checkpoint_done_ = true;
+    const auto model = registry_->current();
+    durability_->checkpoint_now(store_,
+                                model ? model->manifest.version : -1);
+  }
+}
+
+void ScoringEngine::checkpoint_now() {
+  if (!durability_) return;
+  flush();
+  const auto model = registry_->current();
+  durability_->checkpoint_now(store_, model ? model->manifest.version : -1);
 }
 
 std::vector<core::Alert> ScoringEngine::alerts() const {

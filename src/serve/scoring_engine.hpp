@@ -43,6 +43,7 @@
 #include "common/stats.hpp"
 #include "core/online_predictor.hpp"
 #include "obs/metrics.hpp"
+#include "serve/checkpoint.hpp"
 #include "serve/drive_state_store.hpp"
 #include "serve/model_registry.hpp"
 #include "sim/telemetry.hpp"
@@ -72,6 +73,9 @@ struct EngineConfig {
   bool manual_drain = false;
   /// Histogram range for per-record latency, microseconds.
   double latency_hi_us = 50000.0;
+  /// Crash consistency (WAL + checkpoints). Durability is off unless a
+  /// durable directory is configured; see docs/DURABILITY.md.
+  DurabilityConfig durability;
 };
 
 /// One retained scored row (record_scores mode).
@@ -109,6 +113,12 @@ class ScoringEngine {
   /// yet: rows that become scoreable before the first publish are counted
   /// as `unscored_no_model` and the queue keeps draining (the service
   /// starts, the model catches up).
+  ///
+  /// With config.durability enabled the constructor recovers before the
+  /// drain thread starts: newest valid checkpoint into the store, durable
+  /// alerts into the alert stream, the WAL tail re-applied through the
+  /// normal scoring path. Recovery failures (mid-stream corruption, model
+  /// version mismatch, alert-stream hole) throw std::runtime_error.
   ScoringEngine(const ModelRegistry& registry, EngineConfig config);
   ~ScoringEngine();
 
@@ -141,6 +151,24 @@ class ScoringEngine {
 
   EngineStats stats() const;
 
+  /// Records durably applied before this process started (checkpoint +
+  /// replayed WAL tail). A resuming feed skips this many records of its
+  /// deterministic delivery order. 0 when durability is off or the durable
+  /// dir was empty.
+  std::uint64_t durable_resume_records() const noexcept {
+    return durable_resume_records_;
+  }
+
+  /// What recovery found (tail omitted); nullopt when durability is off.
+  const std::optional<RecoveryResult>& recovery() const noexcept {
+    return recovery_;
+  }
+
+  /// Flushes the queue and writes a final checkpoint (durability on);
+  /// called by stop(), exposed for graceful-shutdown paths that want the
+  /// durable state sealed before process exit.
+  void checkpoint_now();
+
  private:
   using Clock = std::chrono::steady_clock;
   struct QueuedUpdate {
@@ -151,6 +179,15 @@ class ScoringEngine {
   const ModelRegistry* registry_;
   EngineConfig config_;
   DriveStateStore store_;
+
+  // Durability (null when disabled). `recovering_` suppresses WAL appends
+  // and checkpoint cadence while the constructor re-applies the WAL tail
+  // through process_batch — those records are already durable.
+  std::unique_ptr<DurabilityManager> durability_;
+  bool recovering_ = false;
+  bool final_checkpoint_done_ = false;
+  std::uint64_t durable_resume_records_ = 0;
+  std::optional<RecoveryResult> recovery_;
 
   // Ingress queue.
   mutable std::mutex queue_mu_;
@@ -197,6 +234,7 @@ class ScoringEngine {
 
   void drain_loop();
   std::size_t process_batch(std::vector<QueuedUpdate>& batch);
+  void recover_durable_state();
 };
 
 }  // namespace mfpa::serve

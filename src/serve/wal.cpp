@@ -1,0 +1,604 @@
+#include "serve/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "ml/checksum.hpp"
+
+namespace mfpa::serve {
+namespace fs = std::filesystem;
+
+namespace {
+
+// Little-endian fixed-width packing. The durable formats are host-local
+// (written and recovered on the same machine), but pinning the byte order
+// keeps the framing well-defined and the tests' crafted corruption exact.
+void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_i32(std::string& buf, std::int32_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v));
+}
+
+void put_f32(std::string& buf, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(buf, bits);
+}
+
+void put_f64(std::string& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+class ByteReader {
+ public:
+  ByteReader(const std::string& bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(u(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(u(4)); }
+  std::uint64_t u64() { return u(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  void expect_done() const {
+    if (off_ != bytes_.size()) {
+      throw std::runtime_error(std::string(what_) + ": trailing payload bytes");
+    }
+  }
+
+ private:
+  std::uint64_t u(int n) {
+    if (off_ + static_cast<std::size_t>(n) > bytes_.size()) {
+      throw std::runtime_error(std::string(what_) + ": short payload");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += static_cast<std::size_t>(n);
+    return v;
+  }
+
+  const std::string& bytes_;
+  const char* what_;
+  std::size_t off_ = 0;
+};
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;  // magic, size, lsn
+constexpr std::size_t kFrameDigestBytes = 8;
+constexpr std::uint32_t kMaxFramePayload = 1u << 24;  // sanity bound
+
+/// Tries to decode a frame at `off`; returns nullopt when the bytes there
+/// are not a complete, digest-valid frame.
+std::optional<DecodedFrame> try_frame_at(const std::string& bytes,
+                                         std::size_t off) {
+  if (off + kFrameHeaderBytes + kFrameDigestBytes > bytes.size()) {
+    return std::nullopt;
+  }
+  const auto read_u32 = [&](std::size_t o) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[o + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  const auto read_u64 = [&](std::size_t o) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[o + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  if (read_u32(off) != kWalFrameMagic) return std::nullopt;
+  const std::uint32_t size = read_u32(off + 4);
+  if (size > kMaxFramePayload) return std::nullopt;
+  const std::size_t total = kFrameHeaderBytes + size + kFrameDigestBytes;
+  if (off + total > bytes.size()) return std::nullopt;
+  // Digest covers (size, lsn, payload) — everything after the magic.
+  const std::uint64_t want = read_u64(off + kFrameHeaderBytes + size);
+  const std::uint64_t got = ml::fnv1a(
+      std::string_view(bytes.data() + off + 4, 4 + 8 + size));
+  if (want != got) return std::nullopt;
+  DecodedFrame frame;
+  frame.lsn = read_u64(off + 8);
+  frame.payload = bytes.substr(off + kFrameHeaderBytes, size);
+  frame.digest = want;
+  frame.end_offset = off + total;
+  return frame;
+}
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("wal: cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void fsync_fd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) {
+    throw std::runtime_error("wal: fsync failed for " + path);
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort; the data fsync is the real barrier
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::string shard_segment_name(std::size_t shard, std::uint64_t base_lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%03zu.c%llu.wal", shard,
+                static_cast<unsigned long long>(base_lsn));
+  return buf;
+}
+
+/// Parses "shard-012.c42.wal" -> (12, 42); nullopt for other names.
+std::optional<std::pair<std::size_t, std::uint64_t>> parse_segment_name(
+    const std::string& name) {
+  if (!name.starts_with("shard-") || !name.ends_with(".wal")) {
+    return std::nullopt;
+  }
+  const std::size_t dot = name.find(".c");
+  if (dot == std::string::npos) return std::nullopt;
+  try {
+    const std::size_t shard = std::stoul(name.substr(6, dot - 6));
+    const std::uint64_t base =
+        std::stoull(name.substr(dot + 2, name.size() - 4 - (dot + 2)));
+    return std::make_pair(shard, base);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+void append_frame(std::string& buf, std::uint64_t lsn,
+                  const std::string& payload) {
+  const std::size_t body_start = buf.size() + 4;  // digest region starts here
+  put_u32(buf, kWalFrameMagic);
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  put_u64(buf, lsn);
+  buf.append(payload);
+  const std::uint64_t digest = ml::fnv1a(
+      std::string_view(buf.data() + body_start, buf.size() - body_start));
+  put_u64(buf, digest);
+}
+
+FrameScan scan_frames(const std::string& path) {
+  const std::string bytes = read_whole_file(path);
+  FrameScan scan;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    auto frame = try_frame_at(bytes, off);
+    if (frame.has_value()) {
+      off = frame->end_offset;
+      scan.valid_bytes = off;
+      scan.frames.push_back(std::move(*frame));
+      continue;
+    }
+    // Corrupt or incomplete bytes at `off`. If any complete valid frame
+    // exists later in the file, this is mid-stream corruption: refuse.
+    for (std::size_t probe = off + 1; probe + 1 < bytes.size(); ++probe) {
+      if (try_frame_at(bytes, probe).has_value()) {
+        throw std::runtime_error(
+            "wal: mid-stream corruption in " + path + " at byte " +
+            std::to_string(off) + " (valid frame follows at byte " +
+            std::to_string(probe) + "); refusing to recover past a hole");
+      }
+    }
+    scan.torn_tail = true;
+    scan.torn_bytes = bytes.size() - off;
+    break;
+  }
+  return scan;
+}
+
+std::string encode_wal_payload(std::uint64_t drive_id, int vendor,
+                               const sim::DailyRecord& record) {
+  std::string buf;
+  buf.reserve(8 + 4 + 4 + 4 + sim::kNumSmartAttrs * 4 +
+              sim::kNumWindowsEvents * 2 + sim::kNumBsodCodes * 2);
+  put_u64(buf, drive_id);
+  put_i32(buf, vendor);
+  put_i32(buf, record.day);
+  put_u32(buf, record.firmware_index);
+  for (const float v : record.smart) put_f32(buf, v);
+  for (const std::uint16_t v : record.w) put_u16(buf, v);
+  for (const std::uint16_t v : record.b) put_u16(buf, v);
+  return buf;
+}
+
+WalEntry decode_wal_payload(std::uint64_t lsn, const std::string& payload) {
+  ByteReader r(payload, "wal record");
+  WalEntry entry;
+  entry.lsn = lsn;
+  entry.drive_id = r.u64();
+  entry.vendor = r.i32();
+  entry.record.day = r.i32();
+  entry.record.firmware_index = static_cast<std::uint8_t>(r.u32());
+  for (auto& v : entry.record.smart) v = r.f32();
+  for (auto& v : entry.record.w) v = r.u16();
+  for (auto& v : entry.record.b) v = r.u16();
+  r.expect_done();
+  return entry;
+}
+
+std::string encode_alert_payload(const core::Alert& alert) {
+  std::string buf;
+  put_u64(buf, alert.drive_id);
+  put_i32(buf, alert.day);
+  put_f64(buf, alert.score);
+  return buf;
+}
+
+core::Alert decode_alert_payload(const std::string& payload) {
+  ByteReader r(payload, "alert record");
+  core::Alert alert;
+  alert.drive_id = r.u64();
+  alert.day = r.i32();
+  alert.score = r.f64();
+  r.expect_done();
+  return alert;
+}
+
+// --- WalWriter -------------------------------------------------------------
+
+WalWriter::WalWriter(WalWriterConfig config) : config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  fs::create_directories(fs::path(config_.dir) / "wal");
+  auto& reg = obs::registry();
+  metrics_.appends = &reg.counter("mfpa_wal_appends_total");
+  metrics_.bytes = &reg.counter("mfpa_wal_bytes_total");
+  metrics_.fsyncs = &reg.counter("mfpa_wal_fsyncs_total");
+  metrics_.rotations = &reg.counter("mfpa_wal_rotations_total");
+}
+
+WalWriter::~WalWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructor: nothing sane to do; the tail is torn, recovery handles it.
+  }
+  close_segments();
+}
+
+void WalWriter::close_segments() {
+  for (auto& seg : segments_) {
+    if (seg.fd >= 0) ::close(seg.fd);
+  }
+  segments_.clear();
+}
+
+void WalWriter::open_generation(std::uint64_t base_lsn) {
+  close_segments();
+  generation_ = base_lsn;
+  const fs::path wal_dir = fs::path(config_.dir) / "wal";
+  segments_.resize(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    Segment& seg = segments_[s];
+    seg.path = (wal_dir / shard_segment_name(s, base_lsn)).string();
+    seg.fd = ::open(seg.path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (seg.fd < 0) {
+      throw std::runtime_error("wal: cannot create segment " + seg.path);
+    }
+  }
+  fsync_dir(wal_dir.string());
+}
+
+std::uint64_t WalWriter::append(std::uint64_t drive_id, int vendor,
+                                const sim::DailyRecord& record) {
+  if (segments_.empty()) {
+    throw std::logic_error("WalWriter: append before open_generation");
+  }
+  const std::uint64_t lsn = next_lsn_++;
+  // Same Fibonacci spread as DriveStateStore::shard_for — one drive's
+  // records stay within one segment file.
+  const std::uint64_t mixed = drive_id * 0x9E3779B97F4A7C15ULL;
+  Segment& seg = segments_[mixed % segments_.size()];
+  const std::size_t before = seg.pending.size();
+  append_frame(seg.pending, lsn, encode_wal_payload(drive_id, vendor, record));
+  metrics_.appends->inc();
+  metrics_.bytes->inc(seg.pending.size() - before);
+  ++unsynced_records_;
+  if (config_.group_commit_records > 0 &&
+      unsynced_records_ >= config_.group_commit_records) {
+    flush();
+  }
+  return lsn;
+}
+
+void WalWriter::write_out(Segment& seg) {
+  if (seg.pending.empty()) return;
+  const char* data = seg.pending.data();
+  std::size_t left = seg.pending.size();
+  while (left > 0) {
+    const ssize_t n = ::write(seg.fd, data, left);
+    if (n < 0) {
+      throw std::runtime_error("wal: write failed for " + seg.path);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  seg.pending.clear();
+  seg.dirty = true;
+}
+
+void WalWriter::flush() {
+  for (auto& seg : segments_) {
+    write_out(seg);
+    if (seg.dirty && config_.fsync) {
+      fsync_fd(seg.fd, seg.path);
+      metrics_.fsyncs->inc();
+    }
+    seg.dirty = false;
+  }
+  unsynced_records_ = 0;
+}
+
+void WalWriter::rotate(std::uint64_t ckpt_lsn, std::uint64_t keep_from_lsn) {
+  flush();
+  open_generation(ckpt_lsn);
+  const fs::path wal_dir = fs::path(config_.dir) / "wal";
+  for (const auto& entry : fs::directory_iterator(wal_dir)) {
+    const auto parsed = parse_segment_name(entry.path().filename().string());
+    if (parsed.has_value() && parsed->second < keep_from_lsn) {
+      fs::remove(entry.path());
+    }
+  }
+  fsync_dir(wal_dir.string());
+  metrics_.rotations->inc();
+}
+
+void WalWriter::reset(std::uint64_t base_lsn) {
+  close_segments();
+  const fs::path wal_dir = fs::path(config_.dir) / "wal";
+  if (fs::exists(wal_dir)) {
+    for (const auto& entry : fs::directory_iterator(wal_dir)) {
+      if (entry.path().extension() == ".wal") fs::remove(entry.path());
+    }
+  }
+  next_lsn_ = base_lsn + 1;
+  open_generation(base_lsn);
+}
+
+// --- recovery --------------------------------------------------------------
+
+std::vector<WalEntry> recover_wal(const std::string& dir,
+                                  std::uint64_t after_lsn,
+                                  WalRecoveryStats* stats) {
+  WalRecoveryStats local;
+  WalRecoveryStats& st = stats ? *stats : local;
+  const fs::path wal_dir = fs::path(dir) / "wal";
+
+  struct PendingFrame {
+    std::uint64_t lsn;
+    std::uint64_t digest;
+    std::string payload;
+    std::string file;
+  };
+  std::vector<PendingFrame> merged;
+
+  if (fs::exists(wal_dir)) {
+    // Generations ascending, shards within a generation ascending, so the
+    // in-file duplicate check below sees originals before replayed copies.
+    std::vector<std::pair<std::pair<std::uint64_t, std::size_t>, std::string>>
+        files;
+    for (const auto& entry : fs::directory_iterator(wal_dir)) {
+      const std::string name = entry.path().filename().string();
+      const auto parsed = parse_segment_name(name);
+      if (!parsed.has_value()) continue;
+      files.push_back(
+          {{parsed->second, parsed->first}, entry.path().string()});
+    }
+    std::sort(files.begin(), files.end());
+
+    // lsn -> digest of every frame accepted into the merge so far; an
+    // in-file LSN regression is legal only as an exact replay of one of
+    // these (a duplicated segment), never as new bytes.
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    for (const auto& [key, path] : files) {
+      ++st.segments_scanned;
+      FrameScan scan = scan_frames(path);
+      if (scan.torn_tail) ++st.torn_tails;
+      std::uint64_t last_in_file = 0;
+      bool any_in_file = false;
+      for (auto& frame : scan.frames) {
+        if (any_in_file && frame.lsn <= last_in_file) {
+          const auto it = seen.find(frame.lsn);
+          if (it == seen.end() || it->second != frame.digest) {
+            throw std::runtime_error(
+                "wal: LSN regression in " + path + " (lsn " +
+                std::to_string(frame.lsn) + " after " +
+                std::to_string(last_in_file) +
+                " with novel bytes); refusing to recover");
+          }
+          ++st.records_skipped_duplicate;
+          continue;
+        }
+        any_in_file = true;
+        last_in_file = frame.lsn;
+        const auto it = seen.find(frame.lsn);
+        if (it != seen.end()) {
+          if (it->second != frame.digest) {
+            throw std::runtime_error(
+                "wal: conflicting frames for lsn " + std::to_string(frame.lsn) +
+                " (latest in " + path + "); refusing to recover");
+          }
+          ++st.records_skipped_duplicate;
+          continue;
+        }
+        seen.emplace(frame.lsn, frame.digest);
+        merged.push_back(
+            {frame.lsn, frame.digest, std::move(frame.payload), path});
+      }
+    }
+  }
+
+  std::sort(merged.begin(), merged.end(),
+            [](const PendingFrame& a, const PendingFrame& b) {
+              return a.lsn < b.lsn;
+            });
+
+  std::vector<WalEntry> tail;
+  std::uint64_t expected = after_lsn + 1;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    PendingFrame& frame = merged[i];
+    if (frame.lsn <= after_lsn) {
+      ++st.records_skipped_applied;
+      continue;
+    }
+    if (frame.lsn != expected) {
+      // A hole in the durable prefix: everything past it was never
+      // acknowledged and will be re-delivered by the feed.
+      st.records_skipped_gap = merged.size() - i;
+      break;
+    }
+    tail.push_back(decode_wal_payload(frame.lsn, frame.payload));
+    ++expected;
+  }
+  st.records_replayable = tail.size();
+
+  auto& reg = obs::registry();
+  reg.counter("mfpa_wal_recovery_replayed_total").inc(st.records_replayable);
+  reg.counter("mfpa_wal_recovery_skipped_total")
+      .inc(st.records_skipped_duplicate + st.records_skipped_gap);
+  reg.counter("mfpa_wal_recovery_torn_tails_total").inc(st.torn_tails);
+  return tail;
+}
+
+// --- AlertLog --------------------------------------------------------------
+
+namespace {
+std::string alert_log_path(const std::string& dir) {
+  return (fs::path(dir) / "alerts.log").string();
+}
+}  // namespace
+
+AlertLog::AlertLog(std::string dir, bool fsync)
+    : dir_(std::move(dir)), fsync_(fsync) {
+  fs::create_directories(dir_);
+}
+
+AlertLog::~AlertLog() {
+  try {
+    flush();
+  } catch (...) {
+  }
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AlertLog::open(std::uint64_t count) {
+  if (fd_ >= 0) ::close(fd_);
+  const std::string path = alert_log_path(dir_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("wal: cannot open alert log " + path);
+  }
+  count_ = count;
+}
+
+void AlertLog::append(const core::Alert& alert) {
+  if (fd_ < 0) throw std::logic_error("AlertLog: append before open");
+  append_frame(pending_, ++count_, encode_alert_payload(alert));
+}
+
+void AlertLog::flush() {
+  if (fd_ < 0 || pending_.empty()) {
+    return;
+  }
+  const char* data = pending_.data();
+  std::size_t left = pending_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      throw std::runtime_error("wal: write failed for alert log in " + dir_);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  pending_.clear();
+  if (fsync_) fsync_fd(fd_, alert_log_path(dir_));
+}
+
+std::vector<core::Alert> recover_alert_log(const std::string& dir,
+                                           std::uint64_t durable_count) {
+  const std::string path = alert_log_path(dir);
+  if (!fs::exists(path)) {
+    if (durable_count != 0) {
+      throw std::runtime_error(
+          "wal: alert log missing but checkpoint records " +
+          std::to_string(durable_count) + " durable alerts (" + path + ")");
+    }
+    return {};
+  }
+  const FrameScan scan = scan_frames(path);
+  if (scan.frames.size() < durable_count) {
+    throw std::runtime_error(
+        "wal: alert log " + path + " holds " +
+        std::to_string(scan.frames.size()) + " alerts but the checkpoint " +
+        "records " + std::to_string(durable_count) +
+        " durable; the alert stream has a hole replay cannot patch");
+  }
+  std::vector<core::Alert> alerts;
+  alerts.reserve(durable_count);
+  std::size_t keep_bytes = 0;
+  for (std::size_t i = 0; i < durable_count; ++i) {
+    const DecodedFrame& frame = scan.frames[i];
+    if (frame.lsn != i + 1) {
+      throw std::runtime_error("wal: alert log " + path +
+                               " ordinal mismatch at frame " +
+                               std::to_string(i + 1));
+    }
+    alerts.push_back(decode_alert_payload(frame.payload));
+    keep_bytes = frame.end_offset;
+  }
+  // Drop the post-checkpoint tail (torn or healthy): the WAL replay
+  // regenerates those alerts and re-appends them.
+  if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+    throw std::runtime_error("wal: cannot truncate alert log " + path);
+  }
+  return alerts;
+}
+
+}  // namespace mfpa::serve

@@ -1,0 +1,229 @@
+// Checksummed write-ahead log for the scoring service's drive state.
+//
+// DriveStateStore state (StreamingIngestor windows, AlertPolicy hysteresis)
+// is a pure function of the raw record sequence fed to it, so durability
+// logs *inputs*, not state deltas: every record the engine is about to
+// apply is first framed into a per-shard append-only segment file under
+// `<dir>/wal/`, tagged with a globally monotonic LSN assigned in drain
+// order. Crash recovery loads the newest valid checkpoint (see
+// checkpoint.hpp) and re-applies the WAL tail through the normal scoring
+// path, which regenerates byte-identical state and alerts.
+//
+// Frame layout (little-endian, fixed-width — the FNV-1a v2 idiom of
+// ml/serialize applied to binary framing):
+//
+//   u32 magic   "MFWL"            resync marker for corruption scanning
+//   u32 size    payload bytes
+//   u64 lsn     global sequence number
+//   u8  payload[size]
+//   u64 digest  FNV-1a 64 over (size, lsn, payload)
+//
+// Torn-tail semantics (the btrfs-progs discipline): a frame that runs past
+// EOF or fails its digest *with no valid frame after it* is a torn final
+// write — the tail is discarded (those records were never acknowledged
+// durable; the feed re-delivers them). A corrupt frame *followed by* a
+// valid frame is mid-stream corruption and recovery refuses loudly: state
+// reconstructed over a hole would silently diverge from the real fleet.
+//
+// Segments: at every checkpoint the writer rotates to a fresh set of
+// per-shard files suffixed with the checkpoint LSN ("shard-000.c42.wal").
+// Segments older than the previous retained checkpoint are deleted, so a
+// corrupt newest checkpoint can still fall back one generation without a
+// WAL gap. Group commit: appends are buffered and fsynced every
+// `group_commit_records` records (and always at checkpoint/shutdown),
+// trading a bounded post-power-loss replay window for throughput.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/online_predictor.hpp"
+#include "obs/metrics.hpp"
+#include "sim/telemetry.hpp"
+
+namespace mfpa::serve {
+
+inline constexpr std::uint32_t kWalFrameMagic = 0x4C57464DU;  // "MFWL"
+
+/// One durable ingest record: the raw telemetry update plus its LSN.
+struct WalEntry {
+  std::uint64_t lsn = 0;
+  std::uint64_t drive_id = 0;
+  int vendor = 0;
+  sim::DailyRecord record;
+};
+
+// --- low-level framing (shared by the WAL, the alert log, and tests) ------
+
+/// Appends one frame (magic, size, lsn, payload, digest) to `buf`.
+void append_frame(std::string& buf, std::uint64_t lsn,
+                  const std::string& payload);
+
+/// One frame decoded from a byte stream.
+struct DecodedFrame {
+  std::uint64_t lsn = 0;
+  std::string payload;
+  std::uint64_t digest = 0;       ///< frame digest (used for duplicate checks)
+  std::size_t end_offset = 0;     ///< byte offset just past this frame
+};
+
+/// Result of scanning one framed file front to back.
+struct FrameScan {
+  std::vector<DecodedFrame> frames;   ///< valid prefix, in file order
+  std::size_t valid_bytes = 0;        ///< bytes covered by `frames`
+  std::size_t torn_bytes = 0;         ///< discarded torn/trailing garbage
+  bool torn_tail = false;             ///< trailing bytes were discarded
+};
+
+/// Scans a framed file, returning every frame of the valid prefix. A torn
+/// or corrupt tail is reported in the result; corruption *followed by*
+/// another valid frame throws std::runtime_error (mid-stream corruption —
+/// the file cannot be trusted past the hole, but data after it provably
+/// existed). `what` names the file in diagnostics.
+FrameScan scan_frames(const std::string& path);
+
+/// Serializes / parses the WAL payload for one telemetry record.
+std::string encode_wal_payload(std::uint64_t drive_id, int vendor,
+                               const sim::DailyRecord& record);
+WalEntry decode_wal_payload(std::uint64_t lsn, const std::string& payload);
+
+/// Serializes / parses the alert-log payload for one alert.
+std::string encode_alert_payload(const core::Alert& alert);
+core::Alert decode_alert_payload(const std::string& payload);
+
+// --- writer ----------------------------------------------------------------
+
+struct WalWriterConfig {
+  std::string dir;                        ///< durable root (wal/ lives below)
+  std::size_t shards = 4;                 ///< per-shard segment files
+  std::size_t group_commit_records = 256; ///< fsync every N appends (0 = every flush only)
+  bool fsync = true;                      ///< false only in throwaway tests
+};
+
+/// Append side of the log. Single-writer by contract (the engine's drain
+/// loop); rotate() and flush() are called from the same thread.
+class WalWriter {
+ public:
+  explicit WalWriter(WalWriterConfig config);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens the segment files for the generation starting after checkpoint
+  /// `base_lsn` (files are created empty; an existing identical generation
+  /// is truncated — it can only be a remnant of a crashed rotate).
+  void open_generation(std::uint64_t base_lsn);
+
+  /// Frames and buffers one record under the next LSN; returns it. The
+  /// record lands on the shard file for its drive. Honors group commit.
+  std::uint64_t append(std::uint64_t drive_id, int vendor,
+                       const sim::DailyRecord& record);
+
+  /// Writes buffered frames out and fsyncs every dirty segment.
+  void flush();
+
+  /// Flushes, then rotates to a fresh generation after checkpoint
+  /// `ckpt_lsn`, deleting segment generations older than `keep_from_lsn`.
+  void rotate(std::uint64_t ckpt_lsn, std::uint64_t keep_from_lsn);
+
+  /// Deletes every WAL segment on disk (recovery finished; fresh start).
+  void reset(std::uint64_t base_lsn);
+
+  std::uint64_t last_lsn() const noexcept { return next_lsn_ - 1; }
+  void set_next_lsn(std::uint64_t lsn) noexcept { next_lsn_ = lsn; }
+
+ private:
+  struct Segment {
+    int fd = -1;
+    std::string path;
+    std::string pending;   ///< frames not yet written to the fd
+    bool dirty = false;    ///< written but not fsynced
+  };
+
+  WalWriterConfig config_;
+  std::vector<Segment> segments_;
+  std::uint64_t next_lsn_ = 1;
+  std::uint64_t generation_ = 0;     ///< base lsn of the open generation
+  std::size_t unsynced_records_ = 0;
+
+  struct Metrics {
+    obs::Counter* appends = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* fsyncs = nullptr;
+    obs::Counter* rotations = nullptr;
+  };
+  Metrics metrics_;
+
+  void close_segments();
+  void write_out(Segment& seg);
+};
+
+// --- recovery --------------------------------------------------------------
+
+/// Accounting of one WAL recovery pass (exported as mfpa_wal_* metrics and
+/// surfaced in the serve-replay recovery banner).
+struct WalRecoveryStats {
+  std::size_t segments_scanned = 0;
+  std::size_t records_replayable = 0;  ///< contiguous tail handed back
+  std::size_t records_skipped_applied = 0;   ///< lsn <= checkpoint (covered)
+  std::size_t records_skipped_duplicate = 0; ///< exact duplicate frames
+  std::size_t records_skipped_gap = 0;       ///< beyond the first LSN gap
+  std::size_t torn_tails = 0;          ///< files with a discarded tail
+};
+
+/// Reads every WAL segment under `<dir>/wal`, validates frames, and merges
+/// them into the LSN-contiguous tail starting at `after_lsn + 1`. Exact
+/// duplicate frames (same LSN, same digest — segment replayed twice) are
+/// dropped; an LSN collision or regression with *different* bytes, and any
+/// mid-stream corruption, throw std::runtime_error with the offending file
+/// and LSN. Records beyond the first LSN gap are discarded (counted): they
+/// were never part of the durable contiguous prefix and the feed will
+/// re-deliver them.
+std::vector<WalEntry> recover_wal(const std::string& dir,
+                                  std::uint64_t after_lsn,
+                                  WalRecoveryStats* stats = nullptr);
+
+// --- durable alert log -----------------------------------------------------
+
+/// Append-only framed log of raised alerts, `<dir>/alerts.log`. Frames are
+/// numbered by alert ordinal (1-based), so a checkpoint can pin "the first
+/// N alerts are durable" and recovery truncates back to exactly N before
+/// the WAL replay regenerates the rest.
+class AlertLog {
+ public:
+  AlertLog(std::string dir, bool fsync = true);
+  ~AlertLog();
+
+  AlertLog(const AlertLog&) = delete;
+  AlertLog& operator=(const AlertLog&) = delete;
+
+  /// Opens for appending after `count` durable alerts (file must already be
+  /// truncated to that many frames — see recover_alert_log).
+  void open(std::uint64_t count);
+
+  void append(const core::Alert& alert);
+  void flush();
+
+  std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::string dir_;
+  bool fsync_;
+  int fd_ = -1;
+  std::string pending_;
+  bool dirty_ = false;
+  std::uint64_t count_ = 0;
+};
+
+/// Loads the alert log, truncates it to the first `durable_count` alerts
+/// (discarding any post-checkpoint tail, torn or not — the WAL replay
+/// regenerates those), and returns them in order. Throws when the log
+/// holds fewer valid frames than the checkpoint promised (an alert stream
+/// hole that replay cannot patch) or is corrupt mid-stream.
+std::vector<core::Alert> recover_alert_log(const std::string& dir,
+                                           std::uint64_t durable_count);
+
+}  // namespace mfpa::serve

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <numeric>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "common/string_util.hpp"
@@ -22,6 +26,8 @@ constexpr const char* kFaultNames[kNumFaultModes] = {
     "counter_reset",      "nan_field",           "negative_field",
     "saturated_field",    "duplicate_drive_id",  "dropped_column",
     "truncated_row",      "malformed_firmware",  "ticket_imt_out_of_window",
+    "torn_final_write",   "file_truncation",     "bit_flip",
+    "duplicate_segment",  "stale_checkpoint",
 };
 
 }  // namespace
@@ -38,6 +44,13 @@ bool fault_mode_is_textual(FaultMode mode) noexcept {
 
 bool fault_mode_is_ticket(FaultMode mode) noexcept {
   return mode == FaultMode::kTicketImtOutOfWindow;
+}
+
+bool fault_mode_is_disk(FaultMode mode) noexcept {
+  return mode == FaultMode::kTornFinalWrite ||
+         mode == FaultMode::kFileTruncation || mode == FaultMode::kBitFlip ||
+         mode == FaultMode::kDuplicateSegment ||
+         mode == FaultMode::kStaleCheckpoint;
 }
 
 std::size_t InjectionStats::total() const noexcept {
@@ -238,6 +251,179 @@ std::vector<TroubleTicket> FaultInjector::corrupt_tickets(
     }
   }
   return out;
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_all_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("fault_injector: cannot read " + path);
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_all_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("fault_injector: cannot write " + path);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!os) throw std::runtime_error("fault_injector: short write " + path);
+}
+
+/// Files in `dir` whose names end with `suffix`, sorted by name so the
+/// per-file fault selection is independent of directory iteration order.
+std::vector<std::string> sorted_files_with_suffix(const fs::path& dir,
+                                                  const std::string& suffix) {
+  std::vector<std::string> out;
+  if (!fs::is_directory(dir)) return out;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The checkpoint with the highest LSN embedded in its `ckpt-<lsn>.mfc`
+/// name. Lexicographic order is wrong here (ckpt-512 > ckpt-4096), so the
+/// LSN is parsed numerically.
+std::string newest_checkpoint(const std::vector<std::string>& ckpts) {
+  std::string best;
+  std::uint64_t best_lsn = 0;
+  bool found = false;
+  for (const auto& path : ckpts) {
+    const std::string name = fs::path(path).filename().string();
+    if (name.size() < 10) continue;  // "ckpt-N.mfc"
+    try {
+      const std::uint64_t lsn = std::stoull(name.substr(5));
+      if (!found || lsn >= best_lsn) {
+        best_lsn = lsn;
+        best = path;
+        found = true;
+      }
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void FaultInjector::corrupt_file(const std::string& path, FaultMode mode,
+                                 std::uint64_t salt) {
+  if (mode == FaultMode::kStaleCheckpoint) {
+    if (fs::remove(path)) {
+      ++stats_.injected[static_cast<std::size_t>(mode)];
+    }
+    return;
+  }
+  std::error_code ec;
+  const std::uintmax_t size = fs::file_size(path, ec);
+  if (ec || size == 0) return;  // nothing to corrupt
+
+  Rng rng = Rng(plan_.seed ^ (salt * 0x9E3779B97F4A7C15ULL))
+                .split(static_cast<std::uint64_t>(mode) + 1);
+  std::size_t& count = stats_.injected[static_cast<std::size_t>(mode)];
+
+  switch (mode) {
+    case FaultMode::kTornFinalWrite: {
+      // Power loss mid-append: the last 1..40 bytes never reached the
+      // platter, leaving a partial frame at the tail.
+      const std::uintmax_t cut = std::min<std::uintmax_t>(
+          size, static_cast<std::uintmax_t>(rng.uniform_int(1, 40)));
+      fs::resize_file(path, size - cut);
+      ++count;
+      break;
+    }
+    case FaultMode::kFileTruncation: {
+      fs::resize_file(path,
+                      static_cast<std::uintmax_t>(rng.uniform_int(
+                          0, static_cast<std::int64_t>(size) - 1)));
+      ++count;
+      break;
+    }
+    case FaultMode::kBitFlip: {
+      std::string bytes = read_all_bytes(path);
+      const std::size_t offset = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+      bytes[offset] = static_cast<char>(
+          static_cast<unsigned char>(bytes[offset]) ^
+          (1u << rng.uniform_int(0, 7)));
+      write_all_bytes(path, bytes);
+      ++count;
+      break;
+    }
+    case FaultMode::kDuplicateSegment: {
+      // A replayed copy of the segment's own frames lands after the
+      // originals — every LSN appears twice with identical payloads, which
+      // recovery must deduplicate rather than double-apply.
+      const std::string bytes = read_all_bytes(path);
+      std::ofstream os(path, std::ios::binary | std::ios::app);
+      os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      if (!os) {
+        throw std::runtime_error("fault_injector: append failed " + path);
+      }
+      ++count;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::size_t FaultInjector::corrupt_durable_dir(const std::string& dir) {
+  const std::vector<std::string> wal_files =
+      sorted_files_with_suffix(fs::path(dir) / "wal", ".wal");
+  const std::vector<std::string> ckpt_files =
+      sorted_files_with_suffix(fs::path(dir) / "ckpt", ".mfc");
+
+  std::vector<FaultSpec> ordered = plan_.faults;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FaultSpec& a, const FaultSpec& b) {
+                     return a.mode < b.mode;
+                   });
+
+  std::size_t injected = 0;
+  for (const FaultSpec& spec : ordered) {
+    if (!fault_mode_is_disk(spec.mode)) continue;
+    Rng rng = Rng(plan_.seed).split(static_cast<std::uint64_t>(spec.mode) + 1);
+
+    if (spec.mode == FaultMode::kStaleCheckpoint) {
+      // Deletes the newest checkpoint: recovery must fall back to the older
+      // one and replay the (now longer) WAL tail over it.
+      const std::string newest = newest_checkpoint(ckpt_files);
+      if (!newest.empty() && rng.bernoulli(spec.rate)) {
+        const std::size_t before = stats_.of(spec.mode);
+        corrupt_file(newest, spec.mode);
+        injected += stats_.of(spec.mode) - before;
+      }
+      continue;
+    }
+
+    // WAL segments are always eligible; checkpoints additionally for the
+    // byte-level modes (a duplicated checkpoint file is not a meaningful
+    // failure shape — checkpoint replay never concatenates).
+    std::vector<std::string> targets = wal_files;
+    if (spec.mode != FaultMode::kDuplicateSegment) {
+      targets.insert(targets.end(), ckpt_files.begin(), ckpt_files.end());
+    }
+    std::uint64_t salt = 0;
+    for (const std::string& path : targets) {
+      ++salt;
+      if (!rng.bernoulli(spec.rate)) continue;
+      const std::size_t before = stats_.of(spec.mode);
+      corrupt_file(path, spec.mode, salt);
+      injected += stats_.of(spec.mode) - before;
+    }
+  }
+  return injected;
 }
 
 }  // namespace mfpa::sim

@@ -39,9 +39,15 @@ enum class FaultMode : std::size_t {
   kMalformedFirmware,    ///< firmware field becomes a garbage string
   // --- tickets --------------------------------------------------------------
   kTicketImtOutOfWindow, ///< IMT displaced outside the observation window
+  // --- on-disk durable state (WAL segments, checkpoints, alert log) --------
+  kTornFinalWrite,       ///< trailing bytes cut mid-frame (power loss mid-write)
+  kFileTruncation,       ///< file cut to a random fraction of its length
+  kBitFlip,              ///< one bit flipped at a random offset (media corruption)
+  kDuplicateSegment,     ///< a WAL segment's frames appended again (replayed copy)
+  kStaleCheckpoint,      ///< newest checkpoint deleted (older one + newer WAL stay)
 };
 
-inline constexpr std::size_t kNumFaultModes = 12;
+inline constexpr std::size_t kNumFaultModes = 17;
 
 const char* fault_mode_name(FaultMode mode) noexcept;
 
@@ -49,6 +55,8 @@ const char* fault_mode_name(FaultMode mode) noexcept;
 bool fault_mode_is_textual(FaultMode mode) noexcept;
 /// True when the mode applies to ticket streams (corrupt_tickets).
 bool fault_mode_is_ticket(FaultMode mode) noexcept;
+/// True when the mode applies to on-disk durable state (corrupt_durable_dir).
+bool fault_mode_is_disk(FaultMode mode) noexcept;
 
 /// One fault mode at an injection rate (fraction of eligible sites hit).
 struct FaultSpec {
@@ -94,6 +102,19 @@ class FaultInjector {
   std::vector<TroubleTicket> corrupt_tickets(
       const std::vector<TroubleTicket>& tickets, DayIndex window_lo,
       DayIndex window_hi);
+
+  /// Applies the plan's disk modes to a scoring-service durable directory
+  /// (`<dir>/wal/*.wal` segments, `<dir>/ckpt/ckpt-*.mfc`, `alerts.log`) —
+  /// the power-loss simulator of the crash-recovery tests. Torn writes,
+  /// truncation, bit flips, and duplicated segments hit rate-selected files
+  /// (names sorted, so selection is deterministic); a stale-checkpoint
+  /// fault deletes the newest checkpoint outright. Returns faults injected.
+  std::size_t corrupt_durable_dir(const std::string& dir);
+
+  /// Applies one disk mode to one file (deterministic in plan seed + salt).
+  /// kStaleCheckpoint deletes the file regardless of its name.
+  void corrupt_file(const std::string& path, FaultMode mode,
+                    std::uint64_t salt = 0);
 
  private:
   FaultPlan plan_;

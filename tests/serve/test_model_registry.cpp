@@ -202,5 +202,32 @@ TEST_F(ModelRegistryTest, NoTempFilesLeftBehind) {
   }
 }
 
+// A crash between atomic_write's temp write and its rename leaves a
+// ".<name>.tmp" orphan. It was never referenced by CURRENT, so the next
+// registry to open the directory must sweep it and carry on serving the
+// last durably published version.
+TEST_F(ModelRegistryTest, SweepsStrayTempFilesFromACrashedPublish) {
+  {
+    ModelRegistry registry(dir_.string());
+    registry.publish_pipeline(*pipeline_, 0, 100);
+  }
+  // Simulated mid-publish crash: the next artifact and a CURRENT marker
+  // update both died before their renames.
+  {
+    std::ofstream tmp(dir_ / ".v000002.model.tmp", std::ios::binary);
+    tmp << "partial artifact bytes";
+    std::ofstream marker(dir_ / ".CURRENT.tmp", std::ios::binary);
+    marker << "v000002\n";
+  }
+  ModelRegistry registry(dir_.string());
+  EXPECT_EQ(registry.current_version(), 1);  // durable truth survives
+  EXPECT_EQ(registry.versions(), (std::vector<int>{1}));
+  EXPECT_FALSE(fs::exists(dir_ / ".v000002.model.tmp"));
+  EXPECT_FALSE(fs::exists(dir_ / ".CURRENT.tmp"));
+  // The sweep must not eat real artifacts: the next publish still works
+  // and lands version 2.
+  EXPECT_EQ(registry.publish_pipeline(*pipeline_, 0, 130), 2);
+}
+
 }  // namespace
 }  // namespace mfpa::serve

@@ -1,0 +1,300 @@
+#include "serve/wal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mfpa::serve {
+namespace {
+namespace fs = std::filesystem;
+
+sim::DailyRecord make_record(DayIndex day, float seed) {
+  sim::DailyRecord rec;
+  rec.day = day;
+  for (std::size_t i = 0; i < rec.smart.size(); ++i) {
+    rec.smart[i] = seed + static_cast<float>(i) * 0.5f;
+  }
+  rec.firmware_index = static_cast<std::uint8_t>(day % 7);
+  for (std::size_t i = 0; i < rec.w.size(); ++i) {
+    rec.w[i] = static_cast<std::uint16_t>(day + static_cast<DayIndex>(i));
+  }
+  for (std::size_t i = 0; i < rec.b.size(); ++i) {
+    rec.b[i] = static_cast<std::uint16_t>(i * 3);
+  }
+  return rec;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(os.good());
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("mfpa_wal_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  WalWriterConfig writer_config(std::size_t shards = 2) const {
+    WalWriterConfig config;
+    config.dir = dir_.string();
+    config.shards = shards;
+    config.fsync = false;  // throwaway tmpdir
+    return config;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(WalTest, WalPayloadRoundTripsEveryField) {
+  const sim::DailyRecord rec = make_record(37, 2.25f);
+  const std::string payload = encode_wal_payload(991, 3, rec);
+  const WalEntry entry = decode_wal_payload(55, payload);
+  EXPECT_EQ(entry.lsn, 55u);
+  EXPECT_EQ(entry.drive_id, 991u);
+  EXPECT_EQ(entry.vendor, 3);
+  EXPECT_EQ(entry.record.day, rec.day);
+  EXPECT_EQ(entry.record.firmware_index, rec.firmware_index);
+  EXPECT_EQ(entry.record.smart, rec.smart);
+  EXPECT_EQ(entry.record.w, rec.w);
+  EXPECT_EQ(entry.record.b, rec.b);
+}
+
+TEST_F(WalTest, AlertPayloadRoundTrips) {
+  core::Alert alert;
+  alert.drive_id = 123456789;
+  alert.day = 87;
+  alert.score = 0.73125;
+  const core::Alert back = decode_alert_payload(encode_alert_payload(alert));
+  EXPECT_EQ(back.drive_id, alert.drive_id);
+  EXPECT_EQ(back.day, alert.day);
+  EXPECT_DOUBLE_EQ(back.score, alert.score);
+}
+
+TEST_F(WalTest, FrameScanReturnsFramesInOrder) {
+  std::string buf;
+  append_frame(buf, 1, "alpha");
+  append_frame(buf, 2, "beta");
+  append_frame(buf, 3, std::string("\0binary\xff", 8));
+  const std::string path = (dir_ / "frames.bin").string();
+  write_bytes(path, buf);
+  const FrameScan scan = scan_frames(path);
+  ASSERT_EQ(scan.frames.size(), 3u);
+  EXPECT_EQ(scan.frames[0].lsn, 1u);
+  EXPECT_EQ(scan.frames[0].payload, "alpha");
+  EXPECT_EQ(scan.frames[1].payload, "beta");
+  EXPECT_EQ(scan.frames[2].payload, std::string("\0binary\xff", 8));
+  EXPECT_EQ(scan.valid_bytes, buf.size());
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, TornTailIsDiscardedNotFatal) {
+  std::string buf;
+  append_frame(buf, 1, "first");
+  append_frame(buf, 2, "second");
+  const std::size_t full = buf.size();
+  buf.resize(full - 7);  // power loss mid final frame
+  const std::string path = (dir_ / "torn.bin").string();
+  write_bytes(path, buf);
+  const FrameScan scan = scan_frames(path);
+  ASSERT_EQ(scan.frames.size(), 1u);
+  EXPECT_EQ(scan.frames[0].payload, "first");
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_GT(scan.torn_bytes, 0u);
+}
+
+TEST_F(WalTest, MidStreamCorruptionThrows) {
+  std::string buf;
+  append_frame(buf, 1, "first");
+  const std::size_t first_end = buf.size();
+  append_frame(buf, 2, "second");
+  buf[first_end / 2] ^= 0x40;  // flip a bit inside frame 1's payload
+  const std::string path = (dir_ / "hole.bin").string();
+  write_bytes(path, buf);
+  EXPECT_THROW(scan_frames(path), std::runtime_error);
+}
+
+TEST_F(WalTest, WriterRecoverRoundTripAcrossShards) {
+  WalWriter writer(writer_config(3));
+  writer.open_generation(0);
+  std::vector<std::uint64_t> lsns;
+  for (int i = 0; i < 40; ++i) {
+    lsns.push_back(writer.append(static_cast<std::uint64_t>(i * 17 + 1), i % 4,
+                                 make_record(10 + i, 1.0f)));
+  }
+  writer.flush();
+  for (std::size_t i = 0; i < lsns.size(); ++i) EXPECT_EQ(lsns[i], i + 1);
+
+  WalRecoveryStats stats;
+  const auto tail = recover_wal(dir_.string(), 0, &stats);
+  ASSERT_EQ(tail.size(), 40u);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].lsn, i + 1);
+    EXPECT_EQ(tail[i].drive_id, i * 17 + 1);
+    EXPECT_EQ(tail[i].record.day, 10 + static_cast<DayIndex>(i));
+  }
+  EXPECT_EQ(stats.records_replayable, 40u);
+  EXPECT_EQ(stats.torn_tails, 0u);
+}
+
+TEST_F(WalTest, RecoverSkipsRecordsCoveredByCheckpoint) {
+  WalWriter writer(writer_config());
+  writer.open_generation(0);
+  for (int i = 0; i < 20; ++i) {
+    writer.append(static_cast<std::uint64_t>(i + 1), 0, make_record(i, 1.0f));
+  }
+  writer.flush();
+  WalRecoveryStats stats;
+  const auto tail = recover_wal(dir_.string(), 15, &stats);
+  ASSERT_EQ(tail.size(), 5u);
+  EXPECT_EQ(tail.front().lsn, 16u);
+  EXPECT_EQ(stats.records_skipped_applied, 15u);
+}
+
+TEST_F(WalTest, EmptyWalDirectoryRecoversToNothing) {
+  WalRecoveryStats stats;
+  const auto tail = recover_wal(dir_.string(), 0, &stats);  // no wal/ at all
+  EXPECT_TRUE(tail.empty());
+  EXPECT_EQ(stats.segments_scanned, 0u);
+
+  fs::create_directories(dir_ / "wal");  // wal/ exists but is empty
+  EXPECT_TRUE(recover_wal(dir_.string(), 0).empty());
+}
+
+TEST_F(WalTest, ZeroLengthSegmentIsHarmless) {
+  WalWriter writer(writer_config());
+  writer.open_generation(0);
+  for (int i = 0; i < 8; ++i) {
+    writer.append(static_cast<std::uint64_t>(i + 1), 0, make_record(i, 1.0f));
+  }
+  writer.flush();
+  write_bytes((dir_ / "wal" / "shard-999.c0.wal").string(), "");
+  const auto tail = recover_wal(dir_.string(), 0);
+  EXPECT_EQ(tail.size(), 8u);
+}
+
+TEST_F(WalTest, ExactDuplicateFramesAreDropped) {
+  WalWriter writer(writer_config(1));
+  writer.open_generation(0);
+  for (int i = 0; i < 6; ++i) {
+    writer.append(static_cast<std::uint64_t>(i + 1), 0, make_record(i, 1.0f));
+  }
+  writer.flush();
+  // Replay the whole segment onto itself: every LSN now appears twice with
+  // identical bytes.
+  std::string seg;
+  for (const auto& entry : fs::directory_iterator(dir_ / "wal")) {
+    seg = entry.path().string();
+  }
+  ASSERT_FALSE(seg.empty());
+  const std::string bytes = read_bytes(seg);
+  std::ofstream os(seg, std::ios::binary | std::ios::app);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  os.close();
+
+  WalRecoveryStats stats;
+  const auto tail = recover_wal(dir_.string(), 0, &stats);
+  ASSERT_EQ(tail.size(), 6u);
+  EXPECT_EQ(stats.records_skipped_duplicate, 6u);
+}
+
+TEST_F(WalTest, LsnCollisionWithDifferentBytesThrows) {
+  fs::create_directories(dir_ / "wal");
+  std::string buf;
+  append_frame(buf, 1, "one payload");
+  append_frame(buf, 1, "a different payload");  // same LSN, different bytes
+  write_bytes((dir_ / "wal" / "shard-000.c0.wal").string(), buf);
+  EXPECT_THROW(recover_wal(dir_.string(), 0), std::runtime_error);
+}
+
+TEST_F(WalTest, RecordsBeyondAnLsnGapAreDiscarded) {
+  fs::create_directories(dir_ / "wal");
+  std::string buf;
+  append_frame(buf, 1, encode_wal_payload(1, 0, make_record(1, 1.0f)));
+  append_frame(buf, 2, encode_wal_payload(2, 0, make_record(2, 1.0f)));
+  // LSN 3 lost with its shard file; 4 survives but is past the gap.
+  append_frame(buf, 4, encode_wal_payload(4, 0, make_record(4, 1.0f)));
+  write_bytes((dir_ / "wal" / "shard-000.c0.wal").string(), buf);
+  WalRecoveryStats stats;
+  const auto tail = recover_wal(dir_.string(), 0, &stats);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.back().lsn, 2u);
+  EXPECT_EQ(stats.records_skipped_gap, 1u);
+}
+
+TEST_F(WalTest, RotateRetainsFallbackGenerationAndDropsOlder) {
+  WalWriter writer(writer_config(1));
+  writer.open_generation(0);
+  writer.append(1, 0, make_record(1, 1.0f));
+  writer.rotate(/*ckpt_lsn=*/1, /*keep_from_lsn=*/0);   // gen c0 retained
+  writer.append(2, 0, make_record(2, 1.0f));
+  writer.rotate(/*ckpt_lsn=*/2, /*keep_from_lsn=*/1);   // c0 dropped, c1 kept
+  writer.append(3, 0, make_record(3, 1.0f));
+  writer.flush();
+
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir_ / "wal")) {
+    names.push_back(entry.path().filename().string());
+  }
+  EXPECT_EQ(names.size(), 2u);  // generations c1 and c2
+  for (const auto& name : names) {
+    EXPECT_EQ(name.find(".c0."), std::string::npos) << name;
+  }
+  // All three records still recoverable from the retained generations.
+  const auto tail = recover_wal(dir_.string(), 1);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.front().lsn, 2u);
+  EXPECT_EQ(tail.back().lsn, 3u);
+}
+
+TEST_F(WalTest, AlertLogRoundTripAndTruncation) {
+  {
+    AlertLog log(dir_.string(), /*fsync=*/false);
+    log.open(0);
+    for (int i = 0; i < 10; ++i) {
+      log.append({static_cast<std::uint64_t>(i + 1), i, 0.5 + i * 0.01});
+    }
+    log.flush();
+    EXPECT_EQ(log.count(), 10u);
+  }
+  // Checkpoint pinned only 7 durable alerts: the tail must be cut.
+  const auto durable = recover_alert_log(dir_.string(), 7);
+  ASSERT_EQ(durable.size(), 7u);
+  EXPECT_EQ(durable.back().drive_id, 7u);
+  // Appending after recovery continues at ordinal 8.
+  AlertLog log(dir_.string(), /*fsync=*/false);
+  log.open(7);
+  log.append({99, 50, 0.9});
+  log.flush();
+  const auto again = recover_alert_log(dir_.string(), 8);
+  ASSERT_EQ(again.size(), 8u);
+  EXPECT_EQ(again.back().drive_id, 99u);
+}
+
+TEST_F(WalTest, AlertLogShorterThanPinnedCountThrows) {
+  AlertLog log(dir_.string(), /*fsync=*/false);
+  log.open(0);
+  log.append({1, 1, 0.6});
+  log.flush();
+  EXPECT_THROW(recover_alert_log(dir_.string(), 5), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mfpa::serve

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -240,6 +242,151 @@ TEST(FaultInjector, ComposedPlanAppliesEveryRequestedMode) {
             injector.stats().of(FaultMode::kDuplicateDay) +
                 injector.stats().of(FaultMode::kClockRollback) +
                 injector.stats().of(FaultMode::kNanField));
+}
+
+// --- on-disk durable-state modes -------------------------------------------
+
+namespace fs = std::filesystem;
+
+class DiskFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           (std::string("mfpa_diskfault_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "wal");
+    fs::create_directories(dir_ / "ckpt");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path make_file(const fs::path& rel, std::size_t bytes) {
+    const fs::path path = dir_ / rel;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      os.put(static_cast<char>('A' + i % 23));
+    }
+    return path;
+  }
+
+  static std::string bytes_of(const fs::path& path) {
+    std::ifstream is(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(is)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DiskFaultTest, DiskModePredicatesArePartitioned) {
+  for (std::size_t m = 0; m < kNumFaultModes; ++m) {
+    const auto mode = static_cast<FaultMode>(m);
+    const int kinds = (fault_mode_is_textual(mode) ? 1 : 0) +
+                      (fault_mode_is_ticket(mode) ? 1 : 0) +
+                      (fault_mode_is_disk(mode) ? 1 : 0);
+    EXPECT_LE(kinds, 1) << fault_mode_name(mode);
+  }
+  EXPECT_TRUE(fault_mode_is_disk(FaultMode::kTornFinalWrite));
+  EXPECT_TRUE(fault_mode_is_disk(FaultMode::kStaleCheckpoint));
+  EXPECT_FALSE(fault_mode_is_disk(FaultMode::kNanField));
+}
+
+TEST_F(DiskFaultTest, TornFinalWriteTrimsTrailingBytes) {
+  const auto path = make_file("wal/shard-000.c0.wal", 500);
+  const std::string before = bytes_of(path);
+  FaultInjector injector({{{FaultMode::kTornFinalWrite, 1.0}}, 31});
+  injector.corrupt_file(path.string(), FaultMode::kTornFinalWrite);
+  const std::string after = bytes_of(path);
+  ASSERT_LT(after.size(), before.size());
+  EXPECT_GE(after.size(), before.size() - 40);
+  EXPECT_EQ(before.compare(0, after.size(), after), 0);  // prefix untouched
+  EXPECT_EQ(injector.stats().of(FaultMode::kTornFinalWrite), 1u);
+}
+
+TEST_F(DiskFaultTest, BitFlipChangesExactlyOneBit) {
+  const auto path = make_file("wal/shard-000.c0.wal", 300);
+  const std::string before = bytes_of(path);
+  FaultInjector injector({{{FaultMode::kBitFlip, 1.0}}, 37});
+  injector.corrupt_file(path.string(), FaultMode::kBitFlip);
+  const std::string after = bytes_of(path);
+  ASSERT_EQ(after.size(), before.size());
+  int bits_changed = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(before[i] ^ after[i]);
+    while (diff != 0) {
+      bits_changed += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(bits_changed, 1);
+}
+
+TEST_F(DiskFaultTest, DuplicateSegmentDoublesTheFile) {
+  const auto path = make_file("wal/shard-001.c0.wal", 200);
+  const std::string before = bytes_of(path);
+  FaultInjector injector({{{FaultMode::kDuplicateSegment, 1.0}}, 41});
+  injector.corrupt_file(path.string(), FaultMode::kDuplicateSegment);
+  const std::string after = bytes_of(path);
+  EXPECT_EQ(after, before + before);
+}
+
+TEST_F(DiskFaultTest, StaleCheckpointDeletesOnlyTheNewest) {
+  make_file("ckpt/ckpt-512.mfc", 64);
+  make_file("ckpt/ckpt-4096.mfc", 64);  // numerically newest, lex. smallest
+  make_file("wal/shard-000.c4096.wal", 64);
+  FaultInjector injector({{{FaultMode::kStaleCheckpoint, 1.0}}, 43});
+  EXPECT_EQ(injector.corrupt_durable_dir(dir_.string()), 1u);
+  EXPECT_FALSE(fs::exists(dir_ / "ckpt" / "ckpt-4096.mfc"));
+  EXPECT_TRUE(fs::exists(dir_ / "ckpt" / "ckpt-512.mfc"));
+  EXPECT_TRUE(fs::exists(dir_ / "wal" / "shard-000.c4096.wal"));
+}
+
+TEST_F(DiskFaultTest, DurableDirSweepIsDeterministic) {
+  auto populate = [&](const fs::path& root) {
+    for (const char* rel :
+         {"wal/shard-000.c0.wal", "wal/shard-001.c0.wal",
+          "ckpt/ckpt-10.mfc", "ckpt/ckpt-20.mfc"}) {
+      fs::create_directories((root / rel).parent_path());
+      std::ofstream os(root / rel, std::ios::binary);
+      for (int i = 0; i < 400; ++i) os.put(static_cast<char>('a' + i % 17));
+    }
+  };
+  const fs::path other = dir_ / "twin";
+  populate(dir_);
+  populate(other);
+  FaultPlan plan;
+  plan.seed = 47;
+  plan.faults = {{FaultMode::kTornFinalWrite, 0.5},
+                 {FaultMode::kBitFlip, 0.5},
+                 {FaultMode::kFileTruncation, 0.5}};
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  const std::size_t injected_a = a.corrupt_durable_dir(dir_.string());
+  const std::size_t injected_b = b.corrupt_durable_dir(other.string());
+  EXPECT_EQ(injected_a, injected_b);
+  ASSERT_GT(injected_a, 0u);
+  for (const char* rel :
+       {"wal/shard-000.c0.wal", "wal/shard-001.c0.wal", "ckpt/ckpt-10.mfc",
+        "ckpt/ckpt-20.mfc"}) {
+    EXPECT_EQ(bytes_of(dir_ / rel), bytes_of(other / rel)) << rel;
+  }
+}
+
+TEST_F(DiskFaultTest, ZeroRatePlanTouchesNothing) {
+  const auto wal = make_file("wal/shard-000.c0.wal", 128);
+  const auto ckpt = make_file("ckpt/ckpt-5.mfc", 128);
+  const std::string wal_before = bytes_of(wal);
+  const std::string ckpt_before = bytes_of(ckpt);
+  FaultPlan plan;
+  plan.seed = 53;
+  for (std::size_t m = 0; m < kNumFaultModes; ++m) {
+    plan.faults.push_back({static_cast<FaultMode>(m), 0.0});
+  }
+  FaultInjector injector(plan);
+  EXPECT_EQ(injector.corrupt_durable_dir(dir_.string()), 0u);
+  EXPECT_EQ(bytes_of(wal), wal_before);
+  EXPECT_EQ(bytes_of(ckpt), ckpt_before);
+  EXPECT_TRUE(fs::exists(ckpt));
 }
 
 }  // namespace

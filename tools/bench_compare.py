@@ -36,10 +36,21 @@ def metrics(doc: dict, path: str) -> dict[str, tuple[float, bool]]:
     """Extract {name: (value, lower_is_better)} from either schema."""
     if doc.get("bench") == "serving_replay":
         try:
-            return {"records_per_sec": (float(doc["records_per_sec"]), False)}
+            out = {"records_per_sec": (float(doc["records_per_sec"]), False)}
         except (KeyError, TypeError, ValueError):
             raise SystemExit(
                 f"bench_compare: {path}: serving schema lacks records_per_sec")
+        # Optional: runs produced with the durability pass enabled also gate
+        # on WAL+checkpoint throughput (absent in --no-durable runs; the
+        # missing-key paths below skip it with a note either way).
+        if "durable_records_per_sec" in doc:
+            try:
+                out["durable_records_per_sec"] = (
+                    float(doc["durable_records_per_sec"]), False)
+            except (TypeError, ValueError):
+                raise SystemExit(
+                    f"bench_compare: {path}: malformed durable_records_per_sec")
+        return out
     if "benchmarks" in doc:
         out: dict[str, tuple[float, bool]] = {}
         for entry in doc["benchmarks"]:

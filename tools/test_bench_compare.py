@@ -100,6 +100,29 @@ class BenchCompareTest(unittest.TestCase):
         cur = self.write("cur.json", faster)
         self.assertEqual(self.run_main(base, cur), 0)
 
+    def test_durable_throughput_drop_fails(self):
+        durable = dict(SERVING, durable_records_per_sec=200000)
+        base = self.write("base.json", durable)
+        slower = dict(durable, durable_records_per_sec=200000 * 0.8)
+        cur = self.write("cur.json", slower)
+        self.assertEqual(self.run_main(base, cur), 1)
+
+    def test_durable_key_is_optional_both_ways(self):
+        # Baseline without the durable pass vs a current run with it (and
+        # vice versa): both directions skip the unmatched key, not fail.
+        plain = self.write("plain.json", SERVING)
+        durable = self.write(
+            "durable.json", dict(SERVING, durable_records_per_sec=200000))
+        self.assertEqual(self.run_main(plain, durable), 0)
+        self.assertEqual(self.run_main(durable, plain), 0)
+
+    def test_malformed_durable_key_is_rejected(self):
+        base = self.write(
+            "base.json", dict(SERVING, durable_records_per_sec="fast"))
+        cur = self.write("cur.json", SERVING)
+        with self.assertRaises(SystemExit):
+            self.run_main(base, cur)
+
     def test_missing_benchmark_is_skipped_not_failed(self):
         base = self.write("base.json", GBENCH)
         subset = copy.deepcopy(GBENCH)
