@@ -7,11 +7,15 @@
 //
 //   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
 //                   [--batch=256] [--threads=0] [--out=BENCH_serving.json]
-//                   [--no-flat] [--no-durable]
+//                   [--no-flat] [--no-durable] [--quantized]
+//                   [--simd=auto|scalar|neon|avx2]
 //
 // --no-flat serves from the node-pointer trees instead of the compiled
 // flat-forest path; running both and diffing records_per_sec measures the
 // serving-side speedup of compiled inference (scores are identical).
+// --quantized serves from the uint8-quantized ensemble, and --simd pins
+// the flat kernel tier (degrading to what the CPU supports) — together
+// they A/B every inference configuration the registry can activate.
 //
 // Unless --no-durable is given, a second replay pass runs with the
 // checksummed WAL + checkpoints enabled (docs/DURABILITY.md), reporting
@@ -22,6 +26,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "ml/simd.hpp"
 #include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
@@ -34,6 +39,7 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   bool flat = true;
   bool durable = true;
+  bool quantized = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -42,7 +48,18 @@ int main(int argc, char** argv) {
     if (starts_with(arg, "--out=")) out_path = arg.substr(6);
     if (arg == "--no-flat") flat = false;
     if (arg == "--no-durable") durable = false;
+    if (arg == "--quantized") quantized = true;
+    if (starts_with(arg, "--simd=")) {
+      std::optional<ml::SimdLevel> level;
+      if (!ml::parse_simd_level(arg.substr(7), level)) {
+        std::cerr << "--simd must be auto, scalar, neon, or avx2\n";
+        return 1;
+      }
+      ml::set_simd_override(level);
+    }
   }
+  std::cout << "simd kernel: " << ml::to_string(ml::active_simd_level())
+            << "\n";
 
   bench::World world(args);
   std::cout << "fleet: " << world.telemetry.size() << " drives\n";
@@ -51,7 +68,7 @@ int main(int argc, char** argv) {
       (std::filesystem::temp_directory_path() / "mfpa-bench-registry")
           .string();
   std::filesystem::remove_all(registry_dir);
-  serve::ModelRegistry registry(registry_dir, threads, flat);
+  serve::ModelRegistry registry(registry_dir, threads, flat, quantized);
   core::MfpaConfig config;
   config.seed = args.seed;
   const int version = serve::train_and_publish(registry, config,
@@ -92,6 +109,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(report.engine.batches);
   TablePrinter table({"metric", "value"});
   table.add_row({"flat inference", flat ? "on" : "off"});
+  table.add_row({"quantized inference", quantized ? "on" : "off"});
   table.add_row({"records", std::to_string(report.engine.submitted)});
   table.add_row({"wall seconds", format_double(report.wall_seconds, 3)});
   table.add_row({"records/sec",
@@ -127,6 +145,9 @@ int main(int argc, char** argv) {
        << "  \"seed\": " << args.seed << ",\n"
        << "  \"algorithm\": \"RF\",\n"
        << "  \"flat_inference\": " << (flat ? "true" : "false") << ",\n"
+       << "  \"quantized_inference\": " << (quantized ? "true" : "false")
+       << ",\n"
+       << "  \"simd\": \"" << ml::to_string(ml::active_simd_level()) << "\",\n"
        << "  \"max_batch\": " << max_batch << ",\n"
        << "  \"records\": " << report.engine.submitted << ",\n"
        << "  \"days\": " << report.days_replayed << ",\n"

@@ -11,6 +11,8 @@
 #include "ml/factory.hpp"
 #include "ml/flat_forest.hpp"
 #include "ml/metrics.hpp"
+#include "ml/quantized_forest.hpp"
+#include "ml/simd.hpp"
 #include "sim/fleet.hpp"
 
 namespace {
@@ -124,6 +126,104 @@ void BM_FlatForestPredictGbdt(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4000);
 }
 BENCHMARK(BM_FlatForestPredictGbdt)->ArgName("flat")->Arg(0)->Arg(1);
+
+// Kernel-tier A/B on the compiled path: range(0) = SimdLevel forced via the
+// process-wide override (0 scalar, 2 avx2/auto). The scalar leg pins the
+// portable kernel, the vector leg runs whatever the CPU dispatches; the
+// perf gate's scalar-vs-vector ratio documents the SIMD speedup (results
+// are bit-identical across legs — see tests/ml/test_simd_parity.cpp).
+void BM_FlatForestPredictSimdRF(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 100}, {"seed", 1}, {"threads", 1}});
+  rf->fit(X, y);
+  dynamic_cast<ml::CompiledInference&>(*rf).compile();
+  ml::set_simd_override(state.range(0) == 0
+                            ? std::optional<ml::SimdLevel>(ml::SimdLevel::kScalar)
+                            : std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf->predict_proba(X));
+  }
+  ml::set_simd_override(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * 4000);
+  state.SetLabel(std::string(ml::to_string(
+      state.range(0) == 0 ? ml::SimdLevel::kScalar
+                          : ml::detected_simd_level())));
+}
+BENCHMARK(BM_FlatForestPredictSimdRF)->ArgName("simd")->Arg(0)->Arg(2);
+
+void BM_FlatForestPredictSimdGbdt(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto gbdt = ml::make_classifier(
+      "GBDT", {{"n_rounds", 100}, {"seed", 1}, {"threads", 1}});
+  gbdt->fit(X, y);
+  dynamic_cast<ml::CompiledInference&>(*gbdt).compile();
+  ml::set_simd_override(state.range(0) == 0
+                            ? std::optional<ml::SimdLevel>(ml::SimdLevel::kScalar)
+                            : std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt->predict_proba(X));
+  }
+  ml::set_simd_override(std::nullopt);
+  state.SetItemsProcessed(state.iterations() * 4000);
+  state.SetLabel(std::string(ml::to_string(
+      state.range(0) == 0 ? ml::SimdLevel::kScalar
+                          : ml::detected_simd_level())));
+}
+BENCHMARK(BM_FlatForestPredictSimdGbdt)->ArgName("simd")->Arg(0)->Arg(2);
+
+// Quantized (uint8-code) vs float compiled scoring, single thread. The
+// quantized path encodes each row block to codes and walks 9-byte nodes;
+// probabilities are bit-identical (cuts derive from the model's own
+// thresholds; see ml/quantized_forest.hpp).
+void BM_QuantizedPredictRF(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 100}, {"seed", 1}, {"threads", 1}});
+  rf->fit(X, y);
+  auto& compilable = dynamic_cast<ml::CompiledInference&>(*rf);
+  if (!compilable.compile_quantized()) {
+    state.SkipWithError("ensemble not quantizable");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rf->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_QuantizedPredictRF);
+
+void BM_QuantizedPredictGbdt(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto gbdt = ml::make_classifier(
+      "GBDT", {{"n_rounds", 100}, {"seed", 1}, {"threads", 1}});
+  gbdt->fit(X, y);
+  auto& compilable = dynamic_cast<ml::CompiledInference&>(*gbdt);
+  if (!compilable.compile_quantized()) {
+    state.SkipWithError("ensemble not quantizable");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gbdt->predict_proba(X));
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+BENCHMARK(BM_QuantizedPredictGbdt);
+
+// One-off cost of quantizing a 100-tree forest (paid once per model
+// activation when the registry runs with quantize_models).
+void BM_QuantizedCompile(benchmark::State& state) {
+  const auto [X, y] = blob_data(4000, 45);
+  auto rf = ml::make_classifier(
+      "RF", {{"n_trees", 100}, {"seed", 1}, {"threads", 1}});
+  rf->fit(X, y);
+  auto& compilable = dynamic_cast<ml::CompiledInference&>(*rf);
+  for (auto _ : state) {
+    compilable.compile_quantized();
+    benchmark::DoNotOptimize(compilable.quantized());
+  }
+}
+BENCHMARK(BM_QuantizedCompile);
 
 // One-off cost of flattening a 100-tree forest (paid once per model
 // activation in the serving tier; see docs/PERFORMANCE.md amortization).

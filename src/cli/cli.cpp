@@ -14,6 +14,7 @@
 #include "core/mfpa.hpp"
 #include "core/online_predictor.hpp"
 #include "ml/serialize.hpp"
+#include "ml/simd.hpp"
 #include "serve/replay.hpp"
 #include "sim/fleet.hpp"
 #include "sim/telemetry_io.hpp"
@@ -228,6 +229,17 @@ int cmd_predict(const CommandLine& cmd, std::ostream& out) {
 }
 
 int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
+  // --simd pins the inference kernel tier (scalar/neon/avx2; "auto" probes
+  // the CPU). A level the hardware lacks degrades to the strongest
+  // available one, so the resolved level is printed later — that is what
+  // actually ran. Validated up front, before any telemetry work.
+  if (cmd.has("simd")) {
+    std::optional<ml::SimdLevel> level;
+    if (!ml::parse_simd_level(cmd.require("simd"), level)) {
+      throw std::runtime_error("--simd must be auto, scalar, neon, or avx2");
+    }
+    ml::set_simd_override(level);
+  }
   const auto robustness = robustness_from(cmd);
   // Input: either a saved telemetry/ticket pair or a generated scenario.
   std::vector<sim::DriveTimeSeries> telemetry;
@@ -259,10 +271,14 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   if (!reuse_registry) std::filesystem::remove_all(registry_dir);
   const auto threads =
       static_cast<std::size_t>(cmd.get_number("threads", 0));
+  out << "simd kernel: " << ml::to_string(ml::active_simd_level()) << "\n";
   // --no-flat serves from the node-pointer trees instead of the compiled
   // flat-forest representation (probabilities are identical either way;
-  // the flag exists for perf A/B runs and debugging).
-  serve::ModelRegistry registry(registry_dir, threads, !cmd.has("no-flat"));
+  // the flag exists for perf A/B runs and debugging). --quantized layers
+  // the uint8 representation on top (also identical probabilities; see
+  // ml/quantized_forest.hpp).
+  serve::ModelRegistry registry(registry_dir, threads, !cmd.has("no-flat"),
+                                cmd.has("quantized"));
 
   auto train_config = config_from(cmd);
   int version = registry.current_version();
@@ -517,13 +533,17 @@ std::string usage() {
       "            --seed=N --scale=X] [--algorithm=RF] [--group=G]\n"
       "            [--threads=N] [--batch=256] [--queue-capacity=4096]\n"
       "            [--shed] [--registry=DIR] [--alert-consecutive=1]\n"
-      "            [--cooldown=0] [--no-flat]\n"
+      "            [--cooldown=0] [--no-flat] [--quantized]\n"
+      "            [--simd=auto|scalar|neon|avx2]\n"
       "            [--durable-dir=DIR] [--wal-group-commit=256]\n"
       "            [--checkpoint-interval=4096] [--reuse-registry]\n"
       "            [--alerts-out=FILE] [--kill-after=N]\n"
       "            train + publish to the model registry, then stream the\n"
       "            fleet through the micro-batched scoring service\n"
       "            (--no-flat disables compiled flat-forest inference;\n"
+      "            --quantized serves from the uint8-quantized ensemble;\n"
+      "            --simd pins the inference kernel tier, degrading to the\n"
+      "            strongest the CPU supports and printing what resolved;\n"
       "            scores are identical, see docs/PERFORMANCE.md)\n"
       "            --durable-dir enables the checksummed WAL + checkpoints\n"
       "            and auto-resumes from existing durable state; pair with\n"

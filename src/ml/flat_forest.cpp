@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "ml/decision_tree.hpp"
+#include "ml/flat_forest_kernels.hpp"
 #include "ml/parallel_for.hpp"
+#include "ml/simd.hpp"
 #include "obs/metrics.hpp"
 
 namespace mfpa::ml {
@@ -20,6 +22,7 @@ struct FlatMetrics {
   obs::Counter* compiles = nullptr;
   obs::Counter* rows_scored = nullptr;
   obs::Gauge* nodes = nullptr;
+  obs::Gauge* simd_level = nullptr;
   obs::HistogramMetric* compile_seconds = nullptr;
   obs::HistogramMetric* batch_seconds = nullptr;
 };
@@ -33,6 +36,7 @@ const FlatMetrics& flat_metrics() {
     metrics.compiles = &reg.counter("mfpa_flat_compiles_total");
     metrics.rows_scored = &reg.counter("mfpa_flat_rows_scored_total");
     metrics.nodes = &reg.gauge("mfpa_flat_nodes");
+    metrics.simd_level = &reg.gauge("mfpa_flat_simd_level");
     metrics.compile_seconds =
         &reg.histogram("mfpa_flat_compile_seconds", 0.0, 10.0, 256);
     metrics.batch_seconds =
@@ -48,83 +52,17 @@ const FlatMetrics& flat_metrics() {
 /// block's feature rows still fit beside the tree in cache.
 constexpr std::size_t kRowBlock = 96;
 
-}  // namespace
-
-FlatForest FlatForest::compile(std::span<const RegressionTree> trees,
-                               Output output, double per_tree_scale,
-                               double base) {
-  if (trees.empty()) {
-    throw std::invalid_argument("FlatForest::compile: empty ensemble");
-  }
-  std::size_t total = 0;
-  for (const auto& tree : trees) {
-    if (!tree.fitted()) {
-      throw std::invalid_argument("FlatForest::compile: unfitted tree");
-    }
-    total += tree.nodes().size();
-  }
-  if (total > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
-    throw std::invalid_argument("FlatForest::compile: ensemble too large");
-  }
-  const auto& metrics = flat_metrics();
-  obs::ScopedTimer timer(*metrics.compile_seconds);
-
-  FlatForest out;
-  out.output_ = output;
-  out.per_tree_scale_ = per_tree_scale;
-  out.base_ = base;
-  out.inv_trees_ = 1.0 / static_cast<double>(trees.size());
-  out.feat_.resize(total);
-  out.thr_.resize(total);
-  out.left_.resize(total);
-  out.roots_.reserve(trees.size());
-
-  // Per tree: breadth-first renumbering with the two children of every
-  // split allocated adjacently (right child = left child + 1, so no right_
-  // array exists). The BFS pair queue doubles as the slot allocator.
-  std::vector<std::pair<std::int32_t, std::int32_t>> queue;  // (src, dst)
-  std::int32_t next = 0;
-  for (const auto& tree : trees) {
-    const auto& nodes = tree.nodes();
-    out.roots_.push_back(next);
-    queue.clear();
-    queue.emplace_back(0, next++);
-    for (std::size_t head = 0; head < queue.size(); ++head) {
-      const auto [src, dst] = queue[head];
-      const TreeNode& n = nodes[static_cast<std::size_t>(src)];
-      if (n.feature < 0) {
-        out.feat_[static_cast<std::size_t>(dst)] = -1;
-        out.thr_[static_cast<std::size_t>(dst)] = n.value;
-        out.left_[static_cast<std::size_t>(dst)] = dst;  // leaves self-loop
-      } else {
-        const std::int32_t l = next;
-        next += 2;
-        out.feat_[static_cast<std::size_t>(dst)] = n.feature;
-        out.thr_[static_cast<std::size_t>(dst)] = n.threshold;
-        out.left_[static_cast<std::size_t>(dst)] = l;
-        queue.emplace_back(n.left, l);
-        queue.emplace_back(n.right, l + 1);
-      }
-    }
-  }
-  metrics.compiles->inc();
-  metrics.nodes->set(static_cast<double>(total));
-  return out;
-}
-
-std::size_t FlatForest::bytes() const noexcept {
-  return feat_.size() * sizeof(std::int32_t) + thr_.size() * sizeof(double) +
-         left_.size() * sizeof(std::int32_t) +
-         roots_.size() * sizeof(std::int32_t);
-}
-
-void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
-                                  std::size_t row_hi, std::size_t tree_lo,
-                                  std::size_t tree_hi, double* acc) const {
-  const std::int32_t* feat = feat_.data();
-  const double* thr = thr_.data();
-  const std::int32_t* left = left_.data();
-  const double scale = per_tree_scale_;
+/// Portable reference kernel (the original 8-row lockstep block); the
+/// vector kernels in flat_forest_avx2.cpp / flat_forest_neon.cpp transcribe
+/// exactly this operation sequence onto lanes.
+void accumulate_scalar(const detail::ForestView& forest, const double* x,
+                       std::size_t cols, std::size_t row_lo,
+                       std::size_t row_hi, std::size_t tree_lo,
+                       std::size_t tree_hi, double* acc) {
+  const std::int32_t* feat = forest.feat;
+  const double* thr = forest.thr;
+  const std::int32_t* left = forest.left;
+  const double scale = forest.scale;
   // One branchless descend: !(x <= thr) sends NaN right, matching the
   // pointer path's `x <= thr ? left : right`; a lane already at a leaf
   // clamps its feature index to 0 (thr there holds the leaf value — the
@@ -133,15 +71,15 @@ void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
   // the compiler into emitting data-dependent skip branches, which
   // mispredict every time a lane reaches its leaf.
   const auto step = [feat, thr, left](std::int32_t n, std::int32_t f,
-                                      const double* x) noexcept {
+                                      const double* row) noexcept {
     const std::int32_t keep = f >> 31;  // all-ones at a leaf, else zero
     const std::int32_t idx = f & ~keep;
     const std::int32_t next =
-        left[n] + static_cast<std::int32_t>(!(x[idx] <= thr[n]));
+        left[n] + static_cast<std::int32_t>(!(row[idx] <= thr[n]));
     return (n & keep) | (next & ~keep);
   };
   for (std::size_t t = tree_lo; t < tree_hi; ++t) {
-    const std::int32_t root = roots_[t];
+    const std::int32_t root = forest.roots[t];
     const std::int32_t root_feat = feat[root];
     std::size_t r = row_lo;
     // Eight rows descend in lockstep: each lane's walk is a serial
@@ -152,14 +90,14 @@ void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
     // lane is a no-op, so the all-leaves test only needs to run every
     // other level and its AND-reduce drops off the critical path.
     for (; r + 8 <= row_hi; r += 8) {
-      const double* x0 = X.row(r).data();
-      const double* x1 = X.row(r + 1).data();
-      const double* x2 = X.row(r + 2).data();
-      const double* x3 = X.row(r + 3).data();
-      const double* x4 = X.row(r + 4).data();
-      const double* x5 = X.row(r + 5).data();
-      const double* x6 = X.row(r + 6).data();
-      const double* x7 = X.row(r + 7).data();
+      const double* x0 = x + r * cols;
+      const double* x1 = x + (r + 1) * cols;
+      const double* x2 = x + (r + 2) * cols;
+      const double* x3 = x + (r + 3) * cols;
+      const double* x4 = x + (r + 4) * cols;
+      const double* x5 = x + (r + 5) * cols;
+      const double* x6 = x + (r + 6) * cols;
+      const double* x7 = x + (r + 7) * cols;
       std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
       std::int32_t n4 = root, n5 = root, n6 = root, n7 = root;
       std::int32_t f0 = root_feat, f1 = root_feat, f2 = root_feat;
@@ -215,16 +153,133 @@ void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
       acc[r - row_lo + 7] += scale * thr[n7];
     }
     for (; r < row_hi; ++r) {
-      const double* x = X.row(r).data();
+      const double* row = x + r * cols;
       std::int32_t n = root;
       std::int32_t f = root_feat;
       while (f >= 0) {
-        n = left[n] + static_cast<std::int32_t>(!(x[f] <= thr[n]));
+        n = left[n] + static_cast<std::int32_t>(!(row[f] <= thr[n]));
         f = feat[n];
       }
       acc[r - row_lo] += scale * thr[n];
     }
   }
+}
+
+/// Resolves the kernel for one predict call: the active SIMD level, with
+/// the AVX2 kernel additionally gated on its 32-bit gather indices being
+/// able to address the matrix (rows * cols elements).
+struct KernelChoice {
+  detail::AccumulateFn fn;
+  SimdLevel level;
+};
+
+KernelChoice select_kernel(std::size_t rows, std::size_t cols) {
+  switch (active_simd_level()) {
+    case SimdLevel::kAvx2:
+      if (auto* fn = detail::avx2_accumulate_kernel();
+          fn != nullptr &&
+          rows <= static_cast<std::size_t>(
+                      std::numeric_limits<std::int32_t>::max()) /
+                      (cols == 0 ? 1 : cols)) {
+        return {fn, SimdLevel::kAvx2};
+      }
+      break;
+    case SimdLevel::kNeon:
+      if (auto* fn = detail::neon_accumulate_kernel(); fn != nullptr) {
+        return {fn, SimdLevel::kNeon};
+      }
+      break;
+    case SimdLevel::kScalar:
+      break;
+  }
+  return {&accumulate_scalar, SimdLevel::kScalar};
+}
+
+}  // namespace
+
+FlatForest FlatForest::compile(std::span<const RegressionTree> trees,
+                               Output output, double per_tree_scale,
+                               double base) {
+  if (trees.empty()) {
+    throw std::invalid_argument("FlatForest::compile: empty ensemble");
+  }
+  std::size_t total = 0;
+  for (const auto& tree : trees) {
+    if (!tree.fitted()) {
+      throw std::invalid_argument("FlatForest::compile: unfitted tree");
+    }
+    total += tree.nodes().size();
+  }
+  if (total > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::invalid_argument("FlatForest::compile: ensemble too large");
+  }
+  const auto& metrics = flat_metrics();
+  obs::ScopedTimer timer(*metrics.compile_seconds);
+
+  FlatForest out;
+  out.output_ = output;
+  out.per_tree_scale_ = per_tree_scale;
+  out.base_ = base;
+  out.inv_trees_ = 1.0 / static_cast<double>(trees.size());
+  out.feat_.resize(total);
+  out.thr_.resize(total);
+  out.left_.resize(total);
+  out.fl_.resize(total);
+  out.roots_.reserve(trees.size());
+
+  // Per tree: breadth-first renumbering with the two children of every
+  // split allocated adjacently (right child = left child + 1, so no right_
+  // array exists). The BFS pair queue doubles as the slot allocator.
+  std::vector<std::pair<std::int32_t, std::int32_t>> queue;  // (src, dst)
+  std::int32_t next = 0;
+  for (const auto& tree : trees) {
+    const auto& nodes = tree.nodes();
+    out.roots_.push_back(next);
+    queue.clear();
+    queue.emplace_back(0, next++);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto [src, dst] = queue[head];
+      const TreeNode& n = nodes[static_cast<std::size_t>(src)];
+      if (n.feature < 0) {
+        out.feat_[static_cast<std::size_t>(dst)] = -1;
+        out.thr_[static_cast<std::size_t>(dst)] = n.value;
+        out.left_[static_cast<std::size_t>(dst)] = dst;  // leaves self-loop
+      } else {
+        const std::int32_t l = next;
+        next += 2;
+        out.feat_[static_cast<std::size_t>(dst)] = n.feature;
+        out.thr_[static_cast<std::size_t>(dst)] = n.threshold;
+        out.left_[static_cast<std::size_t>(dst)] = l;
+        queue.emplace_back(n.left, l);
+        queue.emplace_back(n.right, l + 1);
+      }
+      out.fl_[static_cast<std::size_t>(dst)] =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+               out.left_[static_cast<std::size_t>(dst)]))
+           << 32) |
+          static_cast<std::uint32_t>(out.feat_[static_cast<std::size_t>(dst)]);
+    }
+  }
+  metrics.compiles->inc();
+  metrics.nodes->set(static_cast<double>(total));
+  return out;
+}
+
+std::size_t FlatForest::bytes() const noexcept {
+  return feat_.size() * sizeof(std::int32_t) + thr_.size() * sizeof(double) +
+         left_.size() * sizeof(std::int32_t) +
+         fl_.size() * sizeof(std::uint64_t) +
+         roots_.size() * sizeof(std::int32_t);
+}
+
+void FlatForest::accumulate_range(const data::Matrix& X, std::size_t row_lo,
+                                  std::size_t row_hi, std::size_t tree_lo,
+                                  std::size_t tree_hi, double* acc) const {
+  const detail::ForestView view{feat_.data(), thr_.data(), left_.data(),
+                                fl_.data(),  roots_.data(), per_tree_scale_};
+  const auto choice = select_kernel(X.rows(), X.cols());
+  choice.fn(view, X.data().data(), X.cols(), row_lo, row_hi, tree_lo,
+            tree_hi, acc);
 }
 
 void FlatForest::finish_range(const double* acc, std::span<double> out,
@@ -250,6 +305,8 @@ void FlatForest::predict_into(const data::Matrix& X, std::span<double> out,
   }
   const auto& metrics = flat_metrics();
   obs::ScopedTimer timer(*metrics.batch_seconds);
+  metrics.simd_level->set(
+      static_cast<double>(select_kernel(X.rows(), X.cols()).level));
   parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
     double acc[kRowBlock];
     for (std::size_t block = lo; block < hi; block += kRowBlock) {
@@ -291,21 +348,19 @@ void FlatForest::predict_tree_parallel_into(const data::Matrix& X,
   // Each worker owns a contiguous tree slice and a private accumulator;
   // partials combine in slice order afterwards, so a fixed thread count is
   // deterministic (but the regrouped additions are not bit-identical across
-  // thread counts — see the header).
+  // thread counts — see the header). The blocked kernel accumulates
+  // straight into the zero-seeded partial vectors — no per-block scratch
+  // buffer to re-zero and copy out of.
   std::vector<std::vector<double>> partial(workers,
                                            std::vector<double>(n, 0.0));
   parallel_for_blocks(workers, workers, [&](std::size_t wlo, std::size_t whi) {
     for (std::size_t w = wlo; w < whi; ++w) {
       const std::size_t tree_lo = w * roots_.size() / workers;
       const std::size_t tree_hi = (w + 1) * roots_.size() / workers;
-      double acc[kRowBlock];
+      double* part = partial[w].data();
       for (std::size_t block = 0; block < n; block += kRowBlock) {
         const std::size_t block_hi = std::min(block + kRowBlock, n);
-        std::fill(acc, acc + (block_hi - block), 0.0);
-        accumulate_range(X, block, block_hi, tree_lo, tree_hi, acc);
-        for (std::size_t r = block; r < block_hi; ++r) {
-          partial[w][r] = acc[r - block];
-        }
+        accumulate_range(X, block, block_hi, tree_lo, tree_hi, part + block);
       }
     }
   });

@@ -1,0 +1,441 @@
+#include "ml/quantized_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "ml/decision_tree.hpp"
+#include "ml/parallel_for.hpp"
+#include "obs/metrics.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+// Why `c < q` is exactly `value <= threshold`: cuts are strictly
+// ascending, c = #(cuts < value) and q = #(cuts <= threshold). If
+// value <= cuts[q-1] then every cut below value lies below index q-1, so
+// c <= q-1 < q; if value > cuts[q-1] then cuts[0..q-1] are all below
+// value, so c >= q. Hence c < q  <=>  value <= cuts[q-1], and when the
+// threshold is itself a cut, cuts[q-1] == threshold. q == 0 (threshold
+// below every cut after snapping) makes the test unsatisfiable — every row
+// correctly descends right. NaN encodes as 255, and q <= 255 can only
+// reach 255 when a feature carries the full 255 cuts, in which case code
+// 255 also means "above every cut" — right in both readings.
+
+/// Scoring/compile instruments, cached per thread exactly like
+/// flat_forest.cpp's (see the commentary there).
+struct QuantMetrics {
+  obs::Counter* compiles = nullptr;
+  obs::Counter* rows_scored = nullptr;
+  obs::Gauge* nodes = nullptr;
+  obs::Gauge* exact = nullptr;
+  obs::HistogramMetric* compile_seconds = nullptr;
+  obs::HistogramMetric* batch_seconds = nullptr;
+};
+
+const QuantMetrics& quant_metrics() {
+  thread_local obs::MetricsRegistry* cached_registry = nullptr;
+  thread_local std::uint64_t cached_generation = 0;
+  thread_local QuantMetrics metrics;
+  auto& reg = obs::registry();
+  if (&reg != cached_registry || reg.generation() != cached_generation) {
+    metrics.compiles = &reg.counter("mfpa_quant_compiles_total");
+    metrics.rows_scored = &reg.counter("mfpa_quant_rows_scored_total");
+    metrics.nodes = &reg.gauge("mfpa_quant_nodes");
+    metrics.exact = &reg.gauge("mfpa_quant_exact");
+    metrics.compile_seconds =
+        &reg.histogram("mfpa_quant_compile_seconds", 0.0, 10.0, 256);
+    metrics.batch_seconds =
+        &reg.histogram("mfpa_quant_batch_seconds", 0.0, 1.0, 512);
+    cached_registry = &reg;
+    cached_generation = reg.generation();
+  }
+  return metrics;
+}
+
+/// Same row blocking as the float kernel (see flat_forest.cpp): the uint8
+/// code block for 96 rows is under 5 KB even at 45 features, so it sits in
+/// L1 beside one tree's node arrays.
+constexpr std::size_t kRowBlock = 96;
+
+std::size_t max_split_feature(std::span<const RegressionTree> trees) {
+  std::size_t max_feat = 0;
+  for (const auto& tree : trees) {
+    for (const auto& node : tree.nodes()) {
+      if (node.feature >= 0) {
+        max_feat =
+            std::max(max_feat, static_cast<std::size_t>(node.feature) + 1);
+      }
+    }
+  }
+  return max_feat;
+}
+
+void validate(std::span<const RegressionTree> trees) {
+  if (trees.empty()) {
+    throw std::invalid_argument("QuantizedForest: empty ensemble");
+  }
+  std::size_t total = 0;
+  for (const auto& tree : trees) {
+    if (!tree.fitted()) {
+      throw std::invalid_argument("QuantizedForest: unfitted tree");
+    }
+    total += tree.nodes().size();
+  }
+  if (total >
+      static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::invalid_argument("QuantizedForest: ensemble too large");
+  }
+}
+
+}  // namespace
+
+QuantizedForest QuantizedForest::compile(std::span<const RegressionTree> trees,
+                                         Output output, double per_tree_scale,
+                                         double base) {
+  validate(trees);
+  // Cut arrays from the ensemble's own split thresholds: every distinct
+  // threshold becomes a cut, so quantization is exact by construction.
+  std::vector<std::vector<double>> cuts(max_split_feature(trees));
+  for (const auto& tree : trees) {
+    for (const auto& node : tree.nodes()) {
+      if (node.feature >= 0) {
+        cuts[static_cast<std::size_t>(node.feature)].push_back(node.threshold);
+      }
+    }
+  }
+  for (std::size_t f = 0; f < cuts.size(); ++f) {
+    auto& c = cuts[f];
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    if (c.size() > 255) {
+      throw std::invalid_argument(
+          "QuantizedForest: feature " + std::to_string(f) + " has " +
+          std::to_string(c.size()) +
+          " distinct thresholds (max 255); not quantizable");
+    }
+  }
+  return build(trees, std::move(cuts), output, per_tree_scale, base);
+}
+
+QuantizedForest QuantizedForest::compile_binned(
+    std::span<const RegressionTree> trees, const data::BinnedMatrix& bins,
+    Output output, double per_tree_scale, double base) {
+  validate(trees);
+  const std::size_t needed = max_split_feature(trees);
+  if (bins.cols() < needed) {
+    throw std::invalid_argument(
+        "QuantizedForest::compile_binned: binning covers " +
+        std::to_string(bins.cols()) + " features, ensemble splits on " +
+        std::to_string(needed));
+  }
+  std::vector<std::vector<double>> cuts(needed);
+  for (std::size_t f = 0; f < needed; ++f) cuts[f] = bins.cuts(f);
+  return build(trees, std::move(cuts), output, per_tree_scale, base);
+}
+
+QuantizedForest QuantizedForest::build(std::span<const RegressionTree> trees,
+                                       std::vector<std::vector<double>> cuts,
+                                       Output output, double per_tree_scale,
+                                       double base) {
+  const auto& metrics = quant_metrics();
+  obs::ScopedTimer timer(*metrics.compile_seconds);
+
+  std::size_t total = 0;
+  for (const auto& tree : trees) total += tree.nodes().size();
+
+  QuantizedForest out;
+  out.output_ = output;
+  out.per_tree_scale_ = per_tree_scale;
+  out.base_ = base;
+  out.inv_trees_ = 1.0 / static_cast<double>(trees.size());
+  out.cuts_ = std::move(cuts);
+  out.feat_.resize(total);
+  out.code_.resize(total);
+  out.left_.resize(total);
+  out.roots_.reserve(trees.size());
+
+  // Breadth-first renumbering with adjacent children, exactly like
+  // FlatForest::compile; leaves store ~index into the hoisted leaf-value
+  // array and self-loop so the lockstep kernel can keep stepping them.
+  std::vector<std::pair<std::int32_t, std::int32_t>> queue;  // (src, dst)
+  std::int32_t next = 0;
+  for (const auto& tree : trees) {
+    const auto& nodes = tree.nodes();
+    out.roots_.push_back(next);
+    queue.clear();
+    queue.emplace_back(0, next++);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const auto [src, dst] = queue[head];
+      const TreeNode& n = nodes[static_cast<std::size_t>(src)];
+      if (n.feature < 0) {
+        out.feat_[static_cast<std::size_t>(dst)] =
+            ~static_cast<std::int32_t>(out.leaf_vals_.size());
+        out.code_[static_cast<std::size_t>(dst)] = 0;  // never compared
+        out.left_[static_cast<std::size_t>(dst)] = dst;  // self-loop
+        out.leaf_vals_.push_back(n.value);
+      } else {
+        const auto& fcuts = out.cuts_[static_cast<std::size_t>(n.feature)];
+        // q = #cuts <= threshold. A threshold found among the cuts is
+        // exact; one between cuts is snapped down (exact_ drops).
+        const std::size_t q =
+            static_cast<std::size_t>(std::upper_bound(fcuts.begin(),
+                                                      fcuts.end(),
+                                                      n.threshold) -
+                                     fcuts.begin());
+        if (q == 0 || fcuts[q - 1] != n.threshold) out.exact_ = false;
+        const std::int32_t l = next;
+        next += 2;
+        out.feat_[static_cast<std::size_t>(dst)] = n.feature;
+        out.code_[static_cast<std::size_t>(dst)] =
+            static_cast<std::uint8_t>(q);
+        out.left_[static_cast<std::size_t>(dst)] = l;
+        queue.emplace_back(n.left, l);
+        queue.emplace_back(n.right, l + 1);
+      }
+    }
+  }
+  metrics.compiles->inc();
+  metrics.nodes->set(static_cast<double>(total));
+  metrics.exact->set(out.exact_ ? 1.0 : 0.0);
+  return out;
+}
+
+std::size_t QuantizedForest::bytes() const noexcept {
+  std::size_t cut_bytes = 0;
+  for (const auto& c : cuts_) cut_bytes += c.size() * sizeof(double);
+  return feat_.size() * sizeof(std::int32_t) + code_.size() +
+         left_.size() * sizeof(std::int32_t) +
+         roots_.size() * sizeof(std::int32_t) +
+         leaf_vals_.size() * sizeof(double) + cut_bytes;
+}
+
+void QuantizedForest::accumulate_codes(const std::uint8_t* codes,
+                                       std::size_t rows, std::size_t tree_lo,
+                                       std::size_t tree_hi,
+                                       double* acc) const {
+  const std::int32_t* feat = feat_.data();
+  const std::uint8_t* code = code_.data();
+  const std::int32_t* left = left_.data();
+  const double* leaf = leaf_vals_.data();
+  const double scale = per_tree_scale_;
+  const std::size_t stride = cuts_.size();
+  // The uint8 transcription of the float kernel's sign-mask step: descend
+  // left when c < q, right otherwise — which also sends NaN (code 255)
+  // right, since q <= 255 never exceeds it. Lanes at a leaf clamp their
+  // code index to 0 and keep their node.
+  const auto step = [feat, code, left](std::int32_t n, std::int32_t f,
+                                       const std::uint8_t* crow) noexcept {
+    const std::int32_t keep = f >> 31;  // all-ones at a leaf, else zero
+    const std::int32_t idx = f & ~keep;
+    const std::int32_t next =
+        left[n] + static_cast<std::int32_t>(crow[idx] >= code[n]);
+    return (n & keep) | (next & ~keep);
+  };
+  for (std::size_t t = tree_lo; t < tree_hi; ++t) {
+    const std::int32_t root = roots_[t];
+    const std::int32_t root_feat = feat[root];
+    std::size_t r = 0;
+    if (root_feat < 0) {
+      // Single-node tree: every row takes the root leaf.
+      for (; r < rows; ++r) acc[r] += scale * leaf[~root_feat];
+      continue;
+    }
+    // Eight rows in lockstep, two levels per iteration — the same ILP
+    // structure as the float kernel (see flat_forest.cpp).
+    for (; r + 8 <= rows; r += 8) {
+      const std::uint8_t* c0 = codes + r * stride;
+      const std::uint8_t* c1 = c0 + stride;
+      const std::uint8_t* c2 = c1 + stride;
+      const std::uint8_t* c3 = c2 + stride;
+      const std::uint8_t* c4 = c3 + stride;
+      const std::uint8_t* c5 = c4 + stride;
+      const std::uint8_t* c6 = c5 + stride;
+      const std::uint8_t* c7 = c6 + stride;
+      std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+      std::int32_t n4 = root, n5 = root, n6 = root, n7 = root;
+      std::int32_t f0 = root_feat, f1 = root_feat, f2 = root_feat;
+      std::int32_t f3 = root_feat, f4 = root_feat, f5 = root_feat;
+      std::int32_t f6 = root_feat, f7 = root_feat;
+      for (;;) {
+        n0 = step(n0, f0, c0);
+        n1 = step(n1, f1, c1);
+        n2 = step(n2, f2, c2);
+        n3 = step(n3, f3, c3);
+        n4 = step(n4, f4, c4);
+        n5 = step(n5, f5, c5);
+        n6 = step(n6, f6, c6);
+        n7 = step(n7, f7, c7);
+        f0 = feat[n0];
+        f1 = feat[n1];
+        f2 = feat[n2];
+        f3 = feat[n3];
+        f4 = feat[n4];
+        f5 = feat[n5];
+        f6 = feat[n6];
+        f7 = feat[n7];
+        n0 = step(n0, f0, c0);
+        n1 = step(n1, f1, c1);
+        n2 = step(n2, f2, c2);
+        n3 = step(n3, f3, c3);
+        n4 = step(n4, f4, c4);
+        n5 = step(n5, f5, c5);
+        n6 = step(n6, f6, c6);
+        n7 = step(n7, f7, c7);
+        f0 = feat[n0];
+        f1 = feat[n1];
+        f2 = feat[n2];
+        f3 = feat[n3];
+        f4 = feat[n4];
+        f5 = feat[n5];
+        f6 = feat[n6];
+        f7 = feat[n7];
+        const std::int32_t pending =
+            f0 & f1 & f2 & f3 & f4 & f5 & f6 & f7;
+        if (pending < 0) break;
+      }
+      acc[r + 0] += scale * leaf[~f0];
+      acc[r + 1] += scale * leaf[~f1];
+      acc[r + 2] += scale * leaf[~f2];
+      acc[r + 3] += scale * leaf[~f3];
+      acc[r + 4] += scale * leaf[~f4];
+      acc[r + 5] += scale * leaf[~f5];
+      acc[r + 6] += scale * leaf[~f6];
+      acc[r + 7] += scale * leaf[~f7];
+    }
+    for (; r < rows; ++r) {
+      const std::uint8_t* crow = codes + r * stride;
+      std::int32_t n = root;
+      std::int32_t f = root_feat;
+      while (f >= 0) {
+        n = left[n] + static_cast<std::int32_t>(crow[f] >= code[n]);
+        f = feat[n];
+      }
+      acc[r] += scale * leaf[~f];
+    }
+  }
+}
+
+void QuantizedForest::finish_range(const double* acc, std::span<double> out,
+                                   std::size_t lo, std::size_t hi) const {
+  // Identical finishers to FlatForest::finish_range, so the quantized
+  // probabilities match the float paths bit-for-bit whenever the descend
+  // decisions match.
+  if (output_ == Output::kMeanClamp) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = std::clamp(acc[r - lo] * inv_trees_, 0.0, 1.0);
+    }
+  } else {
+    for (std::size_t r = lo; r < hi; ++r) {
+      out[r] = stable_sigmoid(acc[r - lo]);
+    }
+  }
+}
+
+void QuantizedForest::predict_into(const data::Matrix& X,
+                                   std::span<double> out,
+                                   std::size_t threads) const {
+  if (empty()) {
+    throw std::logic_error("QuantizedForest: predict on an empty forest");
+  }
+  if (out.size() != X.rows()) {
+    throw std::invalid_argument("QuantizedForest::predict_into: size mismatch");
+  }
+  if (X.cols() < cuts_.size()) {
+    throw std::invalid_argument(
+        "QuantizedForest::predict_into: matrix has fewer columns than the "
+        "ensemble's feature space");
+  }
+  const auto& metrics = quant_metrics();
+  obs::ScopedTimer timer(*metrics.batch_seconds);
+  const std::size_t nf = cuts_.size();
+  parallel_for_blocks(X.rows(), threads, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint8_t> codes(kRowBlock * nf);
+    double acc[kRowBlock];
+    for (std::size_t block = lo; block < hi; block += kRowBlock) {
+      const std::size_t block_hi = std::min(block + kRowBlock, hi);
+      // Encode the block once: feature-outer so one cut array's binary
+      // search stays hot across the block's rows.
+      for (std::size_t f = 0; f < nf; ++f) {
+        const auto& fcuts = cuts_[f];
+        for (std::size_t r = block; r < block_hi; ++r) {
+          const double v = X(r, f);
+          codes[(r - block) * nf + f] =
+              std::isnan(v)
+                  ? kNanCode
+                  : static_cast<std::uint8_t>(
+                        std::lower_bound(fcuts.begin(), fcuts.end(), v) -
+                        fcuts.begin());
+        }
+      }
+      std::fill(acc, acc + (block_hi - block), base_);
+      accumulate_codes(codes.data(), block_hi - block, 0, roots_.size(), acc);
+      finish_range(acc, out, block, block_hi);
+    }
+  });
+  metrics.rows_scored->inc(X.rows());
+}
+
+void QuantizedForest::predict_into(const data::BinnedMatrix& B,
+                                   std::span<double> out,
+                                   std::size_t threads) const {
+  if (empty()) {
+    throw std::logic_error("QuantizedForest: predict on an empty forest");
+  }
+  if (out.size() != B.rows()) {
+    throw std::invalid_argument("QuantizedForest::predict_into: size mismatch");
+  }
+  if (B.cols() < cuts_.size()) {
+    throw std::invalid_argument(
+        "QuantizedForest::predict_into: binning has fewer columns than the "
+        "ensemble's feature space");
+  }
+  // Codes are only meaningful under the cuts they were produced with;
+  // refuse a binning whose edges differ from compile time's.
+  for (std::size_t f = 0; f < cuts_.size(); ++f) {
+    if (B.cuts(f) != cuts_[f]) {
+      throw std::invalid_argument(
+          "QuantizedForest::predict_into: binning cuts differ from the "
+          "compiled cuts at feature " + std::to_string(f));
+    }
+  }
+  const auto& metrics = quant_metrics();
+  obs::ScopedTimer timer(*metrics.batch_seconds);
+  const std::size_t nf = cuts_.size();
+  parallel_for_blocks(B.rows(), threads, [&](std::size_t lo, std::size_t hi) {
+    std::vector<std::uint8_t> codes(kRowBlock * nf);
+    double acc[kRowBlock];
+    for (std::size_t block = lo; block < hi; block += kRowBlock) {
+      const std::size_t block_hi = std::min(block + kRowBlock, hi);
+      // Transpose the column-major codes into a row-major block so the
+      // lockstep kernel reads each lane's row contiguously.
+      for (std::size_t f = 0; f < nf; ++f) {
+        const std::uint8_t* col = B.codes_ptr(f);
+        for (std::size_t r = block; r < block_hi; ++r) {
+          codes[(r - block) * nf + f] = col[r];
+        }
+      }
+      std::fill(acc, acc + (block_hi - block), base_);
+      accumulate_codes(codes.data(), block_hi - block, 0, roots_.size(), acc);
+      finish_range(acc, out, block, block_hi);
+    }
+  });
+  metrics.rows_scored->inc(B.rows());
+}
+
+std::vector<double> QuantizedForest::predict(const data::Matrix& X,
+                                             std::size_t threads) const {
+  std::vector<double> out(X.rows());
+  predict_into(X, out, threads);
+  return out;
+}
+
+std::vector<double> QuantizedForest::predict(const data::BinnedMatrix& B,
+                                             std::size_t threads) const {
+  std::vector<double> out(B.rows());
+  predict_into(B, out, threads);
+  return out;
+}
+
+}  // namespace mfpa::ml

@@ -1,0 +1,149 @@
+// Quantized compiled inference: tree ensembles scored on uint8 bin codes.
+//
+// FlatForest (flat_forest.hpp) already removes the pointer-chasing from
+// ensemble scoring but still walks double thresholds over double features —
+// 16 bytes of node data per level plus an 8-byte feature load. This
+// LightGBM-style variant quantizes the comparison itself. Per feature, a
+// sorted cut array partitions the reals into at most 256 bins; every node
+// threshold becomes the uint8 *count of cuts <= threshold* (`q`), every
+// feature value the uint8 *count of cuts < value* (`c`), and the descend
+// predicate `value <= threshold` becomes `c < q` (strictly-less; see the
+// derivation in quantized_forest.cpp). Node traversal data shrinks to
+// 9 bytes (int32 feature/leaf-ref, uint8 code, int32 left child) with leaf
+// doubles hoisted into a separate array touched once per row per tree, and
+// a scored batch is encoded once into a uint8 code block instead of being
+// re-read as doubles at every level.
+//
+// Tolerance contract (documented in docs/PERFORMANCE.md):
+//
+// * compile() derives the cut arrays from the ensemble's own thresholds
+//   (every distinct threshold becomes a cut), so `c < q` is *exactly*
+//   `value <= threshold` for every real value, and NaN — encoded as code
+//   255, above every q — descends right exactly like the float kernels.
+//   Probabilities are bit-identical to the node-pointer path. compile()
+//   refuses (throws std::invalid_argument) when a feature carries more
+//   than 255 distinct thresholds; hist-trained ensembles (the default
+//   trainer) draw thresholds from at most 254 bin cuts per feature, so
+//   they always quantize.
+//
+// * compile_binned() reuses an existing data::BinnedMatrix's cuts (the
+//   binning the hist trainer already produced) so scoring can run directly
+//   on its codes with no re-encoding. Every threshold found among the cuts
+//   is exact (`exact()` reports whether all were); a threshold between two
+//   cuts is snapped *down* to the nearest cut, so the quantized model
+//   equals the float model with those thresholds moved — rows differ only
+//   when some feature value lands inside a (snapped, original] gap, i.e.
+//   in the same bin as the threshold. Note the BinnedMatrix overload also
+//   inherits its NaN encoding (code 0); the Matrix overload always encodes
+//   NaN as 255 (descend right, float-identical).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/binned_matrix.hpp"
+#include "data/matrix.hpp"
+#include "ml/flat_forest.hpp"
+
+namespace mfpa::ml {
+
+/// Flattened, immutable, uint8-quantized ensemble. Cheap to move;
+/// thread-safe to share.
+class QuantizedForest {
+ public:
+  using Output = FlatForest::Output;
+
+  /// Code reserved for NaN feature values on the Matrix scoring path:
+  /// above every node code, so NaN always descends right.
+  static constexpr std::uint8_t kNanCode = 255;
+
+  QuantizedForest() = default;
+
+  /// Quantizes fitted trees against cut arrays built from their own
+  /// thresholds — the exact, bit-identical form (see the header comment).
+  /// `per_tree_scale` and `base` as in FlatForest::compile. Throws
+  /// std::invalid_argument on an empty/unfitted ensemble or when any
+  /// feature has more than 255 distinct thresholds.
+  static QuantizedForest compile(std::span<const RegressionTree> trees,
+                                 Output output, double per_tree_scale,
+                                 double base);
+
+  /// Quantizes against an existing binning's cuts so predict_into can score
+  /// the BinnedMatrix's codes directly. Thresholds absent from the cuts are
+  /// snapped down (exact() turns false); see the tolerance contract above.
+  /// Throws std::invalid_argument when the binning does not cover every
+  /// split feature.
+  static QuantizedForest compile_binned(std::span<const RegressionTree> trees,
+                                        const data::BinnedMatrix& bins,
+                                        Output output, double per_tree_scale,
+                                        double base);
+
+  bool empty() const noexcept { return roots_.empty(); }
+  std::size_t tree_count() const noexcept { return roots_.size(); }
+  std::size_t node_count() const noexcept { return feat_.size(); }
+  std::size_t leaf_count() const noexcept { return leaf_vals_.size(); }
+  /// Number of feature columns the encoder expects (max split feature + 1).
+  std::size_t n_features() const noexcept { return cuts_.size(); }
+  /// True when every threshold was representable exactly — the
+  /// bit-identical regime of the tolerance contract.
+  bool exact() const noexcept { return exact_; }
+  /// Heap footprint of the node arrays, leaf values, and cut arrays.
+  std::size_t bytes() const noexcept;
+  /// This feature's quantization cuts (ascending; empty if never split on).
+  const std::vector<double>& cuts(std::size_t f) const noexcept {
+    return cuts_[f];
+  }
+
+  /// Scores every row of X into out (out.size() == X.rows()), encoding each
+  /// row block to uint8 codes first (NaN -> kNanCode). `threads` follows
+  /// the library convention (0 = hardware, <=1 serial); results are
+  /// bit-identical for every thread count.
+  void predict_into(const data::Matrix& X, std::span<double> out,
+                    std::size_t threads = 1) const;
+
+  /// Scores pre-binned codes directly — zero per-row encoding. The
+  /// binning's cuts must be element-equal to this forest's (the
+  /// BinnedMatrix handed to compile_binned, or one built with identical
+  /// edges); throws std::invalid_argument otherwise.
+  void predict_into(const data::BinnedMatrix& B, std::span<double> out,
+                    std::size_t threads = 1) const;
+
+  /// Convenience allocation forms of predict_into.
+  std::vector<double> predict(const data::Matrix& X,
+                              std::size_t threads = 1) const;
+  std::vector<double> predict(const data::BinnedMatrix& B,
+                              std::size_t threads = 1) const;
+
+ private:
+  // Node storage, breadth-first per tree with adjacent children exactly
+  // like FlatForest; feat_[n] < 0 marks a leaf and encodes ~leaf_index
+  // into leaf_vals_ (leaves self-loop via left_).
+  std::vector<std::int32_t> feat_;
+  std::vector<std::uint8_t> code_;  ///< q = #cuts <= threshold
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> roots_;
+  std::vector<double> leaf_vals_;
+  std::vector<std::vector<double>> cuts_;  ///< per-feature ascending cuts
+  Output output_ = Output::kMeanClamp;
+  double per_tree_scale_ = 1.0;
+  double base_ = 0.0;
+  double inv_trees_ = 0.0;
+  bool exact_ = true;
+
+  static QuantizedForest build(std::span<const RegressionTree> trees,
+                               std::vector<std::vector<double>> cuts,
+                               Output output, double per_tree_scale,
+                               double base);
+
+  /// Walks trees [tree_lo, tree_hi) over `rows` rows of row-major uint8
+  /// codes (stride n_features()) into acc (caller seeds it).
+  void accumulate_codes(const std::uint8_t* codes, std::size_t rows,
+                        std::size_t tree_lo, std::size_t tree_hi,
+                        double* acc) const;
+
+  void finish_range(const double* acc, std::span<double> out, std::size_t lo,
+                    std::size_t hi) const;
+};
+
+}  // namespace mfpa::ml

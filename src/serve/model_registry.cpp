@@ -67,10 +67,11 @@ core::SampleBuilder ServedModel::make_builder() const {
 }
 
 ModelRegistry::ModelRegistry(std::string directory, std::size_t score_threads,
-                             bool compile_models)
+                             bool compile_models, bool quantize_models)
     : dir_(std::move(directory)),
       score_threads_(score_threads),
-      compile_models_(compile_models) {
+      compile_models_(compile_models),
+      quantize_models_(quantize_models) {
   auto& reg = obs::registry();
   metrics_.publishes = &reg.counter("mfpa_registry_publishes_total");
   metrics_.activations = &reg.counter("mfpa_registry_activations_total");
@@ -256,11 +257,14 @@ std::shared_ptr<const ServedModel> ModelRegistry::load_version(
   served->classifier = ml::load_classifier(f, overrides);
   // Compile tree ensembles into the flat inference format here, at
   // activation time, so every model the engine hot-swaps to serves from
-  // the compiled representation (probabilities stay bit-identical).
-  if (compile_models_) {
+  // the compiled representation (probabilities stay bit-identical). The
+  // quantized form layers on top: when requested and the model quantizes,
+  // predict_proba prefers it; otherwise the flat form still serves.
+  if (compile_models_ || quantize_models_) {
     if (auto* compiled =
             dynamic_cast<ml::CompiledInference*>(served->classifier.get())) {
-      compiled->compile();
+      if (compile_models_) compiled->compile();
+      if (quantize_models_) compiled->compile_quantized();
     }
   }
   return served;

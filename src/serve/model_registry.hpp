@@ -76,8 +76,14 @@ class ModelRegistry {
   /// loaded classifier that supports ml::CompiledInference is flattened at
   /// activation time, so hot-swapped models always serve from the compiled
   /// representation (bit-identical probabilities; see ml/flat_forest.hpp).
+  /// With `quantize_models` additionally set, activation also builds the
+  /// uint8-quantized representation (compile_quantized()), which
+  /// predict_proba then prefers; quantization from the ensemble's own
+  /// thresholds is bit-identical too (see ml/quantized_forest.hpp), and a
+  /// non-quantizable model silently keeps serving from the flat form.
   explicit ModelRegistry(std::string directory, std::size_t score_threads = 0,
-                         bool compile_models = true);
+                         bool compile_models = true,
+                         bool quantize_models = false);
 
   const std::string& directory() const noexcept { return dir_; }
 
@@ -119,6 +125,7 @@ class ModelRegistry {
   std::string dir_;
   std::size_t score_threads_;
   bool compile_models_;
+  bool quantize_models_;
   mutable std::mutex current_mu_;  ///< guards only the current_ pointer copy
   std::shared_ptr<const ServedModel> current_;
   mutable std::mutex publish_mu_;  ///< serializes publishers, never readers

@@ -236,6 +236,20 @@ TEST(Usage, DocumentsCompiledInferenceFlag) {
   EXPECT_NE(text.find("--no-flat"), std::string::npos);
 }
 
+TEST(Usage, DocumentsQuantizedAndSimdFlags) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("--quantized"), std::string::npos);
+  EXPECT_NE(text.find("--simd=auto|scalar|neon|avx2"), std::string::npos);
+}
+
+TEST(ServeReplayCommand, RejectsBadSimdValue) {
+  std::ostringstream out, err;
+  EXPECT_NE(run_command(parse_command_line({"serve-replay", "--simd=sse9"}),
+                        out, err),
+            0);
+  EXPECT_NE(err.str().find("--simd"), std::string::npos);
+}
+
 TEST(RunCommand, SimulateScaleOverride) {
   const std::string dir = ::testing::TempDir();
   const std::string telemetry = dir + "/mfpa_cli_s.csv";

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hpp"
 
@@ -121,6 +123,83 @@ TEST(BinnedMatrix, SelectRowsOutOfRangeThrows) {
   const BinnedMatrix bins(X);
   const std::vector<std::size_t> idx{2};
   EXPECT_THROW(bins.select_rows(idx), std::out_of_range);
+}
+
+TEST(BinnedMatrix, CodesPtrMatchesColumnAndCodes) {
+  Rng rng(13);
+  Matrix X(64, 3);
+  for (std::size_t r = 0; r < 64; ++r) {
+    X(r, 0) = rng.normal();
+    X(r, 1) = 7.0;  // constant
+    X(r, 2) = static_cast<double>(rng.uniform_int(0, 4));
+  }
+  const BinnedMatrix bins(X, 32);
+  for (std::size_t f = 0; f < 3; ++f) {
+    const std::uint8_t* col = bins.codes_ptr(f);
+    ASSERT_EQ(col, bins.column(f));
+    for (std::size_t r = 0; r < 64; ++r) {
+      EXPECT_EQ(col[r], bins.code(r, f));
+    }
+  }
+}
+
+TEST(BinnedMatrix, RowCodesIntoGathersRowMajorBlocks) {
+  Rng rng(17);
+  Matrix X(50, 4);
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) X(r, c) = rng.uniform();
+  }
+  const BinnedMatrix bins(X, 8);
+  // Interior block, prefix, suffix, single row, and the empty range.
+  const std::pair<std::size_t, std::size_t> ranges[] = {
+      {10, 30}, {0, 7}, {43, 50}, {25, 26}, {25, 25}};
+  for (const auto& [lo, hi] : ranges) {
+    SCOPED_TRACE("range [" + std::to_string(lo) + ", " + std::to_string(hi) +
+                 ")");
+    std::vector<std::uint8_t> out((hi - lo) * bins.cols(), 0xAA);
+    bins.row_codes_into(lo, hi, out.data());
+    for (std::size_t r = lo; r < hi; ++r) {
+      for (std::size_t f = 0; f < bins.cols(); ++f) {
+        EXPECT_EQ(out[(r - lo) * bins.cols() + f], bins.code(r, f));
+      }
+    }
+  }
+}
+
+TEST(BinnedMatrix, RunAwareCutsOnConstantAndLowCardinalityColumns) {
+  // The run-aware equal-frequency sketch must keep its invariants on the
+  // edge cases the quantized scorer leans on: a constant column encodes to
+  // a single bin with no cuts, a column with fewer distinct values than
+  // the budget gets exactly distinct-1 midpoint cuts (codes == value
+  // ranks), and a 90%-tied column still gives the giant run its own bin.
+  Matrix X(200, 3);
+  for (std::size_t r = 0; r < 200; ++r) {
+    X(r, 0) = -3.25;                                // constant
+    X(r, 1) = static_cast<double>(r % 5);           // 5 distinct values
+    X(r, 2) = r < 180 ? 0.0 : static_cast<double>(r - 179);  // 90% zeros
+  }
+  const BinnedMatrix bins(X, 16);
+
+  EXPECT_TRUE(bins.cuts(0).empty());
+  EXPECT_EQ(bins.n_bins(0), 1u);
+  for (std::size_t r = 0; r < 200; ++r) EXPECT_EQ(bins.code(r, 0), 0);
+
+  ASSERT_EQ(bins.cuts(1).size(), 4u);  // distinct - 1 midpoints
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(bins.cuts(1)[i], static_cast<double>(i) + 0.5);
+  }
+  for (std::size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(bins.code(r, 1), static_cast<std::uint8_t>(r % 5));
+  }
+
+  // All 180 zeros share code 0 (one bin for the run); the 20 distinct
+  // positive values spread over the remaining bins in ascending order.
+  for (std::size_t r = 0; r < 180; ++r) EXPECT_EQ(bins.code(r, 2), 0);
+  for (std::size_t r = 181; r < 200; ++r) {
+    EXPECT_GE(bins.code(r, 2), bins.code(r - 1, 2));
+    EXPECT_GT(bins.code(r, 2), 0);
+  }
+  EXPECT_LE(bins.n_bins(2), 16u);
 }
 
 TEST(BinnedMatrix, RejectsEmptyAndBadBinCounts) {

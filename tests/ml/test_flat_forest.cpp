@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -161,10 +162,22 @@ TEST(FlatForest, ThreadCountInvariance) {
   ASSERT_TRUE(rf.compile());
   const FlatForest& flat = *rf.flat();
   const auto t1 = flat.predict(X, 1);
-  const auto t4 = flat.predict(X, 4);
-  const auto t_hw = flat.predict(X, 0);
-  expect_bit_identical(t1, t4);
-  expect_bit_identical(t1, t_hw);
+  // Sweep every count up to hardware plus awkward ones past it: block
+  // boundaries land differently for each count (500 rows split t ways), so
+  // any partition-dependent accumulation would show up somewhere in the
+  // sweep rather than only at the lucky {1, 4, hw} samples.
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (std::size_t t = 2; t <= std::min<std::size_t>(hw, 12); ++t) {
+    SCOPED_TRACE("threads=" + std::to_string(t));
+    expect_bit_identical(t1, flat.predict(X, t));
+  }
+  for (const std::size_t t : {std::size_t{17}, std::size_t{33},
+                              std::size_t{499}, std::size_t{500}}) {
+    SCOPED_TRACE("threads=" + std::to_string(t));
+    expect_bit_identical(t1, flat.predict(X, t));
+  }
+  expect_bit_identical(t1, flat.predict(X, 0));
 }
 
 TEST(FlatForest, TreeParallelDeterministicAndEquivalent) {
@@ -175,14 +188,21 @@ TEST(FlatForest, TreeParallelDeterministicAndEquivalent) {
   const FlatForest& flat = *gbdt.flat();
   const auto serial = flat.predict(X, 1);
 
-  std::vector<double> run1(X.rows()), run2(X.rows());
-  flat.predict_tree_parallel_into(X, run1, 4);
-  flat.predict_tree_parallel_into(X, run2, 4);
   // Fixed thread count → deterministic; vs serial only near-equal (the
-  // tree-sliced partial sums regroup the additions).
-  expect_bit_identical(run1, run2);
-  for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_NEAR(serial[i], run1[i], 1e-12) << i;
+  // tree-sliced partial sums regroup the additions). Sweep worker counts so
+  // every tree-slice partition shape — including more workers than trees —
+  // exercises the shared row-block kernel writing into the partial vectors.
+  for (const std::size_t workers :
+       {std::size_t{2}, std::size_t{3}, std::size_t{4}, std::size_t{8},
+        std::size_t{24}, std::size_t{64}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    std::vector<double> run1(X.rows()), run2(X.rows());
+    flat.predict_tree_parallel_into(X, run1, workers);
+    flat.predict_tree_parallel_into(X, run2, workers);
+    expect_bit_identical(run1, run2);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_NEAR(serial[i], run1[i], 1e-12) << i;
+    }
   }
 }
 
@@ -196,8 +216,11 @@ TEST(FlatForest, FlattenedLayoutAccounting) {
   for (const auto& tree : rf.trees()) expected_nodes += tree.nodes().size();
   EXPECT_EQ(flat.tree_count(), 9u);
   EXPECT_EQ(flat.node_count(), expected_nodes);
+  // Per node: feat (int32) + thr (double) + left (int32) + the packed
+  // (feat, left) pair the vector kernels gather (uint64).
   EXPECT_EQ(flat.bytes(),
-            expected_nodes * (sizeof(double) + 2 * sizeof(std::int32_t)) +
+            expected_nodes * (sizeof(double) + 2 * sizeof(std::int32_t) +
+                              sizeof(std::uint64_t)) +
                 flat.tree_count() * sizeof(std::int32_t));
 }
 

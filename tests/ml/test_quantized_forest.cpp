@@ -1,0 +1,292 @@
+// QuantizedForest suite: the tolerance contract under test is the one
+// documented in ml/quantized_forest.hpp — compile() (cuts from the
+// ensemble's own thresholds) is *bit-identical* to the node-pointer path,
+// compile_binned() is bit-identical exactly when every threshold is found
+// among the binning's cuts (always true for hist-trained models), and the
+// BinnedMatrix scoring overload matches the Matrix overload on NaN-free
+// data.
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "data/binned_matrix.hpp"
+#include "data/matrix.hpp"
+#include "ml/gbdt.hpp"
+#include "ml/quantized_forest.hpp"
+#include "ml/random_forest.hpp"
+
+namespace mfpa::ml {
+namespace {
+
+std::pair<data::Matrix, std::vector<int>> blob_data(std::size_t n,
+                                                    std::size_t d,
+                                                    std::uint64_t seed) {
+  Rng rng(seed);
+  data::Matrix X(n, d);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i % 3 == 0 ? 1 : 0;
+    y[i] = label;
+    for (std::size_t c = 0; c < d; ++c) {
+      X(i, c) = rng.normal(label * 1.5, 1.0);
+    }
+  }
+  return {std::move(X), std::move(y)};
+}
+
+void expect_bit_identical(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "row " << i;
+  }
+}
+
+TEST(QuantizedForest, RfParityBitIdentical) {
+  const auto [X, y] = blob_data(400, 12, 7);
+  RandomForestClassifier rf({{"n_trees", 25}, {"seed", 3}});
+  rf.fit(X, y);
+  const auto pointer = rf.predict_proba(X);
+  ASSERT_TRUE(rf.compile_quantized());
+  ASSERT_NE(rf.quantized(), nullptr);
+  EXPECT_TRUE(rf.quantized()->exact());
+  const auto quantized = rf.predict_proba(X);
+  expect_bit_identical(pointer, quantized);
+}
+
+TEST(QuantizedForest, GbdtParityBitIdentical) {
+  const auto [X, y] = blob_data(400, 12, 11);
+  GbdtClassifier gbdt({{"n_rounds", 30}, {"seed", 5}});
+  gbdt.fit(X, y);
+  const auto pointer = gbdt.predict_proba(X);
+  ASSERT_TRUE(gbdt.compile_quantized());
+  EXPECT_TRUE(gbdt.quantized()->exact());
+  expect_bit_identical(pointer, gbdt.predict_proba(X));
+}
+
+TEST(QuantizedForest, PreferredOverFlatWhenBothCompiled) {
+  const auto [X, y] = blob_data(200, 8, 13);
+  RandomForestClassifier rf({{"n_trees", 10}, {"seed", 1}});
+  rf.fit(X, y);
+  const auto pointer = rf.predict_proba(X);
+  ASSERT_TRUE(rf.compile());
+  ASSERT_TRUE(rf.compile_quantized());
+  // Routing order is unobservable through probabilities (all three paths
+  // are bit-identical); this pins the contract that enabling both never
+  // changes results.
+  expect_bit_identical(pointer, rf.predict_proba(X));
+}
+
+TEST(QuantizedForest, NanFeaturesDescendRightLikeFloat) {
+  const auto [X, y] = blob_data(300, 8, 17);
+  RandomForestClassifier rf({{"n_trees", 15}, {"seed", 2}});
+  rf.fit(X, y);
+  data::Matrix dirty = X;
+  Rng rng(23);
+  for (std::size_t r = 0; r < dirty.rows(); ++r) {
+    for (std::size_t c = 0; c < dirty.cols(); ++c) {
+      if (rng.bernoulli(0.15)) {
+        dirty(r, c) = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+  }
+  const auto pointer = rf.predict_proba(dirty);
+  ASSERT_TRUE(rf.compile_quantized());
+  const auto quantized = rf.predict_proba(dirty);
+  expect_bit_identical(pointer, quantized);
+  for (const double p : quantized) EXPECT_FALSE(std::isnan(p));
+}
+
+TEST(QuantizedForest, SingleNodeTreesQuantize) {
+  data::Matrix X(50, 4, 1.0);  // constant features: every tree is a leaf
+  std::vector<int> y(50, 0);
+  for (std::size_t i = 0; i < 25; ++i) y[i] = 1;
+  RandomForestClassifier rf({{"n_trees", 5}, {"seed", 1}});
+  rf.fit(X, y);
+  const auto pointer = rf.predict_proba(X);
+  ASSERT_TRUE(rf.compile_quantized());
+  EXPECT_EQ(rf.quantized()->node_count(), 5u);
+  EXPECT_EQ(rf.quantized()->leaf_count(), 5u);
+  expect_bit_identical(pointer, rf.predict_proba(X));
+}
+
+TEST(QuantizedForest, CompileBinnedHistTrainedIsExact) {
+  const auto [X, y] = blob_data(500, 10, 19);
+  RandomForestClassifier rf({{"n_trees", 20}, {"seed", 4}});
+  rf.fit(X, y);  // hist split (the default): thresholds are bin cuts
+  const auto pointer = rf.predict_proba(X);
+
+  const data::BinnedMatrix bins(X);
+  const auto quant = QuantizedForest::compile_binned(
+      rf.trees(), bins, QuantizedForest::Output::kMeanClamp, 1.0, 0.0);
+  // Hist-trained thresholds are drawn from exactly these cuts, so every
+  // node code is exact and scoring is bit-identical to the float paths.
+  EXPECT_TRUE(quant.exact());
+  expect_bit_identical(pointer, quant.predict(X));
+  // Scoring the pre-binned codes directly skips the encode entirely and
+  // must agree (no NaNs here, so the BinnedMatrix encoding caveat is moot).
+  expect_bit_identical(pointer, quant.predict(bins));
+}
+
+TEST(QuantizedForest, BinnedScoringRejectsForeignCuts) {
+  const auto [X, y] = blob_data(300, 6, 29);
+  RandomForestClassifier rf({{"n_trees", 8}, {"seed", 4}});
+  rf.fit(X, y);
+  const data::BinnedMatrix bins(X);
+  const auto quant = QuantizedForest::compile_binned(
+      rf.trees(), bins, QuantizedForest::Output::kMeanClamp, 1.0, 0.0);
+  // A binning with different edges produces codes that are meaningless
+  // under this forest's cut arrays; scoring must refuse them.
+  const auto [X2, y2] = blob_data(300, 6, 31);
+  const data::BinnedMatrix other(X2);
+  std::vector<double> out(other.rows());
+  EXPECT_THROW(quant.predict_into(other, out), std::invalid_argument);
+}
+
+TEST(QuantizedForest, TooManyDistinctThresholdsRefusesToQuantize) {
+  // Exact-split training on a large continuous column produces far more
+  // than 255 distinct midpoint thresholds across a deep bagged ensemble.
+  const auto [X, y] = blob_data(2000, 2, 37);
+  RandomForestClassifier rf({{"n_trees", 30},
+                             {"seed", 1},
+                             {"split_method", 0},
+                             {"max_depth", 20}});
+  rf.fit(X, y);
+  std::size_t max_distinct = 0;
+  {
+    std::vector<std::vector<double>> thr(2);
+    for (const auto& tree : rf.trees()) {
+      for (const auto& node : tree.nodes()) {
+        if (node.feature >= 0) {
+          thr[static_cast<std::size_t>(node.feature)].push_back(
+              node.threshold);
+        }
+      }
+    }
+    for (auto& t : thr) {
+      std::sort(t.begin(), t.end());
+      t.erase(std::unique(t.begin(), t.end()), t.end());
+      max_distinct = std::max(max_distinct, t.size());
+    }
+  }
+  ASSERT_GT(max_distinct, 255u) << "fixture no longer stresses the cap";
+  EXPECT_THROW(QuantizedForest::compile(rf.trees(),
+                                        QuantizedForest::Output::kMeanClamp,
+                                        1.0, 0.0),
+               std::invalid_argument);
+  // The classifier entry point reports the same condition gracefully.
+  EXPECT_FALSE(rf.compile_quantized());
+  EXPECT_EQ(rf.quantized(), nullptr);
+}
+
+TEST(QuantizedForest, ExactSplitLowCardinalityStillQuantizes) {
+  // Exact-split training over a handful of distinct values stays under the
+  // 255-threshold cap, so even the exact path quantizes bit-identically.
+  Rng rng(41);
+  data::Matrix X(300, 5);
+  std::vector<int> y(300);
+  for (std::size_t r = 0; r < 300; ++r) {
+    y[r] = r % 4 == 0 ? 1 : 0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      X(r, c) = static_cast<double>(rng.uniform_int(0, 9)) + y[r];
+    }
+  }
+  RandomForestClassifier rf(
+      {{"n_trees", 12}, {"seed", 2}, {"split_method", 0}});
+  rf.fit(X, y);
+  const auto pointer = rf.predict_proba(X);
+  ASSERT_TRUE(rf.compile_quantized());
+  EXPECT_TRUE(rf.quantized()->exact());
+  expect_bit_identical(pointer, rf.predict_proba(X));
+}
+
+TEST(QuantizedForest, ThreadCountInvariance) {
+  const auto [X, y] = blob_data(500, 9, 43);
+  GbdtClassifier gbdt({{"n_rounds", 20}, {"seed", 6}});
+  gbdt.fit(X, y);
+  ASSERT_TRUE(gbdt.compile_quantized());
+  const QuantizedForest& quant = *gbdt.quantized();
+  const auto t1 = quant.predict(X, 1);
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (std::size_t t = 2; t <= std::min<std::size_t>(hw, 8); ++t) {
+    SCOPED_TRACE("threads=" + std::to_string(t));
+    expect_bit_identical(t1, quant.predict(X, t));
+  }
+  expect_bit_identical(t1, quant.predict(X, 0));
+}
+
+TEST(QuantizedForest, RefitAndReloadInvalidateQuantizedForm) {
+  const auto [X, y] = blob_data(120, 5, 47);
+  RandomForestClassifier rf({{"n_trees", 6}, {"seed", 4}});
+  rf.fit(X, y);
+  ASSERT_TRUE(rf.compile_quantized());
+  ASSERT_NE(rf.quantized(), nullptr);
+  rf.fit(X, y);
+  EXPECT_EQ(rf.quantized(), nullptr) << "stale quantized trees would mis-score";
+}
+
+TEST(QuantizedForest, CompileBeforeFitReturnsFalse) {
+  RandomForestClassifier rf;
+  EXPECT_FALSE(rf.compile_quantized());
+  EXPECT_EQ(rf.quantized(), nullptr);
+  GbdtClassifier gbdt;
+  EXPECT_FALSE(gbdt.compile_quantized());
+}
+
+TEST(QuantizedForest, LayoutAccounting) {
+  const auto [X, y] = blob_data(200, 7, 53);
+  RandomForestClassifier rf({{"n_trees", 9}, {"seed", 2}});
+  rf.fit(X, y);
+  ASSERT_TRUE(rf.compile_quantized());
+  const QuantizedForest& quant = *rf.quantized();
+  std::size_t expected_nodes = 0;
+  std::size_t expected_leaves = 0;
+  for (const auto& tree : rf.trees()) {
+    expected_nodes += tree.nodes().size();
+    for (const auto& node : tree.nodes()) expected_leaves += node.feature < 0;
+  }
+  EXPECT_EQ(quant.tree_count(), 9u);
+  EXPECT_EQ(quant.node_count(), expected_nodes);
+  EXPECT_EQ(quant.leaf_count(), expected_leaves);
+  std::size_t cut_bytes = 0;
+  for (std::size_t f = 0; f < quant.n_features(); ++f) {
+    EXPECT_LE(quant.cuts(f).size(), 255u);
+    cut_bytes += quant.cuts(f).size() * sizeof(double);
+  }
+  // 9 bytes of traversal data per node (int32 feat, uint8 code, int32
+  // left) plus hoisted leaf doubles, roots, and the cut arrays.
+  EXPECT_EQ(quant.bytes(),
+            expected_nodes * (2 * sizeof(std::int32_t) + 1) +
+                expected_leaves * sizeof(double) +
+                quant.tree_count() * sizeof(std::int32_t) + cut_bytes);
+}
+
+TEST(QuantizedForest, ErrorPaths) {
+  const QuantizedForest empty;
+  data::Matrix X(3, 2, 0.0);
+  std::vector<double> out(3);
+  EXPECT_THROW(empty.predict_into(X, out), std::logic_error);
+  EXPECT_THROW(QuantizedForest::compile({}, QuantizedForest::Output::kMeanClamp,
+                                        1.0, 0.0),
+               std::invalid_argument);
+
+  const auto [Xf, yf] = blob_data(60, 4, 59);
+  RandomForestClassifier rf({{"n_trees", 3}, {"seed", 1}});
+  rf.fit(Xf, yf);
+  ASSERT_TRUE(rf.compile_quantized());
+  std::vector<double> wrong(Xf.rows() + 1);
+  EXPECT_THROW(rf.quantized()->predict_into(Xf, wrong), std::invalid_argument);
+  data::Matrix narrow(10, 1, 0.5);  // fewer columns than the feature space
+  std::vector<double> nout(10);
+  EXPECT_THROW(rf.quantized()->predict_into(narrow, nout),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfpa::ml

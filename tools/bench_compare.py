@@ -13,6 +13,13 @@ A benchmark regresses when it is worse than the baseline by more than
 non-zero, so CI can gate on it. Baselines live in bench/baselines/ and are
 refreshed deliberately with --update after an accepted perf change.
 
+--update MERGES rather than overwrites: optional metrics present in the old
+baseline but absent from the new run are carried over (a serving baseline's
+`durable_records_per_sec` survives an --update from a --no-durable run; a
+google-benchmark baseline keeps entries for benchmarks the new run did not
+execute, e.g. a filtered re-run). Metrics the new run does produce always
+replace their baseline values.
+
 Exit codes: 0 ok (or baseline updated), 1 regression, 2 usage/input error.
 """
 
@@ -20,7 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
-import shutil
+import os
 import sys
 
 
@@ -100,6 +107,34 @@ def compare(baseline: dict[str, tuple[float, bool]],
     return regressions, notes
 
 
+def merge_for_update(old: dict | None, new: dict) -> dict:
+    """The --update document: the new run, plus any optional metrics only
+    the old baseline carried.
+
+    * serving schema: top-level keys present only in the old baseline are
+      retained (e.g. durable_records_per_sec from a durability-enabled run
+      when the new run passed --no-durable); keys the new run produced
+      always win.
+    * google-benchmark schema: `benchmarks` entries are merged by name —
+      new entries first, then old entries whose name the new run lacks
+      (a filtered or partial re-run must not silently drop coverage).
+    * Missing/unreadable/schema-mismatched old baseline: the new run is
+      taken verbatim.
+    """
+    if old is None:
+        return new
+    if new.get("bench") == "serving_replay" and old.get("bench") == \
+            "serving_replay":
+        return {**old, **new}
+    if "benchmarks" in new and "benchmarks" in old:
+        merged = dict(new)
+        names = {e.get("name") for e in new["benchmarks"]}
+        merged["benchmarks"] = list(new["benchmarks"]) + [
+            e for e in old["benchmarks"] if e.get("name") not in names]
+        return merged
+    return new
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -115,10 +150,19 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--tolerance must be non-negative")
 
     if args.update:
-        load(args.current)  # validate before clobbering the baseline
-        shutil.copyfile(args.current, args.baseline)
+        new = load(args.current)  # validate before clobbering the baseline
+        old = load(args.baseline) if os.path.exists(args.baseline) else None
+        merged = merge_for_update(old, new)
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=2)
+            fh.write("\n")
+        carried = sorted(set(map(str, merged)) - set(map(str, new)))
+        if "benchmarks" in merged:
+            carried += [e["name"] for e in
+                        merged["benchmarks"][len(new.get("benchmarks", [])):]]
         print(f"bench_compare: baseline {args.baseline} updated from "
-              f"{args.current}")
+              f"{args.current}"
+              + (f" (carried over: {', '.join(carried)})" if carried else ""))
         return 0
 
     baseline = metrics(load(args.baseline), args.baseline)

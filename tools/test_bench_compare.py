@@ -140,6 +140,55 @@ class BenchCompareTest(unittest.TestCase):
         with open(base, encoding="utf-8") as fh:
             self.assertEqual(json.load(fh), faster)
 
+    def test_update_preserves_optional_serving_keys(self):
+        # A baseline recorded with the durability pass, refreshed from a
+        # --no-durable run: the fresh numbers win where present, but the
+        # old durable_records_per_sec must survive the update.
+        durable = dict(SERVING, durable_records_per_sec=200000)
+        base = self.write("base.json", durable)
+        fresh = dict(SERVING, records_per_sec=300000)
+        cur = self.write("cur.json", fresh)
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            merged = json.load(fh)
+        self.assertEqual(merged["records_per_sec"], 300000)
+        self.assertEqual(merged["durable_records_per_sec"], 200000)
+
+    def test_update_new_optional_key_replaces_old_value(self):
+        base = self.write(
+            "base.json", dict(SERVING, durable_records_per_sec=200000))
+        cur = self.write(
+            "cur.json", dict(SERVING, durable_records_per_sec=220000))
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            self.assertEqual(
+                json.load(fh)["durable_records_per_sec"], 220000)
+
+    def test_update_preserves_benchmarks_missing_from_partial_run(self):
+        # A filtered re-run covering one benchmark must not drop the other
+        # committed entries from the baseline.
+        base = self.write("base.json", GBENCH)
+        partial = copy.deepcopy(GBENCH)
+        partial["benchmarks"] = [dict(partial["benchmarks"][0],
+                                      real_time=10000000.0)]
+        cur = self.write("cur.json", partial)
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            merged = json.load(fh)
+        by_name = {e["name"]: e for e in merged["benchmarks"]
+                   if e.get("run_type", "iteration") == "iteration"}
+        self.assertEqual(
+            by_name["BM_FlatForestPredictRF/flat:0"]["real_time"], 10000000.0)
+        self.assertEqual(  # carried over from the old baseline
+            by_name["BM_FlatForestPredictRF/flat:1"]["real_time"], 7000000.0)
+
+    def test_update_without_existing_baseline_takes_current(self):
+        cur = self.write("cur.json", SERVING)
+        base = os.path.join(self.dir.name, "new_base.json")
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            self.assertEqual(json.load(fh), SERVING)
+
     def test_unreadable_input_is_a_usage_error(self):
         base = self.write("base.json", GBENCH)
         with self.assertRaises(SystemExit):
