@@ -6,8 +6,9 @@
 // BENCH_ml_kernels.json; see docs/PERFORMANCE.md and docs/SERVING.md).
 //
 //   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
-//                   [--batch=256] [--threads=0] [--out=BENCH_serving.json]
-//                   [--no-flat] [--no-durable] [--quantized]
+//                   [--batch=256] [--threads=0] [--shards=4]
+//                   [--out=BENCH_serving.json]
+//                   [--no-flat] [--no-durable] [--no-sharded] [--quantized]
 //                   [--simd=auto|scalar|neon|avx2]
 //
 // --no-flat serves from the node-pointer trees instead of the compiled
@@ -20,6 +21,11 @@
 // Unless --no-durable is given, a second replay pass runs with the
 // checksummed WAL + checkpoints enabled (docs/DURABILITY.md), reporting
 // durable_records_per_sec so the perf gate tracks the durability tax.
+//
+// Unless --no-sharded is given, a third pass replays the same fleet over the
+// loopback binary protocol into a --shards=N ShardRouter (encode -> TCP ->
+// decode -> route; docs/SERVING.md), reporting sharded_records_per_sec,
+// sharded_latency_p99_us, and sharded_speedup vs the single-engine pass.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -27,27 +33,64 @@
 
 #include "bench_common.hpp"
 #include "ml/simd.hpp"
+#include "net/fleet_replay.hpp"
+#include "net/shard_router.hpp"
 #include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
 #include "serve/scoring_engine.hpp"
 
+namespace {
+
+/// Fail-fast flag parsing: count/seed flags must be plain non-negative
+/// integers (no sign, no fraction, nothing trailing) at least `min_value`,
+/// rejected before the expensive fleet build.
+std::uint64_t parse_uint_flag(const std::string& flag, const std::string& text,
+                              std::uint64_t min_value) {
+  std::size_t used = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (text.empty() || text[0] == '-' || text[0] == '+' ||
+      used != text.size() || value < min_value) {
+    std::cerr << flag << " must be an integer >= " << min_value << ", got '"
+              << text << "'\n";
+    std::exit(1);
+  }
+  return value;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mfpa;
-  const auto args = bench::parse_args(argc, argv);
   std::size_t max_batch = 256;
   std::size_t threads = 0;
+  std::size_t shards = 4;
   bool flat = true;
   bool durable = true;
+  bool sharded = true;
   bool quantized = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (starts_with(arg, "--batch=")) max_batch = std::stoul(arg.substr(8));
-    if (starts_with(arg, "--threads=")) threads = std::stoul(arg.substr(10));
+    // Validated before bench::parse_args touches --seed (its stoull would
+    // die uncaught) and before any telemetry is generated.
+    if (starts_with(arg, "--batch="))
+      max_batch = parse_uint_flag("--batch", arg.substr(8), 1);
+    if (starts_with(arg, "--threads="))
+      threads = parse_uint_flag("--threads", arg.substr(10), 0);
+    if (starts_with(arg, "--shards="))
+      shards = parse_uint_flag("--shards", arg.substr(9), 1);
+    if (starts_with(arg, "--seed="))
+      parse_uint_flag("--seed", arg.substr(7), 0);
     if (starts_with(arg, "--out=")) out_path = arg.substr(6);
     if (arg == "--no-flat") flat = false;
     if (arg == "--no-durable") durable = false;
+    if (arg == "--no-sharded") sharded = false;
     if (arg == "--quantized") quantized = true;
     if (starts_with(arg, "--simd=")) {
       std::optional<ml::SimdLevel> level;
@@ -58,6 +101,7 @@ int main(int argc, char** argv) {
       ml::set_simd_override(level);
     }
   }
+  const auto args = bench::parse_args(argc, argv);
   std::cout << "simd kernel: " << ml::to_string(ml::active_simd_level())
             << "\n";
 
@@ -102,6 +146,38 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(durable_dir);
   }
 
+  // Sharded loopback pass: the same fleet encoded through the binary
+  // ingestion protocol into a ShardRouter over N engines. The speedup vs the
+  // single-engine pass is the scaling headroom the serving tier buys (bounded
+  // by available cores; the gate tracks it like any other baseline key).
+  double sharded_records_per_sec = 0.0;
+  double sharded_latency_p99_us = 0.0;
+  double sharded_speedup = 0.0;
+  std::uint64_t protocol_errors = 0;
+  if (sharded) {
+    net::ShardRouterConfig router_config;
+    router_config.shards = shards;
+    router_config.engine = engine_config;
+    net::ShardRouter router(registry, router_config);
+    const auto sharded_report = net::replay_over_loopback(router, replayer);
+    router.stop();
+    sharded_records_per_sec = sharded_report.replay.records_per_sec;
+    sharded_latency_p99_us =
+        sharded_report.replay.engine.latency_us.quantile(0.99);
+    sharded_speedup = report.records_per_sec > 0
+                          ? sharded_records_per_sec / report.records_per_sec
+                          : 0.0;
+    protocol_errors = sharded_report.protocol_errors;
+    if (sharded_report.replay.records_submitted != report.engine.submitted ||
+        protocol_errors != 0) {
+      std::cerr << "sharded pass lost records ("
+                << sharded_report.replay.records_submitted << "/"
+                << report.engine.submitted << ", " << protocol_errors
+                << " protocol errors)\n";
+      return 1;
+    }
+  }
+
   const double mean_batch =
       report.engine.batches == 0
           ? 0.0
@@ -119,6 +195,15 @@ int main(int argc, char** argv) {
     table.add_row({"durable records/sec",
                    format_with_commas(
                        static_cast<long long>(durable_records_per_sec))});
+  }
+  if (sharded) {
+    table.add_row({"shards", std::to_string(shards)});
+    table.add_row({"sharded records/sec",
+                   format_with_commas(
+                       static_cast<long long>(sharded_records_per_sec))});
+    table.add_row({"sharded latency p99 (us)",
+                   format_double(sharded_latency_p99_us, 1)});
+    table.add_row({"sharded speedup", format_double(sharded_speedup, 2)});
   }
   table.add_row({"micro-batches", std::to_string(report.engine.batches)});
   table.add_row({"mean batch size", format_double(mean_batch, 1)});
@@ -156,6 +241,14 @@ int main(int argc, char** argv) {
   if (durable) {
     json << "  \"durable_records_per_sec\": " << durable_records_per_sec
          << ",\n";
+  }
+  if (sharded) {
+    json << "  \"shards\": " << shards << ",\n"
+         << "  \"sharded_records_per_sec\": " << sharded_records_per_sec
+         << ",\n"
+         << "  \"sharded_latency_p99_us\": " << sharded_latency_p99_us << ",\n"
+         << "  \"sharded_speedup\": " << sharded_speedup << ",\n"
+         << "  \"net_protocol_errors\": " << protocol_errors << ",\n";
   }
   json
        << "  \"micro_batches\": " << report.engine.batches << ",\n"

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 #include "common/string_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/health_report.hpp"
+#include "net/fleet_replay.hpp"
 #include "obs/export.hpp"
 #include "core/mfpa.hpp"
 #include "core/online_predictor.hpp"
@@ -28,6 +30,32 @@ namespace {
 volatile std::sig_atomic_t g_shutdown_requested = 0;
 
 extern "C" void handle_shutdown_signal(int) { g_shutdown_requested = 1; }
+
+/// Fail-fast parse of a flag that must be a positive integer (--shards,
+/// --chunk-drives, ...): rejects zero, negatives, and fractions with the
+/// offending value in the message, before any simulation or IO runs.
+std::size_t get_positive_count(const CommandLine& cmd, const std::string& key,
+                               std::size_t fallback) {
+  const double v = cmd.get_number(key, static_cast<double>(fallback));
+  if (v < 1.0 || v != std::floor(v)) {
+    throw std::invalid_argument("option --" + key +
+                                " expects a positive integer, got '" +
+                                cmd.get(key, "") + "'");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Fail-fast --seed: a whole non-negative number (silent wraparound of a
+/// negative seed would change every derived random stream).
+std::uint64_t get_seed(const CommandLine& cmd, std::uint64_t fallback = 42) {
+  const double v = cmd.get_number("seed", static_cast<double>(fallback));
+  if (v < 0.0 || v != std::floor(v)) {
+    throw std::invalid_argument(
+        "option --seed expects a non-negative integer, got '" +
+        cmd.get("seed", "") + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
 
 RobustnessConfig robustness_from(const CommandLine& cmd) {
   if (cmd.has("strict") && cmd.has("lenient")) {
@@ -58,8 +86,118 @@ core::MfpaConfig config_from(const CommandLine& cmd) {
   config.neg_per_pos = cmd.get_number("neg-per-pos", 3.0);
   config.train_fraction = cmd.get_number("train-fraction", 0.7);
   config.decision_threshold = cmd.get_number("threshold", 0.5);
-  config.seed = static_cast<std::uint64_t>(cmd.get_number("seed", 42));
+  config.seed = get_seed(cmd);
   return config;
+}
+
+/// Writes the full alert stream, one line per alert with round-trip score
+/// precision — the byte-comparable proof artifact of the crash-recovery
+/// harnesses (single-engine emission order; canonical (day, drive id)
+/// order for sharded runs).
+void write_alerts_file(const std::string& path,
+                       const std::vector<core::Alert>& alerts,
+                       std::ostream& out) {
+  std::ofstream alerts_file(path, std::ios::binary | std::ios::trunc);
+  if (!alerts_file) {
+    throw std::runtime_error("cannot write alerts to " + path);
+  }
+  for (const auto& alert : alerts) {
+    alerts_file << alert.drive_id << ' ' << alert.day << ' ';
+    ml::io::write_double(alerts_file, alert.score);
+    alerts_file << '\n';
+  }
+  alerts_file.flush();
+  if (!alerts_file) {
+    throw std::runtime_error("write failed for " + path);
+  }
+  out << "wrote " << alerts.size() << " alerts to " << path << "\n";
+}
+
+/// The replay scorecard shared by serve-replay (1 or N shards) and
+/// fleet-replay; `extra` rows are appended before printing.
+void print_replay_table(const serve::ReplayReport& report,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            extra,
+                        std::ostream& out) {
+  TablePrinter table({"metric", "value"});
+  table.add_row({"records submitted", std::to_string(report.engine.submitted)});
+  if (report.records_skipped > 0) {
+    table.add_row({"records resumed past",
+                   std::to_string(report.records_skipped)});
+  }
+  table.add_row({"records shed", std::to_string(report.engine.shed)});
+  table.add_row({"days replayed", std::to_string(report.days_replayed)});
+  table.add_row({"throughput (rec/s)",
+                 format_with_commas(
+                     static_cast<long long>(report.records_per_sec))});
+  table.add_row({"micro-batches", std::to_string(report.engine.batches)});
+  table.add_row(
+      {"mean batch size",
+       format_double(report.engine.batches == 0
+                         ? 0.0
+                         : static_cast<double>(report.engine.records_processed) /
+                               static_cast<double>(report.engine.batches),
+                     1)});
+  table.add_row({"max queue depth",
+                 std::to_string(report.engine.max_queue_depth)});
+  table.add_row({"latency p50 (us)",
+                 format_double(report.engine.latency_us.quantile(0.5), 1)});
+  table.add_row({"latency p99 (us)",
+                 format_double(report.engine.latency_us.quantile(0.99), 1)});
+  table.add_row({"rows scored", std::to_string(report.engine.rows_scored)});
+  table.add_row({"alerts", std::to_string(report.engine.alerts)});
+  table.add_row({"drives quarantined",
+                 std::to_string(report.store.drives_quarantined)});
+  table.add_row({"drive-level TPR", format_percent(report.drives.drive_tpr())});
+  table.add_row({"drive-level FPR", format_percent(report.drives.drive_fpr())});
+  for (const auto& [k, v] : extra) table.add_row({k, v});
+  table.print(out);
+}
+
+/// Builds the per-shard engine template + router config from the shared
+/// serve-replay/fleet-replay flags. `durable-dir` becomes the per-shard
+/// durable root.
+net::ShardRouterConfig router_config_from(const CommandLine& cmd,
+                                          const core::MfpaConfig& train_config,
+                                          std::size_t shards,
+                                          std::size_t threads) {
+  net::ShardRouterConfig router_config;
+  router_config.shards = shards;
+  serve::EngineConfig& engine = router_config.engine;
+  engine.store.preprocess = train_config.preprocess;
+  engine.store.shards = threads;
+  engine.alert_policy.min_consecutive =
+      static_cast<int>(cmd.get_number("alert-consecutive", 1));
+  engine.alert_policy.cooldown_days =
+      static_cast<int>(cmd.get_number("cooldown", 0));
+  engine.queue_capacity =
+      static_cast<std::size_t>(cmd.get_number("queue-capacity", 4096));
+  engine.max_batch = static_cast<std::size_t>(cmd.get_number("batch", 256));
+  engine.shed_on_full = cmd.has("shed");
+  engine.durability.group_commit_records =
+      static_cast<std::size_t>(cmd.get_number("wal-group-commit", 256));
+  engine.durability.checkpoint_interval_records =
+      static_cast<std::size_t>(cmd.get_number("checkpoint-interval", 4096));
+  router_config.durable_root = cmd.get("durable-dir", "");
+  return router_config;
+}
+
+/// Prints each recovering shard's resume position (sharded runs' analogue
+/// of the single-engine recovery banner).
+std::size_t report_shard_recovery(const net::ShardRouter& router,
+                                  std::ostream& out) {
+  const auto resume = router.resume_records();
+  std::size_t total = 0;
+  for (std::size_t r : resume) total += r;
+  if (total > 0) {
+    out << "resuming feed after " << total << " durable records across "
+        << resume.size() << " shards (";
+    for (std::size_t i = 0; i < resume.size(); ++i) {
+      out << (i > 0 ? " " : "") << "shard-" << i << "=" << resume[i];
+    }
+    out << ")\n";
+  }
+  return total;
 }
 
 void print_report(const core::MfpaReport& report, std::ostream& out) {
@@ -77,9 +215,8 @@ void print_report(const core::MfpaReport& report, std::ostream& out) {
 }
 
 int cmd_simulate(const CommandLine& cmd, std::ostream& out) {
-  auto scenario = sim::scenario_by_name(
-      cmd.get("scenario", "default"),
-      static_cast<std::uint64_t>(cmd.get_number("seed", 42)));
+  auto scenario =
+      sim::scenario_by_name(cmd.get("scenario", "default"), get_seed(cmd));
   // Per-knob overrides on top of the preset.
   scenario.fleet_scale = cmd.get_number("scale", scenario.fleet_scale);
   scenario.horizon_days = static_cast<DayIndex>(
@@ -240,6 +377,10 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
     }
     ml::set_simd_override(level);
   }
+  // --shards=N (N > 1) routes the same stream across N engine instances by
+  // drive-id hash — the sharded serving path (see docs/SERVING.md).
+  // Validated before any telemetry work, like every count flag.
+  const std::size_t shards = get_positive_count(cmd, "shards", 1);
   const auto robustness = robustness_from(cmd);
   // Input: either a saved telemetry/ticket pair or a generated scenario.
   std::vector<sim::DriveTimeSeries> telemetry;
@@ -251,9 +392,8 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
     tickets =
         sim::read_tickets_file(cmd.require("tickets"), robustness, &read_stats);
   } else {
-    auto scenario = sim::scenario_by_name(
-        cmd.get("scenario", "default"),
-        static_cast<std::uint64_t>(cmd.get_number("seed", 42)));
+    auto scenario =
+        sim::scenario_by_name(cmd.get("scenario", "default"), get_seed(cmd));
     scenario.fleet_scale = cmd.get_number("scale", scenario.fleet_scale);
     sim::FleetSimulator fleet(scenario);
     telemetry = fleet.generate_telemetry();
@@ -291,23 +431,42 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
         << registry_dir << "\n";
   }
 
-  serve::EngineConfig engine_config;
-  engine_config.store.preprocess = train_config.preprocess;
-  engine_config.store.shards = threads;
-  engine_config.alert_policy.min_consecutive =
-      static_cast<int>(cmd.get_number("alert-consecutive", 1));
-  engine_config.alert_policy.cooldown_days =
-      static_cast<int>(cmd.get_number("cooldown", 0));
-  engine_config.queue_capacity =
-      static_cast<std::size_t>(cmd.get_number("queue-capacity", 4096));
-  engine_config.max_batch =
-      static_cast<std::size_t>(cmd.get_number("batch", 256));
-  engine_config.shed_on_full = cmd.has("shed");
-  engine_config.durability.dir = cmd.get("durable-dir", "");
-  engine_config.durability.group_commit_records =
-      static_cast<std::size_t>(cmd.get_number("wal-group-commit", 256));
-  engine_config.durability.checkpoint_interval_records =
-      static_cast<std::size_t>(cmd.get_number("checkpoint-interval", 4096));
+  net::ShardRouterConfig router_config =
+      router_config_from(cmd, train_config, shards, threads);
+  if (shards > 1) {
+    net::ShardRouter router(registry, router_config);
+    report_shard_recovery(router, out);
+    const serve::FleetReplayer replayer(telemetry);
+    net::ShardedReplayOptions replay_options;
+    replay_options.skip_records = router.resume_records();
+    replay_options.kill_after_records =
+        static_cast<std::size_t>(cmd.get_number("kill-after", 0));
+    replay_options.cancel = &g_shutdown_requested;
+    g_shutdown_requested = 0;
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGINT, handle_shutdown_signal);
+    const auto sharded = net::replay_sharded(router, replayer, replay_options);
+    router.stop();
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+    if (sharded.replay.interrupted) {
+      out << "shutdown signal received: queue drained, durable state "
+             "sealed\n";
+    }
+    print_replay_table(sharded.replay,
+                       {{"shards", std::to_string(router.shard_count())}},
+                       out);
+    read_stats.merge(sharded.replay.store.ingest);
+    report_ingest(read_stats, robustness, out);
+    const auto alerts_path = cmd.get("alerts-out", "");
+    if (!alerts_path.empty()) {
+      write_alerts_file(alerts_path, sharded.replay.alerts, out);
+    }
+    return 0;
+  }
+
+  serve::EngineConfig engine_config = router_config.engine;
+  engine_config.durability.dir = router_config.durable_root;
   // Recovery happens in the constructor; corruption and model-version
   // mismatches throw and surface as a loud failure (exit 2).
   serve::ScoringEngine engine(registry, engine_config);
@@ -348,61 +507,109 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
     out << "shutdown signal received: queue drained, durable state sealed\n";
   }
 
-  TablePrinter table({"metric", "value"});
-  table.add_row({"records submitted", std::to_string(report.engine.submitted)});
-  if (report.records_skipped > 0) {
-    table.add_row({"records resumed past",
-                   std::to_string(report.records_skipped)});
-  }
-  table.add_row({"records shed", std::to_string(report.engine.shed)});
-  table.add_row({"days replayed", std::to_string(report.days_replayed)});
-  table.add_row({"throughput (rec/s)",
-                 format_with_commas(
-                     static_cast<long long>(report.records_per_sec))});
-  table.add_row({"micro-batches", std::to_string(report.engine.batches)});
-  table.add_row(
-      {"mean batch size",
-       format_double(report.engine.batches == 0
-                         ? 0.0
-                         : static_cast<double>(report.engine.records_processed) /
-                               static_cast<double>(report.engine.batches),
-                     1)});
-  table.add_row({"max queue depth",
-                 std::to_string(report.engine.max_queue_depth)});
-  table.add_row({"latency p50 (us)",
-                 format_double(report.engine.latency_us.quantile(0.5), 1)});
-  table.add_row({"latency p99 (us)",
-                 format_double(report.engine.latency_us.quantile(0.99), 1)});
-  table.add_row({"rows scored", std::to_string(report.engine.rows_scored)});
-  table.add_row({"alerts", std::to_string(report.engine.alerts)});
-  table.add_row({"drives quarantined",
-                 std::to_string(report.store.drives_quarantined)});
-  table.add_row({"drive-level TPR", format_percent(report.drives.drive_tpr())});
-  table.add_row({"drive-level FPR", format_percent(report.drives.drive_fpr())});
-  table.print(out);
+  print_replay_table(report, {}, out);
   read_stats.merge(report.store.ingest);
   report_ingest(read_stats, robustness, out);
 
-  // The full alert stream (recovered durable prefix + this run), one line
-  // per alert with round-trip score precision — the byte-comparable proof
-  // artifact of the crash-recovery tests.
+  // The full alert stream (recovered durable prefix + this run) — the
+  // byte-comparable proof artifact of the crash-recovery tests.
   const auto alerts_path = cmd.get("alerts-out", "");
   if (!alerts_path.empty()) {
-    std::ofstream alerts_file(alerts_path, std::ios::binary | std::ios::trunc);
-    if (!alerts_file) {
-      throw std::runtime_error("cannot write alerts to " + alerts_path);
+    write_alerts_file(alerts_path, report.alerts, out);
+  }
+  return 0;
+}
+
+int cmd_fleet_replay(const CommandLine& cmd, std::ostream& out) {
+  if (cmd.has("simd")) {
+    std::optional<ml::SimdLevel> level;
+    if (!ml::parse_simd_level(cmd.require("simd"), level)) {
+      throw std::runtime_error("--simd must be auto, scalar, neon, or avx2");
     }
-    for (const auto& alert : report.alerts) {
-      alerts_file << alert.drive_id << ' ' << alert.day << ' ';
-      ml::io::write_double(alerts_file, alert.score);
-      alerts_file << '\n';
+    ml::set_simd_override(level);
+  }
+  // Every count flag is validated before the (potentially multi-million
+  // drive) simulation starts.
+  const std::size_t shards = get_positive_count(cmd, "shards", 4);
+  const std::size_t chunk_drives =
+      get_positive_count(cmd, "chunk-drives", 4096);
+
+  auto scenario =
+      sim::scenario_by_name(cmd.get("scenario", "fleet"), get_seed(cmd));
+  scenario.fleet_scale = cmd.get_number("scale", scenario.fleet_scale);
+  sim::FleetSimulator fleet(scenario);
+
+  const auto threads =
+      static_cast<std::size_t>(cmd.get_number("threads", 0));
+  const auto registry_dir = cmd.get(
+      "registry",
+      (std::filesystem::temp_directory_path() / "mfpa-fleet-registry")
+          .string());
+  const bool reuse_registry = cmd.has("reuse-registry");
+  if (!reuse_registry) std::filesystem::remove_all(registry_dir);
+  out << "simd kernel: " << ml::to_string(ml::active_simd_level()) << "\n";
+  serve::ModelRegistry registry(registry_dir, threads, !cmd.has("no-flat"),
+                                cmd.has("quantized"));
+
+  // The model trains offline on a down-scaled twin of the scenario (same
+  // seed, same catalog, same drift) — training on the full fleet's
+  // telemetry would dwarf the serving run this command exists to exercise.
+  auto train_config = config_from(cmd);
+  int version = registry.current_version();
+  if (reuse_registry && version > 0) {
+    out << "reusing model v" << version << " from " << registry_dir << "\n";
+  } else {
+    const double train_scale =
+        cmd.get_number("train-scale", std::min(scenario.fleet_scale, 0.02));
+    if (train_scale <= 0.0) {
+      throw std::invalid_argument("option --train-scale must be > 0");
     }
-    alerts_file.flush();
-    if (!alerts_file) {
-      throw std::runtime_error("write failed for " + alerts_path);
-    }
-    out << "wrote " << report.alerts.size() << " alerts to " << alerts_path
-        << "\n";
+    auto train_scenario = scenario;
+    train_scenario.fleet_scale = train_scale;
+    sim::FleetSimulator train_fleet(train_scenario);
+    const auto train_telemetry = train_fleet.generate_telemetry(threads);
+    const auto train_tickets = train_fleet.tickets();
+    version = serve::train_and_publish(registry, train_config,
+                                       train_telemetry, train_tickets);
+    out << "published " << train_config.algorithm << " v" << version
+        << " to " << registry_dir << " (trained at scale "
+        << format_double(train_scale, 3) << ")\n";
+  }
+
+  net::ShardRouter router(
+      registry, router_config_from(cmd, train_config, shards, threads));
+  report_shard_recovery(router, out);
+
+  net::StreamedFleetOptions options;
+  options.chunk_drives = chunk_drives;
+  options.generation_threads = threads;
+  options.skip_records = router.resume_records();
+  options.over_loopback = !cmd.has("in-process");
+  options.kill_after_records =
+      static_cast<std::size_t>(cmd.get_number("kill-after", 0));
+  options.cancel = &g_shutdown_requested;
+  g_shutdown_requested = 0;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  const auto report = net::replay_fleet_streamed(router, fleet, options);
+  router.stop();
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  if (report.sharded.replay.interrupted) {
+    out << "shutdown signal received: queue drained, durable state sealed\n";
+  }
+
+  print_replay_table(
+      report.sharded.replay,
+      {{"shards", std::to_string(router.shard_count())},
+       {"transport", options.over_loopback ? "loopback tcp" : "in-process"},
+       {"drives tracked", std::to_string(report.drives_tracked)},
+       {"generation chunks", std::to_string(report.chunks)},
+       {"protocol errors", std::to_string(report.sharded.protocol_errors)}},
+      out);
+  const auto alerts_path = cmd.get("alerts-out", "");
+  if (!alerts_path.empty()) {
+    write_alerts_file(alerts_path, report.sharded.replay.alerts, out);
   }
   return 0;
 }
@@ -537,9 +744,14 @@ std::string usage() {
       "            [--simd=auto|scalar|neon|avx2]\n"
       "            [--durable-dir=DIR] [--wal-group-commit=256]\n"
       "            [--checkpoint-interval=4096] [--reuse-registry]\n"
-      "            [--alerts-out=FILE] [--kill-after=N]\n"
+      "            [--alerts-out=FILE] [--kill-after=N] [--shards=N]\n"
       "            train + publish to the model registry, then stream the\n"
       "            fleet through the micro-batched scoring service\n"
+      "            (--shards=N routes drives by id hash across N engine\n"
+      "            instances — the sharded serving path; with\n"
+      "            --durable-dir each shard logs to DIR/shard-NNN and a\n"
+      "            resume must reuse the same --shards; see\n"
+      "            docs/SERVING.md)\n"
       "            (--no-flat disables compiled flat-forest inference;\n"
       "            --quantized serves from the uint8-quantized ensemble;\n"
       "            --simd pins the inference kernel tier, degrading to the\n"
@@ -551,6 +763,21 @@ std::string usage() {
       "            (see docs/DURABILITY.md). SIGTERM/SIGINT drain the queue,\n"
       "            seal the durable state, and exit 0. --kill-after raises\n"
       "            SIGKILL mid-stream (crash-recovery testing).\n"
+      "  fleet-replay  [--scenario=fleet] [--seed=N] [--scale=X]\n"
+      "            [--shards=4] [--chunk-drives=4096] [--train-scale=X]\n"
+      "            [--threads=N] [--in-process] [--durable-dir=DIR]\n"
+      "            [--registry=DIR] [--reuse-registry] [--alerts-out=FILE]\n"
+      "            [--kill-after=N] [--alert-consecutive=1] [--cooldown=0]\n"
+      "            [--batch=256] [--queue-capacity=4096] [--shed]\n"
+      "            [--no-flat] [--quantized] [--simd=LEVEL]\n"
+      "            stream a (full-scale) fleet scenario through the sharded\n"
+      "            scoring service over the loopback binary protocol:\n"
+      "            telemetry is generated in chunks of --chunk-drives and\n"
+      "            freed after feeding, so memory stays bounded at any\n"
+      "            fleet scale; the model trains offline on a --train-scale\n"
+      "            twin of the scenario. --in-process skips the TCP hop\n"
+      "            (router benchmarking). A durable resume must reuse the\n"
+      "            same --shards and --chunk-drives (see docs/SERVING.md).\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
       "  metrics   print the process metrics registry (Prometheus text)\n"
@@ -575,6 +802,7 @@ int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     else if (cmd.command == "evaluate") rc = cmd_evaluate(cmd, out);
     else if (cmd.command == "predict") rc = cmd_predict(cmd, out);
     else if (cmd.command == "serve-replay") rc = cmd_serve_replay(cmd, out);
+    else if (cmd.command == "fleet-replay") rc = cmd_fleet_replay(cmd, out);
     else if (cmd.command == "validate") rc = cmd_validate(cmd, out);
     else if (cmd.command == "info") rc = cmd_info(cmd, out);
     else if (cmd.command == "metrics") rc = cmd_metrics(out);

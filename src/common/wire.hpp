@@ -1,0 +1,127 @@
+// Little-endian fixed-width byte packing shared by every binary format in
+// the tree: the WAL / alert-log frames (serve/wal), the durable checkpoint
+// images (serve/checkpoint), and the network ingestion protocol
+// (net/protocol). The durable formats are host-local (written and recovered
+// on the same machine) and the wire format is loopback-first, but pinning
+// the byte order keeps each framing well-defined, portable across mixed
+// client/server builds, and lets tests craft exact corruption.
+//
+// Writers append to a std::string (cheap, append-only, reusable buffer);
+// ByteReader walks a payload with bounds checks and throws
+// std::runtime_error naming the caller's context on a short or overlong
+// payload — the shared "refuse, don't misparse" discipline.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace mfpa::wire {
+
+inline void put_u16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+inline void put_i32(std::string& buf, std::int32_t v) {
+  put_u32(buf, static_cast<std::uint32_t>(v));
+}
+
+inline void put_f32(std::string& buf, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(buf, bits);
+}
+
+inline void put_f64(std::string& buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(buf, bits);
+}
+
+/// Reads fixed-width little-endian values at an arbitrary byte offset
+/// (no bounds check — the caller has already sized the buffer).
+inline std::uint32_t read_u32_at(const char* bytes, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t read_u64_at(const char* bytes, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+/// Sequential bounds-checked reader over one payload. `what` names the
+/// payload kind in diagnostics ("wal record", "net frame", ...).
+class ByteReader {
+ public:
+  ByteReader(const std::string& bytes, const char* what)
+      : bytes_(bytes), what_(what) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(u(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(u(4)); }
+  std::uint64_t u64() { return u(8); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::size_t remaining() const noexcept { return bytes_.size() - off_; }
+
+  void expect_done() const {
+    if (off_ != bytes_.size()) {
+      throw std::runtime_error(std::string(what_) + ": trailing payload bytes");
+    }
+  }
+
+ private:
+  std::uint64_t u(int n) {
+    if (off_ + static_cast<std::size_t>(n) > bytes_.size()) {
+      throw std::runtime_error(std::string(what_) + ": short payload");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[off_ + i]))
+           << (8 * i);
+    }
+    off_ += static_cast<std::size_t>(n);
+    return v;
+  }
+
+  const std::string& bytes_;
+  const char* what_;
+  std::size_t off_ = 0;
+};
+
+}  // namespace mfpa::wire

@@ -1,0 +1,111 @@
+#include "net/client.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace mfpa::net {
+
+TelemetryClient::TelemetryClient(std::uint16_t port, std::size_t send_buffer)
+    : send_buffer_limit_(send_buffer) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("TelemetryClient: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("TelemetryClient: cannot connect 127.0.0.1:" +
+                             std::to_string(port) + ": " + why);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TelemetryClient::~TelemetryClient() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TelemetryClient::send_all(const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t sent = ::send(fd_, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("TelemetryClient: send failed: ") +
+                               std::strerror(errno));
+    }
+    data += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+void TelemetryClient::send_record(std::uint64_t drive_id, int vendor,
+                                  const sim::DailyRecord& record) {
+  if (fd_ < 0) throw std::runtime_error("TelemetryClient: closed");
+  append_record_frame(send_buf_, next_seq_++, drive_id, vendor, record);
+  ++records_sent_;
+  if (send_buf_.size() >= send_buffer_limit_) flush_buffer();
+}
+
+void TelemetryClient::flush_buffer() {
+  if (send_buf_.empty()) return;
+  send_all(send_buf_.data(), send_buf_.size());
+  send_buf_.clear();
+}
+
+FlushAck TelemetryClient::sync() {
+  if (fd_ < 0) throw std::runtime_error("TelemetryClient: closed");
+  append_control_frame(send_buf_, next_seq_++, MessageType::kFlush);
+  flush_buffer();
+  NetMessage msg;
+  char chunk[4096];
+  for (;;) {
+    switch (decoder_.next(msg)) {
+      case FrameDecoder::Status::kMessage:
+        if (msg.type != MessageType::kFlushAck) {
+          throw std::runtime_error(
+              "TelemetryClient: unexpected reply message");
+        }
+        return msg.ack;
+      case FrameDecoder::Status::kError:
+        throw std::runtime_error(
+            std::string("TelemetryClient: corrupt reply: ") +
+            error_name(decoder_.error()));
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      throw std::runtime_error(
+          "TelemetryClient: connection closed awaiting flush ack");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("TelemetryClient: recv failed: ") +
+                               std::strerror(errno));
+    }
+    decoder_.feed(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void TelemetryClient::close() {
+  if (fd_ < 0) return;
+  append_control_frame(send_buf_, next_seq_++, MessageType::kGoodbye);
+  flush_buffer();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+}  // namespace mfpa::net

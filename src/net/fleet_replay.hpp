@@ -1,0 +1,99 @@
+// Sharded fleet replay: drives the ShardRouter with the same deterministic
+// arrival stream serve::FleetReplayer delivers to a single engine — either
+// in-process (replay_sharded: the `serve-replay --shards=N` path and the
+// alert-parity tests) or over the loopback binary protocol
+// (replay_over_loopback: the `fleet-replay` CLI mode and bench_serving's
+// sharded pass, exercising the full encode → TCP → decode → route chain).
+//
+// Resume protocol: each shard recovers independently, so "how much is
+// already durable" is a per-shard count, not a single stream offset. The
+// feed computes every arrival's owning shard and skips it while that
+// shard's resume budget is unspent — re-delivering exactly each shard's
+// not-yet-durable suffix. This works because routing is a pure function of
+// drive id and shard count; a resume must therefore use the same --shards
+// value as the crashed run (the CLI enforces this by reading the shard
+// directories present under the durable root).
+#pragma once
+
+#include <csignal>
+#include <cstddef>
+#include <vector>
+
+#include "net/shard_router.hpp"
+#include "serve/replay.hpp"
+#include "sim/fleet.hpp"
+
+namespace mfpa::net {
+
+/// Knobs for one sharded replay pass (superset semantics of
+/// serve::ReplayOptions, with the per-shard resume counts).
+struct ShardedReplayOptions {
+  serve::DayHook on_day;
+  /// Per-shard records to skip (index = shard). Empty means none; otherwise
+  /// the size must equal the router's shard count. Pass
+  /// ShardRouter::resume_records() when resuming.
+  std::vector<std::size_t> skip_records;
+  /// Raise SIGKILL after submitting this many records (0 = never) —
+  /// crash-recovery harness, same contract as serve::ReplayOptions.
+  std::size_t kill_after_records = 0;
+  /// Graceful-shutdown flag; checked between submissions.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+};
+
+/// What a sharded replay measured. `replay` aggregates across shards;
+/// alerts are in the canonical fleet order (day, drive id).
+struct ShardedReplayReport {
+  serve::ReplayReport replay;          ///< merged totals + merged alerts
+  RouterStats router;                  ///< per-shard accounting
+  std::uint64_t protocol_errors = 0;   ///< loopback runs only
+};
+
+/// Streams the replayer's arrival order through the router in-process.
+ShardedReplayReport replay_sharded(ShardRouter& router,
+                                   const serve::FleetReplayer& replayer,
+                                   const ShardedReplayOptions& options = {});
+
+/// Same stream, but encoded through a TelemetryClient into an IngestServer
+/// bound to an ephemeral loopback port in front of the router. The client
+/// syncs (kFlush barrier) at the end; the report's totals come from the
+/// router after the barrier.
+ShardedReplayReport replay_over_loopback(
+    ShardRouter& router, const serve::FleetReplayer& replayer,
+    const ShardedReplayOptions& options = {});
+
+/// Knobs for the streamed full-fleet replay (the `fleet-replay` CLI mode).
+struct StreamedFleetOptions {
+  /// Tracked drives generated per chunk; bounds peak telemetry memory to
+  /// one chunk regardless of fleet size. Must be >= 1.
+  std::size_t chunk_drives = 4096;
+  /// Telemetry-generation threads per chunk (0 = hardware concurrency).
+  std::size_t generation_threads = 1;
+  /// Per-shard resume skips (ShardRouter::resume_records()). A resume must
+  /// use the same shard count AND the same chunk_drives as the crashed run
+  /// — both change the deterministic delivery order the skips index into.
+  std::vector<std::size_t> skip_records;
+  /// Feed through the loopback binary protocol instead of in-process calls.
+  bool over_loopback = false;
+  std::size_t kill_after_records = 0;
+  const volatile std::sig_atomic_t* cancel = nullptr;
+};
+
+/// Streamed replay result: ShardedReplayReport totals plus stream shape.
+struct StreamedFleetReport {
+  ShardedReplayReport sharded;
+  std::size_t drives_tracked = 0;  ///< tracked subset size (pre-chunking)
+  std::size_t chunks = 0;          ///< generation chunks consumed
+};
+
+/// Replays an entire (possibly full-scale) fleet scenario through the
+/// router with bounded memory: tracked drives are generated in chunks of
+/// `chunk_drives`, fed in the per-chunk deterministic arrival order, and
+/// freed before the next chunk. Per-drive record order is chunk-invariant,
+/// so the alert stream matches an unchunked replay of the same scenario;
+/// only the interleaving across drives (and therefore resume offsets)
+/// depends on chunk_drives.
+StreamedFleetReport replay_fleet_streamed(ShardRouter& router,
+                                          sim::FleetSimulator& fleet,
+                                          const StreamedFleetOptions& options);
+
+}  // namespace mfpa::net

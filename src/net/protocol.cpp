@@ -1,0 +1,151 @@
+#include "net/protocol.hpp"
+
+#include <stdexcept>
+#include <string_view>
+
+#include "common/wire.hpp"
+#include "ml/checksum.hpp"
+#include "serve/wal.hpp"
+
+namespace mfpa::net {
+namespace {
+
+/// Frames `payload` under `seq` with the shared digest-over-(size, seq,
+/// payload) layout. The digest region starts at the size field, exactly
+/// like a WAL frame — only the magic differs.
+void append_net_frame(std::string& buf, std::uint64_t seq,
+                      std::string_view payload) {
+  const std::size_t body_start = buf.size() + 4;
+  wire::put_u32(buf, kNetFrameMagic);
+  wire::put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u64(buf, seq);
+  buf.append(payload);
+  const std::uint64_t digest = ml::fnv1a(
+      std::string_view(buf.data() + body_start, buf.size() - body_start));
+  wire::put_u64(buf, digest);
+}
+
+}  // namespace
+
+void append_record_frame(std::string& buf, std::uint64_t seq,
+                         std::uint64_t drive_id, int vendor,
+                         const sim::DailyRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kRecord));
+  payload += serve::encode_wal_payload(drive_id, vendor, record);
+  append_net_frame(buf, seq, payload);
+}
+
+void append_control_frame(std::string& buf, std::uint64_t seq,
+                          MessageType type) {
+  const char payload[1] = {static_cast<char>(type)};
+  append_net_frame(buf, seq, std::string_view(payload, 1));
+}
+
+void append_flush_ack_frame(std::string& buf, std::uint64_t seq,
+                            const FlushAck& ack) {
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kFlushAck));
+  wire::put_u64(payload, ack.records_processed);
+  wire::put_u64(payload, ack.alerts);
+  wire::put_u64(payload, ack.shed);
+  append_net_frame(buf, seq, payload);
+}
+
+const char* error_name(DecodeError error) noexcept {
+  switch (error) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kBadMagic: return "bad_magic";
+    case DecodeError::kOversized: return "oversized";
+    case DecodeError::kBadDigest: return "bad_digest";
+    case DecodeError::kBadMessage: return "bad_message";
+  }
+  return "unknown";
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact the consumed prefix before growing; keeps the buffer bounded
+  // by (one partial frame + one read chunk) regardless of stream length.
+  if (off_ > 0 && off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  } else if (off_ >= 4096) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::next(NetMessage& out) {
+  if (error_ != DecodeError::kNone) return Status::kError;
+  const std::size_t avail = buf_.size() - off_;
+  if (avail < kNetFrameHeaderBytes) return Status::kNeedMore;
+  if (wire::read_u32_at(buf_.data(), off_) != kNetFrameMagic) {
+    error_ = DecodeError::kBadMagic;
+    return Status::kError;
+  }
+  const std::uint32_t size = wire::read_u32_at(buf_.data(), off_ + 4);
+  // The length field is validated from the header alone: a hostile or
+  // corrupt size never causes a proportional allocation — the buffer only
+  // ever holds bytes the peer actually sent.
+  if (size > max_payload_) {
+    error_ = DecodeError::kOversized;
+    return Status::kError;
+  }
+  const std::size_t total = kNetFrameHeaderBytes + size + kNetFrameDigestBytes;
+  if (avail < total) return Status::kNeedMore;
+  const std::uint64_t want =
+      wire::read_u64_at(buf_.data(), off_ + kNetFrameHeaderBytes + size);
+  const std::uint64_t got = ml::fnv1a(
+      std::string_view(buf_.data() + off_ + 4, 4 + 8 + size));
+  if (want != got) {
+    error_ = DecodeError::kBadDigest;
+    return Status::kError;
+  }
+  const std::uint64_t seq = wire::read_u64_at(buf_.data(), off_ + 8);
+  const std::string payload = buf_.substr(off_ + kNetFrameHeaderBytes, size);
+  off_ += total;
+
+  if (payload.empty()) {
+    error_ = DecodeError::kBadMessage;
+    return Status::kError;
+  }
+  out = NetMessage{};
+  out.seq = seq;
+  const auto type = static_cast<MessageType>(
+      static_cast<std::uint8_t>(payload[0]));
+  const std::string body = payload.substr(1);
+  try {
+    switch (type) {
+      case MessageType::kRecord: {
+        const serve::WalEntry entry = serve::decode_wal_payload(seq, body);
+        out.type = MessageType::kRecord;
+        out.drive_id = entry.drive_id;
+        out.vendor = entry.vendor;
+        out.record = entry.record;
+        return Status::kMessage;
+      }
+      case MessageType::kFlush:
+      case MessageType::kGoodbye: {
+        if (!body.empty()) break;
+        out.type = type;
+        return Status::kMessage;
+      }
+      case MessageType::kFlushAck: {
+        wire::ByteReader r(body, "net flush-ack");
+        out.type = MessageType::kFlushAck;
+        out.ack.records_processed = r.u64();
+        out.ack.alerts = r.u64();
+        out.ack.shed = r.u64();
+        r.expect_done();
+        return Status::kMessage;
+      }
+    }
+  } catch (const std::runtime_error&) {
+    // Fall through: short/overlong body under a valid digest.
+  }
+  error_ = DecodeError::kBadMessage;
+  return Status::kError;
+}
+
+}  // namespace mfpa::net

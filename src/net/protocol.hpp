@@ -1,0 +1,131 @@
+// Binary ingestion protocol for the sharded scoring service.
+//
+// The wire format applies the tree's FNV-1a framing conventions (the
+// ml/serialize v2 artifact framing and the serve/wal segment frames) to a
+// TCP byte stream:
+//
+//   u32 magic   "MFNP"            marks a frame boundary
+//   u32 size    payload bytes
+//   u64 seq     sender-assigned sequence number (1-based, diagnostics)
+//   u8  payload[size]             first byte = message type
+//   u64 digest  FNV-1a 64 over (size, seq, payload)
+//
+// Message types:
+//   kRecord    one drive's daily telemetry upload; body is the exact
+//              serve/wal record payload (encode_wal_payload), so the wire
+//              and the durable log share one record serialization.
+//   kFlush     barrier: the client asks the server to drain everything
+//              received so far and reply with kFlushAck.
+//   kFlushAck  server -> client; body: u64 records processed, u64 alerts
+//              raised, u64 records shed (shed_on_full deployments).
+//   kGoodbye   orderly end-of-stream; the server drops the connection
+//              without counting an error.
+//
+// Unlike the WAL's file scan there is no resync: TCP already guarantees
+// ordered delivery, so any framing violation (bad magic, oversized length,
+// digest mismatch, malformed message body) means the stream itself is
+// corrupt or hostile — the decoder latches the error and the server closes
+// the connection with per-kind error accounting (mfpa_net_protocol_errors).
+// An oversized length field is rejected from the 16-byte header alone,
+// before any buffer grows toward the claimed size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/telemetry.hpp"
+
+namespace mfpa::net {
+
+inline constexpr std::uint32_t kNetFrameMagic = 0x504E464DU;  // "MFNP"
+
+/// Frame overhead: magic + size + seq header, trailing digest.
+inline constexpr std::size_t kNetFrameHeaderBytes = 4 + 4 + 8;
+inline constexpr std::size_t kNetFrameDigestBytes = 8;
+
+/// Hard payload bound. A record payload is ~150 bytes and control bodies
+/// are smaller still; anything claiming more is a corrupt or hostile
+/// length field and is rejected from the header alone.
+inline constexpr std::uint32_t kMaxNetPayload = 1u << 16;
+
+enum class MessageType : std::uint8_t {
+  kRecord = 1,
+  kFlush = 2,
+  kFlushAck = 3,
+  kGoodbye = 4,
+};
+
+/// kFlushAck body.
+struct FlushAck {
+  std::uint64_t records_processed = 0;
+  std::uint64_t alerts = 0;
+  std::uint64_t shed = 0;
+};
+
+/// One decoded message (fields beyond `type`/`seq` are valid per type).
+struct NetMessage {
+  MessageType type = MessageType::kGoodbye;
+  std::uint64_t seq = 0;
+  std::uint64_t drive_id = 0;       ///< kRecord
+  int vendor = 0;                   ///< kRecord
+  sim::DailyRecord record;          ///< kRecord
+  FlushAck ack;                     ///< kFlushAck
+};
+
+// --- encoding --------------------------------------------------------------
+
+/// Appends one kRecord frame carrying a telemetry upload.
+void append_record_frame(std::string& buf, std::uint64_t seq,
+                         std::uint64_t drive_id, int vendor,
+                         const sim::DailyRecord& record);
+
+/// Appends one bodyless control frame (kFlush / kGoodbye).
+void append_control_frame(std::string& buf, std::uint64_t seq,
+                          MessageType type);
+
+/// Appends one kFlushAck frame.
+void append_flush_ack_frame(std::string& buf, std::uint64_t seq,
+                            const FlushAck& ack);
+
+// --- decoding --------------------------------------------------------------
+
+/// Why a stream was declared dead. Values are stable metric-label names
+/// (mfpa_net_protocol_errors_total{kind=...}); see error_name().
+enum class DecodeError {
+  kNone = 0,
+  kBadMagic,     ///< frame boundary does not start with "MFNP"
+  kOversized,    ///< length field exceeds kMaxNetPayload (checked pre-buffer)
+  kBadDigest,    ///< checksum mismatch (bit flip in header or payload)
+  kBadMessage,   ///< digest-valid frame with a malformed message body
+};
+
+const char* error_name(DecodeError error) noexcept;
+
+/// Incremental frame decoder over one connection's byte stream. feed()
+/// appends received bytes; next() yields complete messages until it either
+/// needs more bytes or latches a DecodeError (after which the stream is
+/// unusable and every next() returns kError).
+class FrameDecoder {
+ public:
+  enum class Status { kMessage, kNeedMore, kError };
+
+  explicit FrameDecoder(std::size_t max_payload = kMaxNetPayload)
+      : max_payload_(max_payload) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// Decodes the next complete frame into `out`.
+  Status next(NetMessage& out);
+
+  DecodeError error() const noexcept { return error_; }
+  std::size_t buffered_bytes() const noexcept { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  std::size_t off_ = 0;  ///< consumed prefix (compacted as it grows)
+  std::size_t max_payload_;
+  DecodeError error_ = DecodeError::kNone;
+};
+
+}  // namespace mfpa::net

@@ -1,0 +1,287 @@
+#include "net/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mfpa::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+struct ServerMetrics {
+  obs::Counter* connections = nullptr;
+  obs::Gauge* active = nullptr;
+  obs::Counter* bytes_received = nullptr;
+  obs::Counter* records = nullptr;
+  obs::Counter* flushes = nullptr;
+};
+
+ServerMetrics& server_metrics() {
+  // Re-resolved per call so create_isolated()/ScopedMetricsOverride tests
+  // see the server's traffic in their own registry.
+  thread_local ServerMetrics m;
+  auto& reg = obs::registry();
+  m.connections = &reg.counter("mfpa_net_connections_total", {});
+  m.active = &reg.gauge("mfpa_net_connections_active", {});
+  m.bytes_received = &reg.counter("mfpa_net_bytes_received_total", {});
+  m.records = &reg.counter("mfpa_net_records_total", {});
+  m.flushes = &reg.counter("mfpa_net_flushes_total", {});
+  return m;
+}
+
+}  // namespace
+
+struct IngestServer::Connection {
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string write_buf;
+  std::size_t write_off = 0;
+
+  bool write_pending() const noexcept { return write_off < write_buf.size(); }
+};
+
+IngestServer::IngestServer(ShardRouter& router, ServerConfig config)
+    : router_(&router), config_(config) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("IngestServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, config_.backlog) != 0) {
+    const std::string why = std::strerror(errno);
+    close_fd(listen_fd_);
+    throw std::runtime_error("IngestServer: cannot bind 127.0.0.1:" +
+                             std::to_string(config_.port) + ": " + why);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("IngestServer: pipe() failed");
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+IngestServer::~IngestServer() {
+  stop();
+  close_fd(listen_fd_);
+  close_fd(wake_read_fd_);
+  close_fd(wake_write_fd_);
+}
+
+void IngestServer::request_stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  // Async-signal-safe wakeup; the pipe is non-blocking and one byte is
+  // enough — a full pipe already guarantees a pending wakeup.
+  const char byte = 0;
+  [[maybe_unused]] const auto rc = ::write(wake_write_fd_, &byte, 1);
+}
+
+void IngestServer::stop() {
+  request_stop();
+  if (io_thread_.joinable()) io_thread_.join();
+}
+
+void IngestServer::count_protocol_error(DecodeError error) {
+  obs::registry()
+      .counter("mfpa_net_protocol_errors_total",
+               {{"kind", error_name(error)}})
+      .inc();
+}
+
+bool IngestServer::drain_connection(Connection& conn) {
+  auto& metrics = server_metrics();
+  NetMessage msg;
+  for (;;) {
+    const FrameDecoder::Status status = conn.decoder.next(msg);
+    if (status == FrameDecoder::Status::kNeedMore) return true;
+    if (status == FrameDecoder::Status::kError) {
+      count_protocol_error(conn.decoder.error());
+      return false;
+    }
+    switch (msg.type) {
+      case MessageType::kRecord: {
+        serve::TelemetryUpdate update;
+        update.drive_id = msg.drive_id;
+        update.vendor = msg.vendor;
+        update.record = msg.record;
+        // Blocks when the owning shard's queue is full — the I/O thread
+        // pausing here is exactly what closes the sender's TCP window.
+        router_->submit(update);
+        metrics.records->inc();
+        break;
+      }
+      case MessageType::kFlush: {
+        obs::ScopedSpan span("net.flush");
+        router_->flush();
+        const RouterStats stats = router_->stats();
+        FlushAck ack;
+        ack.records_processed = stats.records_processed;
+        ack.alerts = stats.alerts;
+        ack.shed = stats.records_shed;
+        append_flush_ack_frame(conn.write_buf, msg.seq, ack);
+        metrics.flushes->inc();
+        break;
+      }
+      case MessageType::kGoodbye:
+        return false;  // orderly close, no error accounting
+      case MessageType::kFlushAck:
+        // Client-only message; a server receiving one is protocol misuse.
+        count_protocol_error(DecodeError::kBadMessage);
+        return false;
+    }
+  }
+}
+
+void IngestServer::io_loop() {
+  auto& metrics = server_metrics();
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::vector<char> chunk(config_.read_chunk);
+  std::vector<pollfd> fds;
+
+  auto close_conn = [&](std::size_t i) {
+    close_fd(conns[i]->fd);
+    metrics.active->add(-1.0);
+    conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+  };
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (conn->write_pending()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    // Connections accepted below are appended after `polled`, so the
+    // fds[2 + i] pairing with this poll round stays valid.
+    const std::size_t polled = conns.size();
+    if (fds[1].revents & POLLIN) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        set_nonblocking(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conns.push_back(std::move(conn));
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        metrics.connections->inc();
+        metrics.active->add(1.0);
+      }
+    }
+
+    // Iterate backwards so close_conn's erase leaves earlier indices valid.
+    for (std::size_t i = polled; i-- > 0;) {
+      Connection& conn = *conns[i];
+      const pollfd& pfd = fds[2 + i];
+      bool alive = true;
+
+      if (pfd.revents & POLLOUT) {
+        while (conn.write_pending()) {
+          const ssize_t n =
+              ::send(conn.fd, conn.write_buf.data() + conn.write_off,
+                     conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
+          if (n <= 0) break;
+          conn.write_off += static_cast<std::size_t>(n);
+        }
+        if (!conn.write_pending()) {
+          conn.write_buf.clear();
+          conn.write_off = 0;
+        }
+      }
+
+      if (alive && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+        for (;;) {
+          const ssize_t n = ::read(conn.fd, chunk.data(), chunk.size());
+          if (n > 0) {
+            metrics.bytes_received->inc(static_cast<std::uint64_t>(n));
+            conn.decoder.feed(chunk.data(), static_cast<std::size_t>(n));
+            if (!drain_connection(conn)) {
+              alive = false;
+              break;
+            }
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          alive = false;  // EOF or hard error
+          break;
+        }
+      }
+
+      if (alive && conn.write_pending()) {
+        // Opportunistic write so single-poll request/response (flush → ack)
+        // doesn't need a second poll round trip.
+        const ssize_t n =
+            ::send(conn.fd, conn.write_buf.data() + conn.write_off,
+                   conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
+        if (n > 0) conn.write_off += static_cast<std::size_t>(n);
+      }
+
+      if (!alive) close_conn(i);
+    }
+  }
+
+  // Graceful drain: no new bytes are read, but frames already buffered in
+  // each decoder are finished before the connections close.
+  for (std::size_t i = conns.size(); i-- > 0;) {
+    drain_connection(*conns[i]);
+    close_conn(i);
+  }
+  close_fd(listen_fd_);
+}
+
+}  // namespace mfpa::net

@@ -1,0 +1,95 @@
+// Loopback TCP ingestion server for the sharded scoring service.
+//
+// One poll(2)-driven I/O thread owns every connection: it accepts, reads
+// into per-connection buffers, runs each connection's FrameDecoder, and
+// hands decoded kRecord messages to the ShardRouter. Router submission
+// happens on the I/O thread on purpose — when a shard's queue is full,
+// submit() blocks, the I/O thread stops reading, kernel socket buffers
+// fill, and the sender's TCP window closes. The engines' bounded queues
+// therefore *are* the ingestion tier's backpressure: total in-flight bytes
+// are bounded by (shard queues) + (kernel socket buffers) + (one partial
+// frame per connection), with no unbounded user-space queue anywhere.
+//
+// Protocol errors (bad magic, oversized length, digest mismatch, malformed
+// body) latch the connection's decoder, bump
+// mfpa_net_protocol_errors_total{kind=...}, and close that connection —
+// other connections and the engines are unaffected.
+//
+// Shutdown is graceful by design: stop() (or the process's SIGTERM handler
+// calling request_stop()) wakes the poll loop via a self-pipe, the loop
+// stops accepting, closes idle connections, finishes decoding what was
+// already buffered, and returns; the router then drains and seals durable
+// state in its own stop(). Binds 127.0.0.1 only — this is the in-process /
+// CI harness transport, not an exposed service.
+#pragma once
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/shard_router.hpp"
+
+namespace mfpa::net {
+
+struct ServerConfig {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (tests, the
+  /// loopback replay) — read the actual one from IngestServer::port().
+  std::uint16_t port = 0;
+  /// Listen backlog.
+  int backlog = 16;
+  /// Per-read chunk size.
+  std::size_t read_chunk = 64 * 1024;
+};
+
+class IngestServer {
+ public:
+  /// Binds and starts the I/O thread. The router must outlive the server.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  IngestServer(ShardRouter& router, ServerConfig config);
+  ~IngestServer();
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Actual bound port (resolves port 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Async shutdown request — safe from a signal handler's thread context
+  /// (writes one byte to the self-pipe). The poll loop finishes buffered
+  /// frames and exits; join with stop().
+  void request_stop() noexcept;
+
+  /// Graceful shutdown: request_stop() + join the I/O thread. Idempotent.
+  /// Does not stop the router — the owner decides when to drain it.
+  void stop();
+
+  /// Connections ever accepted (tests).
+  std::uint64_t connections_accepted() const noexcept {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  ShardRouter* router_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::thread io_thread_;
+
+  void io_loop();
+  /// Decodes and dispatches everything buffered on one connection.
+  /// Returns false when the connection must close (error or goodbye).
+  bool drain_connection(Connection& conn);
+  void count_protocol_error(DecodeError error);
+};
+
+}  // namespace mfpa::net

@@ -1,0 +1,95 @@
+#include "net/shard_router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace mfpa::net {
+namespace {
+
+std::string shard_dir(const std::string& root, std::size_t index) {
+  std::string suffix = std::to_string(index);
+  while (suffix.size() < 3) suffix.insert(suffix.begin(), '0');
+  return root + "/shard-" + suffix;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const serve::ModelRegistry& registry,
+                         ShardRouterConfig config) {
+  if (config.shards == 0) {
+    throw std::invalid_argument("ShardRouter: shards must be >= 1");
+  }
+  engines_.reserve(config.shards);
+  for (std::size_t i = 0; i < config.shards; ++i) {
+    serve::EngineConfig engine = config.engine;
+    engine.instance_label = "shard-" + std::to_string(i);
+    engine.durability.dir =
+        config.durable_root.empty() ? std::string()
+                                    : shard_dir(config.durable_root, i);
+    engines_.push_back(
+        std::make_unique<serve::ScoringEngine>(registry, std::move(engine)));
+  }
+}
+
+ShardRouter::~ShardRouter() { stop(); }
+
+bool ShardRouter::submit(const serve::TelemetryUpdate& update) {
+  return engines_[shard_of(update.drive_id)]->submit(update);
+}
+
+void ShardRouter::flush() {
+  for (auto& engine : engines_) engine->flush();
+}
+
+void ShardRouter::stop() {
+  for (auto& engine : engines_) engine->stop();
+}
+
+void ShardRouter::checkpoint_now() {
+  for (auto& engine : engines_) engine->checkpoint_now();
+}
+
+std::vector<std::size_t> ShardRouter::resume_records() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    counts.push_back(static_cast<std::size_t>(engine->durable_resume_records()));
+  }
+  return counts;
+}
+
+std::vector<core::Alert> ShardRouter::alerts() const {
+  std::vector<core::Alert> merged;
+  for (const auto& engine : engines_) {
+    auto shard_alerts = engine->alerts();
+    merged.insert(merged.end(), shard_alerts.begin(), shard_alerts.end());
+  }
+  // Canonical fleet order. A drive alerts at most once per day, and a drive
+  // lives on exactly one shard, so (day, drive id) is a total order and the
+  // merge is independent of the shard count.
+  std::sort(merged.begin(), merged.end(),
+            [](const core::Alert& a, const core::Alert& b) {
+              if (a.day != b.day) return a.day < b.day;
+              return a.drive_id < b.drive_id;
+            });
+  return merged;
+}
+
+RouterStats ShardRouter::stats() const {
+  RouterStats out;
+  out.shards.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    serve::EngineStats s = engine->stats();
+    out.records_processed += s.records_processed;
+    out.records_shed += s.shed;
+    out.rows_scored += s.rows_scored;
+    out.alerts += s.alerts;
+    out.max_queue_depth = std::max(out.max_queue_depth, s.max_queue_depth);
+    out.shards.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace mfpa::net

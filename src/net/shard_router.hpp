@@ -1,0 +1,108 @@
+// Drive-hash router over N in-process scoring engines.
+//
+// The paper's deployment scores ~2.3M drives; a single micro-batched
+// ScoringEngine drain loop eventually saturates one core, so the serving
+// tier shards: each engine owns its own DriveStateStore, alert-policy
+// state, and (optionally) its own durable WAL + checkpoint directory, and
+// drives are routed by the same Fibonacci drive-id hash the store's lock
+// stripes and the WAL's segment files already use (serve::drive_shard). A
+// drive's records therefore always land on the same shard in submission
+// order, which is the only ordering the batch/online parity contract needs
+// — so the merged alert stream is identical for every shard count, proven
+// by tests/integration/test_fleet_serving.cpp.
+//
+// Backpressure composes with the engines': submit() routes to the owning
+// shard and blocks (or sheds, under shed_on_full) exactly as that engine's
+// queue dictates. The net server calls submit() from its poll loop, turning
+// a full shard queue into TCP backpressure on the ingesting connection.
+//
+// Durability: with `durable_root` set, shard i recovers from and logs to
+// `<durable_root>/shard-NNN`. resume_records() reports each shard's
+// durably applied record count; a resuming feed skips exactly that many
+// records *of that shard's substream* (see net/fleet_replay).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online_predictor.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/scoring_engine.hpp"
+
+namespace mfpa::net {
+
+struct ShardRouterConfig {
+  /// Engine instances; must be >= 1.
+  std::size_t shards = 1;
+  /// Template configuration applied to every shard. `instance_label` and
+  /// `durability.dir` are overwritten per shard.
+  serve::EngineConfig engine;
+  /// Per-shard durable directories `<durable_root>/shard-NNN`; empty
+  /// disables durability regardless of the template.
+  std::string durable_root;
+};
+
+/// Per-shard accounting snapshot plus the merged fleet totals.
+struct RouterStats {
+  std::vector<serve::EngineStats> shards;
+  std::uint64_t records_processed = 0;
+  std::uint64_t records_shed = 0;
+  std::uint64_t rows_scored = 0;
+  std::uint64_t alerts = 0;
+  /// Largest per-shard queue high-water mark — the router-level congestion
+  /// signal (per-shard values stay visible in `shards` and in the
+  /// mfpa_serve_max_queue_depth{engine="shard-N"} gauges).
+  std::size_t max_queue_depth = 0;
+};
+
+class ShardRouter {
+ public:
+  /// Constructs every shard engine (recovering each from its durable
+  /// directory when durable_root is set). The registry must outlive the
+  /// router. Throws std::invalid_argument for shards == 0.
+  ShardRouter(const serve::ModelRegistry& registry, ShardRouterConfig config);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  std::size_t shard_count() const noexcept { return engines_.size(); }
+  std::size_t shard_of(std::uint64_t drive_id) const noexcept {
+    return serve::drive_shard(drive_id, engines_.size());
+  }
+
+  serve::ScoringEngine& shard(std::size_t i) { return *engines_.at(i); }
+  const serve::ScoringEngine& shard(std::size_t i) const {
+    return *engines_.at(i);
+  }
+
+  /// Routes one record to its owning shard. Returns false only when that
+  /// shard shed it (shed_on_full).
+  bool submit(const serve::TelemetryUpdate& update);
+
+  /// Blocks until every shard has drained everything submitted so far.
+  void flush();
+
+  /// Stops every shard (flushing and sealing durable state). Idempotent.
+  void stop();
+
+  /// Flushes and checkpoints every durable shard.
+  void checkpoint_now();
+
+  /// Each shard's durably applied record count (empty-dir shards report 0).
+  std::vector<std::size_t> resume_records() const;
+
+  /// Every shard's alerts merged into the canonical fleet order
+  /// (day, drive id) — identical for every shard count.
+  std::vector<core::Alert> alerts() const;
+
+  RouterStats stats() const;
+
+ private:
+  std::vector<std::unique_ptr<serve::ScoringEngine>> engines_;
+};
+
+}  // namespace mfpa::net

@@ -30,8 +30,7 @@ DriveStateStore::DriveStateStore(StoreConfig config) : config_(config) {
 DriveStateStore::Shard& DriveStateStore::shard_for(
     std::uint64_t drive_id) const {
   // Fibonacci hash spreads sequential drive ids across stripes.
-  const std::uint64_t mixed = drive_id * 0x9E3779B97F4A7C15ULL;
-  return *shards_[mixed % shards_.size()];
+  return *shards_[drive_shard(drive_id, shards_.size())];
 }
 
 void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
@@ -54,11 +53,12 @@ void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
 
   if (state.ingestor.segments_started() != state.segments_seen) {
     // Long gap cut the segment: the batch path would only ever see the new
-    // segment, so emission and alert hysteresis restart from zero.
+    // segment, so emission restarts from zero. Alert hysteresis restarts
+    // too, but NOT here — rows of the old segment may still be queued for
+    // scoring, so the reset is carried on the emitted rows' `segment` tag
+    // and applied by should_alert() when scoring crosses the boundary.
     state.segments_seen = state.ingestor.segments_started();
     state.emitted = 0;
-    state.consecutive = 0;
-    state.last_alert = std::numeric_limits<DayIndex>::min();
     ++shard.segments_restarted;
     metrics_.segments_restarted->inc();
   }
@@ -70,7 +70,7 @@ void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
     metrics_.rows_emitted->inc(segment.size() - state.emitted);
   }
   for (std::size_t i = state.emitted; i < segment.size(); ++i) {
-    out.push_back({drive_id, vendor, segment[i]});
+    out.push_back({drive_id, vendor, segment[i], state.segments_seen});
     ++shard.rows_emitted;
   }
   state.emitted = segment.size();
@@ -82,7 +82,7 @@ void DriveStateStore::ingest(std::uint64_t drive_id, int vendor,
 }
 
 bool DriveStateStore::should_alert(std::uint64_t drive_id, DayIndex day,
-                                   bool crossed,
+                                   int segment, bool crossed,
                                    const core::AlertPolicy& policy) {
   Shard& shard = shard_for(drive_id);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -92,6 +92,13 @@ bool DriveStateStore::should_alert(std::uint64_t drive_id, DayIndex day,
                            std::to_string(drive_id));
   }
   DriveState& state = it->second;
+  if (segment != state.alert_segment) {
+    // First scored row of a new segment: hysteresis restarts exactly like
+    // the batch path, which never saw the old segment.
+    state.alert_segment = segment;
+    state.consecutive = 0;
+    state.last_alert = std::numeric_limits<DayIndex>::min();
+  }
   if (!crossed) {
     state.consecutive = 0;
     return false;
@@ -125,14 +132,14 @@ void DriveStateStore::save_state(std::ostream& os) const {
   }
   std::sort(ordered.begin(), ordered.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  os << "store 1 " << records_ingested << ' ' << rows_emitted << ' '
+  os << "store 2 " << records_ingested << ' ' << rows_emitted << ' '
      << segments_restarted << '\n';
   os << "drives " << drives << '\n';
   for (const auto& [id, state] : ordered) {
     os << "drive " << id << ' ' << state->ingestor.vendor() << ' '
        << state->emitted << ' ' << state->segments_seen << ' '
        << (state->quarantine_counted ? 1 : 0) << ' ' << state->consecutive
-       << ' ' << state->last_alert << '\n';
+       << ' ' << state->last_alert << ' ' << state->alert_segment << '\n';
     state->ingestor.save_state(os);
   }
 }
@@ -145,7 +152,7 @@ void DriveStateStore::load_state(std::istream& is) {
   std::size_t segments_restarted = 0;
   if (!(is >> tag >> version >> records_ingested >> rows_emitted >>
         segments_restarted) ||
-      tag != "store" || version != 1) {
+      tag != "store" || version < 1 || version > 2) {
     throw std::runtime_error("DriveStateStore: malformed state header");
   }
   std::size_t n = 0;
@@ -179,6 +186,13 @@ void DriveStateStore::load_state(std::istream& is) {
         tag != "drive") {
       throw std::runtime_error("DriveStateStore: malformed drive record");
     }
+    // v2 adds the segment generation the hysteresis state belongs to; v1
+    // checkpoints (taken when the reset was applied eagerly at ingest) are
+    // equivalent to state already caught up with the ingest cursor.
+    int alert_segment = segments_seen;
+    if (version >= 2 && !(is >> alert_segment)) {
+      throw std::runtime_error("DriveStateStore: malformed drive record");
+    }
     Shard& shard = shard_for(id);
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto [it, inserted] =
@@ -193,6 +207,7 @@ void DriveStateStore::load_state(std::istream& is) {
     state.quarantine_counted = quarantine_counted != 0;
     state.consecutive = consecutive;
     state.last_alert = last_alert;
+    state.alert_segment = alert_segment;
     state.ingestor.load_state(is);
     metrics_.drives_tracked->add(1.0);
   }

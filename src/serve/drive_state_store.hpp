@@ -34,6 +34,15 @@
 
 namespace mfpa::serve {
 
+/// Shard index for a drive id under `shards` shards. The Fibonacci-hash
+/// spread is shared by the store's lock stripes, the WAL's per-shard
+/// segment files, and the net-layer ShardRouter, so "one drive, one shard"
+/// holds across all three layers by construction.
+inline std::size_t drive_shard(std::uint64_t drive_id,
+                               std::size_t shards) noexcept {
+  return static_cast<std::size_t>((drive_id * 0x9E3779B97F4A7C15ULL) % shards);
+}
+
 struct StoreConfig {
   core::PreprocessConfig preprocess;
   /// Lock stripes; 0 = one per hardware core.
@@ -48,6 +57,12 @@ struct PendingRow {
   std::uint64_t drive_id = 0;
   int vendor = 0;
   core::ProcessedRecord record;
+  /// Segment generation the row belongs to. Alert hysteresis resets when a
+  /// drive's scored rows cross into a new segment — carried on the row (not
+  /// applied at ingest time) so the reset lands between the right two
+  /// *scored* rows even when ingestion runs ahead of scoring within a
+  /// micro-batch.
+  int segment = 0;
 };
 
 /// Aggregate store accounting (snapshot).
@@ -76,10 +91,12 @@ class DriveStateStore {
 
   /// Applies the alert policy (consecutive-crossing hysteresis + cooldown)
   /// for one scored row, mirroring OnlinePredictor's state machine. Must be
-  /// called in the same order rows were emitted. Returns true when an alert
-  /// should be raised.
-  bool should_alert(std::uint64_t drive_id, DayIndex day, bool crossed,
-                    const core::AlertPolicy& policy);
+  /// called in the same order rows were emitted, with each row's `segment`;
+  /// a segment change resets the hysteresis exactly like the batch path
+  /// restarting on the new segment. Returns true when an alert should be
+  /// raised.
+  bool should_alert(std::uint64_t drive_id, DayIndex day, int segment,
+                    bool crossed, const core::AlertPolicy& policy);
 
   /// Merged accounting across all shards (takes every stripe briefly).
   StoreStats stats() const;
@@ -104,8 +121,13 @@ class DriveStateStore {
     int segments_seen = 0;
     bool quarantine_counted = false;  ///< metrics: transition seen
     // Alert-policy state (OnlinePredictor's loop variables, kept per drive).
+    // `alert_segment` is the segment generation the state belongs to — it
+    // trails `segments_seen` while already-emitted rows of the old segment
+    // are still being scored, which is why the reset cannot happen at
+    // ingest time (it would be batch-boundary dependent).
     int consecutive = 0;
     DayIndex last_alert = std::numeric_limits<DayIndex>::min();
+    int alert_segment = 0;
   };
 
   struct Shard {

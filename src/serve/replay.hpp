@@ -64,9 +64,26 @@ int train_and_publish(ModelRegistry& registry, const core::MfpaConfig& config,
 
 class FleetReplayer {
  public:
+  /// One record of the deterministic arrival order: day-major, drive id
+  /// ascending within a day — the order a collection front end would see a
+  /// fleet's daily uploads. Exposed so alternative feeds (the net layer's
+  /// sharded replay, the loopback client driver) deliver the identical
+  /// stream the single-engine replay does.
+  struct Arrival {
+    DayIndex day = 0;
+    std::uint64_t drive_id = 0;
+    int vendor = 0;
+    const sim::DailyRecord* record = nullptr;
+  };
+
   /// Borrows the telemetry (must outlive the replayer); flattens it into
   /// the deterministic arrival order once.
   explicit FleetReplayer(const std::vector<sim::DriveTimeSeries>& telemetry);
+
+  const std::vector<Arrival>& arrivals() const noexcept { return order_; }
+  const std::vector<sim::DriveTimeSeries>& telemetry() const noexcept {
+    return *telemetry_;
+  }
 
   std::size_t total_records() const noexcept { return order_.size(); }
   DayIndex first_day() const noexcept { return first_day_; }
@@ -88,13 +105,6 @@ class FleetReplayer {
       const std::vector<sim::DriveTimeSeries>& telemetry);
 
  private:
-  struct Arrival {
-    DayIndex day = 0;
-    std::uint64_t drive_id = 0;
-    int vendor = 0;
-    const sim::DailyRecord* record = nullptr;
-  };
-
   const std::vector<sim::DriveTimeSeries>* telemetry_;
   std::vector<Arrival> order_;
   DayIndex first_day_ = 0;

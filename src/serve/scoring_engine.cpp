@@ -28,7 +28,10 @@ ScoringEngine::ScoringEngine(const ModelRegistry& registry, EngineConfig config)
   auto& reg = obs::registry();
   const obs::Labels labels = {
       {"engine",
-       std::to_string(g_engine_seq.fetch_add(1, std::memory_order_relaxed))}};
+       config_.instance_label.empty()
+           ? std::to_string(
+                 g_engine_seq.fetch_add(1, std::memory_order_relaxed))
+           : config_.instance_label}};
   metrics_.submitted = &reg.counter("mfpa_serve_submitted_total", labels);
   metrics_.accepted = &reg.counter("mfpa_serve_accepted_total", labels);
   metrics_.shed = &reg.counter("mfpa_serve_shed_total", labels);
@@ -256,7 +259,8 @@ std::size_t ScoringEngine::process_batch(std::vector<QueuedUpdate>& batch) {
         scored_rows_.push_back({row.drive_id, row.record.day, scores[i],
                                 model->manifest.version, row.record.synthetic});
       }
-      if (store_.should_alert(row.drive_id, row.record.day, crossed,
+      if (store_.should_alert(row.drive_id, row.record.day, row.segment,
+                              crossed,
                               config_.alert_policy)) {
         const core::Alert alert{row.drive_id, row.record.day, scores[i]};
         alerts_.push_back(alert);

@@ -73,6 +73,12 @@ struct EngineConfig {
   bool manual_drain = false;
   /// Histogram range for per-record latency, microseconds.
   double latency_hi_us = 50000.0;
+  /// Value of the `engine` label on this engine's mfpa_serve_* instruments.
+  /// Empty picks the next process-wide sequence number (the historical
+  /// behaviour); the ShardRouter sets "shard-N" so per-shard queue depth,
+  /// high-water-mark, and shed counts are observable per shard (and stable
+  /// across runs, unlike the sequence numbers).
+  std::string instance_label;
   /// Crash consistency (WAL + checkpoints). Durability is off unless a
   /// durable directory is configured; see docs/DURABILITY.md.
   DurabilityConfig durability;

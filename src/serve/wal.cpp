@@ -11,92 +11,25 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/wire.hpp"
 #include "ml/checksum.hpp"
+#include "serve/drive_state_store.hpp"
 
 namespace mfpa::serve {
 namespace fs = std::filesystem;
 
 namespace {
 
-// Little-endian fixed-width packing. The durable formats are host-local
-// (written and recovered on the same machine), but pinning the byte order
-// keeps the framing well-defined and the tests' crafted corruption exact.
-void put_u16(std::string& buf, std::uint16_t v) {
-  buf.push_back(static_cast<char>(v & 0xFF));
-  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
-}
-
-void put_u32(std::string& buf, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_u64(std::string& buf, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void put_i32(std::string& buf, std::int32_t v) {
-  put_u32(buf, static_cast<std::uint32_t>(v));
-}
-
-void put_f32(std::string& buf, float v) {
-  std::uint32_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u32(buf, bits);
-}
-
-void put_f64(std::string& buf, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(buf, bits);
-}
-
-class ByteReader {
- public:
-  ByteReader(const std::string& bytes, const char* what)
-      : bytes_(bytes), what_(what) {}
-
-  std::uint16_t u16() { return static_cast<std::uint16_t>(u(2)); }
-  std::uint32_t u32() { return static_cast<std::uint32_t>(u(4)); }
-  std::uint64_t u64() { return u(8); }
-  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
-  float f32() {
-    const std::uint32_t bits = u32();
-    float v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  double f64() {
-    const std::uint64_t bits = u64();
-    double v;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-
-  void expect_done() const {
-    if (off_ != bytes_.size()) {
-      throw std::runtime_error(std::string(what_) + ": trailing payload bytes");
-    }
-  }
-
- private:
-  std::uint64_t u(int n) {
-    if (off_ + static_cast<std::size_t>(n) > bytes_.size()) {
-      throw std::runtime_error(std::string(what_) + ": short payload");
-    }
-    std::uint64_t v = 0;
-    for (int i = 0; i < n; ++i) {
-      v |= static_cast<std::uint64_t>(
-               static_cast<unsigned char>(bytes_[off_ + i]))
-           << (8 * i);
-    }
-    off_ += static_cast<std::size_t>(n);
-    return v;
-  }
-
-  const std::string& bytes_;
-  const char* what_;
-  std::size_t off_ = 0;
-};
+// Little-endian fixed-width packing shared with every binary format in the
+// tree (see common/wire.hpp — extracted from here when net/protocol adopted
+// the same framing conventions).
+using wire::ByteReader;
+using wire::put_f32;
+using wire::put_f64;
+using wire::put_i32;
+using wire::put_u16;
+using wire::put_u32;
+using wire::put_u64;
 
 constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8;  // magic, size, lsn
 constexpr std::size_t kFrameDigestBytes = 8;
@@ -109,34 +42,21 @@ std::optional<DecodedFrame> try_frame_at(const std::string& bytes,
   if (off + kFrameHeaderBytes + kFrameDigestBytes > bytes.size()) {
     return std::nullopt;
   }
-  const auto read_u32 = [&](std::size_t o) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[o + i]))
-           << (8 * i);
-    }
-    return v;
-  };
-  const auto read_u64 = [&](std::size_t o) {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[o + i]))
-           << (8 * i);
-    }
-    return v;
-  };
-  if (read_u32(off) != kWalFrameMagic) return std::nullopt;
-  const std::uint32_t size = read_u32(off + 4);
+  if (wire::read_u32_at(bytes.data(), off) != kWalFrameMagic) {
+    return std::nullopt;
+  }
+  const std::uint32_t size = wire::read_u32_at(bytes.data(), off + 4);
   if (size > kMaxFramePayload) return std::nullopt;
   const std::size_t total = kFrameHeaderBytes + size + kFrameDigestBytes;
   if (off + total > bytes.size()) return std::nullopt;
   // Digest covers (size, lsn, payload) — everything after the magic.
-  const std::uint64_t want = read_u64(off + kFrameHeaderBytes + size);
+  const std::uint64_t want =
+      wire::read_u64_at(bytes.data(), off + kFrameHeaderBytes + size);
   const std::uint64_t got = ml::fnv1a(
       std::string_view(bytes.data() + off + 4, 4 + 8 + size));
   if (want != got) return std::nullopt;
   DecodedFrame frame;
-  frame.lsn = read_u64(off + 8);
+  frame.lsn = wire::read_u64_at(bytes.data(), off + 8);
   frame.payload = bytes.substr(off + kFrameHeaderBytes, size);
   frame.digest = want;
   frame.end_offset = off + total;
@@ -332,10 +252,9 @@ std::uint64_t WalWriter::append(std::uint64_t drive_id, int vendor,
     throw std::logic_error("WalWriter: append before open_generation");
   }
   const std::uint64_t lsn = next_lsn_++;
-  // Same Fibonacci spread as DriveStateStore::shard_for — one drive's
+  // Same Fibonacci spread as DriveStateStore's lock stripes — one drive's
   // records stay within one segment file.
-  const std::uint64_t mixed = drive_id * 0x9E3779B97F4A7C15ULL;
-  Segment& seg = segments_[mixed % segments_.size()];
+  Segment& seg = segments_[drive_shard(drive_id, segments_.size())];
   const std::size_t before = seg.pending.size();
   append_frame(seg.pending, lsn, encode_wal_payload(drive_id, vendor, record));
   metrics_.appends->inc();

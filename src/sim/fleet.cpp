@@ -229,8 +229,7 @@ DriveTimeSeries FleetSimulator::generate_drive_telemetry(
   return series;
 }
 
-std::vector<DriveTimeSeries> FleetSimulator::generate_telemetry(
-    std::size_t threads) {
+std::vector<std::size_t> FleetSimulator::tracked_drives() {
   simulate_lifetimes();
   const Rng base(scenario_.seed);
   const auto& catalog = vendor_catalog();
@@ -267,25 +266,35 @@ std::vector<DriveTimeSeries> FleetSimulator::generate_telemetry(
     for (std::size_t k : pick) tracked.push_back(pool[k]);
   }
   std::sort(tracked.begin(), tracked.end());
+  return tracked;
+}
+
+std::vector<DriveTimeSeries> FleetSimulator::generate_telemetry_chunk(
+    const std::vector<std::size_t>& tracked, std::size_t begin,
+    std::size_t end, std::size_t threads) {
+  simulate_lifetimes();
+  end = std::min(end, tracked.size());
+  begin = std::min(begin, end);
+  const std::size_t count = end - begin;
 
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
-  std::vector<DriveTimeSeries> generated(tracked.size());
-  if (threads <= 1 || tracked.size() <= 1) {
-    for (std::size_t k = 0; k < tracked.size(); ++k) {
-      generated[k] = generate_drive_telemetry(drives_[tracked[k]]);
+  std::vector<DriveTimeSeries> generated(count);
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t k = 0; k < count; ++k) {
+      generated[k] = generate_drive_telemetry(drives_[tracked[begin + k]]);
     }
   } else {
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
-    const std::size_t workers = std::min(threads, tracked.size());
+    const std::size_t workers = std::min(threads, count);
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
       pool.emplace_back([&] {
-        for (std::size_t k = next.fetch_add(1); k < tracked.size();
+        for (std::size_t k = next.fetch_add(1); k < count;
              k = next.fetch_add(1)) {
-          generated[k] = generate_drive_telemetry(drives_[tracked[k]]);
+          generated[k] = generate_drive_telemetry(drives_[tracked[begin + k]]);
         }
       });
     }
@@ -297,6 +306,12 @@ std::vector<DriveTimeSeries> FleetSimulator::generate_telemetry(
     if (!series.records.empty()) out.push_back(std::move(series));
   }
   return out;
+}
+
+std::vector<DriveTimeSeries> FleetSimulator::generate_telemetry(
+    std::size_t threads) {
+  const std::vector<std::size_t> tracked = tracked_drives();
+  return generate_telemetry_chunk(tracked, 0, tracked.size(), threads);
 }
 
 }  // namespace mfpa::sim

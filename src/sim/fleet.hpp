@@ -71,6 +71,23 @@ class FleetSimulator {
   /// concurrency) changes only wall-clock time, never output.
   std::vector<DriveTimeSeries> generate_telemetry(std::size_t threads = 1);
 
+  /// Indices into drives() of the telemetry-tracked subset (every drive
+  /// failing inside the telemetry window + the sampled healthy cohort),
+  /// ascending — exactly the set generate_telemetry() materializes.
+  /// Deterministic given the scenario seed.
+  std::vector<std::size_t> tracked_drives();
+
+  /// Telemetry for tracked drives [begin, end) of `tracked` (a
+  /// tracked_drives() result) — the streaming primitive behind the fleet
+  /// scenario: generate a chunk, feed it, free it. Per-drive output is
+  /// identical whatever the chunk boundaries (per-drive random streams
+  /// derive from (seed, drive id)), so any chunked walk of `tracked`
+  /// reproduces generate_telemetry()'s records drive-for-drive. Drops
+  /// drives whose window produced no records, like generate_telemetry().
+  std::vector<DriveTimeSeries> generate_telemetry_chunk(
+      const std::vector<std::size_t>& tracked, std::size_t begin,
+      std::size_t end, std::size_t threads = 1);
+
   /// Telemetry for one specific drive (used by examples/tests).
   DriveTimeSeries generate_drive_telemetry(const DriveInfo& info) const;
 

@@ -47,9 +47,13 @@ Scenario tiny_scenario(std::uint64_t seed = 42);     ///< unit tests (~2k drives
 Scenario small_scenario(std::uint64_t seed = 42);    ///< fast benches (~23k drives)
 Scenario default_scenario(std::uint64_t seed = 42);  ///< headline benches (~47k)
 Scenario large_scenario(std::uint64_t seed = 42);    ///< slow/overnight (~230k)
+/// Full-scale fleet (~2.33M drives, telemetry only in the final 180-day
+/// window) — the `fleet-replay` CLI's default; sized for streamed
+/// (chunked) telemetry generation, not an in-memory fleet.
+Scenario fleet_scenario(std::uint64_t seed = 42);
 
-/// Looks a preset up by name ("tiny", "small", "default", "large");
-/// throws std::invalid_argument for an unknown name.
+/// Looks a preset up by name ("tiny", "small", "default", "large",
+/// "fleet"); throws std::invalid_argument for an unknown name.
 Scenario scenario_by_name(const std::string& name, std::uint64_t seed = 42);
 
 }  // namespace mfpa::sim

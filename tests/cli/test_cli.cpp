@@ -250,6 +250,40 @@ TEST(ServeReplayCommand, RejectsBadSimdValue) {
   EXPECT_NE(err.str().find("--simd"), std::string::npos);
 }
 
+TEST(Usage, DocumentsShardedServing) {
+  const std::string text = usage();
+  EXPECT_NE(text.find("fleet-replay"), std::string::npos);
+  EXPECT_NE(text.find("--shards"), std::string::npos);
+  EXPECT_NE(text.find("--chunk-drives"), std::string::npos);
+}
+
+TEST(ServeReplayCommand, RejectsNonPositiveShards) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command(parse_command_line({"serve-replay", "--shards=0"}),
+                        out, err),
+            1);
+  EXPECT_NE(err.str().find("--shards"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(run_command(parse_command_line({"serve-replay", "--shards=2.5"}),
+                        out, err),
+            1);
+  EXPECT_NE(err.str().find("--shards"), std::string::npos);
+}
+
+TEST(FleetReplayCommand, RejectsBadChunkAndSeed) {
+  std::ostringstream out, err;
+  EXPECT_EQ(run_command(
+                parse_command_line({"fleet-replay", "--chunk-drives=0"}),
+                out, err),
+            1);
+  EXPECT_NE(err.str().find("--chunk-drives"), std::string::npos);
+  err.str("");
+  EXPECT_EQ(run_command(parse_command_line({"fleet-replay", "--seed=-3"}),
+                        out, err),
+            1);
+  EXPECT_NE(err.str().find("--seed"), std::string::npos);
+}
+
 TEST(RunCommand, SimulateScaleOverride) {
   const std::string dir = ::testing::TempDir();
   const std::string telemetry = dir + "/mfpa_cli_s.csv";

@@ -1,0 +1,250 @@
+// IngestServer: loopback end-to-end ingestion, protocol-error accounting
+// on hostile bytes, concurrent connections, and idempotent graceful stop.
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wire.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_registry.hpp"
+
+namespace mfpa::net {
+namespace {
+namespace fs = std::filesystem;
+
+fs::path test_dir() {
+  return fs::path(::testing::TempDir()) /
+         (std::string("mfpa_server_") +
+          ::testing::UnitTest::GetInstance()->current_test_info()->name());
+}
+
+sim::DailyRecord make_record(DayIndex day) {
+  sim::DailyRecord rec;
+  rec.day = day;
+  for (std::size_t i = 0; i < rec.smart.size(); ++i) {
+    rec.smart[i] = static_cast<float>(i + day);
+  }
+  return rec;
+}
+
+std::uint64_t counter_total(const obs::MetricsRegistry& reg,
+                            const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& metric : reg.snapshot().metrics) {
+    if (metric.name == name) total += metric.counter;
+  }
+  return total;
+}
+
+/// Polls the isolated registry until `name` reaches `want` (the I/O thread
+/// updates counters asynchronously) or a generous deadline passes.
+std::uint64_t wait_for_counter(const obs::MetricsRegistry& reg,
+                               const std::string& name, std::uint64_t want) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::uint64_t seen = counter_total(reg, name);
+  while (seen < want && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    seen = counter_total(reg, name);
+  }
+  return seen;
+}
+
+/// A raw loopback socket for speaking deliberately broken protocol.
+class RawConnection {
+ public:
+  explicit RawConnection(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void send_bytes(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// True when the peer closed the connection (recv sees EOF).
+  bool closed_by_peer() {
+    char buf[64];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(IngestServer, LoopbackEndToEndProcessesRecords) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  config.shards = 2;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+  ASSERT_GT(server.port(), 0);
+
+  {
+    TelemetryClient client(server.port());
+    for (std::uint64_t id = 100; id < 150; ++id) {
+      client.send_record(id, 0, make_record(1));
+    }
+    const FlushAck ack = client.sync();
+    EXPECT_EQ(ack.records_processed, 50u);
+    EXPECT_EQ(ack.shed, 0u);
+    client.close();
+  }
+  server.stop();
+  router.stop();
+
+  EXPECT_EQ(server.connections_accepted(), 1u);
+  EXPECT_EQ(counter_total(*isolated, "mfpa_net_records_total"), 50u);
+  EXPECT_EQ(counter_total(*isolated, "mfpa_net_flushes_total"), 1u);
+  EXPECT_EQ(counter_total(*isolated, "mfpa_net_protocol_errors_total"), 0u);
+  EXPECT_EQ(router.stats().records_processed, 50u);
+}
+
+TEST(IngestServer, GarbageBytesCloseConnectionAndAreCounted) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+
+  RawConnection raw(server.port());
+  raw.send_bytes("this is not a frame, definitely not 'MFNP'");
+  // The server rejects the stream and closes only this connection.
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_EQ(wait_for_counter(*isolated, "mfpa_net_protocol_errors_total", 1),
+            1u);
+
+  // The server keeps serving well-formed clients afterwards.
+  TelemetryClient client(server.port());
+  client.send_record(7, 0, make_record(1));
+  EXPECT_EQ(client.sync().records_processed, 1u);
+  client.close();
+  server.stop();
+  router.stop();
+}
+
+TEST(IngestServer, OversizedFrameRejectedAndCounted) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+
+  std::string header;
+  wire::put_u32(header, kNetFrameMagic);
+  wire::put_u32(header, 0xFFFFFFF0U);  // hostile 4 GiB claim
+  wire::put_u64(header, 1);
+  RawConnection raw(server.port());
+  raw.send_bytes(header);
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_EQ(wait_for_counter(*isolated, "mfpa_net_protocol_errors_total", 1),
+            1u);
+  bool saw_oversized_label = false;
+  for (const auto& metric : isolated->snapshot().metrics) {
+    if (metric.name != "mfpa_net_protocol_errors_total") continue;
+    for (const auto& [k, v] : metric.labels) {
+      if (k == "kind" && v == "oversized") saw_oversized_label = true;
+    }
+  }
+  EXPECT_TRUE(saw_oversized_label);
+  server.stop();
+  router.stop();
+}
+
+TEST(IngestServer, BitFlippedPayloadIsRejectedByDigest) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+
+  std::string frame;
+  append_record_frame(frame, 1, 42, 0, make_record(2));
+  frame[frame.size() / 2] ^= 0x04;  // corrupt mid-payload
+  RawConnection raw(server.port());
+  raw.send_bytes(frame);
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_EQ(wait_for_counter(*isolated, "mfpa_net_protocol_errors_total", 1),
+            1u);
+  // The corrupt record never reached a shard.
+  router.flush();
+  EXPECT_EQ(router.stats().records_processed, 0u);
+  server.stop();
+  router.stop();
+}
+
+TEST(IngestServer, ServesMultipleConnections) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  config.shards = 4;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+
+  TelemetryClient a(server.port());
+  TelemetryClient b(server.port());
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    a.send_record(1000 + i, 0, make_record(1));
+    b.send_record(2000 + i, 1, make_record(1));
+  }
+  a.sync();
+  b.sync();
+  a.close();
+  b.close();
+  server.stop();
+  router.stop();
+  EXPECT_EQ(server.connections_accepted(), 2u);
+  EXPECT_EQ(router.stats().records_processed, 60u);
+}
+
+TEST(IngestServer, StopIsGracefulAndIdempotent) {
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  ShardRouter router(registry, config);
+  IngestServer server(router, {});
+  TelemetryClient client(server.port());
+  client.send_record(5, 0, make_record(1));
+  client.sync();  // everything sent is processed before we stop
+  client.close();
+  server.request_stop();
+  server.stop();
+  server.stop();  // second stop is a no-op
+  router.flush();
+  EXPECT_EQ(router.stats().records_processed, 1u);
+  router.stop();
+}
+
+}  // namespace
+}  // namespace mfpa::net

@@ -132,13 +132,33 @@ TEST(DriveStateStore, AlertHysteresisMatchesPolicy) {
   for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
   core::AlertPolicy policy;
   policy.min_consecutive = 2;
+  const int seg = out.front().segment;
   // First crossing arms, second fires.
-  EXPECT_FALSE(store.should_alert(7, 10, true, policy));
-  EXPECT_TRUE(store.should_alert(7, 11, true, policy));
+  EXPECT_FALSE(store.should_alert(7, 10, seg, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 11, seg, true, policy));
   // A miss resets the consecutive counter.
-  EXPECT_FALSE(store.should_alert(7, 12, false, policy));
-  EXPECT_FALSE(store.should_alert(7, 13, true, policy));
-  EXPECT_TRUE(store.should_alert(7, 14, true, policy));
+  EXPECT_FALSE(store.should_alert(7, 12, seg, false, policy));
+  EXPECT_FALSE(store.should_alert(7, 13, seg, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 14, seg, true, policy));
+}
+
+TEST(DriveStateStore, SegmentChangeResetsHysteresisAtScoringTime) {
+  DriveStateStore store(small_config());
+  std::vector<PendingRow> out;
+  for (DayIndex day = 10; day <= 12; ++day) {
+    store.ingest(7, 0, raw_record(day), out);
+  }
+  core::AlertPolicy policy;
+  policy.min_consecutive = 2;
+  const int seg = out.front().segment;
+  // The streak arms on the old segment...
+  EXPECT_FALSE(store.should_alert(7, 10, seg, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 11, seg, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 12, seg, true, policy));  // no cooldown
+  // ...and a row tagged with a newer segment restarts it from zero, no
+  // matter how ingestion was batched relative to scoring.
+  EXPECT_FALSE(store.should_alert(7, 40, seg + 1, true, policy));
+  EXPECT_TRUE(store.should_alert(7, 41, seg + 1, true, policy));
 }
 
 TEST(DriveStateStore, AlertCooldownSilencesRepeats) {
@@ -147,14 +167,15 @@ TEST(DriveStateStore, AlertCooldownSilencesRepeats) {
   for (DayIndex day = 10; day <= 12; ++day) store.ingest(7, 0, raw_record(day), out);
   core::AlertPolicy policy;
   policy.cooldown_days = 5;
-  EXPECT_TRUE(store.should_alert(7, 10, true, policy));
-  EXPECT_FALSE(store.should_alert(7, 12, true, policy));  // inside cooldown
-  EXPECT_TRUE(store.should_alert(7, 15, true, policy));   // cooldown over
+  const int seg = out.front().segment;
+  EXPECT_TRUE(store.should_alert(7, 10, seg, true, policy));
+  EXPECT_FALSE(store.should_alert(7, 12, seg, true, policy));  // in cooldown
+  EXPECT_TRUE(store.should_alert(7, 15, seg, true, policy));   // cooldown over
 }
 
 TEST(DriveStateStore, ShouldAlertForUnknownDriveThrows) {
   DriveStateStore store(small_config());
-  EXPECT_THROW(store.should_alert(99, 10, true, core::AlertPolicy{}),
+  EXPECT_THROW(store.should_alert(99, 10, 1, true, core::AlertPolicy{}),
                std::logic_error);
 }
 

@@ -6,7 +6,10 @@ Two input schemas are understood, detected per file:
 * google-benchmark JSON (micro_ml_kernels): every non-aggregate entry in
   `benchmarks` is compared by `name` on `real_time` — lower is better.
 * serving-replay JSON (bench_serving, `"bench": "serving_replay"`): compared
-  on `records_per_sec` — higher is better.
+  on `records_per_sec` — higher is better — plus any of the optional keys in
+  SERVING_OPTIONAL_KEYS present in the file (durability and sharded-loopback
+  passes each contribute theirs when enabled; throughput/speedup keys are
+  higher-is-better, latency keys lower-is-better).
 
 A benchmark regresses when it is worse than the baseline by more than
 `--tolerance` (default 0.15 = 15%). Any regression prints a table and exits
@@ -39,6 +42,18 @@ def load(path: str) -> dict:
         raise SystemExit(f"bench_compare: cannot read {path}: {err}")
 
 
+# Optional serving-replay metrics, gated only when the producing pass ran
+# (--no-durable / --no-sharded runs simply omit theirs; the missing-key
+# paths in compare() skip them with a note either way). Second element is
+# lower_is_better.
+SERVING_OPTIONAL_KEYS = (
+    ("durable_records_per_sec", False),
+    ("sharded_records_per_sec", False),
+    ("sharded_speedup", False),
+    ("sharded_latency_p99_us", True),
+)
+
+
 def metrics(doc: dict, path: str) -> dict[str, tuple[float, bool]]:
     """Extract {name: (value, lower_is_better)} from either schema."""
     if doc.get("bench") == "serving_replay":
@@ -47,16 +62,13 @@ def metrics(doc: dict, path: str) -> dict[str, tuple[float, bool]]:
         except (KeyError, TypeError, ValueError):
             raise SystemExit(
                 f"bench_compare: {path}: serving schema lacks records_per_sec")
-        # Optional: runs produced with the durability pass enabled also gate
-        # on WAL+checkpoint throughput (absent in --no-durable runs; the
-        # missing-key paths below skip it with a note either way).
-        if "durable_records_per_sec" in doc:
+        for key, lower_better in SERVING_OPTIONAL_KEYS:
+            if key not in doc:
+                continue
             try:
-                out["durable_records_per_sec"] = (
-                    float(doc["durable_records_per_sec"]), False)
+                out[key] = (float(doc[key]), lower_better)
             except (TypeError, ValueError):
-                raise SystemExit(
-                    f"bench_compare: {path}: malformed durable_records_per_sec")
+                raise SystemExit(f"bench_compare: {path}: malformed {key}")
         return out
     if "benchmarks" in doc:
         out: dict[str, tuple[float, bool]] = {}

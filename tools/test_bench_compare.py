@@ -107,6 +107,61 @@ class BenchCompareTest(unittest.TestCase):
         cur = self.write("cur.json", slower)
         self.assertEqual(self.run_main(base, cur), 1)
 
+    def test_sharded_throughput_drop_fails(self):
+        sharded = dict(SERVING, sharded_records_per_sec=500000,
+                       sharded_speedup=2.0)
+        base = self.write("base.json", sharded)
+        slower = dict(sharded, sharded_records_per_sec=500000 * 0.8,
+                      sharded_speedup=1.6)
+        cur = self.write("cur.json", slower)
+        self.assertEqual(self.run_main(base, cur), 1)
+
+    def test_sharded_latency_rise_fails(self):
+        # Latency keys gate in the opposite direction: higher is worse.
+        sharded = dict(SERVING, sharded_latency_p99_us=20000.0)
+        base = self.write("base.json", sharded)
+        worse = dict(sharded, sharded_latency_p99_us=20000.0 * 1.2)
+        cur = self.write("cur.json", worse)
+        self.assertEqual(self.run_main(base, cur), 1)
+
+    def test_sharded_latency_drop_passes(self):
+        sharded = dict(SERVING, sharded_latency_p99_us=20000.0)
+        base = self.write("base.json", sharded)
+        better = dict(sharded, sharded_latency_p99_us=20000.0 * 0.5)
+        cur = self.write("cur.json", better)
+        self.assertEqual(self.run_main(base, cur), 0)
+
+    def test_sharded_keys_are_optional_both_ways(self):
+        # A --no-sharded run vs a baseline with the sharded pass (and vice
+        # versa) skips the unmatched keys rather than failing.
+        plain = self.write("plain.json", SERVING)
+        sharded = self.write(
+            "sharded.json",
+            dict(SERVING, sharded_records_per_sec=500000,
+                 sharded_latency_p99_us=20000.0, sharded_speedup=2.0))
+        self.assertEqual(self.run_main(plain, sharded), 0)
+        self.assertEqual(self.run_main(sharded, plain), 0)
+
+    def test_malformed_sharded_key_is_rejected(self):
+        base = self.write(
+            "base.json", dict(SERVING, sharded_latency_p99_us="slow"))
+        cur = self.write("cur.json", SERVING)
+        with self.assertRaises(SystemExit):
+            self.run_main(base, cur)
+
+    def test_update_preserves_sharded_keys(self):
+        sharded = dict(SERVING, sharded_records_per_sec=500000,
+                       sharded_latency_p99_us=20000.0, sharded_speedup=2.0)
+        base = self.write("base.json", sharded)
+        fresh = dict(SERVING, records_per_sec=300000)
+        cur = self.write("cur.json", fresh)
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            merged = json.load(fh)
+        self.assertEqual(merged["records_per_sec"], 300000)
+        self.assertEqual(merged["sharded_records_per_sec"], 500000)
+        self.assertEqual(merged["sharded_latency_p99_us"], 20000.0)
+
     def test_durable_key_is_optional_both_ways(self):
         # Baseline without the durable pass vs a current run with it (and
         # vice versa): both directions skip the unmatched key, not fail.
