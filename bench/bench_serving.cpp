@@ -8,7 +8,8 @@
 //   ./bench_serving [--scenario=tiny|small|default|large] [--seed=N]
 //                   [--batch=256] [--threads=0] [--shards=4]
 //                   [--out=BENCH_serving.json]
-//                   [--no-flat] [--no-durable] [--no-sharded] [--quantized]
+//                   [--no-flat] [--no-durable] [--no-sharded]
+//                   [--no-multiproc] [--quantized]
 //                   [--simd=auto|scalar|neon|avx2]
 //
 // --no-flat serves from the node-pointer trees instead of the compiled
@@ -26,6 +27,14 @@
 // loopback binary protocol into a --shards=N ShardRouter (encode -> TCP ->
 // decode -> route; docs/SERVING.md), reporting sharded_records_per_sec,
 // sharded_latency_p99_us, and sharded_speedup vs the single-engine pass.
+//
+// Unless --no-multiproc is given, a fourth pass spawns --shards=N real
+// `mfpa shard-serve` OS processes (the fleet-replay --processes topology;
+// docs/SERVING.md "multi-process topology") and feeds the same stream
+// through a shard-aware ShardedClient, reporting multiproc_records_per_sec
+// and multiproc_speedup — the cross-process-boundary cost/scaling the gate
+// tracks per commit.
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -35,10 +44,16 @@
 #include "ml/simd.hpp"
 #include "net/fleet_replay.hpp"
 #include "net/shard_router.hpp"
+#include "net/sharded_client.hpp"
+#include "net/supervisor.hpp"
 #include "obs/export.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/replay.hpp"
 #include "serve/scoring_engine.hpp"
+
+#ifndef MFPA_CLI_BINARY
+#error "MFPA_CLI_BINARY must point at the mfpa executable"
+#endif
 
 namespace {
 
@@ -73,6 +88,7 @@ int main(int argc, char** argv) {
   bool flat = true;
   bool durable = true;
   bool sharded = true;
+  bool multiproc = true;
   bool quantized = false;
   std::string out_path = "BENCH_serving.json";
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +107,7 @@ int main(int argc, char** argv) {
     if (arg == "--no-flat") flat = false;
     if (arg == "--no-durable") durable = false;
     if (arg == "--no-sharded") sharded = false;
+    if (arg == "--no-multiproc") multiproc = false;
     if (arg == "--quantized") quantized = true;
     if (starts_with(arg, "--simd=")) {
       std::optional<ml::SimdLevel> level;
@@ -178,6 +195,64 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Multi-process pass: N real shard-serve processes (spawned from the
+  // installed CLI binary, scoring the same published model) fed by a
+  // shard-aware client. Measures the full process-isolation tax: fork/exec,
+  // per-process engines, kHello handshakes, and N loopback streams.
+  double multiproc_records_per_sec = 0.0;
+  double multiproc_speedup = 0.0;
+  if (multiproc) {
+    const auto proc_dir =
+        (std::filesystem::temp_directory_path() / "mfpa-bench-multiproc")
+            .string();
+    std::filesystem::remove_all(proc_dir);
+    std::filesystem::create_directories(proc_dir);
+    std::vector<net::ShardProcessSpec> specs;
+    for (std::size_t k = 0; k < shards; ++k) {
+      const std::string tag = "shard-" + std::to_string(k);
+      net::ShardProcessSpec spec;
+      spec.port_file = proc_dir + "/" + tag + ".port";
+      spec.log_file = proc_dir + "/" + tag + ".log";
+      spec.argv = {MFPA_CLI_BINARY,
+                   "shard-serve",
+                   "--shard-index=" + std::to_string(k),
+                   "--shard-count=" + std::to_string(shards),
+                   "--registry=" + registry_dir,
+                   "--port-file=" + spec.port_file,
+                   "--batch=" + std::to_string(max_batch)};
+      specs.push_back(std::move(spec));
+    }
+    net::ShardProcessSupervisor procs(std::move(specs));
+    procs.wait_ready(std::chrono::minutes(2));
+    net::ShardedClientConfig client_config;
+    client_config.ports = procs.ports();
+    client_config.model_version = static_cast<std::uint32_t>(version);
+    net::ShardedClient client(client_config);
+
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& arrival : replayer.arrivals()) {
+      client.send_record(arrival.drive_id, arrival.vendor, *arrival.record);
+    }
+    const net::FlushAck ack = client.sync();
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    client.close();
+    procs.terminate_all();
+    if (ack.records_processed + ack.shed != replayer.total_records()) {
+      std::cerr << "multiproc pass lost records (" << ack.records_processed
+                << " + " << ack.shed << " shed != " << replayer.total_records()
+                << ")\n";
+      return 1;
+    }
+    multiproc_records_per_sec =
+        wall > 0 ? static_cast<double>(replayer.total_records()) / wall : 0.0;
+    multiproc_speedup = report.records_per_sec > 0
+                            ? multiproc_records_per_sec / report.records_per_sec
+                            : 0.0;
+    std::filesystem::remove_all(proc_dir);
+  }
+
   const double mean_batch =
       report.engine.batches == 0
           ? 0.0
@@ -204,6 +279,12 @@ int main(int argc, char** argv) {
     table.add_row({"sharded latency p99 (us)",
                    format_double(sharded_latency_p99_us, 1)});
     table.add_row({"sharded speedup", format_double(sharded_speedup, 2)});
+  }
+  if (multiproc) {
+    table.add_row({"multiproc records/sec",
+                   format_with_commas(
+                       static_cast<long long>(multiproc_records_per_sec))});
+    table.add_row({"multiproc speedup", format_double(multiproc_speedup, 2)});
   }
   table.add_row({"micro-batches", std::to_string(report.engine.batches)});
   table.add_row({"mean batch size", format_double(mean_batch, 1)});
@@ -249,6 +330,11 @@ int main(int argc, char** argv) {
          << "  \"sharded_latency_p99_us\": " << sharded_latency_p99_us << ",\n"
          << "  \"sharded_speedup\": " << sharded_speedup << ",\n"
          << "  \"net_protocol_errors\": " << protocol_errors << ",\n";
+  }
+  if (multiproc) {
+    json << "  \"multiproc_records_per_sec\": " << multiproc_records_per_sec
+         << ",\n"
+         << "  \"multiproc_speedup\": " << multiproc_speedup << ",\n";
   }
   json
        << "  \"micro_batches\": " << report.engine.batches << ",\n"

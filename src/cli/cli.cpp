@@ -1,17 +1,24 @@
 #include "cli/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
+#include <unordered_set>
 
 #include "common/string_util.hpp"
 #include "common/table_printer.hpp"
 #include "core/health_report.hpp"
 #include "net/fleet_replay.hpp"
+#include "net/forwarding_sink.hpp"
+#include "net/server.hpp"
+#include "net/sharded_client.hpp"
+#include "net/supervisor.hpp"
 #include "obs/export.hpp"
 #include "core/mfpa.hpp"
 #include "core/online_predictor.hpp"
@@ -200,6 +207,93 @@ std::size_t report_shard_recovery(const net::ShardRouter& router,
   return total;
 }
 
+/// Pins the inference kernel tier when --simd is given (shared by every
+/// serving-side command; validated before any telemetry work).
+void apply_simd_flag(const CommandLine& cmd) {
+  if (!cmd.has("simd")) return;
+  std::optional<ml::SimdLevel> level;
+  if (!ml::parse_simd_level(cmd.require("simd"), level)) {
+    throw std::runtime_error("--simd must be auto, scalar, neon, or avx2");
+  }
+  ml::set_simd_override(level);
+}
+
+/// Atomically publishes a shard process's readiness file
+/// ("<port> <resume_records> <model_version>"): the supervisor never sees
+/// a partial write because the content lands under a dot-temp name first.
+void write_port_file(const std::string& path, std::uint16_t port,
+                     std::size_t resume_records, int model_version) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    f << port << ' ' << resume_records << ' ' << model_version << '\n';
+    f.flush();
+    if (!f) throw std::runtime_error("cannot write port file " + tmp);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+/// Parses --shard-ports=P1,P2,... into per-shard ports (global shard
+/// order).
+std::vector<std::uint16_t> parse_port_list(const std::string& spec) {
+  std::vector<std::uint16_t> ports;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string item =
+        spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    std::size_t consumed = 0;
+    unsigned long port = 0;
+    try {
+      port = std::stoul(item, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != item.size() || port == 0 || port > 0xFFFF) {
+      throw std::invalid_argument(
+          "option --shard-ports expects comma-separated ports, got '" + spec +
+          "'");
+    }
+    ports.push_back(static_cast<std::uint16_t>(port));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return ports;
+}
+
+/// This process's own executable — multiproc fleet-replay re-execs it as
+/// the per-shard `shard-serve` children.
+std::string self_binary_path() {
+  std::error_code ec;
+  const auto path = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (ec) {
+    throw std::runtime_error("cannot resolve /proc/self/exe: " + ec.message());
+  }
+  return path.string();
+}
+
+/// Flags a multiproc parent forwards verbatim to its shard-serve children,
+/// so every process builds the identical engine configuration.
+std::vector<std::string> forwarded_child_flags(const CommandLine& cmd) {
+  static const char* kValueFlags[] = {
+      "alert-consecutive", "cooldown",  "queue-capacity",
+      "batch",             "threads",   "wal-group-commit",
+      "checkpoint-interval", "simd",
+  };
+  static const char* kBoolFlags[] = {"shed", "no-flat", "quantized", "strict",
+                                     "lenient"};
+  std::vector<std::string> args;
+  for (const char* flag : kValueFlags) {
+    if (cmd.has(flag)) args.push_back("--" + std::string(flag) + "=" +
+                                      cmd.get(flag, ""));
+  }
+  for (const char* flag : kBoolFlags) {
+    if (cmd.has(flag)) args.push_back("--" + std::string(flag));
+  }
+  return args;
+}
+
 void print_report(const core::MfpaReport& report, std::ostream& out) {
   TablePrinter table({"metric", "value"});
   table.add_row({"TPR", format_percent(report.cm.tpr())});
@@ -369,14 +463,8 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   // --simd pins the inference kernel tier (scalar/neon/avx2; "auto" probes
   // the CPU). A level the hardware lacks degrades to the strongest
   // available one, so the resolved level is printed later — that is what
-  // actually ran. Validated up front, before any telemetry work.
-  if (cmd.has("simd")) {
-    std::optional<ml::SimdLevel> level;
-    if (!ml::parse_simd_level(cmd.require("simd"), level)) {
-      throw std::runtime_error("--simd must be auto, scalar, neon, or avx2");
-    }
-    ml::set_simd_override(level);
-  }
+  // actually ran.
+  apply_simd_flag(cmd);
   // --shards=N (N > 1) routes the same stream across N engine instances by
   // drive-id hash — the sharded serving path (see docs/SERVING.md).
   // Validated before any telemetry work, like every count flag.
@@ -520,14 +608,346 @@ int cmd_serve_replay(const CommandLine& cmd, std::ostream& out) {
   return 0;
 }
 
-int cmd_fleet_replay(const CommandLine& cmd, std::ostream& out) {
-  if (cmd.has("simd")) {
-    std::optional<ml::SimdLevel> level;
-    if (!ml::parse_simd_level(cmd.require("simd"), level)) {
-      throw std::runtime_error("--simd must be auto, scalar, neon, or avx2");
-    }
-    ml::set_simd_override(level);
+/// One shard of the multi-process serving topology: a single-engine
+/// sliced ShardRouter behind a require_hello IngestServer. Readiness is
+/// published through --port-file; SIGTERM drains the queue, seals the
+/// durable state, writes the per-shard alert file, and exits 0 — that
+/// contract is what lets the supervising fleet-replay treat "all children
+/// exited 0" as the durability barrier.
+int cmd_shard_serve(const CommandLine& cmd, std::ostream& out) {
+  apply_simd_flag(cmd);
+  const std::size_t shard_index =
+      static_cast<std::size_t>(cmd.get_number("shard-index", 0));
+  const std::size_t shard_count = get_positive_count(cmd, "shard-count", 1);
+  if (cmd.get("shard-index", "").empty()) {
+    throw std::invalid_argument("shard-serve requires --shard-index");
   }
+  if (shard_index >= shard_count) {
+    throw std::invalid_argument(
+        "option --shard-index must be < --shard-count (got " +
+        std::to_string(shard_index) + " of " + std::to_string(shard_count) +
+        ")");
+  }
+  const auto threads = static_cast<std::size_t>(cmd.get_number("threads", 0));
+  // A shard process never trains: it serves whatever the registry already
+  // holds, so every shard of the topology scores under the same published
+  // version (the parent trains once, before spawning).
+  serve::ModelRegistry registry(cmd.require("registry"), threads,
+                                !cmd.has("no-flat"), cmd.has("quantized"));
+  const int version = registry.current_version();
+  if (version <= 0) {
+    throw std::runtime_error("shard-serve: no published model in " +
+                             cmd.require("registry"));
+  }
+
+  net::ShardRouterConfig router_config =
+      router_config_from(cmd, config_from(cmd), /*shards=*/1, threads);
+  router_config.topology_shards = shard_count;
+  router_config.first_shard = shard_index;
+  net::ShardRouter router(registry, router_config);
+  const std::size_t resume = router.resume_records().front();
+  if (resume > 0) {
+    out << "shard " << shard_index << " resuming after " << resume
+        << " durable records\n";
+  }
+
+  net::RouterSink sink(router, static_cast<std::uint32_t>(version));
+  net::ServerConfig server_config;
+  server_config.port =
+      static_cast<std::uint16_t>(cmd.get_number("port", 0));
+  server_config.require_hello = true;
+  net::IngestServer server(sink, server_config);
+  out << "shard " << shard_index << "/" << shard_count
+      << " serving on 127.0.0.1:" << server.port() << " (model v" << version
+      << ", resume=" << resume << ")\n";
+  out.flush();
+  const auto port_file = cmd.get("port-file", "");
+  if (!port_file.empty()) {
+    write_port_file(port_file, server.port(), resume, version);
+  }
+
+  g_shutdown_requested = 0;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  // Graceful teardown order matters: the server first finishes decoding
+  // everything already buffered, then the router drains its queues and
+  // seals the WAL — only then are the alerts complete and durable.
+  server.stop();
+  router.stop();
+  const net::RouterStats stats = router.stats();
+  out << "shard " << shard_index << " drained: records "
+      << stats.records_processed << ", alerts " << stats.alerts << ", shed "
+      << stats.records_shed << "\n";
+  const auto alerts_path = cmd.get("alerts-out", "");
+  if (!alerts_path.empty()) {
+    write_alerts_file(alerts_path, router.alerts(), out);
+  }
+  return 0;
+}
+
+/// Forwarding-router process for shard-oblivious clients: one endpoint
+/// that fans records out to the per-shard servers over a ShardedClient.
+int cmd_shard_route(const CommandLine& cmd, std::ostream& out) {
+  const std::vector<std::uint16_t> shard_ports =
+      parse_port_list(cmd.require("shard-ports"));
+  net::ShardedClientConfig downstream_config;
+  downstream_config.ports = shard_ports;
+  downstream_config.model_version =
+      static_cast<std::uint32_t>(cmd.get_number("model-version", 0));
+  net::ShardedClient downstream(downstream_config);
+  net::ForwardingSink sink(downstream);
+  net::ServerConfig server_config;
+  server_config.port =
+      static_cast<std::uint16_t>(cmd.get_number("port", 0));
+  net::IngestServer server(sink, server_config);
+  out << "routing 127.0.0.1:" << server.port() << " -> "
+      << shard_ports.size() << " shards\n";
+  out.flush();
+  const auto port_file = cmd.get("port-file", "");
+  if (!port_file.empty()) {
+    write_port_file(port_file, server.port(), 0,
+                    static_cast<int>(downstream_config.model_version));
+  }
+
+  g_shutdown_requested = 0;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+  while (!g_shutdown_requested) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  server.stop();
+  downstream.close();
+  out << "router drained\n";
+  return 0;
+}
+
+/// The multi-process topology behind `fleet-replay --processes=N`: spawn
+/// one shard-serve child per shard (plus, under --via-router, a
+/// shard-route child), feed the deterministic stream, then terminate the
+/// children gracefully and merge their per-shard alert files into the
+/// canonical fleet stream. With --kill-shard-after the run SIGKILLs one
+/// shard mid-feed and exits non-zero; re-running with the same flags
+/// resumes every shard from its own durable state.
+int run_fleet_multiproc(const CommandLine& cmd, std::ostream& out,
+                        sim::FleetSimulator& fleet,
+                        const std::string& registry_dir, int version,
+                        std::size_t processes, std::size_t chunk_drives,
+                        std::size_t threads) {
+  const bool via_router = cmd.has("via-router");
+  const auto kill_after =
+      static_cast<std::size_t>(cmd.get_number("kill-shard-after", 0));
+  const auto kill_shard =
+      static_cast<std::size_t>(cmd.get_number("kill-shard", 0));
+  if (kill_after > 0 && kill_shard >= processes) {
+    throw std::invalid_argument("option --kill-shard must be < --processes");
+  }
+  const std::string proc_dir = cmd.get(
+      "proc-dir",
+      (std::filesystem::temp_directory_path() / "mfpa-multiproc").string());
+  std::filesystem::create_directories(proc_dir);
+
+  const std::string binary = self_binary_path();
+  const std::vector<std::string> forwarded = forwarded_child_flags(cmd);
+  const std::string durable_dir = cmd.get("durable-dir", "");
+
+  std::vector<net::ShardProcessSpec> specs;
+  std::vector<std::string> alert_files;
+  specs.reserve(processes);
+  for (std::size_t k = 0; k < processes; ++k) {
+    const std::string tag = "shard-" + std::to_string(k);
+    net::ShardProcessSpec spec;
+    spec.port_file = proc_dir + "/" + tag + ".port";
+    spec.log_file = proc_dir + "/" + tag + ".log";
+    alert_files.push_back(proc_dir + "/alerts-" + tag + ".txt");
+    spec.argv = {binary,
+                 "shard-serve",
+                 "--shard-index=" + std::to_string(k),
+                 "--shard-count=" + std::to_string(processes),
+                 "--registry=" + registry_dir,
+                 "--port-file=" + spec.port_file,
+                 "--alerts-out=" + alert_files.back(),
+                 // Written on clean exit; with the .log files these are the
+                 // per-shard artifacts CI uploads from --proc-dir.
+                 "--metrics-out=" + proc_dir + "/" + tag + ".metrics.json"};
+    if (!durable_dir.empty()) {
+      spec.argv.push_back("--durable-dir=" + durable_dir);
+    }
+    spec.argv.insert(spec.argv.end(), forwarded.begin(), forwarded.end());
+    specs.push_back(std::move(spec));
+  }
+  net::ShardProcessSupervisor shard_procs(std::move(specs));
+  shard_procs.wait_ready(std::chrono::minutes(2));
+
+  std::vector<std::size_t> skips;
+  std::size_t resume_total = 0;
+  for (const auto& r : shard_procs.readiness()) {
+    skips.push_back(static_cast<std::size_t>(r.resume_records));
+    resume_total += static_cast<std::size_t>(r.resume_records);
+  }
+  if (resume_total > 0) {
+    out << "resuming feed after " << resume_total
+        << " durable records across " << processes << " shard processes (";
+    for (std::size_t k = 0; k < skips.size(); ++k) {
+      out << (k > 0 ? " " : "") << "shard-" << k << "=" << skips[k];
+    }
+    out << ")\n";
+  }
+
+  std::unique_ptr<net::ShardProcessSupervisor> router_proc;
+  net::ShardedClientConfig client_config;
+  client_config.model_version = static_cast<std::uint32_t>(version);
+  if (via_router) {
+    std::string port_list;
+    for (const std::uint16_t p : shard_procs.ports()) {
+      if (!port_list.empty()) port_list += ',';
+      port_list += std::to_string(p);
+    }
+    net::ShardProcessSpec spec;
+    spec.port_file = proc_dir + "/router.port";
+    spec.log_file = proc_dir + "/router.log";
+    spec.argv = {binary,
+                 "shard-route",
+                 "--shard-ports=" + port_list,
+                 "--model-version=" + std::to_string(version),
+                 "--port-file=" + spec.port_file};
+    std::vector<net::ShardProcessSpec> router_specs;
+    router_specs.push_back(std::move(spec));
+    router_proc =
+        std::make_unique<net::ShardProcessSupervisor>(std::move(router_specs));
+    router_proc->wait_ready(std::chrono::seconds(30));
+    client_config.ports = router_proc->ports();
+    // One connection to the router is not the fleet topology; claim the
+    // wildcard identity so the handshake stays honest.
+    client_config.claim_topology = false;
+  } else {
+    client_config.ports = shard_procs.ports();
+  }
+  out << (via_router
+              ? "feeding " + std::to_string(processes) +
+                    " shard processes through the router process\n"
+              : "feeding " + std::to_string(processes) +
+                    " shard processes directly (shard-aware client)\n");
+
+  net::MultiprocReplayOptions options;
+  options.chunk_drives = chunk_drives;
+  options.generation_threads = threads;
+  options.skip_records = skips;
+  options.topology_shards = processes;
+  options.kill_after_records = kill_after;
+  options.on_kill = [&] { shard_procs.kill_shard(kill_shard); };
+  options.cancel = &g_shutdown_requested;
+  g_shutdown_requested = 0;
+  std::signal(SIGTERM, handle_shutdown_signal);
+  std::signal(SIGINT, handle_shutdown_signal);
+
+  net::MultiprocReplayReport report;
+  std::string feed_error;
+  try {
+    net::ShardedClient client(client_config);
+    report = net::replay_fleet_multiproc(client, fleet, options);
+    if (!report.interrupted) client.close();
+  } catch (const std::exception& e) {
+    feed_error = e.what();
+  }
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+
+  // Router first so its downstream connections close before the shards
+  // stop; the shards then drain, seal their WALs, and write their alert
+  // files — the exit statuses below are the durability barrier.
+  if (router_proc) router_proc->terminate_all();
+  shard_procs.terminate_all();
+
+  bool children_clean = true;
+  out << "shard process exit statuses:";
+  for (std::size_t k = 0; k < processes; ++k) {
+    const int status = shard_procs.exit_status(k);
+    out << " shard-" << k << "=" << status;
+    if (status != 0) children_clean = false;
+  }
+  out << "\n";
+  if (router_proc) {
+    out << "router process exit status: " << router_proc->exit_status(0)
+        << "\n";
+  }
+
+  if (!feed_error.empty()) {
+    throw std::runtime_error("multi-process feed failed: " + feed_error);
+  }
+  const bool killed = kill_after > 0 && report.records_submitted >= kill_after;
+  if (killed) {
+    out << "shard-" << kill_shard << " killed after " << kill_after
+        << " records; durable state preserved — rerun with the same flags "
+           "to resume\n";
+    return 2;
+  }
+  if (report.interrupted) {
+    out << "shutdown signal received: shard processes drained, durable "
+           "state sealed\n";
+    return 0;
+  }
+  if (!children_clean ||
+      (router_proc && router_proc->exit_status(0) != 0)) {
+    throw std::runtime_error(
+        "a shard process exited non-zero; see logs under " + proc_dir);
+  }
+
+  const std::vector<core::Alert> alerts = net::merge_alert_files(alert_files);
+  std::unordered_set<std::uint64_t> alerted;
+  alerted.reserve(alerts.size());
+  for (const auto& alert : alerts) alerted.insert(alert.drive_id);
+  core::DriveLevelMetrics drives;
+  for (const auto& [drive_id, failed] : report.drive_flags) {
+    if (failed) {
+      ++drives.faulty_drives;
+      if (alerted.count(drive_id)) ++drives.detected_drives;
+    } else {
+      ++drives.healthy_drives;
+      if (alerted.count(drive_id)) ++drives.false_alarm_drives;
+    }
+  }
+
+  TablePrinter table({"metric", "value"});
+  table.add_row(
+      {"records submitted", std::to_string(report.records_submitted)});
+  if (report.records_skipped > 0) {
+    table.add_row({"records resumed past",
+                   std::to_string(report.records_skipped)});
+  }
+  table.add_row({"records processed (fleet)",
+                 std::to_string(report.totals.records_processed)});
+  table.add_row({"records shed", std::to_string(report.totals.shed)});
+  table.add_row({"throughput (rec/s)",
+                 format_with_commas(
+                     static_cast<long long>(report.records_per_sec))});
+  table.add_row({"alerts", std::to_string(alerts.size())});
+  table.add_row({"drive-level TPR", format_percent(drives.drive_tpr())});
+  table.add_row({"drive-level FPR", format_percent(drives.drive_fpr())});
+  table.add_row({"shard processes", std::to_string(processes)});
+  table.add_row({"transport", via_router ? "multi-process via router"
+                                         : "multi-process direct"});
+  table.add_row({"drives tracked", std::to_string(report.drives_tracked)});
+  table.add_row({"generation chunks", std::to_string(report.chunks)});
+  table.print(out);
+
+  const auto alerts_path = cmd.get("alerts-out", "");
+  if (!alerts_path.empty()) {
+    write_alerts_file(alerts_path, alerts, out);
+  }
+  return 0;
+}
+
+int cmd_fleet_replay(const CommandLine& cmd, std::ostream& out) {
+  apply_simd_flag(cmd);
   // Every count flag is validated before the (potentially multi-million
   // drive) simulation starts.
   const std::size_t shards = get_positive_count(cmd, "shards", 4);
@@ -574,6 +994,17 @@ int cmd_fleet_replay(const CommandLine& cmd, std::ostream& out) {
     out << "published " << train_config.algorithm << " v" << version
         << " to " << registry_dir << " (trained at scale "
         << format_double(train_scale, 3) << ")\n";
+  }
+
+  if (cmd.has("processes")) {
+    // One OS process per shard instead of one router in this process.
+    if (cmd.has("in-process")) {
+      throw std::invalid_argument(
+          "--processes and --in-process are mutually exclusive");
+    }
+    return run_fleet_multiproc(cmd, out, fleet, registry_dir, version,
+                               get_positive_count(cmd, "processes", 4),
+                               chunk_drives, threads);
   }
 
   net::ShardRouter router(
@@ -770,6 +1201,8 @@ std::string usage() {
       "            [--kill-after=N] [--alert-consecutive=1] [--cooldown=0]\n"
       "            [--batch=256] [--queue-capacity=4096] [--shed]\n"
       "            [--no-flat] [--quantized] [--simd=LEVEL]\n"
+      "            [--processes=N] [--via-router] [--proc-dir=DIR]\n"
+      "            [--kill-shard-after=N] [--kill-shard=K]\n"
       "            stream a (full-scale) fleet scenario through the sharded\n"
       "            scoring service over the loopback binary protocol:\n"
       "            telemetry is generated in chunks of --chunk-drives and\n"
@@ -778,6 +1211,32 @@ std::string usage() {
       "            twin of the scenario. --in-process skips the TCP hop\n"
       "            (router benchmarking). A durable resume must reuse the\n"
       "            same --shards and --chunk-drives (see docs/SERVING.md).\n"
+      "            --processes=N runs the topology as N shard-serve OS\n"
+      "            processes fed by a shard-aware client (--via-router adds\n"
+      "            a shard-route forwarding process for shard-oblivious\n"
+      "            feeds); per-process port files, logs, and alert files\n"
+      "            land in --proc-dir, and the children's alert files are\n"
+      "            merged into the canonical (day, drive) stream on exit.\n"
+      "            --kill-shard-after=N SIGKILLs shard --kill-shard after N\n"
+      "            records (exit status 2); rerunning with the same flags\n"
+      "            resumes every shard from its own durable state.\n"
+      "  shard-serve  --shard-index=K --shard-count=N --registry=DIR\n"
+      "            [--port=0] [--port-file=FILE] [--alerts-out=FILE]\n"
+      "            [--durable-dir=DIR] [--threads=N] [engine flags]\n"
+      "            serve ONE shard of the topology: a require-hello MFNP\n"
+      "            endpoint whose durable state lives in DIR/shard-KKK\n"
+      "            (identical layout to a single N-shard process). The\n"
+      "            registry must already hold a published model. Readiness\n"
+      "            is published atomically to --port-file as\n"
+      "            \"<port> <resume_records> <model_version>\"; SIGTERM\n"
+      "            drains, seals durable state, writes --alerts-out, and\n"
+      "            exits 0.\n"
+      "  shard-route  --shard-ports=P1,P2,... [--port=0] [--port-file=FILE]\n"
+      "            [--model-version=V]\n"
+      "            forwarding router for shard-oblivious clients: one MFNP\n"
+      "            endpoint fanning records out to the per-shard servers\n"
+      "            by the shared drive hash (one extra hop; shard-aware\n"
+      "            clients connect to the shards directly instead).\n"
       "  validate  --telemetry=FILE\n"
       "  info      --model=FILE\n"
       "  metrics   print the process metrics registry (Prometheus text)\n"
@@ -802,6 +1261,8 @@ int run_command(const CommandLine& cmd, std::ostream& out, std::ostream& err) {
     else if (cmd.command == "evaluate") rc = cmd_evaluate(cmd, out);
     else if (cmd.command == "predict") rc = cmd_predict(cmd, out);
     else if (cmd.command == "serve-replay") rc = cmd_serve_replay(cmd, out);
+    else if (cmd.command == "shard-serve") rc = cmd_shard_serve(cmd, out);
+    else if (cmd.command == "shard-route") rc = cmd_shard_route(cmd, out);
     else if (cmd.command == "fleet-replay") rc = cmd_fleet_replay(cmd, out);
     else if (cmd.command == "validate") rc = cmd_validate(cmd, out);
     else if (cmd.command == "info") rc = cmd_info(cmd, out);

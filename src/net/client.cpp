@@ -2,6 +2,7 @@
 
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -10,6 +11,33 @@
 #include <stdexcept>
 
 namespace mfpa::net {
+namespace {
+
+/// connect(2) with EINTR handling: an interrupted connect keeps completing
+/// in the background, so retrying the call races against it — instead poll
+/// for writability and read the outcome from SO_ERROR.
+int connect_retry(int fd, const sockaddr* addr, socklen_t len) {
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) return -1;
+    if (err != 0) {
+      errno = err;
+      return -1;
+    }
+    return 0;
+  }
+}
+
+}  // namespace
 
 TelemetryClient::TelemetryClient(std::uint16_t port, std::size_t send_buffer)
     : send_buffer_limit_(send_buffer) {
@@ -19,8 +47,8 @@ TelemetryClient::TelemetryClient(std::uint16_t port, std::size_t send_buffer)
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  if (connect_retry(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
@@ -65,20 +93,17 @@ void TelemetryClient::flush_buffer() {
   send_buf_.clear();
 }
 
-FlushAck TelemetryClient::sync() {
-  if (fd_ < 0) throw std::runtime_error("TelemetryClient: closed");
-  append_control_frame(send_buf_, next_seq_++, MessageType::kFlush);
-  flush_buffer();
+NetMessage TelemetryClient::await_reply(MessageType want, const char* what) {
   NetMessage msg;
   char chunk[4096];
   for (;;) {
     switch (decoder_.next(msg)) {
       case FrameDecoder::Status::kMessage:
-        if (msg.type != MessageType::kFlushAck) {
+        if (msg.type != want) {
           throw std::runtime_error(
               "TelemetryClient: unexpected reply message");
         }
-        return msg.ack;
+        return msg;
       case FrameDecoder::Status::kError:
         throw std::runtime_error(
             std::string("TelemetryClient: corrupt reply: ") +
@@ -88,8 +113,9 @@ FlushAck TelemetryClient::sync() {
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
-      throw std::runtime_error(
-          "TelemetryClient: connection closed awaiting flush ack");
+      throw std::runtime_error(std::string("TelemetryClient: connection "
+                                           "closed awaiting ") +
+                               what);
     }
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -98,6 +124,31 @@ FlushAck TelemetryClient::sync() {
     }
     decoder_.feed(chunk, static_cast<std::size_t>(n));
   }
+}
+
+Hello TelemetryClient::handshake(const Hello& claim) {
+  if (fd_ < 0) throw std::runtime_error("TelemetryClient: closed");
+  append_hello_frame(send_buf_, next_seq_++, MessageType::kHello, claim);
+  flush_buffer();
+  const NetMessage msg = await_reply(MessageType::kHelloAck, "hello ack");
+  if (const char* why = claim.mismatch(msg.hello)) {
+    throw std::runtime_error(
+        std::string("TelemetryClient: handshake rejected (") + why +
+        "): server is shard " + std::to_string(msg.hello.shard_index) + "/" +
+        std::to_string(msg.hello.shard_count) + " model v" +
+        std::to_string(msg.hello.model_version) + ", client expected shard " +
+        std::to_string(claim.shard_index) + "/" +
+        std::to_string(claim.shard_count) + " model v" +
+        std::to_string(claim.model_version));
+  }
+  return msg.hello;
+}
+
+FlushAck TelemetryClient::sync() {
+  if (fd_ < 0) throw std::runtime_error("TelemetryClient: closed");
+  append_control_frame(send_buf_, next_seq_++, MessageType::kFlush);
+  flush_buffer();
+  return await_reply(MessageType::kFlushAck, "flush ack").ack;
 }
 
 void TelemetryClient::close() {

@@ -24,6 +24,16 @@ class TelemetryClient {
   TelemetryClient(const TelemetryClient&) = delete;
   TelemetryClient& operator=(const TelemetryClient&) = delete;
 
+  /// Handshake: sends kHello with this client's claimed place in the
+  /// topology and blocks for the server's kHelloAck. Throws
+  /// std::runtime_error naming the disagreeing field when the server's
+  /// identity contradicts `claim` — or when the server closed the
+  /// connection, which is how a require_hello server refuses a claim it
+  /// rejects. Returns the server's identity. Wildcard fields (kAnyShard /
+  /// 0) skip their check; a default-constructed Hello only verifies the
+  /// endpoint speaks the protocol.
+  Hello handshake(const Hello& claim);
+
   /// Encodes one record frame into the send buffer (flushing the buffer to
   /// the socket whenever it exceeds the configured size).
   void send_record(std::uint64_t drive_id, int vendor,
@@ -52,6 +62,8 @@ class TelemetryClient {
   FrameDecoder decoder_;
 
   void send_all(const char* data, std::size_t n);
+  /// Blocks for one reply frame of type `want`; throws on anything else.
+  NetMessage await_reply(MessageType want, const char* what);
 };
 
 }  // namespace mfpa::net

@@ -1,6 +1,8 @@
 #include "net/fleet_replay.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
+#include "serve/drive_state_store.hpp"
 
 namespace mfpa::net {
 namespace {
@@ -300,6 +303,117 @@ StreamedFleetReport replay_fleet_streamed(ShardRouter& router,
   }
   out.sharded.protocol_errors = protocol_error_total() - errors_before;
   return out;
+}
+
+MultiprocReplayReport replay_fleet_multiproc(
+    ShardedClient& client, sim::FleetSimulator& fleet,
+    const MultiprocReplayOptions& options) {
+  if (options.chunk_drives == 0) {
+    throw std::invalid_argument(
+        "replay_fleet_multiproc: chunk_drives must be >= 1");
+  }
+  const std::size_t topology = options.topology_shards == 0
+                                   ? client.shard_count()
+                                   : options.topology_shards;
+  if (!options.skip_records.empty() &&
+      options.skip_records.size() != topology) {
+    throw std::invalid_argument(
+        "replay_fleet_multiproc: skip_records size must match the topology "
+        "shard count");
+  }
+  MultiprocReplayReport out;
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<std::size_t> tracked = fleet.tracked_drives();
+  out.drives_tracked = tracked.size();
+  out.drive_flags.reserve(tracked.size());
+
+  std::vector<std::size_t> to_skip = options.skip_records;
+  to_skip.resize(topology, 0);
+
+  for (std::size_t b = 0; b < tracked.size() && !out.interrupted;
+       b += options.chunk_drives) {
+    const std::vector<sim::DriveTimeSeries> telemetry =
+        fleet.generate_telemetry_chunk(tracked, b, b + options.chunk_drives,
+                                       options.generation_threads);
+    ++out.chunks;
+    for (const auto& series : telemetry) {
+      out.drive_flags.emplace_back(series.drive_id, series.failed);
+    }
+    const serve::FleetReplayer replayer(telemetry);
+    DayIndex current_day = replayer.first_day() - 1;
+    for (const serve::FleetReplayer::Arrival& arrival : replayer.arrivals()) {
+      std::size_t& budget =
+          to_skip[serve::drive_shard(arrival.drive_id, topology)];
+      if (budget > 0) {
+        --budget;
+        ++out.records_skipped;
+        continue;
+      }
+      if (options.cancel != nullptr && *options.cancel) {
+        out.interrupted = true;
+        break;
+      }
+      if (arrival.day != current_day) {
+        current_day = arrival.day;
+        ++out.days_replayed;
+      }
+      client.send_record(arrival.drive_id, arrival.vendor, *arrival.record);
+      ++out.records_submitted;
+      if (options.kill_after_records > 0 &&
+          out.records_submitted >= options.kill_after_records) {
+        // The caller SIGKILLs one shard here; feeding stops so the record
+        // prefix the surviving shards saw is exact and reproducible.
+        if (options.on_kill) options.on_kill();
+        out.interrupted = true;
+        break;
+      }
+    }
+  }
+
+  if (!out.interrupted) {
+    client.flush_buffers();
+    out.totals = client.sync();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(end - start).count();
+  out.records_per_sec =
+      out.wall_seconds > 0.0
+          ? static_cast<double>(out.records_submitted) / out.wall_seconds
+          : 0.0;
+  return out;
+}
+
+std::vector<core::Alert> merge_alert_files(
+    const std::vector<std::string>& paths) {
+  std::vector<core::Alert> merged;
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("merge_alert_files: cannot read " + path);
+    }
+    std::uint64_t drive_id = 0;
+    long day = 0;
+    double score = 0.0;
+    while (in >> drive_id >> day >> score) {
+      core::Alert alert;
+      alert.drive_id = drive_id;
+      alert.day = static_cast<DayIndex>(day);
+      alert.score = score;
+      merged.push_back(alert);
+    }
+    if (!in.eof()) {
+      throw std::runtime_error("merge_alert_files: malformed line in " + path);
+    }
+  }
+  // Same total order ShardRouter::alerts() uses: a drive alerts at most
+  // once per day and lives on one shard, so (day, drive id) is canonical.
+  std::sort(merged.begin(), merged.end(),
+            [](const core::Alert& a, const core::Alert& b) {
+              if (a.day != b.day) return a.day < b.day;
+              return a.drive_id < b.drive_id;
+            });
+  return merged;
 }
 
 }  // namespace mfpa::net

@@ -17,9 +17,13 @@
 
 #include <csignal>
 #include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "net/shard_router.hpp"
+#include "net/sharded_client.hpp"
 #include "serve/replay.hpp"
 #include "sim/fleet.hpp"
 
@@ -95,5 +99,65 @@ struct StreamedFleetReport {
 StreamedFleetReport replay_fleet_streamed(ShardRouter& router,
                                           sim::FleetSimulator& fleet,
                                           const StreamedFleetOptions& options);
+
+/// Knobs for the multi-process replay (`fleet-replay --processes`): the
+/// same chunked deterministic stream, but fed through a ShardedClient into
+/// per-shard `mfpa shard-serve` processes the caller supervises.
+struct MultiprocReplayOptions {
+  std::size_t chunk_drives = 4096;
+  std::size_t generation_threads = 1;
+  /// Per-GLOBAL-shard resume skips (the children's published
+  /// resume_records). Same shard-count/chunk_drives caveats as
+  /// StreamedFleetOptions.
+  std::vector<std::size_t> skip_records;
+  /// Shards in the fleet topology (0 = the client's connection count).
+  /// Must be set explicitly when feeding through a router endpoint — the
+  /// client then has one connection but skips still index by the global
+  /// drive hash.
+  std::size_t topology_shards = 0;
+  /// Crash injection: after this many submitted records (0 = never),
+  /// invoke `on_kill` once — the caller SIGKILLs one shard process — and
+  /// stop feeding. The uninterrupted record prefix is therefore exact,
+  /// which is what makes the resume-and-compare harness deterministic.
+  std::size_t kill_after_records = 0;
+  std::function<void()> on_kill;
+  const volatile std::sig_atomic_t* cancel = nullptr;
+};
+
+/// What the multi-process feed measured. Totals come from the final
+/// kFlush barrier across every shard (zeroed when the feed was
+/// interrupted — a killed topology cannot barrier); alerts live in the
+/// children's per-shard alert files, merged after they exit (see
+/// merge_alert_files).
+struct MultiprocReplayReport {
+  FlushAck totals;
+  std::size_t records_submitted = 0;
+  std::size_t records_skipped = 0;
+  std::size_t days_replayed = 0;  ///< per-chunk day passes, not unique days
+  std::size_t drives_tracked = 0;
+  std::size_t chunks = 0;
+  double wall_seconds = 0.0;
+  double records_per_sec = 0.0;
+  bool interrupted = false;
+  /// (drive id, failed) ground truth for drive-level verdicts, resolved by
+  /// the caller once the merged alert stream exists.
+  std::vector<std::pair<std::uint64_t, bool>> drive_flags;
+};
+
+/// Streams the fleet scenario through a shard-aware client into external
+/// shard processes. The client must already be connected and handshaken;
+/// skip_records.size() must be empty or equal its shard count.
+MultiprocReplayReport replay_fleet_multiproc(
+    ShardedClient& client, sim::FleetSimulator& fleet,
+    const MultiprocReplayOptions& options);
+
+/// Parses and merges per-shard alert files (the `write_alerts_file` CLI
+/// format: "<drive_id> <day> <score>" per line) into the canonical fleet
+/// order (day, drive id). Scores survive the %.17g round-trip exactly, so
+/// re-serializing the merge is byte-identical to a single-process run's
+/// alert file. Throws std::runtime_error on an unreadable or malformed
+/// file.
+std::vector<core::Alert> merge_alert_files(
+    const std::vector<std::string>& paths);
 
 }  // namespace mfpa::net

@@ -52,6 +52,36 @@ void append_flush_ack_frame(std::string& buf, std::uint64_t seq,
   append_net_frame(buf, seq, payload);
 }
 
+void append_hello_frame(std::string& buf, std::uint64_t seq, MessageType type,
+                        const Hello& hello) {
+  if (type != MessageType::kHello && type != MessageType::kHelloAck) {
+    throw std::invalid_argument(
+        "append_hello_frame: type must be kHello or kHelloAck");
+  }
+  std::string payload;
+  payload.push_back(static_cast<char>(type));
+  wire::put_u32(payload, hello.shard_index);
+  wire::put_u32(payload, hello.shard_count);
+  wire::put_u32(payload, hello.model_version);
+  append_net_frame(buf, seq, payload);
+}
+
+const char* Hello::mismatch(const Hello& server) const noexcept {
+  if (shard_index != kAnyShard && server.shard_index != kAnyShard &&
+      shard_index != server.shard_index) {
+    return "shard_mismatch";
+  }
+  if (shard_count != 0 && server.shard_count != 0 &&
+      shard_count != server.shard_count) {
+    return "topology_mismatch";
+  }
+  if (model_version != 0 && server.model_version != 0 &&
+      model_version != server.model_version) {
+    return "version_mismatch";
+  }
+  return nullptr;
+}
+
 const char* error_name(DecodeError error) noexcept {
   switch (error) {
     case DecodeError::kNone: return "none";
@@ -137,6 +167,16 @@ FrameDecoder::Status FrameDecoder::next(NetMessage& out) {
         out.ack.records_processed = r.u64();
         out.ack.alerts = r.u64();
         out.ack.shed = r.u64();
+        r.expect_done();
+        return Status::kMessage;
+      }
+      case MessageType::kHello:
+      case MessageType::kHelloAck: {
+        wire::ByteReader r(body, "net hello");
+        out.type = type;
+        out.hello.shard_index = r.u32();
+        out.hello.shard_count = r.u32();
+        out.hello.model_version = r.u32();
         r.expect_done();
         return Status::kMessage;
       }

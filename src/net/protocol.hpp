@@ -20,6 +20,17 @@
 //              raised, u64 records shed (shed_on_full deployments).
 //   kGoodbye   orderly end-of-stream; the server drops the connection
 //              without counting an error.
+//   kHello     handshake opener (client -> server): the shard index the
+//              client believes this endpoint serves, the shard count it
+//              assumes, and the model version it expects to score under.
+//              Wildcard fields (kAnyShard / 0) skip that check. The server
+//              validates the claims against its own identity and always
+//              replies kHelloAck; on a mismatch it closes the connection
+//              after the ack, so a misrouted or topology-stale client
+//              fails fast instead of feeding the wrong shard's state.
+//   kHelloAck  server -> client; body mirrors kHello with the *server's*
+//              identity, letting the client print exactly which field
+//              disagreed.
 //
 // Unlike the WAL's file scan there is no resync: TCP already guarantees
 // ordered delivery, so any framing violation (bad magic, oversized length,
@@ -54,6 +65,8 @@ enum class MessageType : std::uint8_t {
   kFlush = 2,
   kFlushAck = 3,
   kGoodbye = 4,
+  kHello = 5,
+  kHelloAck = 6,
 };
 
 /// kFlushAck body.
@@ -61,6 +74,26 @@ struct FlushAck {
   std::uint64_t records_processed = 0;
   std::uint64_t alerts = 0;
   std::uint64_t shed = 0;
+};
+
+/// Wildcard shard index in a kHello/kHelloAck: "any shard" — sent by
+/// shard-oblivious clients and by router-mode servers that front the whole
+/// topology. Model version 0 and shard count 0 are the analogous wildcards.
+inline constexpr std::uint32_t kAnyShard = 0xFFFFFFFFU;
+
+/// kHello / kHelloAck body: one side's claimed (or actual) place in the
+/// sharded topology. A field check is skipped when either side sent its
+/// wildcard value.
+struct Hello {
+  std::uint32_t shard_index = kAnyShard;
+  std::uint32_t shard_count = 0;
+  std::uint32_t model_version = 0;
+
+  /// First field on which `server`'s identity contradicts this
+  /// expectation, or nullptr when the handshake is compatible. The
+  /// returned literal doubles as the mfpa_net_handshakes_total{result=}
+  /// label ("shard_mismatch" / "topology_mismatch" / "version_mismatch").
+  const char* mismatch(const Hello& server) const noexcept;
 };
 
 /// One decoded message (fields beyond `type`/`seq` are valid per type).
@@ -71,6 +104,7 @@ struct NetMessage {
   int vendor = 0;                   ///< kRecord
   sim::DailyRecord record;          ///< kRecord
   FlushAck ack;                     ///< kFlushAck
+  Hello hello;                      ///< kHello / kHelloAck
 };
 
 // --- encoding --------------------------------------------------------------
@@ -87,6 +121,10 @@ void append_control_frame(std::string& buf, std::uint64_t seq,
 /// Appends one kFlushAck frame.
 void append_flush_ack_frame(std::string& buf, std::uint64_t seq,
                             const FlushAck& ack);
+
+/// Appends one kHello or kHelloAck frame (`type` selects which).
+void append_hello_frame(std::string& buf, std::uint64_t seq, MessageType type,
+                        const Hello& hello);
 
 // --- decoding --------------------------------------------------------------
 

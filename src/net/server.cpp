@@ -36,6 +36,7 @@ struct ServerMetrics {
   obs::Counter* bytes_received = nullptr;
   obs::Counter* records = nullptr;
   obs::Counter* flushes = nullptr;
+  obs::Counter* misrouted = nullptr;
 };
 
 ServerMetrics& server_metrics() {
@@ -48,22 +49,65 @@ ServerMetrics& server_metrics() {
   m.bytes_received = &reg.counter("mfpa_net_bytes_received_total", {});
   m.records = &reg.counter("mfpa_net_records_total", {});
   m.flushes = &reg.counter("mfpa_net_flushes_total", {});
+  m.misrouted = &reg.counter("mfpa_net_misrouted_records_total", {});
   return m;
 }
 
+void count_handshake(const char* result) {
+  obs::registry()
+      .counter("mfpa_net_handshakes_total", {{"result", result}})
+      .inc();
+}
+
 }  // namespace
+
+FlushAck RouterSink::flush_totals() {
+  router_->flush();
+  const RouterStats stats = router_->stats();
+  FlushAck ack;
+  ack.records_processed = stats.records_processed;
+  ack.alerts = stats.alerts;
+  ack.shed = stats.records_shed;
+  return ack;
+}
+
+Hello RouterSink::identity() const {
+  Hello id;
+  // A single-shard slice asserts its global shard index; a router fronting
+  // several shards answers for "any shard" of the topology.
+  id.shard_index = router_->shard_count() == 1
+                       ? static_cast<std::uint32_t>(router_->first_shard())
+                       : kAnyShard;
+  id.shard_count = static_cast<std::uint32_t>(router_->topology_shards());
+  id.model_version = model_version_;
+  return id;
+}
 
 struct IngestServer::Connection {
   int fd = -1;
   FrameDecoder decoder;
   std::string write_buf;
   std::size_t write_off = 0;
+  bool hello_done = false;
+  /// Close once write_buf drains — set when a kHelloAck must still reach a
+  /// rejected client before the server hangs up.
+  bool close_after_flush = false;
 
   bool write_pending() const noexcept { return write_off < write_buf.size(); }
 };
 
+IngestServer::IngestServer(RecordSink& sink, ServerConfig config)
+    : sink_(&sink), config_(config) {
+  start();
+}
+
 IngestServer::IngestServer(ShardRouter& router, ServerConfig config)
-    : router_(&router), config_(config) {
+    : owned_sink_(std::make_unique<RouterSink>(router)), config_(config) {
+  sink_ = owned_sink_.get();
+  start();
+}
+
+void IngestServer::start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("IngestServer: socket() failed");
@@ -128,6 +172,23 @@ void IngestServer::count_protocol_error(DecodeError error) {
       .inc();
 }
 
+bool IngestServer::handle_hello(Connection& conn, const NetMessage& msg) {
+  // Always answer with this server's identity, even on rejection — the
+  // ack is what lets the client print exactly which field disagreed. The
+  // rejected connection closes only after the ack drains.
+  append_hello_frame(conn.write_buf, msg.seq, MessageType::kHelloAck,
+                     sink_->identity());
+  const char* why = msg.hello.mismatch(sink_->identity());
+  if (why != nullptr) {
+    count_handshake(why);
+    conn.close_after_flush = true;
+    return false;
+  }
+  count_handshake("ok");
+  conn.hello_done = true;
+  return true;
+}
+
 bool IngestServer::drain_connection(Connection& conn) {
   auto& metrics = server_metrics();
   NetMessage msg;
@@ -138,34 +199,47 @@ bool IngestServer::drain_connection(Connection& conn) {
       count_protocol_error(conn.decoder.error());
       return false;
     }
+    if (config_.require_hello && !conn.hello_done &&
+        msg.type != MessageType::kHello &&
+        msg.type != MessageType::kGoodbye) {
+      // A shard process never applies traffic from a client that did not
+      // introduce itself — a legacy or misdirected feed must fail before
+      // it can touch this shard's durable state.
+      count_handshake("missing");
+      return false;
+    }
     switch (msg.type) {
+      case MessageType::kHello:
+        if (!handle_hello(conn, msg)) return false;
+        break;
       case MessageType::kRecord: {
+        if (!sink_->owns(msg.drive_id)) {
+          // Digest-valid frame for a drive outside this slice: the client's
+          // topology map is wrong. Refuse before any state is touched.
+          metrics.misrouted->inc();
+          return false;
+        }
         serve::TelemetryUpdate update;
         update.drive_id = msg.drive_id;
         update.vendor = msg.vendor;
         update.record = msg.record;
         // Blocks when the owning shard's queue is full — the I/O thread
         // pausing here is exactly what closes the sender's TCP window.
-        router_->submit(update);
+        sink_->submit(update);
         metrics.records->inc();
         break;
       }
       case MessageType::kFlush: {
         obs::ScopedSpan span("net.flush");
-        router_->flush();
-        const RouterStats stats = router_->stats();
-        FlushAck ack;
-        ack.records_processed = stats.records_processed;
-        ack.alerts = stats.alerts;
-        ack.shed = stats.records_shed;
-        append_flush_ack_frame(conn.write_buf, msg.seq, ack);
+        append_flush_ack_frame(conn.write_buf, msg.seq, sink_->flush_totals());
         metrics.flushes->inc();
         break;
       }
       case MessageType::kGoodbye:
         return false;  // orderly close, no error accounting
       case MessageType::kFlushAck:
-        // Client-only message; a server receiving one is protocol misuse.
+      case MessageType::kHelloAck:
+        // Client-only messages; a server receiving one is protocol misuse.
         count_protocol_error(DecodeError::kBadMessage);
         return false;
     }
@@ -184,12 +258,32 @@ void IngestServer::io_loop() {
     conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
   };
 
+  // Sends as much of conn.write_buf as the socket accepts, retrying EINTR.
+  // Returns false on a hard send error.
+  auto pump_writes = [](Connection& conn) {
+    while (conn.write_pending()) {
+      const ssize_t n =
+          ::send(conn.fd, conn.write_buf.data() + conn.write_off,
+                 conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return errno == EAGAIN || errno == EWOULDBLOCK;
+      }
+      conn.write_off += static_cast<std::size_t>(n);
+    }
+    conn.write_buf.clear();
+    conn.write_off = 0;
+    return true;
+  };
+
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
     fds.push_back({wake_read_fd_, POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
     for (const auto& conn : conns) {
-      short events = POLLIN;
+      // A draining-close connection only waits for its ack to flush; new
+      // input from the rejected client is ignored.
+      short events = conn->close_after_flush ? 0 : POLLIN;
       if (conn->write_pending()) events |= POLLOUT;
       fds.push_back({conn->fd, events, 0});
     }
@@ -199,8 +293,12 @@ void IngestServer::io_loop() {
     }
 
     if (fds[0].revents & POLLIN) {
-      char buf[64];
-      while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      for (;;) {
+        char buf[64];
+        const ssize_t n = ::read(wake_read_fd_, buf, sizeof(buf));
+        if (n > 0) continue;
+        if (n < 0 && errno == EINTR) continue;
+        break;
       }
     }
     if (stop_requested_.load(std::memory_order_acquire)) break;
@@ -211,7 +309,10 @@ void IngestServer::io_loop() {
     if (fds[1].revents & POLLIN) {
       for (;;) {
         const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0) break;
+        if (fd < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
         set_nonblocking(fd);
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -230,21 +331,12 @@ void IngestServer::io_loop() {
       const pollfd& pfd = fds[2 + i];
       bool alive = true;
 
-      if (pfd.revents & POLLOUT) {
-        while (conn.write_pending()) {
-          const ssize_t n =
-              ::send(conn.fd, conn.write_buf.data() + conn.write_off,
-                     conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
-          if (n <= 0) break;
-          conn.write_off += static_cast<std::size_t>(n);
-        }
-        if (!conn.write_pending()) {
-          conn.write_buf.clear();
-          conn.write_off = 0;
-        }
+      if (pfd.revents & (POLLOUT | POLLHUP | POLLERR)) {
+        alive = pump_writes(conn);
       }
 
-      if (alive && (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
+      if (alive && !conn.close_after_flush &&
+          (pfd.revents & (POLLIN | POLLHUP | POLLERR))) {
         for (;;) {
           const ssize_t n = ::read(conn.fd, chunk.data(), chunk.size());
           if (n > 0) {
@@ -256,22 +348,24 @@ void IngestServer::io_loop() {
             }
             continue;
           }
+          if (n < 0 && errno == EINTR) continue;
           if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           alive = false;  // EOF or hard error
           break;
         }
       }
 
-      if (alive && conn.write_pending()) {
-        // Opportunistic write so single-poll request/response (flush → ack)
-        // doesn't need a second poll round trip.
-        const ssize_t n =
-            ::send(conn.fd, conn.write_buf.data() + conn.write_off,
-                   conn.write_buf.size() - conn.write_off, MSG_NOSIGNAL);
-        if (n > 0) conn.write_off += static_cast<std::size_t>(n);
+      if ((alive || conn.close_after_flush) && conn.write_pending()) {
+        // Opportunistic write so single-poll request/response (flush → ack,
+        // hello → ack) doesn't need a second poll round trip — and so a
+        // rejection ack reaches the client before the close below.
+        if (!pump_writes(conn)) alive = false;
       }
+      if (conn.close_after_flush && !conn.write_pending()) alive = false;
 
-      if (!alive) close_conn(i);
+      if (!alive && !(conn.close_after_flush && conn.write_pending())) {
+        close_conn(i);
+      }
     }
   }
 

@@ -21,13 +21,27 @@ ShardRouter::ShardRouter(const serve::ModelRegistry& registry,
   if (config.shards == 0) {
     throw std::invalid_argument("ShardRouter: shards must be >= 1");
   }
+  topology_shards_ =
+      config.topology_shards == 0 ? config.shards : config.topology_shards;
+  first_shard_ = config.first_shard;
+  if (first_shard_ + config.shards > topology_shards_) {
+    throw std::invalid_argument(
+        "ShardRouter: owned slice [" + std::to_string(first_shard_) + ", " +
+        std::to_string(first_shard_ + config.shards) +
+        ") exceeds the topology of " + std::to_string(topology_shards_) +
+        " shards");
+  }
   engines_.reserve(config.shards);
   for (std::size_t i = 0; i < config.shards; ++i) {
+    // Labels and durable directories use the GLOBAL shard index, so the
+    // on-disk layout (and the metrics namespace) of N single-shard
+    // processes is identical to one N-shard process.
+    const std::size_t global = first_shard_ + i;
     serve::EngineConfig engine = config.engine;
-    engine.instance_label = "shard-" + std::to_string(i);
+    engine.instance_label = "shard-" + std::to_string(global);
     engine.durability.dir =
         config.durable_root.empty() ? std::string()
-                                    : shard_dir(config.durable_root, i);
+                                    : shard_dir(config.durable_root, global);
     engines_.push_back(
         std::make_unique<serve::ScoringEngine>(registry, std::move(engine)));
   }
@@ -36,6 +50,13 @@ ShardRouter::ShardRouter(const serve::ModelRegistry& registry,
 ShardRouter::~ShardRouter() { stop(); }
 
 bool ShardRouter::submit(const serve::TelemetryUpdate& update) {
+  if (!owns(update.drive_id)) {
+    throw std::invalid_argument(
+        "ShardRouter: drive " + std::to_string(update.drive_id) +
+        " belongs to shard " +
+        std::to_string(global_shard_of(update.drive_id)) +
+        ", outside this router's slice");
+  }
   return engines_[shard_of(update.drive_id)]->submit(update);
 }
 

@@ -35,14 +35,22 @@
 namespace mfpa::net {
 
 struct ShardRouterConfig {
-  /// Engine instances; must be >= 1.
+  /// Engine instances owned by THIS router; must be >= 1.
   std::size_t shards = 1;
   /// Template configuration applied to every shard. `instance_label` and
   /// `durability.dir` are overwritten per shard.
   serve::EngineConfig engine;
-  /// Per-shard durable directories `<durable_root>/shard-NNN`; empty
-  /// disables durability regardless of the template.
+  /// Per-shard durable directories `<durable_root>/shard-NNN` (NNN is the
+  /// GLOBAL shard index); empty disables durability regardless of the
+  /// template.
   std::string durable_root;
+  /// Total shards in the fleet topology (0 = `shards`, the single-process
+  /// case). A multi-process deployment runs one router per process with
+  /// `shards = 1`, `first_shard = k`, `topology_shards = N`: drive routing
+  /// hashes over the full topology, while this router owns only its slice.
+  std::size_t topology_shards = 0;
+  /// Global index of this router's first owned shard.
+  std::size_t first_shard = 0;
 };
 
 /// Per-shard accounting snapshot plus the merged fleet totals.
@@ -70,8 +78,26 @@ class ShardRouter {
   ShardRouter& operator=(const ShardRouter&) = delete;
 
   std::size_t shard_count() const noexcept { return engines_.size(); }
+  /// Total shards in the topology this router routes within (== shard_count
+  /// unless this router is a process-local slice).
+  std::size_t topology_shards() const noexcept { return topology_shards_; }
+  /// Global index of the first shard this router owns.
+  std::size_t first_shard() const noexcept { return first_shard_; }
+
+  /// Global shard index of a drive within the full topology.
+  std::size_t global_shard_of(std::uint64_t drive_id) const noexcept {
+    return serve::drive_shard(drive_id, topology_shards_);
+  }
+  /// Whether this router owns the drive's shard. Always true for a
+  /// full-topology router.
+  bool owns(std::uint64_t drive_id) const noexcept {
+    const std::size_t g = global_shard_of(drive_id);
+    return g >= first_shard_ && g < first_shard_ + engines_.size();
+  }
+  /// Local engine index of an owned drive (callers in a sliced topology
+  /// must check owns() first).
   std::size_t shard_of(std::uint64_t drive_id) const noexcept {
-    return serve::drive_shard(drive_id, engines_.size());
+    return global_shard_of(drive_id) - first_shard_;
   }
 
   serve::ScoringEngine& shard(std::size_t i) { return *engines_.at(i); }
@@ -80,7 +106,10 @@ class ShardRouter {
   }
 
   /// Routes one record to its owning shard. Returns false only when that
-  /// shard shed it (shed_on_full).
+  /// shard shed it (shed_on_full). Throws std::invalid_argument for a drive
+  /// this router's slice does not own — a misroute must never touch another
+  /// shard's state (the net server closes such connections instead of
+  /// submitting).
   bool submit(const serve::TelemetryUpdate& update);
 
   /// Blocks until every shard has drained everything submitted so far.
@@ -103,6 +132,8 @@ class ShardRouter {
 
  private:
   std::vector<std::unique_ptr<serve::ScoringEngine>> engines_;
+  std::size_t topology_shards_ = 1;
+  std::size_t first_shard_ = 0;
 };
 
 }  // namespace mfpa::net

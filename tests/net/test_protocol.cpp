@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -211,6 +212,141 @@ TEST(NetProtocol, ControlFrameWithTrailingBytesIsBadMessage) {
   wire::put_u32(buf, kNetFrameMagic);
   wire::put_u32(buf, static_cast<std::uint32_t>(payload.size()));
   wire::put_u64(buf, 1);
+  buf += payload;
+  wire::put_u64(buf, ml::fnv1a(std::string_view(buf.data() + body_start,
+                                                buf.size() - body_start)));
+  FrameDecoder decoder;
+  decoder.feed(buf.data(), buf.size());
+  NetMessage msg;
+  EXPECT_EQ(decoder.next(msg), FrameDecoder::Status::kError);
+  EXPECT_EQ(decoder.error(), DecodeError::kBadMessage);
+}
+
+TEST(NetProtocol, HelloFramesRoundTrip) {
+  std::string buf;
+  Hello claim;
+  claim.shard_index = 3;
+  claim.shard_count = 8;
+  claim.model_version = 12;
+  append_hello_frame(buf, 1, MessageType::kHello, claim);
+  Hello identity;
+  identity.shard_index = kAnyShard;
+  identity.shard_count = 8;
+  identity.model_version = 12;
+  append_hello_frame(buf, 2, MessageType::kHelloAck, identity);
+
+  FrameDecoder decoder;
+  decoder.feed(buf.data(), buf.size());
+  NetMessage msg;
+  ASSERT_EQ(decoder.next(msg), FrameDecoder::Status::kMessage);
+  EXPECT_EQ(msg.type, MessageType::kHello);
+  EXPECT_EQ(msg.seq, 1u);
+  EXPECT_EQ(msg.hello.shard_index, 3u);
+  EXPECT_EQ(msg.hello.shard_count, 8u);
+  EXPECT_EQ(msg.hello.model_version, 12u);
+  ASSERT_EQ(decoder.next(msg), FrameDecoder::Status::kMessage);
+  EXPECT_EQ(msg.type, MessageType::kHelloAck);
+  EXPECT_EQ(msg.hello.shard_index, kAnyShard);
+  EXPECT_EQ(msg.hello.shard_count, 8u);
+}
+
+TEST(NetProtocol, HelloFrameRejectsNonHelloType) {
+  std::string buf;
+  EXPECT_THROW(append_hello_frame(buf, 1, MessageType::kRecord, Hello{}),
+               std::invalid_argument);
+}
+
+TEST(NetProtocol, HelloMismatchNamesTheDisagreeingField) {
+  Hello server;
+  server.shard_index = 2;
+  server.shard_count = 4;
+  server.model_version = 9;
+
+  Hello claim = server;
+  EXPECT_EQ(claim.mismatch(server), nullptr);
+
+  claim = server;
+  claim.shard_index = 3;
+  EXPECT_STREQ(claim.mismatch(server), "shard_mismatch");
+
+  claim = server;
+  claim.shard_count = 8;
+  EXPECT_STREQ(claim.mismatch(server), "topology_mismatch");
+
+  claim = server;
+  claim.model_version = 10;
+  EXPECT_STREQ(claim.mismatch(server), "version_mismatch");
+
+  // Field priority: the shard disagreement wins when several fields are
+  // wrong, so the reported label is deterministic.
+  claim.shard_index = 0;
+  claim.shard_count = 99;
+  EXPECT_STREQ(claim.mismatch(server), "shard_mismatch");
+}
+
+TEST(NetProtocol, HelloWildcardsSkipTheirChecks) {
+  Hello server;
+  server.shard_index = 2;
+  server.shard_count = 4;
+  server.model_version = 9;
+
+  // A default claim is all wildcards: compatible with any identity.
+  EXPECT_EQ(Hello{}.mismatch(server), nullptr);
+
+  // Wildcards on the server side skip too (router-mode endpoints answer
+  // for any shard; version 0 means "no version pinned").
+  Hello router_identity;
+  router_identity.shard_count = 4;
+  Hello claim;
+  claim.shard_index = 1;
+  claim.shard_count = 4;
+  claim.model_version = 3;
+  EXPECT_EQ(claim.mismatch(router_identity), nullptr);
+
+  // But a concrete disagreement still rejects.
+  claim.shard_count = 2;
+  EXPECT_STREQ(claim.mismatch(router_identity), "topology_mismatch");
+}
+
+TEST(NetProtocol, HelloBitFlipAnywhereIsRejected) {
+  // Same single-bit-per-position sweep the record frame gets: a corrupted
+  // handshake must never decode into a (wrong) topology claim.
+  std::string pristine;
+  Hello claim;
+  claim.shard_index = 5;
+  claim.shard_count = 16;
+  claim.model_version = 3;
+  append_hello_frame(pristine, 11, MessageType::kHello, claim);
+  for (std::size_t pos = 4; pos < pristine.size(); ++pos) {
+    std::string corrupt = pristine;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    FrameDecoder decoder;
+    decoder.feed(corrupt.data(), corrupt.size());
+    NetMessage msg;
+    auto status = decoder.next(msg);
+    if (status == FrameDecoder::Status::kNeedMore) {
+      ASSERT_GE(pos, 4u) << "only the length field may defer detection";
+      ASSERT_LT(pos, 8u) << "byte " << pos;
+      const std::string filler(kMaxNetPayload, '\0');
+      decoder.feed(filler.data(), filler.size());
+      status = decoder.next(msg);
+    }
+    ASSERT_EQ(status, FrameDecoder::Status::kError) << "byte " << pos;
+    ASSERT_NE(decoder.error(), DecodeError::kNone) << "byte " << pos;
+  }
+}
+
+TEST(NetProtocol, TruncatedHelloBodyIsBadMessage) {
+  // Digest-valid kHello with a short body (two fields instead of three).
+  std::string payload;
+  payload.push_back(static_cast<char>(MessageType::kHello));
+  wire::put_u32(payload, 1);
+  wire::put_u32(payload, 4);
+  std::string buf;
+  const std::size_t body_start = buf.size() + 4;
+  wire::put_u32(buf, kNetFrameMagic);
+  wire::put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u64(buf, 5);
   buf += payload;
   wire::put_u64(buf, ml::fnv1a(std::string_view(buf.data() + body_start,
                                                 buf.size() - body_start)));

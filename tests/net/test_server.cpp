@@ -11,14 +11,19 @@
 
 #include <chrono>
 #include <filesystem>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/wire.hpp"
 #include "net/client.hpp"
+#include "net/forwarding_sink.hpp"
 #include "net/protocol.hpp"
+#include "net/sharded_client.hpp"
 #include "obs/metrics.hpp"
+#include "serve/drive_state_store.hpp"
 #include "serve/model_registry.hpp"
 
 namespace mfpa::net {
@@ -244,6 +249,255 @@ TEST(IngestServer, StopIsGracefulAndIdempotent) {
   router.flush();
   EXPECT_EQ(router.stats().records_processed, 1u);
   router.stop();
+}
+
+TEST(IngestServer, HandshakeAcceptsMatchingClaimAndReportsIdentity) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  // A process-local slice: this server owns global shard 2 of 4.
+  ShardRouterConfig config;
+  config.shards = 1;
+  config.first_shard = 2;
+  config.topology_shards = 4;
+  ShardRouter router(registry, config);
+  RouterSink sink(router, /*model_version=*/7);
+  ServerConfig server_config;
+  server_config.require_hello = true;
+  IngestServer server(sink, server_config);
+
+  TelemetryClient client(server.port());
+  Hello claim;
+  claim.shard_index = 2;
+  claim.shard_count = 4;
+  claim.model_version = 7;
+  const Hello identity = client.handshake(claim);
+  EXPECT_EQ(identity.shard_index, 2u);
+  EXPECT_EQ(identity.shard_count, 4u);
+  EXPECT_EQ(identity.model_version, 7u);
+
+  // The handshaken connection serves records for the owned slice.
+  std::uint64_t owned = 0;
+  while (serve::drive_shard(owned, 4) != 2) ++owned;
+  client.send_record(owned, 0, make_record(1));
+  EXPECT_EQ(client.sync().records_processed, 1u);
+  client.close();
+  server.stop();
+  router.stop();
+
+  bool saw_ok = false;
+  for (const auto& metric : isolated->snapshot().metrics) {
+    if (metric.name != "mfpa_net_handshakes_total") continue;
+    for (const auto& [k, v] : metric.labels) {
+      if (k == "result" && v == "ok") saw_ok = metric.counter == 1;
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+}
+
+TEST(IngestServer, HandshakeRejectsWrongShardTopologyAndVersion) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  config.shards = 1;
+  config.first_shard = 1;
+  config.topology_shards = 4;
+  ShardRouter router(registry, config);
+  RouterSink sink(router, /*model_version=*/3);
+  ServerConfig server_config;
+  server_config.require_hello = true;
+  IngestServer server(sink, server_config);
+
+  struct Case {
+    std::uint32_t index, count, version;
+    const char* label;
+  };
+  const Case cases[] = {
+      {2, 4, 3, "shard_mismatch"},     // wrong shard index
+      {1, 8, 3, "topology_mismatch"},  // wrong shard count
+      {1, 4, 9, "version_mismatch"},   // stale model version
+  };
+  for (const auto& c : cases) {
+    TelemetryClient client(server.port());
+    Hello claim;
+    claim.shard_index = c.index;
+    claim.shard_count = c.count;
+    claim.model_version = c.version;
+    // The server's ack names its own identity, so the client throws with
+    // the disagreeing field.
+    EXPECT_THROW(client.handshake(claim), std::runtime_error) << c.label;
+  }
+  server.stop();
+  router.stop();
+
+  std::uint64_t rejections = 0;
+  for (const auto& metric : isolated->snapshot().metrics) {
+    if (metric.name != "mfpa_net_handshakes_total") continue;
+    for (const auto& [k, v] : metric.labels) {
+      if (k == "result" && v != "ok") rejections += metric.counter;
+    }
+  }
+  EXPECT_EQ(rejections, 3u);
+}
+
+TEST(IngestServer, RequireHelloRejectsUnintroducedRecords) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  ShardRouter router(registry, config);
+  RouterSink sink(router);
+  ServerConfig server_config;
+  server_config.require_hello = true;
+  IngestServer server(sink, server_config);
+
+  // A legacy client that skips the handshake: first record closes the
+  // connection and nothing reaches the shard.
+  std::string frame;
+  append_record_frame(frame, 1, 42, 0, make_record(1));
+  RawConnection raw(server.port());
+  raw.send_bytes(frame);
+  EXPECT_TRUE(raw.closed_by_peer());
+  server.stop();
+  router.flush();
+  EXPECT_EQ(router.stats().records_processed, 0u);
+  router.stop();
+
+  bool saw_missing = false;
+  for (const auto& metric : isolated->snapshot().metrics) {
+    if (metric.name != "mfpa_net_handshakes_total") continue;
+    for (const auto& [k, v] : metric.labels) {
+      if (k == "result" && v == "missing") saw_missing = true;
+    }
+  }
+  EXPECT_TRUE(saw_missing);
+}
+
+TEST(IngestServer, MisroutedRecordClosesConnectionBeforeAnyState) {
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  ShardRouterConfig config;
+  config.shards = 1;
+  config.first_shard = 0;
+  config.topology_shards = 4;
+  ShardRouter router(registry, config);
+  RouterSink sink(router);
+  IngestServer server(sink, {});
+
+  std::uint64_t foreign = 0;
+  while (serve::drive_shard(foreign, 4) == 0) ++foreign;
+  std::string frame;
+  append_record_frame(frame, 1, foreign, 0, make_record(1));
+  RawConnection raw(server.port());
+  raw.send_bytes(frame);
+  EXPECT_TRUE(raw.closed_by_peer());
+  EXPECT_EQ(
+      wait_for_counter(*isolated, "mfpa_net_misrouted_records_total", 1), 1u);
+  server.stop();
+  router.flush();
+  EXPECT_EQ(router.stats().records_processed, 0u);
+  router.stop();
+}
+
+TEST(ShardedClient, RoutesEveryRecordToItsOwningShardProcessAnalogue) {
+  // Four single-shard sliced routers behind four servers — the in-test
+  // analogue of four shard-serve processes — fed by one ShardedClient.
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  constexpr std::size_t kShards = 4;
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  std::vector<std::unique_ptr<RouterSink>> sinks;
+  std::vector<std::unique_ptr<IngestServer>> servers;
+  ShardedClientConfig client_config;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    ShardRouterConfig config;
+    config.shards = 1;
+    config.first_shard = k;
+    config.topology_shards = kShards;
+    routers.push_back(std::make_unique<ShardRouter>(registry, config));
+    sinks.push_back(std::make_unique<RouterSink>(*routers.back()));
+    ServerConfig server_config;
+    server_config.require_hello = true;
+    servers.push_back(
+        std::make_unique<IngestServer>(*sinks.back(), server_config));
+    client_config.ports.push_back(servers.back()->port());
+  }
+
+  ShardedClient client(client_config);
+  constexpr std::uint64_t kDrives = 200;
+  std::vector<std::uint64_t> expected(kShards, 0);
+  for (std::uint64_t id = 0; id < kDrives; ++id) {
+    client.send_record(id, 0, make_record(1));
+    ++expected[serve::drive_shard(id, kShards)];
+  }
+  const FlushAck ack = client.sync();
+  EXPECT_EQ(ack.records_processed, kDrives);
+  EXPECT_EQ(client.records_sent(), kDrives);
+  client.close();
+
+  // Every shard processed exactly its hash slice — the fan-out is the
+  // same partition an in-process ShardRouter would produce.
+  for (std::size_t k = 0; k < kShards; ++k) {
+    servers[k]->stop();
+    routers[k]->flush();
+    EXPECT_EQ(routers[k]->stats().records_processed, expected[k])
+        << "shard " << k;
+    routers[k]->stop();
+  }
+}
+
+TEST(ShardedClient, WildcardClaimFeedsThroughForwardingRouter) {
+  // Router-process topology in miniature: shard servers behind a
+  // ForwardingSink server, fed by a client that claims the wildcard
+  // identity (one connection is not the topology).
+  auto isolated = obs::MetricsRegistry::create_isolated();
+  obs::ScopedMetricsOverride override_metrics(*isolated);
+  serve::ModelRegistry registry(test_dir().string());
+  constexpr std::size_t kShards = 2;
+  std::vector<std::unique_ptr<ShardRouter>> routers;
+  std::vector<std::unique_ptr<RouterSink>> sinks;
+  std::vector<std::unique_ptr<IngestServer>> servers;
+  ShardedClientConfig downstream_config;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    ShardRouterConfig config;
+    config.shards = 1;
+    config.first_shard = k;
+    config.topology_shards = kShards;
+    routers.push_back(std::make_unique<ShardRouter>(registry, config));
+    sinks.push_back(std::make_unique<RouterSink>(*routers.back()));
+    ServerConfig server_config;
+    server_config.require_hello = true;
+    servers.push_back(
+        std::make_unique<IngestServer>(*sinks.back(), server_config));
+    downstream_config.ports.push_back(servers.back()->port());
+  }
+  ShardedClient downstream(downstream_config);
+  ForwardingSink forward(downstream);
+  IngestServer router_server(forward, {});
+
+  ShardedClientConfig feed_config;
+  feed_config.ports = {router_server.port()};
+  feed_config.claim_topology = false;
+  ShardedClient feed(feed_config);
+  for (std::uint64_t id = 0; id < 100; ++id) {
+    feed.send_record(id, 0, make_record(2));
+  }
+  EXPECT_EQ(feed.sync().records_processed, 100u);
+  feed.close();
+  router_server.stop();
+  downstream.close();
+
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kShards; ++k) {
+    servers[k]->stop();
+    routers[k]->flush();
+    total += routers[k]->stats().records_processed;
+    routers[k]->stop();
+  }
+  EXPECT_EQ(total, 100u);
 }
 
 }  // namespace

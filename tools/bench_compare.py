@@ -7,9 +7,10 @@ Two input schemas are understood, detected per file:
   `benchmarks` is compared by `name` on `real_time` — lower is better.
 * serving-replay JSON (bench_serving, `"bench": "serving_replay"`): compared
   on `records_per_sec` — higher is better — plus any of the optional keys in
-  SERVING_OPTIONAL_KEYS present in the file (durability and sharded-loopback
-  passes each contribute theirs when enabled; throughput/speedup keys are
-  higher-is-better, latency keys lower-is-better).
+  SERVING_OPTIONAL_KEYS present in the file (the durability, sharded-loopback,
+  and multi-process passes each contribute theirs when enabled;
+  throughput/speedup keys are higher-is-better, latency keys
+  lower-is-better).
 
 A benchmark regresses when it is worse than the baseline by more than
 `--tolerance` (default 0.15 = 15%). Any regression prints a table and exits
@@ -51,6 +52,8 @@ SERVING_OPTIONAL_KEYS = (
     ("sharded_records_per_sec", False),
     ("sharded_speedup", False),
     ("sharded_latency_p99_us", True),
+    ("multiproc_records_per_sec", False),
+    ("multiproc_speedup", False),
 )
 
 

@@ -162,6 +162,46 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(merged["sharded_records_per_sec"], 500000)
         self.assertEqual(merged["sharded_latency_p99_us"], 20000.0)
 
+    def test_multiproc_throughput_drop_fails(self):
+        multiproc = dict(SERVING, multiproc_records_per_sec=400000,
+                         multiproc_speedup=1.6)
+        base = self.write("base.json", multiproc)
+        slower = dict(multiproc, multiproc_records_per_sec=400000 * 0.8,
+                      multiproc_speedup=1.28)
+        cur = self.write("cur.json", slower)
+        self.assertEqual(self.run_main(base, cur), 1)
+
+    def test_multiproc_keys_are_optional_both_ways(self):
+        # A --no-multiproc run vs a baseline with the multi-process pass
+        # (and vice versa) skips the unmatched keys rather than failing.
+        plain = self.write("plain.json", SERVING)
+        multiproc = self.write(
+            "multiproc.json",
+            dict(SERVING, multiproc_records_per_sec=400000,
+                 multiproc_speedup=1.6))
+        self.assertEqual(self.run_main(plain, multiproc), 0)
+        self.assertEqual(self.run_main(multiproc, plain), 0)
+
+    def test_malformed_multiproc_key_is_rejected(self):
+        base = self.write(
+            "base.json", dict(SERVING, multiproc_records_per_sec="fast"))
+        cur = self.write("cur.json", SERVING)
+        with self.assertRaises(SystemExit):
+            self.run_main(base, cur)
+
+    def test_update_preserves_multiproc_keys(self):
+        multiproc = dict(SERVING, multiproc_records_per_sec=400000,
+                         multiproc_speedup=1.6)
+        base = self.write("base.json", multiproc)
+        fresh = dict(SERVING, records_per_sec=300000)
+        cur = self.write("cur.json", fresh)
+        self.assertEqual(self.run_main(base, cur, "--update"), 0)
+        with open(base, encoding="utf-8") as fh:
+            merged = json.load(fh)
+        self.assertEqual(merged["records_per_sec"], 300000)
+        self.assertEqual(merged["multiproc_records_per_sec"], 400000)
+        self.assertEqual(merged["multiproc_speedup"], 1.6)
+
     def test_durable_key_is_optional_both_ways(self):
         # Baseline without the durable pass vs a current run with it (and
         # vice versa): both directions skip the unmatched key, not fail.
